@@ -1,0 +1,97 @@
+// Figure 8 — end-to-end strong scaling of the full pipeline for human
+// (left) and wheat (right), broken into k-mer analysis / contig generation
+// / scaffolding (§5.5).
+//
+// Paper shapes being reproduced:
+//   - overall speedups of 11.9x over a 32x concurrency range (human) and
+//     5.9x over 16x (wheat) — good but sub-ideal scaling, increasingly
+//     I/O- and imbalance-limited at the top;
+//   - the stage mix at the base concurrency: scaffolding dominates (~68%
+//     for human at 960 cores), k-mer analysis next (~28%), contig
+//     generation least (~4%).
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/datasets.hpp"
+
+namespace {
+
+using namespace hipmer;
+
+void run_genome(const std::string& label, sim::Dataset& ds, int rounds,
+                bool merge_bubbles, const std::vector<bench::ScalePoint>& axis,
+                int k, const std::string& workdir) {
+  // End-to-end includes the parallel FASTQ read, as in the paper.
+  if (!sim::write_dataset_fastq(ds, workdir))
+    std::fprintf(stderr, "warning: cannot write FASTQ to %s\n", workdir.c_str());
+
+  util::TextTable table({"ranks", "io_s", "kmer_s", "contig_s", "scaffold_s",
+                         "total_s", "speedup", "kmer_pct", "contig_pct",
+                         "scaffold_pct", "wall_s"});
+  double base_total = 0.0;
+  int base_ranks = 0;
+  for (const auto& scale : axis) {
+    pipeline::PipelineConfig cfg;
+    cfg.k = k;
+    cfg.scaffolding_rounds = rounds;
+    cfg.merge_bubbles = merge_bubbles;
+    cfg.sync_k();
+    pipeline::Pipeline pipe(scale.topology(), cfg);
+    const auto result = pipe.run_from_fastq(ds.libraries);
+
+    const double io = result.modeled_for(pipeline::kStageIo);
+    const double kmer = result.modeled_for(pipeline::kStageKmerAnalysis);
+    const double contig = result.modeled_for(pipeline::kStageContigGen);
+    const double scaffold = result.modeled_for(pipeline::kStageAligner) +
+                            result.modeled_for(pipeline::kStageGapClosing) +
+                            result.modeled_for(pipeline::kStageScaffoldRest);
+    const double total = io + kmer + contig + scaffold;
+    if (base_ranks == 0) {
+      base_ranks = scale.ranks;
+      base_total = total;
+    }
+    const double nonio = kmer + contig + scaffold;
+    table.add_row({std::to_string(scale.ranks), util::TextTable::fmt(io, 3),
+                   util::TextTable::fmt(kmer, 3),
+                   util::TextTable::fmt(contig, 3),
+                   util::TextTable::fmt(scaffold, 3),
+                   util::TextTable::fmt(total, 3),
+                   util::TextTable::fmt(base_total / total, 2) + "x",
+                   util::TextTable::fmt_pct(kmer / nonio),
+                   util::TextTable::fmt_pct(contig / nonio),
+                   util::TextTable::fmt_pct(scaffold / nonio),
+                   util::TextTable::fmt(result.wall_total(), 2)});
+  }
+  bench::emit("fig8_end_to_end_" + label,
+              "Fig. 8 (" + label + "): end-to-end strong scaling (modeled "
+              "seconds; paper human: 11.9x over 32x ranks; stage mix at "
+              "base concurrency ~28% kmer / 4% contig / 68% scaffold)",
+              table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const auto human_len =
+      static_cast<std::uint64_t>(opts.get_int("human-genome", 300'000));
+  const auto wheat_len =
+      static_cast<std::uint64_t>(opts.get_int("wheat-genome", 350'000));
+  const auto axis = bench::default_scale_axis(opts);
+  const std::string workdir =
+      opts.get("workdir", std::filesystem::temp_directory_path().string());
+
+  std::printf("Fig. 8 reproduction (human-like %llu bp, wheat-like %llu bp)\n",
+              static_cast<unsigned long long>(human_len),
+              static_cast<unsigned long long>(wheat_len));
+
+  auto human = sim::make_human_like(human_len, 817);
+  run_genome("human", human, 1, true, axis, 31, workdir);
+
+  auto wheat = sim::make_wheat_like(wheat_len, 819);
+  run_genome("wheat", wheat, 4, false, axis, 31, workdir);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// pipeline: k-mer packing/canonicalization, Bloom filter ops, Misra-Gries
+// offers, distributed hash-map updates (fine-grained vs aggregated — the
+// per-element cost side of the "aggregating stores" optimization), and the
+// alignment extension kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "align/smith_waterman.hpp"
+#include "kcount/bloom_filter.hpp"
+#include "kcount/hyperloglog.hpp"
+#include "kcount/misra_gries.hpp"
+#include "pgas/dist_hash_map.hpp"
+#include "pgas/thread_team.hpp"
+#include "seq/kmer_iterator.hpp"
+#include "seq/types.hpp"
+#include "sim/genome_sim.hpp"
+
+namespace {
+
+using namespace hipmer;
+using seq::KmerT;
+
+std::string random_seq(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return sim::random_dna(n, rng);
+}
+
+void BM_KmerFromString(benchmark::State& state) {
+  const auto s = random_seq(64, 1);
+  for (auto _ : state) {
+    auto km = KmerT::from_string(
+        std::string_view(s).substr(0, static_cast<std::size_t>(state.range(0))));
+    benchmark::DoNotOptimize(km);
+  }
+}
+BENCHMARK(BM_KmerFromString)->Arg(21)->Arg(31)->Arg(51)->Arg(63);
+
+void BM_KmerCanonical(benchmark::State& state) {
+  const auto km = KmerT::from_string(
+      random_seq(static_cast<std::size_t>(state.range(0)), 2));
+  for (auto _ : state) {
+    auto canon = km.canonical();
+    benchmark::DoNotOptimize(canon);
+  }
+}
+BENCHMARK(BM_KmerCanonical)->Arg(21)->Arg(31)->Arg(51);
+
+void BM_KmerIterator(benchmark::State& state) {
+  const auto s = random_seq(10'000, 3);
+  for (auto _ : state) {
+    std::uint64_t h = 0;
+    for (seq::KmerIterator<KmerT::kMaxK> it(s, 31); !it.done(); it.next())
+      h ^= it.canonical().hash();
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size() - 30));
+}
+BENCHMARK(BM_KmerIterator);
+
+void BM_BloomTestAndSet(benchmark::State& state) {
+  kcount::BloomFilter bloom(1 << 20);
+  std::mt19937_64 rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(bloom.test_and_set(rng()));
+}
+BENCHMARK(BM_BloomTestAndSet);
+
+void BM_HyperLogLogAdd(benchmark::State& state) {
+  kcount::HyperLogLog hll;
+  std::mt19937_64 rng(7);
+  for (auto _ : state) hll.add_hash(rng());
+  benchmark::DoNotOptimize(hll.estimate());
+}
+BENCHMARK(BM_HyperLogLogAdd);
+
+void BM_MisraGriesOffer(benchmark::State& state) {
+  // Zipf-ish stream: mixture of hot and cold items.
+  kcount::MisraGries<std::uint64_t> mg(
+      static_cast<std::size_t>(state.range(0)));
+  std::mt19937_64 rng(9);
+  for (auto _ : state) {
+    const std::uint64_t x = (rng() & 7) == 0 ? rng() % 16 : rng();
+    mg.offer(x);
+  }
+}
+BENCHMARK(BM_MisraGriesOffer)->Arg(1024)->Arg(32768);
+
+struct SumMerge {
+  void operator()(std::uint64_t& a, const std::uint64_t& b) const { a += b; }
+};
+
+void BM_DistMapUpdate(benchmark::State& state) {
+  // Single-rank team: measures the data-structure cost (bucket lock +
+  // probe + merge), the per-element term of aggregating stores.
+  pgas::ThreadTeam team(pgas::Topology{1, 1});
+  pgas::DistHashMap<std::uint64_t, std::uint64_t, std::hash<std::uint64_t>,
+                    SumMerge>
+      map(team,
+          {.global_capacity = 1 << 20,
+           .flush_threshold = static_cast<std::size_t>(state.range(0))});
+  team.run([&](pgas::Rank& rank) {
+    std::mt19937_64 rng(11);
+    for (auto _ : state) {
+      map.update_buffered(rank, rng() % (1 << 20), 1);
+    }
+    map.flush(rank);
+  });
+}
+BENCHMARK(BM_DistMapUpdate)->Arg(1)->Arg(64)->Arg(512);
+
+void BM_DiagonalExtend(benchmark::State& state) {
+  const auto target = random_seq(200, 13);
+  auto query = target.substr(20, 100);
+  query[50] = seq::complement_base(query[50]);
+  for (auto _ : state) {
+    auto aln = align::diagonal_extend(query, target, 20);
+    benchmark::DoNotOptimize(aln);
+  }
+}
+BENCHMARK(BM_DiagonalExtend);
+
+void BM_BandedSW(benchmark::State& state) {
+  const auto target = random_seq(200, 17);
+  auto query = target.substr(20, 100);
+  query.erase(50, 2);  // indel to force the banded path to matter
+  for (auto _ : state) {
+    auto aln = align::banded_smith_waterman(
+        query, target, 20, static_cast<std::int32_t>(state.range(0)));
+    benchmark::DoNotOptimize(aln);
+  }
+}
+BENCHMARK(BM_BandedSW)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Quickstart: assemble a simulated genome end-to-end with the HipMer
+// pipeline and inspect the result.
+//
+//   ./quickstart [--genome 200000] [--ranks 8] [--k 31] [--out out.fasta]
+//
+// What this demonstrates:
+//   1. building a dataset (simulated diploid genome + paired-end reads with
+//      sequencing errors — substitute your own FASTQ via the library list);
+//   2. configuring and running the full pipeline (k-mer analysis -> contig
+//      generation -> bubble merging -> alignment -> scaffolding -> gap
+//      closing);
+//   3. reading the per-stage timing/communication report and assembly
+//      statistics;
+//   4. writing the scaffolds as FASTA.
+
+#include <cstdio>
+
+#include "pipeline/pipeline.hpp"
+#include "sim/datasets.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hipmer;
+  util::Options opts(argc, argv);
+  const auto genome_len =
+      static_cast<std::uint64_t>(opts.get_int("genome", 200'000));
+  const int ranks = static_cast<int>(opts.get_int("ranks", 8));
+  const int k = static_cast<int>(opts.get_int("k", 31));
+  const std::string out_path = opts.get("out", "quickstart_scaffolds.fasta");
+
+  // 1. A dataset: diploid "human-like" genome with one paired-end library.
+  std::printf("simulating %llu bp diploid genome + reads...\n",
+              static_cast<unsigned long long>(genome_len));
+  auto dataset = sim::make_human_like(genome_len, /*seed=*/1234);
+  std::printf("  %llu reads, %llu bases (%.1fx coverage)\n",
+              static_cast<unsigned long long>(dataset.total_reads()),
+              static_cast<unsigned long long>(dataset.total_bases()),
+              static_cast<double>(dataset.total_bases()) /
+                  static_cast<double>(genome_len));
+
+  // 2. Configure and run. `sync_k()` propagates k into every stage config.
+  pipeline::PipelineConfig config;
+  config.k = k;
+  config.merge_bubbles = true;  // diploid sample: merge haplotype bubbles
+  config.kmer.min_count = 3;    // ~20x + 0.8% errors: drop repeated miscalls
+  // Note: do NOT set contig.min_contig_len on diploid data — heterozygous
+  // bubble paths are only 2k-1 bases long and must survive to be merged.
+  config.sync_k();
+  pipeline::Pipeline pipeline(pgas::Topology{ranks, 4}, config);
+  std::printf("assembling on %d ranks (k=%d)...\n", ranks, k);
+  const auto result = pipeline.run(dataset.reads, dataset.libraries);
+
+  // 3. Reports.
+  std::printf("\nper-stage times (wall = this host; modeled = Edison-like "
+              "machine model):\n%s",
+              result.format_stages().c_str());
+  std::printf("k-mer spectrum: %llu distinct, %.1f%% singletons, %zu heavy hitters\n",
+              static_cast<unsigned long long>(result.distinct_kmers),
+              result.singleton_fraction * 100.0, result.heavy_hitters);
+  std::printf("contigs:   %s\n",
+              util::format_assembly_stats(result.contig_stats).c_str());
+  std::printf("scaffolds: %s\n",
+              util::format_assembly_stats(result.scaffold_stats).c_str());
+  if (!result.insert_estimates.empty())
+    std::printf("estimated insert size: %.1f +/- %.1f (%llu pairs sampled)\n",
+                result.insert_estimates[0].mean,
+                result.insert_estimates[0].stddev,
+                static_cast<unsigned long long>(result.insert_estimates[0].samples));
+  std::printf("gap closing: %llu/%llu closed (span %llu, walk %llu, patch %llu)\n",
+              static_cast<unsigned long long>(result.closure_stats.gaps_closed),
+              static_cast<unsigned long long>(result.closure_stats.gaps_total),
+              static_cast<unsigned long long>(result.closure_stats.closed_by_span),
+              static_cast<unsigned long long>(result.closure_stats.closed_by_walk),
+              static_cast<unsigned long long>(result.closure_stats.closed_by_patch));
+
+  // 4. Output.
+  if (io::write_fasta(out_path, result.scaffolds)) {
+    std::printf("wrote %zu scaffolds to %s\n", result.scaffolds.size(),
+                out_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Diploid bubble merging (§4.2) — show how heterozygous variation breaks
+// contigs into bubbles and how the bubble-contig graph merges them back.
+//
+//   ./variant_bubbles [--genome 150000] [--het 0.004] [--ranks 8]
+//
+// The program assembles the same diploid dataset twice — with bubble
+// merging off and on — and reports the contig-level effect: without
+// merging, every heterozygous site splits the assembly around a pair of
+// haplotype paths; with merging, the deeper path is kept and the flanks
+// are stitched through, restoring contiguity.
+
+#include <cstdio>
+
+#include "pipeline/pipeline.hpp"
+#include "sim/datasets.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hipmer;
+  util::Options opts(argc, argv);
+  const auto genome_len =
+      static_cast<std::uint64_t>(opts.get_int("genome", 150'000));
+  const double het = opts.get_double("het", 0.004);
+  const int ranks = static_cast<int>(opts.get_int("ranks", 8));
+
+  // A diploid genome at the high end of human heterozygosity.
+  sim::Dataset ds;
+  ds.name = "diploid";
+  sim::GenomeConfig gc;
+  gc.length = genome_len;
+  gc.heterozygosity = het;
+  gc.seed = 99;
+  ds.genome = sim::simulate_genome(gc);
+  sim::LibraryConfig lc;
+  lc.name = "pe";
+  lc.read_length = 101;
+  lc.mean_insert = 400.0;
+  lc.stddev_insert = 30.0;
+  lc.coverage = 24.0;
+  lc.error_rate = 0.002;
+  lc.seed = 101;
+  ds.libraries.push_back(seq::ReadLibrary{"pe", 400.0, 30.0, 101, "", true});
+  ds.reads.push_back(sim::simulate_library(ds.genome, lc));
+  std::printf("diploid genome: %llu bp, heterozygosity %.2f%% (~%d SNP sites)\n",
+              static_cast<unsigned long long>(genome_len), het * 100.0,
+              static_cast<int>(het * static_cast<double>(genome_len)));
+
+  util::TextTable table({"bubble_merging", "contigs", "contig_N50",
+                         "scaffolds", "scaffold_N50"});
+  for (const bool merge : {false, true}) {
+    pipeline::PipelineConfig cfg;
+    cfg.k = 31;
+    cfg.merge_bubbles = merge;
+    cfg.kmer.min_count = 3;
+    cfg.sync_k();
+    pipeline::Pipeline pipe(pgas::Topology{ranks, 4}, cfg);
+    const auto result = pipe.run(ds.reads, ds.libraries);
+    table.add_row({merge ? "on" : "off",
+                   std::to_string(result.num_contigs),
+                   std::to_string(result.contig_stats.n50),
+                   std::to_string(result.scaffolds.size()),
+                   std::to_string(result.scaffold_stats.n50)});
+    if (merge)
+      std::printf("(with merging on, the contig count collapses as "
+                  "flank-path-flank chains compress)\n");
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+/// Read-to-contig alignment record — the interchange format between
+/// merAligner (§4.3) and every scaffolding module that consumes alignments
+/// (insert-size estimation §4.4, splint/span location §4.5, gap closing
+/// §4.8). Trivially copyable so records can move through alltoallv
+/// exchanges.
+namespace hipmer::align {
+
+struct ReadAlignment {
+  /// Pair index within the library (mates share it) and mate number (0/1).
+  std::uint64_t pair_id = 0;
+  std::int32_t mate = 0;
+  /// Which library the read came from (index into the pipeline's library
+  /// list); scaffolding estimates a separate insert size per library.
+  std::int32_t library = 0;
+
+  std::uint32_t contig_id = 0;
+  std::uint32_t contig_len = 0;
+
+  /// Aligned interval on the read, [read_start, read_end).
+  std::int32_t read_start = 0;
+  std::int32_t read_end = 0;
+  std::int32_t read_len = 0;
+
+  /// Corresponding interval in forward contig coordinates,
+  /// [contig_start, contig_end).
+  std::int32_t contig_start = 0;
+  std::int32_t contig_end = 0;
+
+  /// True if the read's forward orientation matches the contig's.
+  bool read_fwd = true;
+
+  /// Alignment score (match +1, mismatch -1, gap -2).
+  std::int32_t score = 0;
+
+  [[nodiscard]] std::int32_t aligned_len() const noexcept {
+    return read_end - read_start;
+  }
+  /// Does the alignment reach (within `slack`) the contig's start/end?
+  /// Splint detection (§4.5) keys on these.
+  [[nodiscard]] bool touches_contig_start(int slack = 5) const noexcept {
+    return contig_start <= slack;
+  }
+  [[nodiscard]] bool touches_contig_end(int slack = 5) const noexcept {
+    return contig_end + slack >= static_cast<std::int32_t>(contig_len);
+  }
+};
+
+}  // namespace hipmer::align

@@ -1,0 +1,205 @@
+#include "align/contig_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hipmer::align {
+
+namespace {
+
+/// Serialized contig header for the redistribution exchange. Junction
+/// k-mers ride along because bubble identification (§4.2) keys on them.
+struct WireHeader {
+  std::uint64_t id;
+  std::uint32_t seq_len;
+  float avg_depth;
+  char left_term;
+  char right_term;
+  char left_has_junction;
+  char right_has_junction;
+  seq::KmerT left_junction;
+  seq::KmerT right_junction;
+};
+
+}  // namespace
+
+ContigStore::ContigStore(pgas::ThreadTeam& team)
+    : team_(&team),
+      nranks_(team.nranks()),
+      shards_(static_cast<std::size_t>(team.nranks())),
+      caches_(static_cast<std::size_t>(team.nranks())) {}
+
+void ContigStore::build(pgas::Rank& rank,
+                        const std::vector<dbg::Contig>& my_contigs) {
+  // Serialize each contig toward its owner: header + raw sequence bytes.
+  std::vector<std::vector<std::byte>> outgoing(
+      static_cast<std::size_t>(nranks_));
+  for (const auto& contig : my_contigs) {
+    auto& buf = outgoing[static_cast<std::size_t>(owner_of(contig.id))];
+    WireHeader header{};
+    header.id = contig.id;
+    header.seq_len = static_cast<std::uint32_t>(contig.seq.size());
+    header.avg_depth = static_cast<float>(contig.avg_depth);
+    header.left_term = contig.left.code;
+    header.right_term = contig.right.code;
+    header.left_has_junction = contig.left.has_junction ? 1 : 0;
+    header.right_has_junction = contig.right.has_junction ? 1 : 0;
+    header.left_junction = contig.left.junction;
+    header.right_junction = contig.right.junction;
+    const std::size_t old = buf.size();
+    buf.resize(old + sizeof(WireHeader) + contig.seq.size());
+    std::memcpy(buf.data() + old, &header, sizeof header);
+    std::memcpy(buf.data() + old + sizeof header, contig.seq.data(),
+                contig.seq.size());
+    rank.stats().add_work();
+  }
+  const auto incoming = rank.alltoallv(outgoing);
+
+  auto& shard = shards_[static_cast<std::size_t>(rank.id())];
+  shard.clear();
+  std::size_t pos = 0;
+  while (pos + sizeof(WireHeader) <= incoming.size()) {
+    WireHeader header;
+    std::memcpy(&header, incoming.data() + pos, sizeof header);
+    pos += sizeof header;
+    dbg::Contig contig;
+    contig.id = header.id;
+    contig.avg_depth = header.avg_depth;
+    contig.left.code = header.left_term;
+    contig.right.code = header.right_term;
+    contig.left.has_junction = header.left_has_junction != 0;
+    contig.right.has_junction = header.right_has_junction != 0;
+    contig.left.junction = header.left_junction;
+    contig.right.junction = header.right_junction;
+    contig.seq.resize(header.seq_len);
+    std::memcpy(contig.seq.data(), incoming.data() + pos, header.seq_len);
+    pos += header.seq_len;
+    shard.push_back(std::move(contig));
+  }
+  std::sort(shard.begin(), shard.end(),
+            [](const dbg::Contig& a, const dbg::Contig& b) { return a.id < b.id; });
+
+  caches_[static_cast<std::size_t>(rank.id())].assign(cache_capacity_,
+                                                      CacheEntry{});
+  const std::uint64_t local = shard.size();
+  total_ = rank.allreduce_sum(local);
+  rank.barrier();
+}
+
+void ContigStore::set_cache_capacity(std::size_t contigs_per_rank) {
+  cache_capacity_ = contigs_per_rank;
+  for (auto& cache : caches_) cache.assign(cache_capacity_, CacheEntry{});
+}
+
+const dbg::Contig* ContigStore::local_lookup(std::uint64_t id) const {
+  const auto& shard = shards_[id % static_cast<std::uint64_t>(nranks_)];
+  // Ids within a shard are dense-ish; binary search by id.
+  auto it = std::lower_bound(
+      shard.begin(), shard.end(), id,
+      [](const dbg::Contig& c, std::uint64_t key) { return c.id < key; });
+  if (it == shard.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+ContigStore::Meta ContigStore::meta(pgas::Rank& rank, std::uint64_t id) const {
+  const int owner = owner_of(id);
+  Meta m;
+  const dbg::Contig* contig = local_lookup(id);
+  if (contig != nullptr) {
+    m.length = static_cast<std::uint32_t>(contig->seq.size());
+    m.avg_depth = static_cast<float>(contig->avg_depth);
+    m.left_term = contig->left.code;
+    m.right_term = contig->right.code;
+  }
+  if (owner == rank.id()) {
+    rank.stats().add_local_access();
+  } else if (rank.topology().same_node(owner, rank.id())) {
+    rank.stats().add_onnode_msg(sizeof(Meta));
+    rank.stats_of(owner).add_recv_ops();
+  } else {
+    rank.stats().add_offnode_msg(sizeof(Meta));
+    rank.stats_of(owner).add_recv_ops();
+  }
+  return m;
+}
+
+std::string ContigStore::fetch(pgas::Rank& rank, std::uint64_t id,
+                               std::uint32_t start, std::uint32_t len) const {
+  const int owner = owner_of(id);
+  if (owner == rank.id()) {
+    rank.stats().add_local_access();
+    const dbg::Contig* contig = local_lookup(id);
+    if (contig == nullptr || start >= contig->seq.size()) return {};
+    return contig->seq.substr(start,
+                              std::min<std::size_t>(len, contig->seq.size() - start));
+  }
+
+  // Remote: consult this rank's cache first (whole-contig granularity).
+  auto& cache = caches_[static_cast<std::size_t>(rank.id())];
+  const std::string* seq = nullptr;
+  std::size_t slot = 0;
+  if (!cache.empty()) {
+    slot = static_cast<std::size_t>(id) % cache.size();
+    if (cache[slot].id == id) seq = &cache[slot].seq;
+  }
+  if (seq == nullptr) {
+    const dbg::Contig* contig = local_lookup(id);
+    const std::string fetched = contig ? contig->seq : std::string{};
+    if (rank.topology().same_node(owner, rank.id())) {
+      rank.stats().add_onnode_msg(fetched.size());
+    } else {
+      rank.stats().add_offnode_msg(fetched.size());
+    }
+    rank.stats_of(owner).add_recv_ops();
+    if (!cache.empty()) {
+      cache[slot] = CacheEntry{id, fetched};
+      seq = &cache[slot].seq;
+    } else {
+      if (start >= fetched.size()) return {};
+      return fetched.substr(start, std::min<std::size_t>(len, fetched.size() - start));
+    }
+  }
+  if (start >= seq->size()) return {};
+  return seq->substr(start, std::min<std::size_t>(len, seq->size() - start));
+}
+
+std::string ContigStore::fetch_all(pgas::Rank& rank, std::uint64_t id) const {
+  return fetch(rank, id, 0, 0xffffffffu);
+}
+
+void ContigStore::set_local_depth(pgas::Rank& rank, std::uint64_t id,
+                                  double depth) {
+  auto& shard = shards_[static_cast<std::size_t>(rank.id())];
+  auto it = std::lower_bound(
+      shard.begin(), shard.end(), id,
+      [](const dbg::Contig& c, std::uint64_t key) { return c.id < key; });
+  if (it != shard.end() && it->id == id) it->avg_depth = depth;
+  rank.stats().add_local_access();
+}
+
+std::uint64_t ContigStore::local_bases(int rank) const {
+  std::uint64_t total = 0;
+  for (const auto& contig : shards_[static_cast<std::size_t>(rank)])
+    total += contig.seq.size();
+  return total;
+}
+
+dbg::Contig ContigStore::fetch_record(pgas::Rank& rank,
+                                      std::uint64_t id) const {
+  const int owner = owner_of(id);
+  const dbg::Contig* contig = local_lookup(id);
+  dbg::Contig copy = contig ? *contig : dbg::Contig{};
+  if (owner == rank.id()) {
+    rank.stats().add_local_access();
+  } else {
+    if (rank.topology().same_node(owner, rank.id())) {
+      rank.stats().add_onnode_msg(copy.seq.size() + 64);
+    } else {
+      rank.stats().add_offnode_msg(copy.seq.size() + 64);
+    }
+    rank.stats_of(owner).add_recv_ops();
+  }
+  return copy;
+}
+
+}  // namespace hipmer::align

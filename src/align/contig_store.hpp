@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dbg/contig.hpp"
+#include "pgas/thread_team.hpp"
+
+/// Distributed contig storage.
+///
+/// Contigs come out of the traversal on whichever rank happened to complete
+/// them; the store redistributes them so contig c lives on rank c % P,
+/// giving every later stage (seed-index construction, alignment extension,
+/// gap closing) O(1) location of any contig by id. Remote sequence reads
+/// are one-sided and charged by the byte, like UPC global-pointer derefs;
+/// per-rank software caching (merAligner §4.3 does the same) collapses
+/// repeated fetches of hot contigs.
+namespace hipmer::align {
+
+class ContigStore {
+ public:
+  struct Meta {
+    std::uint32_t length = 0;
+    float avg_depth = 0.0f;
+    char left_term = 'X';
+    char right_term = 'X';
+  };
+
+  explicit ContigStore(pgas::ThreadTeam& team);
+
+  /// Collective: move each contig to rank (id % P). `my_contigs` is
+  /// whatever this rank produced during traversal.
+  void build(pgas::Rank& rank, const std::vector<dbg::Contig>& my_contigs);
+
+  [[nodiscard]] std::uint64_t num_contigs() const noexcept { return total_; }
+
+  [[nodiscard]] int owner_of(std::uint64_t contig_id) const noexcept {
+    return static_cast<int>(contig_id % static_cast<std::uint64_t>(nranks_));
+  }
+
+  /// One-sided read of contig `id`'s metadata.
+  [[nodiscard]] Meta meta(pgas::Rank& rank, std::uint64_t id) const;
+
+  /// One-sided read of `len` bases starting at `start` (clamped to the
+  /// contig). Goes through the per-rank cache when enabled.
+  [[nodiscard]] std::string fetch(pgas::Rank& rank, std::uint64_t id,
+                                  std::uint32_t start, std::uint32_t len) const;
+
+  /// Fetch the whole contig sequence.
+  [[nodiscard]] std::string fetch_all(pgas::Rank& rank, std::uint64_t id) const;
+
+  /// One-sided read of the complete contig record (sequence, depth,
+  /// termination states with junction k-mers). Used by bubble merging,
+  /// which needs the ends' junction data.
+  [[nodiscard]] dbg::Contig fetch_record(pgas::Rank& rank,
+                                         std::uint64_t id) const;
+
+  /// Iterate contigs owned by this rank: fn(id, const Contig&).
+  template <typename Fn>
+  void for_each_local(pgas::Rank& rank, Fn&& fn) const {
+    const auto& shard = shards_[static_cast<std::size_t>(rank.id())];
+    for (const auto& contig : shard) fn(contig.id, contig);
+  }
+
+  /// Per-rank cache capacity in contigs (0 disables). Must be set before
+  /// the first fetch.
+  void set_cache_capacity(std::size_t contigs_per_rank);
+
+  /// Owner-side depth update (the §4.1 depth recomputation writes back
+  /// through this; call only for contigs owned by `rank`, after build and
+  /// behind a barrier).
+  void set_local_depth(pgas::Rank& rank, std::uint64_t id, double depth);
+
+  /// Total bases across this rank's contigs.
+  [[nodiscard]] std::uint64_t local_bases(int rank) const;
+
+ private:
+  struct CacheEntry {
+    std::uint64_t id = ~0ull;
+    std::string seq;
+  };
+
+  [[nodiscard]] const dbg::Contig* local_lookup(std::uint64_t id) const;
+
+  pgas::ThreadTeam* team_;
+  int nranks_;
+  std::uint64_t total_ = 0;
+  /// shards_[r] holds contigs with id % P == r, sorted by id.
+  std::vector<std::vector<dbg::Contig>> shards_;
+  /// Direct-mapped per-rank caches (mutable: fetch is logically const).
+  mutable std::vector<std::vector<CacheEntry>> caches_;
+  std::size_t cache_capacity_ = 64;
+};
+
+}  // namespace hipmer::align

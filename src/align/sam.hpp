@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/alignment.hpp"
+#include "align/contig_store.hpp"
+#include "pgas/thread_team.hpp"
+#include "seq/read.hpp"
+
+/// SAM-format emission for merAligner results.
+///
+/// merAligner is a standalone tool in the HipMer ecosystem (its output is
+/// consumed by scaffolding but also inspected directly); SAM is the lingua
+/// franca for that. Emits @SQ headers from the contig store and one
+/// alignment line per record, with soft-clips for partially aligned reads.
+namespace hipmer::align {
+
+/// @HD + @SQ header lines for every contig in `store` (collective-free:
+/// callable by any rank; iterates ids 0..num_contigs-1 via one-sided
+/// metadata reads).
+[[nodiscard]] std::string sam_header(pgas::Rank& rank,
+                                     const ContigStore& store);
+
+/// One SAM line. `read` must be the record the alignment refers to;
+/// reverse-strand alignments emit the reverse-complemented sequence with
+/// FLAG 0x10, per the spec. Gapless CIGAR (soft-clip / match blocks) —
+/// the extension kernels report interval matches, not per-base edits.
+[[nodiscard]] std::string sam_line(const ReadAlignment& alignment,
+                                   const seq::Read& read);
+
+/// Convenience: write header + this rank's alignments to `path` (one file
+/// per rank; SAM files concatenate trivially after the header).
+bool write_sam(pgas::Rank& rank, const ContigStore& store,
+               const std::vector<ReadAlignment>& alignments,
+               const std::vector<seq::Read>& reads, const std::string& path,
+               bool with_header = true);
+
+}  // namespace hipmer::align

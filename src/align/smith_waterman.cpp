@@ -1,0 +1,101 @@
+#include "align/smith_waterman.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hipmer::align {
+
+LocalAlignment diagonal_extend(std::string_view a, std::string_view b,
+                               std::int32_t shift, const Scoring& scoring) {
+  // Valid i range where both a[i] and b[i+shift] exist.
+  const auto alen = static_cast<std::int32_t>(a.size());
+  const auto blen = static_cast<std::int32_t>(b.size());
+  const std::int32_t lo = std::max<std::int32_t>(0, -shift);
+  const std::int32_t hi = std::min<std::int32_t>(alen, blen - shift);
+
+  LocalAlignment best;
+  std::int32_t run_score = 0;
+  std::int32_t run_start = lo;
+  for (std::int32_t i = lo; i < hi; ++i) {
+    const bool match = a[static_cast<std::size_t>(i)] ==
+                       b[static_cast<std::size_t>(i + shift)];
+    run_score += match ? scoring.match : scoring.mismatch;
+    if (run_score <= 0) {
+      run_score = 0;
+      run_start = i + 1;
+      continue;
+    }
+    if (run_score > best.score) {
+      best.score = run_score;
+      best.a_start = run_start;
+      best.a_end = i + 1;
+      best.b_start = run_start + shift;
+      best.b_end = i + 1 + shift;
+    }
+  }
+  return best;
+}
+
+LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
+                                     std::int32_t shift, std::int32_t band,
+                                     const Scoring& scoring) {
+  const auto alen = static_cast<std::int32_t>(a.size());
+  const auto blen = static_cast<std::int32_t>(b.size());
+  const std::int32_t width = 2 * band + 1;
+
+  struct Cell {
+    std::int32_t score = 0;
+    std::int32_t a_origin = 0;
+    std::int32_t b_origin = 0;
+  };
+  // prev[d] / curr[d] hold row i-1 / i, where d = j - (i + shift) + band.
+  std::vector<Cell> prev(static_cast<std::size_t>(width));
+  std::vector<Cell> curr(static_cast<std::size_t>(width));
+
+  LocalAlignment best;
+  for (std::int32_t i = 0; i < alen; ++i) {
+    for (std::int32_t d = 0; d < width; ++d) {
+      curr[static_cast<std::size_t>(d)] = Cell{};
+      const std::int32_t j = i + shift + d - band;
+      if (j < 0 || j >= blen) continue;
+
+      const bool match = a[static_cast<std::size_t>(i)] ==
+                         b[static_cast<std::size_t>(j)];
+      const std::int32_t sub = match ? scoring.match : scoring.mismatch;
+
+      // Diagonal predecessor (i-1, j-1) sits at the same d in row i-1.
+      Cell cand{sub, i, j};  // fresh start at (i, j)
+      if (i > 0) {
+        const Cell& diag = prev[static_cast<std::size_t>(d)];
+        if (diag.score + sub > cand.score)
+          cand = Cell{diag.score + sub, diag.a_origin, diag.b_origin};
+      }
+      // Up predecessor (i-1, j): d' = d + 1 in row i-1 (gap in b).
+      if (i > 0 && d + 1 < width) {
+        const Cell& up = prev[static_cast<std::size_t>(d + 1)];
+        if (up.score + scoring.gap > cand.score)
+          cand = Cell{up.score + scoring.gap, up.a_origin, up.b_origin};
+      }
+      // Left predecessor (i, j-1): d' = d - 1 in the same row (gap in a).
+      if (d - 1 >= 0) {
+        const Cell& left = curr[static_cast<std::size_t>(d - 1)];
+        if (left.score + scoring.gap > cand.score)
+          cand = Cell{left.score + scoring.gap, left.a_origin, left.b_origin};
+      }
+      if (cand.score <= 0) continue;  // local alignment floor
+
+      curr[static_cast<std::size_t>(d)] = cand;
+      if (cand.score > best.score) {
+        best.score = cand.score;
+        best.a_start = cand.a_origin;
+        best.b_start = cand.b_origin;
+        best.a_end = i + 1;
+        best.b_end = j + 1;
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return best;
+}
+
+}  // namespace hipmer::align

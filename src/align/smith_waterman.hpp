@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// Local alignment kernels for merAligner's extend step.
+///
+/// The fast path is a gap-free diagonal extension (Kadane's maximal-scoring
+/// segment along the implied diagonal) — sufficient for substitution-only
+/// divergence and O(n). When the diagonal score is poor, the caller falls
+/// back to a banded Smith–Waterman that tolerates small indels.
+namespace hipmer::align {
+
+struct LocalAlignment {
+  /// Half-open aligned intervals on each sequence.
+  std::int32_t a_start = 0;
+  std::int32_t a_end = 0;
+  std::int32_t b_start = 0;
+  std::int32_t b_end = 0;
+  std::int32_t score = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return score <= 0; }
+};
+
+struct Scoring {
+  std::int32_t match = 1;
+  std::int32_t mismatch = -1;
+  std::int32_t gap = -2;
+};
+
+/// Gap-free local alignment along the single diagonal where a[i] pairs with
+/// b[i + shift]. Returns the maximal-scoring contiguous segment.
+[[nodiscard]] LocalAlignment diagonal_extend(std::string_view a,
+                                             std::string_view b,
+                                             std::int32_t shift,
+                                             const Scoring& scoring = {});
+
+/// Banded Smith–Waterman local alignment: cells with |i - (j - shift)| >
+/// band are excluded. O(len(a) * (2*band+1)) time, two-row memory; start
+/// coordinates are recovered by tracking the origin of each cell's best
+/// path (no full traceback matrix).
+[[nodiscard]] LocalAlignment banded_smith_waterman(std::string_view a,
+                                                   std::string_view b,
+                                                   std::int32_t shift,
+                                                   std::int32_t band,
+                                                   const Scoring& scoring = {});
+
+}  // namespace hipmer::align

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pgas/machine_model.hpp"
+#include "pgas/topology.hpp"
+#include "seq/read.hpp"
+
+/// Comparator assemblers for the §5.6 evaluation.
+///
+/// The paper compares HipMer against Ray 2.3.0, ABySS 1.3.6 and the
+/// original serial Meraculous. The performance gaps it reports are
+/// *structural*, and these reduced comparators reproduce exactly those
+/// structural properties while sharing HipMer's correctness-critical code
+/// (so the comparison is about architecture, not implementation quality):
+///
+///   - **Ray-like**: end-to-end distributed assembler, but "lack of
+///     parallel I/O support" (one rank reads the FASTQ and scatters it),
+///     no Bloom filter, no heavy-hitter handling, and fine-grained
+///     unaggregated remote updates (message per element).
+///   - **ABySS-like**: "only the first assembly step of contig generation
+///     is fully parallelized with MPI and the subsequent scaffolding steps
+///     must be performed on a single shared memory node" — contigs are
+///     built in parallel (again without HipMer's §3 optimizations), then
+///     one rank executes all of scaffolding.
+///   - **Serial Meraculous**: the full pipeline on a single rank — the
+///     23.8-hour baseline of the paper's headline 170x.
+namespace hipmer::baseline {
+
+struct BaselineStage {
+  std::string name;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;
+};
+
+struct BaselineResult {
+  std::string assembler;
+  std::vector<BaselineStage> stages;
+  std::size_t num_contigs = 0;
+  std::uint64_t contig_bases = 0;
+  std::size_t num_scaffolds = 0;
+
+  [[nodiscard]] double wall_total() const {
+    double t = 0;
+    for (const auto& s : stages) t += s.wall_seconds;
+    return t;
+  }
+  [[nodiscard]] double modeled_total() const {
+    double t = 0;
+    for (const auto& s : stages) t += s.modeled_seconds;
+    return t;
+  }
+};
+
+struct BaselineConfig {
+  int k = 31;
+  pgas::MachineModel machine;
+};
+
+/// Ray-like end-to-end run. `fastq_paths` must name on-disk libraries
+/// (serial reading is the point).
+[[nodiscard]] BaselineResult run_raylike(
+    const pgas::Topology& topo, const BaselineConfig& config,
+    const std::vector<seq::ReadLibrary>& libraries);
+
+/// ABySS-like run: parallel contig generation + single-rank scaffolding.
+[[nodiscard]] BaselineResult run_abysslike(
+    const pgas::Topology& topo, const BaselineConfig& config,
+    const std::vector<seq::ReadLibrary>& libraries);
+
+/// Original-Meraculous stand-in: the HipMer pipeline on a single rank.
+[[nodiscard]] BaselineResult run_serial_meraculous(
+    const BaselineConfig& config,
+    const std::vector<std::vector<seq::Read>>& library_reads,
+    const std::vector<seq::ReadLibrary>& libraries);
+
+}  // namespace hipmer::baseline

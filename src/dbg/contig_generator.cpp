@@ -1,0 +1,382 @@
+#include "dbg/contig_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <thread>
+
+#include "dbg/contig_wire.hpp"
+#include "seq/dna.hpp"
+#include "seq/kmer_iterator.hpp"
+#include "util/hash.hpp"
+
+namespace hipmer::dbg {
+
+using seq::KmerT;
+
+ContigGenerator::ContigGenerator(pgas::ThreadTeam& team, ContigGenConfig config,
+                                 std::size_t expected_kmers)
+    : team_(team),
+      config_(config),
+      contigs_(static_cast<std::size_t>(team.nranks())),
+      lookups_(static_cast<std::size_t>(team.nranks())) {
+  assert(config_.k % 2 == 1 &&
+         "k must be odd so no k-mer equals its reverse complement");
+  Map::Config mc;
+  mc.global_capacity = std::max<std::size_t>(1024, expected_kmers);
+  mc.flush_threshold = config_.flush_threshold;
+  map_ = std::make_unique<Map>(team, mc);
+}
+
+ContigGenerator::~ContigGenerator() = default;
+
+void ContigGenerator::set_oracle(const OraclePartition* oracle) {
+  oracle_ = oracle;
+  if (oracle_ != nullptr) {
+    map_->set_rank_mapper(
+        [oracle](std::uint64_t h) { return oracle->rank_of(h); });
+  }
+}
+
+void ContigGenerator::build_graph(
+    pgas::Rank& rank,
+    const std::vector<std::pair<KmerT, kcount::KmerSummary>>& local_ufx) {
+  for (const auto& [kmer, summary] : local_ufx) {
+    Node node;
+    node.summary = summary;
+    map_->update_buffered(rank, kmer, node);
+    rank.stats().add_work();
+  }
+  map_->flush(rank);
+  rank.barrier();
+}
+
+void ContigGenerator::count_lookup(pgas::Rank& rank, const KmerT& canon,
+                                   LookupStats& scratch) {
+  const auto owner = static_cast<int>(map_->owner_of(canon));
+  if (owner == rank.id()) {
+    ++scratch.local;
+  } else if (rank.topology().same_node(owner, rank.id())) {
+    ++scratch.onnode;
+  } else {
+    ++scratch.offnode;
+  }
+}
+
+ContigGenerator::ClaimResult ContigGenerator::try_claim(pgas::Rank& rank,
+                                                        const KmerT& fwd,
+                                                        std::uint64_t ticket,
+                                                        char expect_back,
+                                                        bool back_is_left) {
+  const bool flipped = !fwd.is_canonical();
+  const KmerT canon = flipped ? fwd.revcomp() : fwd;
+  auto result = map_->modify(rank, canon, [&](Node& node) -> ClaimResult {
+    // Mutual-extension check *before* claiming: stepping into a k-mer is
+    // only legal if it extends back to us with a unique high-quality base;
+    // otherwise we are standing in front of a fork and the contig ends
+    // here (without disturbing the neighbor's state).
+    if (expect_back != '\0') {
+      auto pair = node.summary.ext();
+      if (flipped) pair = seq::flip(pair);
+      const char back = back_is_left ? pair.left : pair.right;
+      if (back != expect_back) return ClaimResult{ClaimOutcome::kMismatch, {}};
+    }
+    if (node.state == 2) return ClaimResult{ClaimOutcome::kComplete, {}};
+    if (node.state == 1) {
+      if (node.ticket == ticket) return ClaimResult{ClaimOutcome::kSelf, {}};
+      return ClaimResult{node.ticket < ticket ? ClaimOutcome::kBusyLower
+                                              : ClaimOutcome::kBusyHigher,
+                         {}};
+    }
+    node.state = 1;
+    node.ticket = ticket;
+    return ClaimResult{ClaimOutcome::kClaimed, node.summary};
+  });
+  if (!result.has_value()) return ClaimResult{ClaimOutcome::kAbsent, {}};
+  return *result;
+}
+
+void ContigGenerator::set_states(pgas::Rank& rank, const std::string& subcontig,
+                                 std::uint8_t state, std::uint64_t ticket,
+                                 std::uint64_t owner_ticket) {
+  for (seq::KmerIterator<KmerT::kMaxK> it(subcontig, config_.k); !it.done();
+       it.next()) {
+    map_->modify(rank, it.canonical(), [&](Node& node) {
+      // Only touch k-mers still held by the expected ticket: during an
+      // abort, a spinning winner may already have re-claimed released
+      // k-mers, and clobbering its claim would corrupt both traversals.
+      if (node.state == 1 && node.ticket == owner_ticket) {
+        node.state = state;
+        node.ticket = ticket;
+      }
+      return 0;
+    });
+  }
+}
+
+ContigGenerator::GrowResult ContigGenerator::grow_right(
+    pgas::Rank& rank, std::string& subcontig, std::uint64_t ticket,
+    TermInfo& term, double& depth_sum, std::size_t& kmer_count,
+    LookupStats& scratch) {
+  // Current frontier k-mer (forward frame of the subcontig) + its summary.
+  KmerT cur = KmerT::from_string(
+      std::string_view(subcontig).substr(subcontig.size() - static_cast<std::size_t>(config_.k)));
+  const bool cur_flipped = !cur.is_canonical();
+  const KmerT cur_canon = cur_flipped ? cur.revcomp() : cur;
+  count_lookup(rank, cur_canon, scratch);
+  auto cur_summary_opt = map_->modify(
+      rank, cur_canon, [](Node& node) { return node.summary; });
+  assert(cur_summary_opt.has_value() && "frontier k-mer must be claimed");
+  kcount::KmerSummary cur_summary = *cur_summary_opt;
+
+  while (true) {
+    auto pair = cur_summary.ext();
+    if (!cur.is_canonical()) pair = seq::flip(pair);
+    const char e = pair.right;
+    if (e == seq::kExtFork) {
+      term.code = 'F';
+      term.junction = cur.canonical();
+      term.has_junction = true;
+      return GrowResult::kOk;
+    }
+    if (e == seq::kExtNone) {
+      term.code = 'X';
+      term.has_junction = false;
+      return GrowResult::kOk;
+    }
+
+    const KmerT next = cur.shifted_left(seq::base_to_code(e));
+    const char expect_back = seq::code_to_base(cur.first_base());
+    const KmerT next_canon = next.canonical();
+    // One logical lookup per neighbor exploration: spin retries while a
+    // conflicting traversal resolves are not additional Table-2 lookups.
+    count_lookup(rank, next_canon, scratch);
+    while (true) {
+      const ClaimResult res =
+          try_claim(rank, next, ticket, expect_back, /*back_is_left=*/true);
+      rank.stats().add_work();
+      switch (res.outcome) {
+        case ClaimOutcome::kClaimed:
+          subcontig.push_back(e);
+          cur = next;
+          cur_summary = res.summary;
+          depth_sum += res.summary.depth;
+          ++kmer_count;
+          break;  // out of claim-retry loop, continue growing
+        case ClaimOutcome::kMismatch:
+          term.code = 'N';
+          term.junction = next.canonical();
+          term.has_junction = true;
+          return GrowResult::kOk;
+        case ClaimOutcome::kAbsent:
+          term.code = 'X';
+          term.has_junction = false;
+          return GrowResult::kOk;
+        case ClaimOutcome::kSelf:
+          term.code = 'O';
+          term.has_junction = false;
+          return GrowResult::kOk;
+        case ClaimOutcome::kComplete:
+          // Defensive: a completed contig we extend into cleanly should be
+          // unreachable (see header); terminate rather than corrupt it.
+          term.code = 'C';
+          term.junction = next.canonical();
+          term.has_junction = true;
+          return GrowResult::kOk;
+        case ClaimOutcome::kBusyLower:
+          return GrowResult::kAbort;
+        case ClaimOutcome::kBusyHigher:
+          // The higher ticket will abort when it meets us (ticket order);
+          // yield until the k-mer frees up.
+          std::this_thread::yield();
+          continue;
+      }
+      break;
+    }
+  }
+}
+
+void ContigGenerator::traverse(pgas::Rank& rank) {
+  // Seeds: every k-mer in this rank's local buckets. Collect first —
+  // claiming inside for_each_local would self-deadlock on bucket locks.
+  //
+  // Locality-aware schedule: seeds whose graph neighbors also live on this
+  // rank grow first; seeds that would immediately extend onto another rank
+  // are deferred. Under oracle partitioning a contig's k-mers share one
+  // rank, so "remote-extending" seeds are precisely the misplaced ones
+  // (hash collisions in the oracle vector, private variants): growing them
+  // eagerly would walk whole contigs through remote memory, while after
+  // deferral the home rank has usually completed the contig and the seed
+  // resolves with a single lookup.
+  std::vector<KmerT> seeds;
+  std::vector<KmerT> deferred;
+  lookups_[static_cast<std::size_t>(rank.id())] = LookupStats{};
+  seeds.reserve(map_->local_size(rank.id()));
+  const auto me = static_cast<std::uint32_t>(rank.id());
+  map_->for_each_local(rank, [&](const KmerT& km, Node& node) {
+    // Local-extending iff *every* base-extension neighbor also lives here
+    // (a misplaced k-mer adjacent to another misplaced k-mer would
+    // otherwise start a remote walk in the eager phase).
+    const auto ext = node.summary.ext();
+    bool all_local = true;
+    if (seq::is_base_ext(ext.right)) {
+      const KmerT next = km.shifted_left(seq::base_to_code(ext.right));
+      all_local &= map_->owner_of(next.canonical()) == me;
+    }
+    if (all_local && seq::is_base_ext(ext.left)) {
+      const KmerT prev = km.shifted_right(seq::base_to_code(ext.left));
+      all_local &= map_->owner_of(prev.canonical()) == me;
+    }
+    if (all_local) {
+      seeds.push_back(km);
+    } else {
+      deferred.push_back(km);
+    }
+  });
+
+  auto& my_contigs = contigs_[static_cast<std::size_t>(rank.id())];
+  my_contigs.clear();
+
+  std::uint64_t counter = 0;
+  // Deferred (remote-extending) seeds draw tickets from a high band: if one
+  // does start a traversal through another rank's territory, it loses every
+  // conflict against a home traversal instead of sometimes walking a whole
+  // contig through remote memory. Ticket order stays globally unique.
+  constexpr std::uint64_t kDeferredBand = std::uint64_t{1} << 48;
+  auto next_ticket = [&](bool is_deferred) {
+    // Globally unique, nonzero, interleaved across ranks so no rank's
+    // traversals systematically dominate conflict resolution.
+    return (is_deferred ? kDeferredBand : 0) +
+           ++counter * static_cast<std::uint64_t>(rank.nranks()) +
+           static_cast<std::uint64_t>(rank.id()) + 1;
+  };
+
+  struct Seed {
+    KmerT kmer;
+    bool is_deferred;
+  };
+  std::deque<Seed> pending;
+  for (const auto& km : seeds) pending.push_back(Seed{km, false});
+  // Two-phase schedule: every rank drains its local-extending seeds, then a
+  // barrier, then the deferred seeds. By phase 2 nearly every contig is
+  // COMPLETE, so a deferred seed usually resolves with a single lookup
+  // instead of racing a home traversal for a whole remote walk (which would
+  // also make the Table-2 lookup counts schedule-dependent).
+  bool deferred_enqueued = false;
+  while (!pending.empty() || !deferred_enqueued) {
+    if (pending.empty()) {
+      rank.barrier();
+      for (const auto& km : deferred) pending.push_back(Seed{km, true});
+      deferred_enqueued = true;
+      if (pending.empty()) break;
+      continue;
+    }
+    const Seed seed_entry = pending.front();
+    const KmerT seed = seed_entry.kmer;
+    pending.pop_front();
+    const std::uint64_t ticket = next_ticket(seed_entry.is_deferred);
+
+    const ClaimResult sres = try_claim(rank, seed, ticket, '\0', true);
+    rank.stats().add_work();
+    if (sres.outcome == ClaimOutcome::kComplete ||
+        sres.outcome == ClaimOutcome::kAbsent) {
+      continue;  // already part of a finished contig
+    }
+    if (sres.outcome != ClaimOutcome::kClaimed) {
+      pending.push_back(seed_entry);  // someone is actively working here
+      std::this_thread::yield();
+      continue;
+    }
+
+    std::string sub = seed.to_string();
+    double depth_sum = sres.summary.depth;
+    std::size_t kmer_count = 1;
+    LookupStats scratch;
+    TermInfo term_a;  // right end of the initial orientation
+    if (grow_right(rank, sub, ticket, term_a, depth_sum, kmer_count,
+                   scratch) == GrowResult::kAbort) {
+      set_states(rank, sub, 0, 0, ticket);
+      pending.push_back(seed_entry);
+      std::this_thread::yield();
+      continue;
+    }
+    // Grow the other direction by flipping the frame: extending revcomp(s)
+    // rightward is extending s leftward.
+    sub = seq::revcomp(sub);
+    TermInfo term_b;  // right end of the flipped frame = left end of s
+    if (grow_right(rank, sub, ticket, term_b, depth_sum, kmer_count,
+                   scratch) == GrowResult::kAbort) {
+      set_states(rank, sub, 0, 0, ticket);
+      pending.push_back(seed_entry);
+      std::this_thread::yield();
+      continue;
+    }
+    lookups_[static_cast<std::size_t>(rank.id())] += scratch;
+
+    set_states(rank, sub, 2, ticket, ticket);
+    if (sub.size() < config_.min_contig_len) continue;
+
+    Contig contig;
+    contig.avg_depth = depth_sum / static_cast<double>(kmer_count);
+    // `sub` currently: right end grown by phase B (term_b), left end is
+    // phase A's end (term_a). Canonicalize the stored orientation.
+    std::string rc = seq::revcomp(sub);
+    if (rc < sub) {
+      contig.seq = std::move(rc);
+      contig.left = term_b;
+      contig.right = term_a;
+    } else {
+      contig.seq = std::move(sub);
+      contig.left = term_a;
+      contig.right = term_b;
+    }
+    my_contigs.push_back(std::move(contig));
+  }
+  rank.barrier();
+
+  // Deterministic renumbering: which rank completed which contig depends on
+  // scheduling, but downstream modules tie-break on contig ids, so ids must
+  // be a pure function of the contig *set*. Redistribute each contig to
+  // rank hash(seq) % P, sort within the rank by (hash, seq), and assign
+  // dense ids by exclusive scan — identical for every schedule and every
+  // rank count.
+  {
+    std::vector<std::vector<std::byte>> outgoing(
+        static_cast<std::size_t>(rank.nranks()));
+    for (const auto& contig : my_contigs) {
+      const auto h = util::hash_string(contig.seq);
+      // Range partition on the hash (not modulo): the concatenation of the
+      // per-rank sorted shards is then globally sorted by (hash, seq), so
+      // the assigned ids do not depend on the rank count.
+      const auto owner = static_cast<std::size_t>(
+          (static_cast<unsigned __int128>(h) *
+           static_cast<unsigned __int128>(rank.nranks())) >>
+          64);
+      serialize_contig(outgoing[owner], contig);
+      rank.stats().add_work();
+    }
+    my_contigs = deserialize_contigs(rank.alltoallv(outgoing));
+    std::sort(my_contigs.begin(), my_contigs.end(),
+              [](const Contig& a, const Contig& b) {
+                const auto ha = util::hash_string(a.seq);
+                const auto hb = util::hash_string(b.seq);
+                if (ha != hb) return ha < hb;
+                return a.seq < b.seq;
+              });
+  }
+  const auto base = rank.exscan_sum<std::uint64_t>(my_contigs.size());
+  for (std::size_t i = 0; i < my_contigs.size(); ++i)
+    my_contigs[i].id = base + i;
+  rank.barrier();
+}
+
+std::vector<Contig> ContigGenerator::all_contigs() const {
+  std::vector<Contig> all;
+  for (const auto& per_rank : contigs_)
+    all.insert(all.end(), per_rank.begin(), per_rank.end());
+  std::sort(all.begin(), all.end(),
+            [](const Contig& a, const Contig& b) { return a.id < b.id; });
+  return all;
+}
+
+}  // namespace hipmer::dbg

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dbg/contig.hpp"
+#include "dbg/oracle.hpp"
+#include "kcount/kmer_tally.hpp"
+#include "pgas/dist_hash_map.hpp"
+#include "pgas/thread_team.hpp"
+#include "seq/types.hpp"
+
+/// Stage 2 of the pipeline: contig generation by parallel de Bruijn graph
+/// traversal (§2 step 2, §3.2).
+///
+/// The graph is implicit: every reliable k-mer sits in a distributed hash
+/// table with its two-letter extension code; neighbors are computed from
+/// the key plus the code. Each rank seeds traversals from k-mers in its
+/// *local* buckets ("if the processors select traversal seeds from local
+/// buckets, they will be mostly performing local accesses ... when the
+/// oracle partitioning is in effect") and grows a subcontig base by base in
+/// both directions; every step is one lookup in the distributed table —
+/// the O(G) communication the oracle partitioning attacks.
+///
+/// Race handling (the "lightweight synchronization scheme" of the SC'14
+/// predecessor): a k-mer is claimed under its bucket lock with a globally
+/// unique ticket. When two traversals collide, the one holding the
+/// *higher* ticket aborts — it releases every k-mer it claimed and requeues
+/// its seed — while the lower ticket spins until the contested k-mer frees
+/// up. Ticket order makes the scheme livelock-free, and aborted regions are
+/// always re-traversed by the winning ticket, so the resulting contig set
+/// is exactly the set of maximal unbranched chains regardless of schedule
+/// or rank count (tests assert this determinism).
+namespace hipmer::dbg {
+
+struct ContigGenConfig {
+  int k = 31;
+  /// Aggregating-stores batch for graph construction.
+  std::size_t flush_threshold = 512;
+  /// Drop contigs shorter than this many bases (0 keeps everything).
+  std::size_t min_contig_len = 0;
+};
+
+class ContigGenerator {
+ public:
+  /// Traversal/claim state per k-mer, stored with the UFX data.
+  struct Node {
+    kcount::KmerSummary summary;
+    std::uint8_t state = 0;  // 0 = unused, 1 = active, 2 = complete
+    std::uint64_t ticket = 0;
+  };
+  using Map =
+      pgas::DistHashMap<seq::KmerT, Node, seq::KmerHashT,
+                        pgas::OverwriteMerge<Node>>;
+
+  /// `expected_kmers` sizes the table (from k-mer analysis's cardinality /
+  /// UFX counts).
+  ContigGenerator(pgas::ThreadTeam& team, ContigGenConfig config,
+                  std::size_t expected_kmers);
+  ~ContigGenerator();
+
+  /// Optional: route k-mers by an oracle partition instead of uniformly.
+  /// Must be set before build_graph. The oracle must have been built for
+  /// this team's topology.
+  void set_oracle(const OraclePartition* oracle);
+
+  /// Collective phase 1: insert this rank's UFX records into the graph.
+  void build_graph(pgas::Rank& rank,
+                   const std::vector<std::pair<seq::KmerT, kcount::KmerSummary>>&
+                       local_ufx);
+
+  /// Collective phase 2: traverse to produce contigs. May be called only
+  /// once per build_graph.
+  void traverse(pgas::Rank& rank);
+
+  /// Contigs owned by `rank` after traverse (ids globally unique and
+  /// contiguous across ranks).
+  [[nodiscard]] const std::vector<Contig>& contigs(int rank) const {
+    return contigs_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Convenience: gather all contigs (driver-side, after the phase).
+  [[nodiscard]] std::vector<Contig> all_contigs() const;
+
+  /// Traversal lookup counts, classified by owner locality — the quantity
+  /// Table 2 of the paper reports ("92.8% of the lookups result in
+  /// off-node communication"). Counts only the hash-table lookups
+  /// performed while exploring the graph (frontier reads and neighbor
+  /// claims), not seed scans or completion marking.
+  struct LookupStats {
+    std::uint64_t local = 0;
+    std::uint64_t onnode = 0;
+    std::uint64_t offnode = 0;
+
+    LookupStats& operator+=(const LookupStats& o) noexcept {
+      local += o.local;
+      onnode += o.onnode;
+      offnode += o.offnode;
+      return *this;
+    }
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      return local + onnode + offnode;
+    }
+    [[nodiscard]] double offnode_fraction() const noexcept {
+      return total() == 0 ? 0.0
+                          : static_cast<double>(offnode) /
+                                static_cast<double>(total());
+    }
+  };
+
+  [[nodiscard]] LookupStats lookup_stats(int rank) const {
+    return lookups_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] LookupStats total_lookup_stats() const {
+    LookupStats sum;
+    for (const auto& s : lookups_) sum += s;
+    return sum;
+  }
+
+  [[nodiscard]] const Map& graph() const { return *map_; }
+  [[nodiscard]] Map& graph() { return *map_; }
+
+ private:
+  enum class ClaimOutcome {
+    kClaimed,
+    kBusyLower,   // held by a lower ticket -> abort self
+    kBusyHigher,  // held by a higher ticket -> spin
+    kSelf,        // own ticket -> cycle closed
+    kComplete,
+    kMismatch,  // extension not mutual (fork ahead)
+    kAbsent,
+  };
+
+  struct ClaimResult {
+    ClaimOutcome outcome;
+    kcount::KmerSummary summary;  // valid when kClaimed
+  };
+
+  /// Atomically (under the bucket lock) verify the mutual-extension
+  /// condition and claim the k-mer for `ticket`. `expect_back` is the base
+  /// the neighbor must extend back with ('\0' skips the check, used for
+  /// seeds).
+  ClaimResult try_claim(pgas::Rank& rank, const seq::KmerT& fwd,
+                        std::uint64_t ticket, char expect_back,
+                        bool back_is_left);
+
+  /// Walk a completed/aborted subcontig and transition every k-mer still
+  /// held by `owner_ticket` to (`state`, `ticket`).
+  void set_states(pgas::Rank& rank, const std::string& subcontig,
+                  std::uint8_t state, std::uint64_t ticket,
+                  std::uint64_t owner_ticket);
+
+  enum class GrowResult { kOk, kAbort };
+  /// Extend `subcontig` rightward (toward higher indices) until
+  /// termination or conflict-abort. On success fills `term`. Lookups are
+  /// tallied into `scratch`; the caller commits them only for completed
+  /// traversals so the Table-2 locality metric reflects the algorithm, not
+  /// scheduler-dependent abort/retry re-execution (whose cost still shows
+  /// in the comm counters / machine model).
+  GrowResult grow_right(pgas::Rank& rank, std::string& subcontig,
+                        std::uint64_t ticket, TermInfo& term,
+                        double& depth_sum, std::size_t& kmer_count,
+                        LookupStats& scratch);
+
+  /// Record one traversal lookup against `key`'s owner into `scratch`.
+  void count_lookup(pgas::Rank& rank, const seq::KmerT& canon,
+                    LookupStats& scratch);
+
+  pgas::ThreadTeam& team_;
+  ContigGenConfig config_;
+  std::unique_ptr<Map> map_;
+  const OraclePartition* oracle_ = nullptr;
+  std::vector<std::vector<Contig>> contigs_;
+  std::vector<LookupStats> lookups_;
+};
+
+}  // namespace hipmer::dbg

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "dbg/contig.hpp"
+
+/// Flat serialization of contigs for alltoallv exchanges (used by the
+/// traversal's deterministic renumbering and by ContigStore's
+/// redistribution).
+namespace hipmer::dbg {
+
+struct ContigWireHeader {
+  std::uint64_t id;
+  std::uint32_t seq_len;
+  float avg_depth;
+  char left_term;
+  char right_term;
+  char left_has_junction;
+  char right_has_junction;
+  seq::KmerT left_junction;
+  seq::KmerT right_junction;
+};
+
+inline void serialize_contig(std::vector<std::byte>& buf,
+                             const Contig& contig) {
+  ContigWireHeader header{};
+  header.id = contig.id;
+  header.seq_len = static_cast<std::uint32_t>(contig.seq.size());
+  header.avg_depth = static_cast<float>(contig.avg_depth);
+  header.left_term = contig.left.code;
+  header.right_term = contig.right.code;
+  header.left_has_junction = contig.left.has_junction ? 1 : 0;
+  header.right_has_junction = contig.right.has_junction ? 1 : 0;
+  header.left_junction = contig.left.junction;
+  header.right_junction = contig.right.junction;
+  const std::size_t old = buf.size();
+  buf.resize(old + sizeof header + contig.seq.size());
+  std::memcpy(buf.data() + old, &header, sizeof header);
+  std::memcpy(buf.data() + old + sizeof header, contig.seq.data(),
+              contig.seq.size());
+}
+
+inline std::vector<Contig> deserialize_contigs(
+    const std::vector<std::byte>& buf) {
+  std::vector<Contig> contigs;
+  std::size_t pos = 0;
+  while (pos + sizeof(ContigWireHeader) <= buf.size()) {
+    ContigWireHeader header;
+    std::memcpy(&header, buf.data() + pos, sizeof header);
+    pos += sizeof header;
+    Contig contig;
+    contig.id = header.id;
+    contig.avg_depth = header.avg_depth;
+    contig.left.code = header.left_term;
+    contig.right.code = header.right_term;
+    contig.left.has_junction = header.left_has_junction != 0;
+    contig.right.has_junction = header.right_has_junction != 0;
+    contig.left.junction = header.left_junction;
+    contig.right.junction = header.right_junction;
+    contig.seq.resize(header.seq_len);
+    std::memcpy(contig.seq.data(), buf.data() + pos, header.seq_len);
+    pos += header.seq_len;
+    contigs.push_back(std::move(contig));
+  }
+  return contigs;
+}
+
+}  // namespace hipmer::dbg

@@ -1,0 +1,51 @@
+#include "dbg/oracle.hpp"
+
+#include <cassert>
+
+#include "seq/kmer_iterator.hpp"
+#include "seq/types.hpp"
+
+namespace hipmer::dbg {
+
+OraclePartition OraclePartition::build(const std::vector<std::string>& contigs,
+                                       int k, const pgas::Topology& topo,
+                                       std::size_t slots,
+                                       Granularity granularity) {
+  assert(slots > 0 && topo.valid());
+  OraclePartition oracle(topo, granularity);
+  oracle.slots_.assign(slots, kEmpty);
+
+  const int targets = granularity == Granularity::kRank
+                          ? topo.nranks
+                          : topo.num_nodes();
+  std::uint64_t total = 0;
+  std::uint64_t collisions = 0;
+
+  // Step 1: cyclic contig -> target assignment. Step 2: first-writer-wins
+  // slot fill; an occupied slot is a collision (that k-mer will be looked
+  // up on the "wrong" rank during traversal).
+  for (std::size_t c = 0; c < contigs.size(); ++c) {
+    const auto target =
+        static_cast<std::uint32_t>(c % static_cast<std::size_t>(targets));
+    for (seq::KmerIterator<seq::KmerT::kMaxK> it(contigs[c], k); !it.done();
+         it.next()) {
+      const std::uint64_t h = it.canonical().hash();
+      auto& slot = oracle.slots_[h % slots];
+      ++total;
+      if (slot == kEmpty) {
+        slot = target;
+      } else if (slot != target) {
+        // Occupied by another contig's k-mer mapping elsewhere: this k-mer
+        // will be resolved to the wrong rank, i.e. one traversal-time
+        // communication event.
+        ++collisions;
+      }
+    }
+  }
+  oracle.collision_rate_ =
+      total == 0 ? 0.0
+                 : static_cast<double>(collisions) / static_cast<double>(total);
+  return oracle;
+}
+
+}  // namespace hipmer::dbg

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgas/topology.hpp"
+
+/// Oracle partitioning for communication-avoiding traversal (§3.2).
+///
+/// The traversal's communication problem: extending a contig by one base
+/// requires a hash-table lookup that lands on a random rank, so a genome of
+/// size G costs O(G) messages. The oracle exploits *genetic similarity*:
+/// once contigs are known for one individual (or one k), k-mers of the same
+/// contig can be co-located, making subsequent traversals (of another
+/// individual of the same species, or another k) almost communication-free.
+///
+/// Construction is the paper's offline algorithm, verbatim:
+///   1. iterate over contigs, assigning each a rank id cyclically (load
+///      balance);
+///   2. for every k-mer of every contig, store that rank id at position
+///      `uniform_hash(kmer) % slots` of a flat vector. A collision (slot
+///      already written by a different contig's k-mer) leaves the earlier
+///      entry in place — that k-mer will live on a "wrong" rank and cost a
+///      communication event during traversal. More slots (memory) buy fewer
+///      collisions: the memory/communication trade-off of Table 1's
+///      "oracle-1" vs "oracle-4".
+///
+/// Lookup composes with DistHashMap's `RankMapper` hook: the bucket index
+/// inside the shard still comes from the uniform hash, so bucket occupancy
+/// stays uniform — only the *owner* changes, exactly as described in the
+/// paper ("the return value of oracle_hash(A) is adjusted such that it is
+/// mapped at location b of processor pi").
+///
+/// Node mode ("a refinement for practical considerations, e.g. SMP
+/// clusters"): slots store node ids, and a k-mer may land on any rank of
+/// the right node — converting off-node traffic to on-node without
+/// requiring per-rank precision.
+namespace hipmer::dbg {
+
+class OraclePartition {
+ public:
+  enum class Granularity { kRank, kNode };
+
+  /// Build from a contig set for a machine of `topo`. `slots` trades memory
+  /// for collision rate; a good default is `factor * total_kmers`.
+  static OraclePartition build(const std::vector<std::string>& contigs, int k,
+                               const pgas::Topology& topo, std::size_t slots,
+                               Granularity granularity = Granularity::kRank);
+
+  /// Owner rank for a k-mer hash. Unset slots (k-mers never seen during
+  /// construction, e.g. variants private to the new individual) fall back
+  /// to the uniform mapping.
+  [[nodiscard]] std::uint32_t rank_of(std::uint64_t hash) const noexcept {
+    const std::uint32_t v = slots_[hash % slots_.size()];
+    if (v == kEmpty)
+      return static_cast<std::uint32_t>(hash % static_cast<std::uint64_t>(topo_.nranks));
+    if (granularity_ == Granularity::kNode) {
+      const auto rpn = static_cast<std::uint64_t>(topo_.ranks_per_node);
+      const std::uint64_t base = static_cast<std::uint64_t>(v) * rpn;
+      std::uint64_t rank = base + hash % rpn;
+      if (rank >= static_cast<std::uint64_t>(topo_.nranks))
+        rank = static_cast<std::uint64_t>(topo_.nranks) - 1;
+      return static_cast<std::uint32_t>(rank);
+    }
+    return v;
+  }
+
+  /// Fraction of k-mer insertions that hit an occupied slot — "the number
+  /// of collisions ... is approximately the number of communication events
+  /// that will be incurred during the traversal".
+  [[nodiscard]] double collision_rate() const noexcept { return collision_rate_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t num_slots() const noexcept { return slots_.size(); }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  OraclePartition(pgas::Topology topo, Granularity granularity)
+      : topo_(topo), granularity_(granularity) {}
+
+  pgas::Topology topo_;
+  Granularity granularity_;
+  std::vector<std::uint32_t> slots_;
+  double collision_rate_ = 0.0;
+};
+
+}  // namespace hipmer::dbg

@@ -1,0 +1,43 @@
+#include "io/fasta.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace hipmer::io {
+
+bool write_fasta(const std::string& path,
+                 const std::vector<FastaRecord>& records,
+                 std::size_t line_width) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  for (const auto& rec : records) {
+    out << '>' << rec.name << '\n';
+    for (std::size_t i = 0; i < rec.seq.size(); i += line_width) {
+      out.write(rec.seq.data() + i,
+                static_cast<std::streamsize>(
+                    std::min(line_width, rec.seq.size() - i)));
+      out << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<FastaRecord> read_fasta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      records.push_back(FastaRecord{line.substr(1), {}});
+    } else {
+      if (records.empty())
+        throw std::runtime_error("FASTA parse error: sequence before header in " + path);
+      records.back().seq += line;
+    }
+  }
+  return records;
+}
+
+}  // namespace hipmer::io

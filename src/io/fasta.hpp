@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// FASTA reading/writing for references, contigs and scaffolds.
+namespace hipmer::io {
+
+struct FastaRecord {
+  std::string name;
+  std::string seq;
+};
+
+/// Write records to `path` with 80-column wrapping. Returns false on error.
+bool write_fasta(const std::string& path,
+                 const std::vector<FastaRecord>& records,
+                 std::size_t line_width = 80);
+
+/// Read all records. Throws std::runtime_error on open/parse failure.
+[[nodiscard]] std::vector<FastaRecord> read_fasta(const std::string& path);
+
+}  // namespace hipmer::io

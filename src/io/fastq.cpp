@@ -1,0 +1,77 @@
+#include "io/fastq.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hipmer::io {
+
+void append_fastq_record(std::string& out, const seq::Read& read) {
+  out += '@';
+  out += read.name;
+  out += '\n';
+  out += read.seq;
+  out += "\n+\n";
+  out += read.quals;
+  out += '\n';
+}
+
+bool write_fastq(const std::string& path, const std::vector<seq::Read>& reads) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  std::string buffer;
+  buffer.reserve(1 << 20);
+  for (const auto& read : reads) {
+    append_fastq_record(buffer, read);
+    if (buffer.size() > (1u << 20)) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  return static_cast<bool>(out);
+}
+
+std::vector<seq::Read> read_fastq(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open FASTQ file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_fastq(buf.str());
+}
+
+std::vector<seq::Read> parse_fastq(const std::string& buffer) {
+  std::vector<seq::Read> reads;
+  std::size_t pos = 0;
+  auto next_line = [&](std::string& line) -> bool {
+    if (pos >= buffer.size()) return false;
+    const std::size_t nl = buffer.find('\n', pos);
+    const std::size_t end = (nl == std::string::npos) ? buffer.size() : nl;
+    line.assign(buffer, pos, end - pos);
+    pos = (nl == std::string::npos) ? buffer.size() : nl + 1;
+    return true;
+  };
+
+  std::string header, sequence, plus, quals;
+  while (next_line(header)) {
+    if (header.empty()) continue;  // tolerate trailing blank lines
+    if (header[0] != '@')
+      throw std::runtime_error("FASTQ parse error: header must start with @, got: " + header);
+    if (!next_line(sequence) || !next_line(plus) || !next_line(quals))
+      throw std::runtime_error("FASTQ parse error: truncated record: " + header);
+    if (plus.empty() || plus[0] != '+')
+      throw std::runtime_error("FASTQ parse error: missing + separator for: " + header);
+    if (sequence.size() != quals.size())
+      throw std::runtime_error("FASTQ parse error: seq/qual length mismatch for: " + header);
+    seq::Read read;
+    read.name = header.substr(1);
+    read.seq = std::move(sequence);
+    read.quals = std::move(quals);
+    reads.push_back(std::move(read));
+    sequence.clear();
+    quals.clear();
+  }
+  return reads;
+}
+
+}  // namespace hipmer::io

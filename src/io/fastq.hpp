@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+
+/// Serial FASTQ reading/writing.
+///
+/// The serial reader is used by tests, by the baseline ("Ray-like")
+/// assembler that the paper criticizes for lacking parallel I/O, and as the
+/// ground truth the parallel block reader is validated against. Files are
+/// plain 4-line-per-record FASTQ; paired-end libraries are interleaved
+/// (mate 0 then mate 1).
+namespace hipmer::io {
+
+/// Append one record to an open FASTQ stream representation.
+void append_fastq_record(std::string& out, const seq::Read& read);
+
+/// Write all reads to `path` (overwrites). Returns false on I/O error.
+bool write_fastq(const std::string& path, const std::vector<seq::Read>& reads);
+
+/// Read an entire FASTQ file serially. Throws std::runtime_error on parse
+/// errors (truncated record, length mismatch between seq and quals).
+[[nodiscard]] std::vector<seq::Read> read_fastq(const std::string& path);
+
+/// Parse FASTQ records from an in-memory buffer; `buffer` must start at a
+/// record boundary and contain only whole records.
+[[nodiscard]] std::vector<seq::Read> parse_fastq(const std::string& buffer);
+
+}  // namespace hipmer::io

@@ -1,0 +1,216 @@
+#include "io/seqdb.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "seq/dna.hpp"
+
+namespace hipmer::io {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(const std::string& buf, std::size_t& pos) {
+  if (pos + sizeof(T) > buf.size())
+    throw std::runtime_error("seqdb: truncated file");
+  T v;
+  std::memcpy(&v, buf.data() + pos, sizeof v);
+  pos += sizeof v;
+  return v;
+}
+
+void serialize_record(std::string& out, const seq::Read& read) {
+  const bool packable = seq::is_valid_dna(read.seq);
+  put_u32(out, static_cast<std::uint32_t>(read.name.size()));
+  put_u32(out, static_cast<std::uint32_t>(read.seq.size()));
+  out.push_back(packable ? 1 : 0);
+  out += read.name;
+  if (packable) {
+    // 2-bit packing, 4 bases per byte.
+    std::uint8_t acc = 0;
+    int filled = 0;
+    for (char c : read.seq) {
+      acc = static_cast<std::uint8_t>(acc | (seq::base_to_code(c) << (2 * filled)));
+      if (++filled == 4) {
+        out.push_back(static_cast<char>(acc));
+        acc = 0;
+        filled = 0;
+      }
+    }
+    if (filled > 0) out.push_back(static_cast<char>(acc));
+  } else {
+    out += read.seq;
+  }
+  out += read.quals;
+}
+
+seq::Read deserialize_record(const std::string& buf, std::size_t& pos) {
+  const auto name_len = get<std::uint32_t>(buf, pos);
+  const auto seq_len = get<std::uint32_t>(buf, pos);
+  const auto packed = get<std::uint8_t>(buf, pos);
+  seq::Read read;
+  if (pos + name_len > buf.size())
+    throw std::runtime_error("seqdb: truncated record name");
+  read.name.assign(buf, pos, name_len);
+  pos += name_len;
+  if (packed != 0) {
+    const std::size_t bytes = (seq_len + 3) / 4;
+    if (pos + bytes > buf.size())
+      throw std::runtime_error("seqdb: truncated packed sequence");
+    read.seq.resize(seq_len);
+    for (std::uint32_t i = 0; i < seq_len; ++i) {
+      const auto byte = static_cast<std::uint8_t>(buf[pos + i / 4]);
+      read.seq[i] = seq::code_to_base((byte >> (2 * (i % 4))) & 3);
+    }
+    pos += bytes;
+  } else {
+    if (pos + seq_len > buf.size())
+      throw std::runtime_error("seqdb: truncated raw sequence");
+    read.seq.assign(buf, pos, seq_len);
+    pos += seq_len;
+  }
+  if (pos + seq_len > buf.size())
+    throw std::runtime_error("seqdb: truncated qualities");
+  read.quals.assign(buf, pos, seq_len);
+  pos += seq_len;
+  return read;
+}
+
+}  // namespace
+
+bool write_seqdb(const std::string& path, const std::vector<seq::Read>& reads) {
+  std::string out;
+  put_u32(out, kSeqdbMagic);
+  put_u32(out, kSeqdbVersion);
+  put_u64(out, reads.size());
+
+  std::vector<std::uint64_t> block_offsets;
+  for (std::size_t i = 0; i < reads.size(); i += kSeqdbBlockRecords) {
+    block_offsets.push_back(out.size());
+    const std::size_t n = std::min<std::size_t>(kSeqdbBlockRecords,
+                                                reads.size() - i);
+    put_u32(out, static_cast<std::uint32_t>(n));
+    for (std::size_t j = 0; j < n; ++j) serialize_record(out, reads[i + j]);
+  }
+  const std::uint64_t footer_offset = out.size();
+  for (auto off : block_offsets) put_u64(out, off);
+  put_u64(out, block_offsets.size());
+  put_u64(out, footer_offset);
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  return static_cast<bool>(file);
+}
+
+std::vector<seq::Read> read_seqdb(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("seqdb: cannot open " + path);
+  std::string buf((std::istreambuf_iterator<char>(file)),
+                  std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  if (get<std::uint32_t>(buf, pos) != kSeqdbMagic)
+    throw std::runtime_error("seqdb: bad magic in " + path);
+  if (get<std::uint32_t>(buf, pos) != kSeqdbVersion)
+    throw std::runtime_error("seqdb: unsupported version in " + path);
+  const auto n = get<std::uint64_t>(buf, pos);
+  std::vector<seq::Read> reads;
+  reads.reserve(n);
+  while (reads.size() < n) {
+    const auto count = get<std::uint32_t>(buf, pos);
+    for (std::uint32_t i = 0; i < count; ++i)
+      reads.push_back(deserialize_record(buf, pos));
+  }
+  return reads;
+}
+
+ParallelSeqdbReader::ParallelSeqdbReader(std::string path)
+    : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  if (fd_ < 0) throw std::runtime_error("seqdb: cannot open " + path_);
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0 || st.st_size < 32) {
+    ::close(fd_);
+    throw std::runtime_error("seqdb: cannot stat / too small: " + path_);
+  }
+  file_size_ = static_cast<std::uint64_t>(st.st_size);
+
+  auto pread_exact = [&](void* dst, std::size_t len, std::uint64_t off) {
+    std::size_t done = 0;
+    while (done < len) {
+      const ssize_t r = ::pread(fd_, static_cast<char*>(dst) + done,
+                                len - done, static_cast<off_t>(off + done));
+      if (r <= 0) throw std::runtime_error("seqdb: pread failed on " + path_);
+      done += static_cast<std::size_t>(r);
+    }
+  };
+
+  std::uint32_t magic = 0;
+  pread_exact(&magic, sizeof magic, 0);
+  if (magic != kSeqdbMagic)
+    throw std::runtime_error("seqdb: bad magic in " + path_);
+  pread_exact(&num_records_, sizeof num_records_, 8);
+
+  std::uint64_t trailer[2];  // num_blocks, footer_offset
+  pread_exact(trailer, sizeof trailer, file_size_ - 16);
+  const std::uint64_t num_blocks = trailer[0];
+  const std::uint64_t footer_offset = trailer[1];
+  if (footer_offset + num_blocks * 8 + 16 != file_size_)
+    throw std::runtime_error("seqdb: corrupt footer in " + path_);
+  block_offsets_.resize(num_blocks + 1);
+  if (num_blocks > 0)
+    pread_exact(block_offsets_.data(), num_blocks * 8, footer_offset);
+  // Sentinel: end of the last block == start of the footer.
+  block_offsets_[num_blocks] = footer_offset;
+}
+
+ParallelSeqdbReader::~ParallelSeqdbReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<seq::Read> ParallelSeqdbReader::read_my_records(pgas::Rank& rank) {
+  const auto nblocks = block_offsets_.size() - 1;
+  const auto p = static_cast<std::size_t>(rank.nranks());
+  const auto me = static_cast<std::size_t>(rank.id());
+  // Contiguous block ranges so rank-order concatenation == file order.
+  const std::size_t per = (nblocks + p - 1) / p;
+  const std::size_t first = std::min(me * per, nblocks);
+  const std::size_t last = std::min(first + per, nblocks);
+
+  std::vector<seq::Read> reads;
+  std::uint64_t bytes = 0;
+  for (std::size_t b = first; b < last; ++b) {
+    const std::uint64_t off = block_offsets_[b];
+    const std::uint64_t len = block_offsets_[b + 1] - off;
+    std::string buf(len, '\0');
+    std::size_t done = 0;
+    while (done < len) {
+      const ssize_t r = ::pread(fd_, buf.data() + done, len - done,
+                                static_cast<off_t>(off + done));
+      if (r <= 0) throw std::runtime_error("seqdb: pread failed on " + path_);
+      done += static_cast<std::size_t>(r);
+    }
+    bytes += len;
+    std::size_t pos = 0;
+    const auto count = get<std::uint32_t>(buf, pos);
+    for (std::uint32_t i = 0; i < count; ++i)
+      reads.push_back(deserialize_record(buf, pos));
+  }
+  rank.stats().add_io_read(bytes);
+  rank.barrier();
+  return reads;
+}
+
+}  // namespace hipmer::io

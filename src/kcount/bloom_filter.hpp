@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/hash.hpp"
+
+/// Bloom filter for singleton k-mer elimination (§3.1).
+///
+/// K-mer analysis inserts a k-mer into the main hash table only on its
+/// *second* sighting: the first sighting merely sets bits here. Because the
+/// overwhelming majority of distinct k-mers in error-containing reads occur
+/// exactly once (95% for human per §5.4) and are erroneous, this keeps them
+/// out of the main table entirely — the memory reduction the paper puts at
+/// up to 85%.
+///
+/// Bit setting uses atomic fetch_or, so concurrent inserts of *different*
+/// k-mers are safe; concurrent test-and-set of the *same* k-mer must be
+/// serialized by the caller (the counter does this by processing each k-mer
+/// on its owner rank), otherwise a duplicate can be missed.
+namespace hipmer::kcount {
+
+class BloomFilter {
+ public:
+  /// Size for `expected_keys` with roughly `bits_per_key` bits each
+  /// (8 bits/key + 4 probes gives ~2.5% false positives).
+  explicit BloomFilter(std::size_t expected_keys, int bits_per_key = 8,
+                       int num_probes = 4)
+      : num_probes_(num_probes) {
+    std::size_t bits = expected_keys * static_cast<std::size_t>(bits_per_key);
+    if (bits < 1024) bits = 1024;
+    num_words_ = (bits + 63) / 64;
+    words_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_words_);
+    for (std::size_t i = 0; i < num_words_; ++i) words_[i] = 0;
+  }
+
+  /// Insert and report whether the key was (apparently) already present.
+  bool test_and_set(std::uint64_t hash) noexcept {
+    bool all_set = true;
+    std::uint64_t h1 = hash;
+    std::uint64_t h2 = util::fmix64(hash) | 1;  // odd => full period
+    for (int p = 0; p < num_probes_; ++p) {
+      const std::uint64_t bit = h1 % (num_words_ * 64);
+      const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+      const std::uint64_t prev =
+          words_[bit >> 6].fetch_or(mask, std::memory_order_relaxed);
+      all_set &= (prev & mask) != 0;
+      h1 += h2;
+    }
+    return all_set;
+  }
+
+  [[nodiscard]] bool test(std::uint64_t hash) const noexcept {
+    std::uint64_t h1 = hash;
+    std::uint64_t h2 = util::fmix64(hash) | 1;
+    for (int p = 0; p < num_probes_; ++p) {
+      const std::uint64_t bit = h1 % (num_words_ * 64);
+      const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+      if ((words_[bit >> 6].load(std::memory_order_relaxed) & mask) == 0)
+        return false;
+      h1 += h2;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return num_words_ * sizeof(std::uint64_t);
+  }
+
+ private:
+  int num_probes_;
+  std::size_t num_words_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+};
+
+}  // namespace hipmer::kcount

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+/// K-mer count-histogram analysis.
+///
+/// Meraculous picks the erroneous-k-mer cutoff from the count histogram:
+/// error k-mers pile up at low counts, true genomic k-mers form a roughly
+/// Poisson hump around the sequencing depth, and the valley between the two
+/// modes is the natural `min_count` threshold. HipMer inherits that
+/// convention; `choose_min_count` automates it so callers need not guess a
+/// threshold per dataset.
+namespace hipmer::kcount {
+
+/// First local minimum of the (smoothed) histogram between the error spike
+/// at count 1..2 and the coverage hump — the classic valley heuristic.
+/// Falls back to `fallback` when the histogram has no detectable valley
+/// (flat metagenome-like spectra, where one global threshold is wrong
+/// anyway).
+[[nodiscard]] inline std::uint32_t choose_min_count(
+    const std::vector<std::uint64_t>& histogram, std::uint32_t fallback = 2) {
+  if (histogram.size() < 8) return fallback;
+  // 3-wide moving average to suppress shot noise in small datasets.
+  auto smooth = [&](std::size_t i) -> double {
+    const std::size_t lo = i > 0 ? i - 1 : i;
+    const std::size_t hi = i + 1 < histogram.size() ? i + 1 : i;
+    return (static_cast<double>(histogram[lo]) +
+            static_cast<double>(histogram[i]) +
+            static_cast<double>(histogram[hi])) /
+           static_cast<double>(hi - lo + 1);
+  };
+  // Walk down the error slope from count 2; the valley is where the curve
+  // turns back up. Require a real hump afterwards (>= 1.5x the valley) so
+  // flat spectra fall through to the fallback.
+  for (std::size_t c = 3; c + 2 < histogram.size(); ++c) {
+    if (smooth(c) <= smooth(c - 1) || smooth(c) == 0) continue;
+    // c-1 is a local minimum; look for the hump.
+    const double valley = smooth(c - 1);
+    double peak = 0;
+    for (std::size_t h = c; h < histogram.size(); ++h)
+      peak = std::max(peak, smooth(h));
+    if (peak >= 1.5 * std::max(1.0, valley))
+      return static_cast<std::uint32_t>(c - 1);
+    break;
+  }
+  return fallback;
+}
+
+/// Rough depth estimate: the mode of the histogram beyond the chosen
+/// threshold (the center of the coverage hump).
+[[nodiscard]] inline std::uint32_t estimate_kmer_depth(
+    const std::vector<std::uint64_t>& histogram, std::uint32_t min_count) {
+  std::uint32_t best = min_count;
+  std::uint64_t best_n = 0;
+  for (std::size_t c = min_count; c < histogram.size(); ++c) {
+    if (histogram[c] > best_n) {
+      best_n = histogram[c];
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace hipmer::kcount

@@ -1,0 +1,75 @@
+#include "kcount/ufx_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hipmer::kcount {
+
+namespace {
+
+std::string shard_path(const std::string& path, int shard) {
+  return path + "." + std::to_string(shard);
+}
+
+}  // namespace
+
+bool write_ufx_shard(pgas::Rank& rank, const std::string& path,
+                     const std::vector<UfxRecord>& records) {
+  const auto file = shard_path(path, rank.id());
+  std::ofstream out(file);
+  if (!out) return false;
+  std::uint64_t bytes = 0;
+  for (const auto& [kmer, summary] : records) {
+    const auto line = kmer.to_string() + "\t" +
+                      std::to_string(summary.depth) + "\t" +
+                      summary.left_ext + std::string(1, summary.right_ext) +
+                      "\n";
+    out << line;
+    bytes += line.size();
+  }
+  rank.stats().add_io_write(bytes);
+  return static_cast<bool>(out);
+}
+
+std::vector<UfxRecord> read_ufx_shard(const std::string& path, int shard) {
+  const auto file = shard_path(path, shard);
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("cannot open UFX shard: " + file);
+  std::vector<UfxRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kmer_str;
+    std::uint32_t depth = 0;
+    std::string ext;
+    if (!(fields >> kmer_str >> depth >> ext) || ext.size() != 2)
+      throw std::runtime_error("malformed UFX line in " + file + ": " + line);
+    KmerSummary summary;
+    summary.depth = depth;
+    summary.left_ext = ext[0];
+    summary.right_ext = ext[1];
+    records.emplace_back(seq::KmerT::from_string(kmer_str), summary);
+  }
+  return records;
+}
+
+std::vector<UfxRecord> read_ufx_shards(pgas::Rank& rank,
+                                       const std::string& path,
+                                       int num_shards) {
+  std::vector<UfxRecord> mine;
+  for (int shard = rank.id(); shard < num_shards; shard += rank.nranks()) {
+    auto records = read_ufx_shard(path, shard);
+    std::uint64_t bytes = 0;
+    for (const auto& [kmer, summary] : records)
+      bytes += static_cast<std::uint64_t>(kmer.k()) + 8;
+    rank.stats().add_io_read(bytes);
+    mine.insert(mine.end(), std::make_move_iterator(records.begin()),
+                std::make_move_iterator(records.end()));
+  }
+  rank.barrier();
+  return mine;
+}
+
+}  // namespace hipmer::kcount

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kcount/kmer_tally.hpp"
+#include "pgas/thread_team.hpp"
+#include "seq/types.hpp"
+
+/// UFX file I/O — the Meraculous inter-stage checkpoint format.
+///
+/// Meraculous materializes k-mer analysis as a "UFX" file (k-mer, count,
+/// two-letter extension code) that contig generation reads back; HipMer
+/// keeps the data in memory but emits the same artifact for compatibility
+/// and restartability. Text, one record per line:
+///
+///     <KMER>\t<COUNT>\t<LEFT_EXT><RIGHT_EXT>
+///
+/// Parallel writing: each rank appends its shard to `<path>.<rank>`; the
+/// shard set is a complete, disjoint partition, so `read_ufx_shards` on any
+/// team size reloads the spectrum (re-owned by the current hash mapping).
+namespace hipmer::kcount {
+
+using UfxRecord = std::pair<seq::KmerT, KmerSummary>;
+
+/// Write this rank's records to `<path>.<rank id>`; charges io counters.
+bool write_ufx_shard(pgas::Rank& rank, const std::string& path,
+                     const std::vector<UfxRecord>& records);
+
+/// Load one shard file (any rank may read any shard).
+[[nodiscard]] std::vector<UfxRecord> read_ufx_shard(const std::string& path,
+                                                    int shard);
+
+/// Collective: load all `num_shards` shard files, dealing shards to ranks
+/// round robin; returns this rank's share.
+[[nodiscard]] std::vector<UfxRecord> read_ufx_shards(pgas::Rank& rank,
+                                                     const std::string& path,
+                                                     int num_shards);
+
+}  // namespace hipmer::kcount

@@ -1,0 +1,50 @@
+#include "pgas/comm_stats.hpp"
+
+#include <sstream>
+
+namespace hipmer::pgas {
+
+CommStatsSnapshot& CommStatsSnapshot::operator+=(
+    const CommStatsSnapshot& o) noexcept {
+  work_units += o.work_units;
+  serial_work_units += o.serial_work_units;
+  local_accesses += o.local_accesses;
+  onnode_msgs += o.onnode_msgs;
+  offnode_msgs += o.offnode_msgs;
+  onnode_bytes += o.onnode_bytes;
+  offnode_bytes += o.offnode_bytes;
+  recv_ops += o.recv_ops;
+  io_read_bytes += o.io_read_bytes;
+  io_write_bytes += o.io_write_bytes;
+  collectives += o.collectives;
+  return *this;
+}
+
+CommStatsSnapshot& CommStatsSnapshot::operator-=(
+    const CommStatsSnapshot& o) noexcept {
+  work_units -= o.work_units;
+  serial_work_units -= o.serial_work_units;
+  local_accesses -= o.local_accesses;
+  onnode_msgs -= o.onnode_msgs;
+  offnode_msgs -= o.offnode_msgs;
+  onnode_bytes -= o.onnode_bytes;
+  offnode_bytes -= o.offnode_bytes;
+  recv_ops -= o.recv_ops;
+  io_read_bytes -= o.io_read_bytes;
+  io_write_bytes -= o.io_write_bytes;
+  collectives -= o.collectives;
+  return *this;
+}
+
+std::string CommStatsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "work=" << work_units << " serial=" << serial_work_units
+     << " local=" << local_accesses << " on_msgs=" << onnode_msgs
+     << " off_msgs=" << offnode_msgs << " on_B=" << onnode_bytes
+     << " off_B=" << offnode_bytes << " recv=" << recv_ops
+     << " ioR=" << io_read_bytes << " ioW=" << io_write_bytes
+     << " coll=" << collectives;
+  return os.str();
+}
+
+}  // namespace hipmer::pgas

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+/// Per-rank work and communication accounting.
+///
+/// This is the instrument the whole reproduction hangs on: the paper's
+/// contributions (heavy hitters, oracle partitioning, aggregating stores)
+/// are *communication* optimizations, and their effect is entirely captured
+/// by how many local / on-node / off-node operations each rank performs and
+/// how balanced the per-rank totals are. Every distributed structure in
+/// `pgas` bumps these counters; `MachineModel` turns a snapshot into modeled
+/// seconds.
+namespace hipmer::pgas {
+
+/// Plain-value snapshot of the counters (copyable, subtractable).
+struct CommStatsSnapshot {
+  // Charged by application code: one unit per element of local compute
+  // (k-mer parsed/hashed, base extended, alignment cell, ...).
+  std::uint64_t work_units = 0;
+  // Work that is inherently serial (executed by one rank while others wait),
+  // e.g. the ordering/orientation traversal. Charged in full, not divided.
+  std::uint64_t serial_work_units = 0;
+
+  // Hash-table / exchange traffic, classified by destination locality.
+  std::uint64_t local_accesses = 0;
+  std::uint64_t onnode_msgs = 0;
+  std::uint64_t offnode_msgs = 0;
+  std::uint64_t onnode_bytes = 0;
+  std::uint64_t offnode_bytes = 0;
+
+  // Remote operations *received* by this rank (it is the owner). Models
+  // target-side service/contention: a hot owner (heavy-hitter k-mer) shows
+  // up as a huge recv_ops count on one rank.
+  std::uint64_t recv_ops = 0;
+
+  // Bytes read from / written to the filesystem by this rank.
+  std::uint64_t io_read_bytes = 0;
+  std::uint64_t io_write_bytes = 0;
+
+  // Collective participation (barriers + reductions), for the latency term.
+  std::uint64_t collectives = 0;
+
+  CommStatsSnapshot& operator+=(const CommStatsSnapshot& o) noexcept;
+  CommStatsSnapshot& operator-=(const CommStatsSnapshot& o) noexcept;
+  friend CommStatsSnapshot operator+(CommStatsSnapshot a,
+                                     const CommStatsSnapshot& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend CommStatsSnapshot operator-(CommStatsSnapshot a,
+                                     const CommStatsSnapshot& b) noexcept {
+    a -= b;
+    return a;
+  }
+
+  [[nodiscard]] std::uint64_t total_msgs() const noexcept {
+    return onnode_msgs + offnode_msgs;
+  }
+  [[nodiscard]] std::uint64_t total_remote_accesses() const noexcept {
+    return onnode_msgs + offnode_msgs;
+  }
+  [[nodiscard]] std::uint64_t total_accesses() const noexcept {
+    return local_accesses + onnode_msgs + offnode_msgs;
+  }
+  /// Fraction of accesses that left the node — the quantity Table 2 of the
+  /// paper reports for the traversal phase.
+  [[nodiscard]] double offnode_fraction() const noexcept {
+    const auto total = total_accesses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(offnode_msgs) /
+                            static_cast<double>(total);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counters. Each rank owns one; the owner updates with relaxed
+/// atomics (cheap), and *other* ranks may bump `recv_ops` concurrently when
+/// they perform one-sided operations against this rank's shards.
+class CommStats {
+ public:
+  void add_work(std::uint64_t n = 1) noexcept {
+    work_units_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_serial_work(std::uint64_t n = 1) noexcept {
+    serial_work_units_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_local_access(std::uint64_t n = 1) noexcept {
+    local_accesses_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_onnode_msg(std::uint64_t bytes) noexcept {
+    onnode_msgs_.fetch_add(1, std::memory_order_relaxed);
+    onnode_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_offnode_msg(std::uint64_t bytes) noexcept {
+    offnode_msgs_.fetch_add(1, std::memory_order_relaxed);
+    offnode_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_recv_ops(std::uint64_t n = 1) noexcept {
+    recv_ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_io_read(std::uint64_t bytes) noexcept {
+    io_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_io_write(std::uint64_t bytes) noexcept {
+    io_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_collective() noexcept {
+    collectives_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CommStatsSnapshot snapshot() const noexcept {
+    CommStatsSnapshot s;
+    s.work_units = work_units_.load(std::memory_order_relaxed);
+    s.serial_work_units = serial_work_units_.load(std::memory_order_relaxed);
+    s.local_accesses = local_accesses_.load(std::memory_order_relaxed);
+    s.onnode_msgs = onnode_msgs_.load(std::memory_order_relaxed);
+    s.offnode_msgs = offnode_msgs_.load(std::memory_order_relaxed);
+    s.onnode_bytes = onnode_bytes_.load(std::memory_order_relaxed);
+    s.offnode_bytes = offnode_bytes_.load(std::memory_order_relaxed);
+    s.recv_ops = recv_ops_.load(std::memory_order_relaxed);
+    s.io_read_bytes = io_read_bytes_.load(std::memory_order_relaxed);
+    s.io_write_bytes = io_write_bytes_.load(std::memory_order_relaxed);
+    s.collectives = collectives_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    work_units_ = 0;
+    serial_work_units_ = 0;
+    local_accesses_ = 0;
+    onnode_msgs_ = 0;
+    offnode_msgs_ = 0;
+    onnode_bytes_ = 0;
+    offnode_bytes_ = 0;
+    recv_ops_ = 0;
+    io_read_bytes_ = 0;
+    io_write_bytes_ = 0;
+    collectives_ = 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> work_units_{0};
+  std::atomic<std::uint64_t> serial_work_units_{0};
+  std::atomic<std::uint64_t> local_accesses_{0};
+  std::atomic<std::uint64_t> onnode_msgs_{0};
+  std::atomic<std::uint64_t> offnode_msgs_{0};
+  std::atomic<std::uint64_t> onnode_bytes_{0};
+  std::atomic<std::uint64_t> offnode_bytes_{0};
+  std::atomic<std::uint64_t> recv_ops_{0};
+  std::atomic<std::uint64_t> io_read_bytes_{0};
+  std::atomic<std::uint64_t> io_write_bytes_{0};
+  std::atomic<std::uint64_t> collectives_{0};
+};
+
+}  // namespace hipmer::pgas

@@ -1,0 +1,342 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "pgas/spin_mutex.hpp"
+#include "pgas/thread_team.hpp"
+#include "util/hash.hpp"
+
+/// Distributed hash table with one-sided access and aggregating stores.
+///
+/// "We emphasize that distributed hash tables lie in the heart of HipMer and
+/// the main operations on them are irregular lookups" (§7 of the paper).
+/// This is that structure. The global key space is sharded across ranks by
+/// an *owner mapping* (by default `hash % P`, replaceable by the oracle
+/// partitioner of §3.2); each shard is a bucketized hash table owned by one
+/// rank but directly readable/writable by every rank — the analogue of UPC
+/// one-sided access. Per-bucket spinlocks make concurrent mixed-phase access
+/// safe; every operation charges the initiator's communication counters and
+/// the owner's service counter so the machine model sees exactly the traffic
+/// the paper's optimizations manipulate.
+///
+/// Two store paths exist, mirroring §4.1's "aggregating stores":
+///   - `update()` — one message per element (the naive fine-grained path);
+///   - `update_buffered()` + `flush()` — per-destination buffers that move
+///     B elements per message, cutting message count by B on the critical
+///     path.
+namespace hipmer::pgas {
+
+/// Default conflict policy: last write wins.
+template <typename V>
+struct OverwriteMerge {
+  void operator()(V& existing, const V& incoming) const { existing = incoming; }
+};
+
+/// Owner mapping: (key hash) -> rank. Default is modulo; the oracle
+/// partitioner installs a custom one.
+using RankMapper = std::function<std::uint32_t(std::uint64_t hash)>;
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Merge = OverwriteMerge<V>>
+class DistHashMap {
+ public:
+  struct Config {
+    /// Expected number of distinct keys across all ranks; controls bucket
+    /// count (shards never rehash — overflow chains absorb misestimates,
+    /// exactly as HipMer sizes tables from the cardinality estimate).
+    std::size_t global_capacity = 1024;
+    /// Elements buffered per destination before a flush ("aggregating
+    /// stores" batch size).
+    std::size_t flush_threshold = 512;
+  };
+
+  DistHashMap(ThreadTeam& team, Config cfg)
+      : team_(&team),
+        cfg_(cfg),
+        nranks_(static_cast<std::uint32_t>(team.nranks())),
+        shards_(static_cast<std::size_t>(team.nranks())),
+        send_buffers_(static_cast<std::size_t>(team.nranks())) {
+    const std::size_t per_shard =
+        (cfg.global_capacity + nranks_ - 1) / nranks_;
+    // Aim for ~2 entries per bucket at the estimated cardinality.
+    std::size_t nbuckets = 1;
+    while (nbuckets * Bucket::kInline / 2 < per_shard) nbuckets <<= 1;
+    for (auto& shard : shards_) {
+      shard.buckets.resize(nbuckets);
+      shard.locks = std::make_unique<SpinMutex[]>(nbuckets);
+      shard.mask = nbuckets - 1;
+    }
+    for (auto& bufs : send_buffers_)
+      bufs.resize(static_cast<std::size_t>(nranks_));
+  }
+
+  /// Install a custom owner mapping (oracle partitioning). Must be called
+  /// while the table is empty and outside concurrent access.
+  void set_rank_mapper(RankMapper mapper) { mapper_ = std::move(mapper); }
+
+  [[nodiscard]] std::uint64_t hash_of(const K& key) const {
+    return Hash{}(key);
+  }
+
+  [[nodiscard]] std::uint32_t owner_of(const K& key) const {
+    const std::uint64_t h = Hash{}(key);
+    return mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+  }
+
+  // ---- fine-grained one-sided path ----
+
+  /// Insert policy for update operations: find-or-insert (default), or
+  /// merge-only-if-present (used by k-mer counting pass B, where membership
+  /// was decided by the Bloom-filtered pass A and singletons must stay out).
+  enum class Policy { kInsert, kIfPresent };
+
+  /// Find-or-insert `key` and merge `delta` into its value. One message.
+  void update(Rank& rank, const K& key, const V& delta,
+              Policy policy = Policy::kInsert) {
+    const std::uint64_t h = Hash{}(key);
+    const std::uint32_t owner =
+        mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    charge(rank, owner, sizeof(K) + sizeof(V), 1);
+    apply_update(owner, h, key, delta, policy);
+  }
+
+  /// One-sided lookup. One message (request+reply counted once).
+  [[nodiscard]] std::optional<V> find(Rank& rank, const K& key) const {
+    const std::uint64_t h = Hash{}(key);
+    const std::uint32_t owner =
+        mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    charge(rank, owner, sizeof(K) + sizeof(V), 1);
+    const Shard& shard = shards_[owner];
+    const std::size_t b = bucket_index(shard, h);
+    std::lock_guard<SpinMutex> lock(shard.locks[b]);
+    const Entry* e = find_in_bucket(shard.buckets[b], key);
+    if (e == nullptr) return std::nullopt;
+    return e->value;
+  }
+
+  /// Lock the key's bucket and run `fn(V&)` in place if present. Returns
+  /// the functor's value wrapped in optional, or nullopt if the key is
+  /// absent. This is the primitive the traversal's claim/abort protocol and
+  /// the scaffolder's tie updates are built on.
+  template <typename Fn>
+  auto modify(Rank& rank, const K& key, Fn&& fn)
+      -> std::optional<decltype(fn(std::declval<V&>()))> {
+    const std::uint64_t h = Hash{}(key);
+    const std::uint32_t owner =
+        mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    charge(rank, owner, sizeof(K) + sizeof(V), 1);
+    Shard& shard = shards_[owner];
+    const std::size_t b = bucket_index(shard, h);
+    std::lock_guard<SpinMutex> lock(shard.locks[b]);
+    Entry* e = find_in_bucket_mut(shard.buckets[b], key);
+    if (e == nullptr) return std::nullopt;
+    return fn(e->value);
+  }
+
+  // ---- aggregating-stores path ----
+
+  /// Buffer (key, delta) toward the owner; flushes the destination buffer
+  /// automatically at the batch threshold.
+  void update_buffered(Rank& rank, const K& key, const V& delta,
+                       Policy policy = Policy::kInsert) {
+    const std::uint64_t h = Hash{}(key);
+    const std::uint32_t owner =
+        mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    auto& buf = send_buffers_[static_cast<std::size_t>(rank.id())][owner];
+    buf.push_back(PendingOp{h, key, delta, policy});
+    if (buf.size() >= cfg_.flush_threshold) flush_one(rank, owner);
+  }
+
+  /// Drain all of this rank's outgoing buffers. Every rank must call this
+  /// (followed by a barrier at the call site) before switching the table to
+  /// the read phase.
+  void flush(Rank& rank) {
+    for (std::uint32_t dest = 0; dest < nranks_; ++dest) flush_one(rank, dest);
+  }
+
+  // ---- local-shard access (owner side) ----
+
+  /// Visit every (key, value) in this rank's shard. `fn(const K&, V&)`.
+  template <typename Fn>
+  void for_each_local(Rank& rank, Fn&& fn) {
+    Shard& shard = shards_[static_cast<std::size_t>(rank.id())];
+    for (std::size_t b = 0; b < shard.buckets.size(); ++b) {
+      std::lock_guard<SpinMutex> lock(shard.locks[b]);
+      Bucket& bucket = shard.buckets[b];
+      for (std::uint8_t i = 0; i < bucket.count; ++i)
+        fn(static_cast<const K&>(bucket.slots[i].key), bucket.slots[i].value);
+      for (auto& e : bucket.overflow)
+        fn(static_cast<const K&>(e.key), e.value);
+    }
+  }
+
+  /// Erase local entries for which `pred(key, value)` is true; returns the
+  /// number removed. Used to discard below-threshold (erroneous) k-mers.
+  template <typename Pred>
+  std::size_t erase_local_if(Rank& rank, Pred&& pred) {
+    Shard& shard = shards_[static_cast<std::size_t>(rank.id())];
+    std::size_t erased = 0;
+    for (std::size_t b = 0; b < shard.buckets.size(); ++b) {
+      std::lock_guard<SpinMutex> lock(shard.locks[b]);
+      Bucket& bucket = shard.buckets[b];
+      // Compact inline slots, refilling from overflow. The swapped-in
+      // entry is re-examined (no ++i), since it may match the predicate
+      // too.
+      for (std::uint8_t i = 0; i < bucket.count;) {
+        if (pred(static_cast<const K&>(bucket.slots[i].key),
+                 bucket.slots[i].value)) {
+          ++erased;
+          if (!bucket.overflow.empty()) {
+            bucket.slots[i] = bucket.overflow.back();
+            bucket.overflow.pop_back();
+          } else {
+            bucket.slots[i] = bucket.slots[bucket.count - 1];
+            --bucket.count;
+          }
+          continue;
+        }
+        ++i;
+      }
+      for (std::size_t i = 0; i < bucket.overflow.size();) {
+        if (pred(static_cast<const K&>(bucket.overflow[i].key),
+                 bucket.overflow[i].value)) {
+          bucket.overflow[i] = bucket.overflow.back();
+          bucket.overflow.pop_back();
+          ++erased;
+        } else {
+          ++i;
+        }
+      }
+    }
+    shard.size.fetch_sub(erased, std::memory_order_relaxed);
+    return erased;
+  }
+
+  [[nodiscard]] std::size_t local_size(int rank) const {
+    return shards_[static_cast<std::size_t>(rank)].size.load(
+        std::memory_order_relaxed);
+  }
+
+  /// Collective: total entries across all shards.
+  [[nodiscard]] std::size_t global_size(Rank& rank) {
+    return rank.allreduce_sum<std::uint64_t>(
+        local_size(rank.id()));
+  }
+
+  /// Non-collective total (call after a barrier / between phases).
+  [[nodiscard]] std::size_t size_unsafe() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s.size.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct Entry {
+    K key;
+    V value;
+  };
+
+  struct Bucket {
+    static constexpr int kInline = 4;
+    Entry slots[kInline];
+    std::uint8_t count = 0;
+    std::vector<Entry> overflow;
+  };
+
+  struct Shard {
+    std::vector<Bucket> buckets;
+    std::unique_ptr<SpinMutex[]> locks;
+    std::size_t mask = 0;
+    std::atomic<std::size_t> size{0};
+  };
+
+  struct PendingOp {
+    std::uint64_t hash;
+    K key;
+    V delta;
+    Policy policy;
+  };
+
+  static std::size_t bucket_index(const Shard& shard, std::uint64_t h) {
+    // Decorrelate from the owner mapping (which typically uses h % P).
+    return util::fmix64(h) & shard.mask;
+  }
+
+  static const Entry* find_in_bucket(const Bucket& bucket, const K& key) {
+    for (std::uint8_t i = 0; i < bucket.count; ++i)
+      if (bucket.slots[i].key == key) return &bucket.slots[i];
+    for (const auto& e : bucket.overflow)
+      if (e.key == key) return &e;
+    return nullptr;
+  }
+
+  static Entry* find_in_bucket_mut(Bucket& bucket, const K& key) {
+    for (std::uint8_t i = 0; i < bucket.count; ++i)
+      if (bucket.slots[i].key == key) return &bucket.slots[i];
+    for (auto& e : bucket.overflow)
+      if (e.key == key) return &e;
+    return nullptr;
+  }
+
+  void apply_update(std::uint32_t owner, std::uint64_t h, const K& key,
+                    const V& delta, Policy policy) {
+    Shard& shard = shards_[owner];
+    const std::size_t b = bucket_index(shard, h);
+    std::lock_guard<SpinMutex> lock(shard.locks[b]);
+    Bucket& bucket = shard.buckets[b];
+    if (Entry* e = find_in_bucket_mut(bucket, key)) {
+      Merge{}(e->value, delta);
+      return;
+    }
+    if (policy == Policy::kIfPresent) return;
+    if (bucket.count < Bucket::kInline) {
+      bucket.slots[bucket.count] = Entry{key, delta};
+      ++bucket.count;
+    } else {
+      bucket.overflow.push_back(Entry{key, delta});
+    }
+    shard.size.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Charge communication for `ops` logical operations moved to `owner` in
+  /// a single message of `bytes` payload.
+  void charge(Rank& rank, std::uint32_t owner, std::size_t bytes,
+              std::size_t ops) const {
+    const int self = rank.id();
+    if (static_cast<int>(owner) == self) {
+      rank.stats().add_local_access(ops);
+      return;
+    }
+    if (rank.topology().same_node(static_cast<int>(owner), self)) {
+      rank.stats().add_onnode_msg(bytes);
+    } else {
+      rank.stats().add_offnode_msg(bytes);
+    }
+    rank.stats_of(static_cast<int>(owner)).add_recv_ops(ops);
+  }
+
+  void flush_one(Rank& rank, std::uint32_t dest) {
+    auto& buf = send_buffers_[static_cast<std::size_t>(rank.id())][dest];
+    if (buf.empty()) return;
+    charge(rank, dest, buf.size() * (sizeof(K) + sizeof(V)), buf.size());
+    for (const auto& op : buf)
+      apply_update(dest, op.hash, op.key, op.delta, op.policy);
+    buf.clear();
+  }
+
+  ThreadTeam* team_;
+  Config cfg_;
+  std::uint32_t nranks_;
+  RankMapper mapper_;
+  std::vector<Shard> shards_;
+  // send_buffers_[initiator][destination] — each initiating rank touches
+  // only its own row, so no locking is needed.
+  std::vector<std::vector<std::vector<PendingOp>>> send_buffers_;
+};
+
+}  // namespace hipmer::pgas

@@ -1,0 +1,187 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "pgas/comm_stats.hpp"
+#include "pgas/topology.hpp"
+
+/// Analytic machine model: per-rank counters -> modeled seconds.
+///
+/// ### Why a model at all
+///
+/// The paper's evaluation machine is Edison, a Cray XC30 with 133,824 cores
+/// and an Aries dragonfly network; this reproduction runs on whatever host
+/// it is built on. Wall-clock strong-scaling curves cannot be measured here,
+/// but the *inputs* to those curves can: HipMer's optimizations change only
+/// (a) how many local / on-node / off-node operations each rank performs,
+/// (b) how balanced those totals are across ranks, and (c) how much data is
+/// pushed through a saturating filesystem. The simulator executes the real
+/// algorithms with real concurrency, counts those quantities exactly, and
+/// this model maps them to time with *one fixed set of constants* shared by
+/// every experiment. No experiment gets its own tuning; shapes in the
+/// benches (who wins, by what factor, where curves flatten) follow from the
+/// counters alone.
+///
+/// ### The model (LogGP-flavored, plus I/O saturation)
+///
+///   T(rank)  = w    * work_units
+///            + w    * serial_work_units              (not divided by P)
+///            + a_l  * local_accesses
+///            + a_on * onnode_msgs  + b_on  * onnode_bytes
+///            + a_off* offnode_msgs + b_off * offnode_bytes
+///            + s    * recv_ops                       (owner-side service)
+///   T(phase) = max over ranks of T(rank)
+///            + c * collectives(max rank)             (barrier latency)
+///            + io_read_bytes_total  / min(nodes * bw_node, bw_peak)
+///            + io_write_bytes_total / min(nodes * bw_node, bw_peak)
+///
+/// ### Calibration (fixed once, documented here)
+///
+/// Constants are set to Edison-era ratios:
+///   - local hash access ~ a few cache misses:             25 ns
+///   - on-node one-sided op (shared memory):              250 ns
+///   - off-node one-sided op (Aries injection + network): 2.5 us  (100x local)
+///   - per-byte network cost:                             0.25 ns/B (~4 GB/s/core)
+///   - owner-side service per received op:                100 ns
+///   - work unit (hash + compare + bookkeeping):           20 ns
+///   - barrier/collective:                                 30 us
+///   - filesystem: 0.5 GB/s per node, saturating at 36 GB/s aggregate
+///     (Lustre /scratch3 is 72 GB/s peak; ~50% achievable, and the paper
+///     observes saturation already at 960 cores = 40 nodes).
+namespace hipmer::pgas {
+
+struct MachineModel {
+  double work_ns = 20.0;
+  double local_access_ns = 25.0;
+  double onnode_msg_ns = 250.0;
+  double offnode_msg_ns = 2500.0;
+  double onnode_byte_ns = 0.05;
+  double offnode_byte_ns = 0.25;
+  double recv_op_ns = 100.0;
+  double collective_ns = 30000.0;
+  double io_bw_node_gbs = 0.5;   // per-node achievable filesystem bandwidth
+  double io_bw_peak_gbs = 36.0;  // aggregate saturation point
+
+  /// Modeled compute+comm seconds for one rank's counters.
+  [[nodiscard]] double rank_seconds(const CommStatsSnapshot& s) const noexcept {
+    const double ns =
+        work_ns * static_cast<double>(s.work_units) +
+        work_ns * static_cast<double>(s.serial_work_units) +
+        local_access_ns * static_cast<double>(s.local_accesses) +
+        onnode_msg_ns * static_cast<double>(s.onnode_msgs) +
+        offnode_msg_ns * static_cast<double>(s.offnode_msgs) +
+        onnode_byte_ns * static_cast<double>(s.onnode_bytes) +
+        offnode_byte_ns * static_cast<double>(s.offnode_bytes) +
+        recv_op_ns * static_cast<double>(s.recv_ops) +
+        collective_ns * static_cast<double>(s.collectives);
+    return ns * 1e-9;
+  }
+
+  /// Communication-only part of a rank's modeled time (message latencies,
+  /// bytes, owner-side service, collectives) — used to report the "%
+  /// communication" figures of §5.1.
+  [[nodiscard]] double rank_comm_seconds(
+      const CommStatsSnapshot& s) const noexcept {
+    const double ns =
+        onnode_msg_ns * static_cast<double>(s.onnode_msgs) +
+        offnode_msg_ns * static_cast<double>(s.offnode_msgs) +
+        onnode_byte_ns * static_cast<double>(s.onnode_bytes) +
+        offnode_byte_ns * static_cast<double>(s.offnode_bytes) +
+        recv_op_ns * static_cast<double>(s.recv_ops) +
+        collective_ns * static_cast<double>(s.collectives);
+    return ns * 1e-9;
+  }
+
+  /// Fraction of the critical-path rank's time spent communicating.
+  [[nodiscard]] double comm_fraction(
+      const std::vector<CommStatsSnapshot>& per_rank) const noexcept {
+    double max_total = 0.0;
+    double comm_at_max = 0.0;
+    for (const auto& s : per_rank) {
+      const double total = rank_seconds(s);
+      if (total > max_total) {
+        max_total = total;
+        comm_at_max = rank_comm_seconds(s);
+      }
+    }
+    return max_total == 0.0 ? 0.0 : comm_at_max / max_total;
+  }
+
+  /// Modeled seconds to move `bytes` through the filesystem with `nodes`
+  /// nodes reading/writing concurrently (bandwidth saturates).
+  [[nodiscard]] double io_seconds(std::uint64_t bytes, int nodes) const noexcept {
+    const double bw_gbs =
+        std::min(io_bw_node_gbs * static_cast<double>(nodes), io_bw_peak_gbs);
+    return static_cast<double>(bytes) / (bw_gbs * 1e9);
+  }
+
+  /// Modeled seconds to move per-node byte loads through the filesystem:
+  /// limited both by the aggregate saturation point and by the most loaded
+  /// node's per-node bandwidth — a serial reader (all bytes on one node)
+  /// sees no benefit from more nodes.
+  [[nodiscard]] double io_seconds_distributed(
+      const std::vector<std::uint64_t>& per_node_bytes) const noexcept {
+    std::uint64_t total = 0;
+    std::uint64_t max_node = 0;
+    for (auto b : per_node_bytes) {
+      total += b;
+      max_node = std::max(max_node, b);
+    }
+    const double aggregate =
+        static_cast<double>(total) / (io_bw_peak_gbs * 1e9);
+    const double bottleneck =
+        static_cast<double>(max_node) / (io_bw_node_gbs * 1e9);
+    return std::max(aggregate, bottleneck);
+  }
+
+  /// Modeled seconds for a whole phase: the slowest rank's compute+comm time
+  /// (bulk-synchronous critical path) plus saturating-I/O time for the
+  /// file traffic, accounting for which node performed it.
+  [[nodiscard]] double phase_seconds(
+      const std::vector<CommStatsSnapshot>& per_rank,
+      const Topology& topo) const noexcept {
+    double max_rank = 0.0;
+    std::vector<std::uint64_t> node_read(
+        static_cast<std::size_t>(topo.num_nodes()), 0);
+    std::vector<std::uint64_t> node_write(node_read.size(), 0);
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      const auto& s = per_rank[r];
+      max_rank = std::max(max_rank, rank_seconds(s));
+      const auto node = static_cast<std::size_t>(
+          topo.node_of(static_cast<int>(r)));
+      node_read[node] += s.io_read_bytes;
+      node_write[node] += s.io_write_bytes;
+    }
+    return max_rank + io_seconds_distributed(node_read) +
+           io_seconds_distributed(node_write);
+  }
+
+  /// Same, but excluding I/O (Table 3 of the paper reports I/O separately).
+  [[nodiscard]] double phase_seconds_no_io(
+      const std::vector<CommStatsSnapshot>& per_rank) const noexcept {
+    double max_rank = 0.0;
+    for (const auto& s : per_rank)
+      max_rank = std::max(max_rank, rank_seconds(s));
+    return max_rank;
+  }
+
+  [[nodiscard]] double io_phase_seconds(
+      const std::vector<CommStatsSnapshot>& per_rank,
+      const Topology& topo) const noexcept {
+    std::vector<std::uint64_t> node_read(
+        static_cast<std::size_t>(topo.num_nodes()), 0);
+    std::vector<std::uint64_t> node_write(node_read.size(), 0);
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      const auto node = static_cast<std::size_t>(
+          topo.node_of(static_cast<int>(r)));
+      node_read[node] += per_rank[r].io_read_bytes;
+      node_write[node] += per_rank[r].io_write_bytes;
+    }
+    return io_seconds_distributed(node_read) +
+           io_seconds_distributed(node_write);
+  }
+};
+
+}  // namespace hipmer::pgas

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+/// One-byte spinlock.
+///
+/// Distributed hash-table shards carry one lock per bucket; a std::mutex
+/// (40 bytes on glibc) per bucket would dwarf the entries themselves
+/// (Per.16: use compact data structures). Critical sections here are a few
+/// dozen nanoseconds (probe a bucket, merge a value), so spinning is
+/// appropriate.
+namespace hipmer::pgas {
+
+class SpinMutex {
+ public:
+  SpinMutex() = default;
+  SpinMutex(const SpinMutex&) = delete;
+  SpinMutex& operator=(const SpinMutex&) = delete;
+
+  void lock() noexcept {
+    // A few relaxed polls first; then yield so an oversubscribed host (many
+    // logical ranks per hardware thread) can schedule the holder instead of
+    // burning the whole quantum spinning.
+    int attempts = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      if (++attempts > 16) std::this_thread::yield();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace hipmer::pgas

@@ -1,0 +1,61 @@
+#include "pgas/thread_team.hpp"
+
+#include <cassert>
+#include <mutex>
+
+namespace hipmer::pgas {
+
+ThreadTeam::ThreadTeam(Topology topo)
+    : topo_(topo),
+      barrier_(topo.nranks),
+      slots_(static_cast<std::size_t>(topo.nranks)) {
+  assert(topo_.valid());
+  stats_.reserve(static_cast<std::size_t>(topo_.nranks));
+  for (int r = 0; r < topo_.nranks; ++r)
+    stats_.push_back(std::make_unique<CommStats>());
+}
+
+void ThreadTeam::run(const std::function<void(Rank&)>& fn) {
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto body = [&](int rank_id) {
+    Rank rank(*this, rank_id);
+    try {
+      fn(rank);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // A rank that dies mid-phase would deadlock peers waiting at the next
+      // barrier. Keep satisfying barriers until everyone drains: drop this
+      // rank's participation by arriving without work. There is no portable
+      // way to know how many barriers remain, so we adopt the discipline
+      // that SPMD bodies must not throw between collectives except at
+      // top-level; tests enforce this by construction. Here we simply
+      // arrive-and-drop so remaining ranks are released once.
+      barrier_.arrive_and_drop();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(topo_.nranks));
+  for (int r = 0; r < topo_.nranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<CommStatsSnapshot> ThreadTeam::snapshot_all() const {
+  std::vector<CommStatsSnapshot> out;
+  out.reserve(stats_.size());
+  for (const auto& s : stats_) out.push_back(s->snapshot());
+  return out;
+}
+
+void ThreadTeam::reset_stats() {
+  for (auto& s : stats_) s->reset();
+}
+
+}  // namespace hipmer::pgas

@@ -1,0 +1,281 @@
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "pgas/comm_stats.hpp"
+#include "pgas/topology.hpp"
+
+/// SPMD execution engine: the stand-in for the UPC runtime.
+///
+/// A `ThreadTeam` launches P logical ranks, each as a real `std::thread`
+/// running the same function (single program, multiple data) with its own
+/// `Rank` handle. Shared distributed structures (DistHashMap etc.) are
+/// accessed concurrently exactly as UPC shared arrays would be — one-sided,
+/// with the initiating rank touching the owner's memory directly — so
+/// synchronization bugs are real bugs here, not simulation artifacts.
+///
+/// Collectives (barrier / reductions / gathers / broadcast) mirror the small
+/// set HipMer needs. They are implemented over a per-rank slot buffer plus a
+/// `std::barrier`, and each participation is charged to the rank's comm
+/// stats so the machine model sees synchronization costs.
+namespace hipmer::pgas {
+
+class ThreadTeam;
+
+/// Per-rank handle passed to the SPMD function.
+class Rank {
+ public:
+  Rank(ThreadTeam& team, int rank) : team_(&team), rank_(rank) {}
+
+  [[nodiscard]] int id() const noexcept { return rank_; }
+  [[nodiscard]] int nranks() const noexcept;
+  [[nodiscard]] const Topology& topology() const noexcept;
+  [[nodiscard]] int node() const noexcept {
+    return topology().node_of(rank_);
+  }
+  [[nodiscard]] bool is_root() const noexcept { return rank_ == 0; }
+
+  /// This rank's own counters (mutable: application code charges work here).
+  [[nodiscard]] CommStats& stats() noexcept;
+  /// Another rank's counters — used by one-sided ops to charge the owner's
+  /// service time (`recv_ops`).
+  [[nodiscard]] CommStats& stats_of(int rank) noexcept;
+
+  ThreadTeam& team() noexcept { return *team_; }
+
+  // ---- Collectives (must be called by every rank, in the same order) ----
+
+  void barrier();
+
+  /// Reduce `value` with `op` across ranks; every rank gets the result.
+  template <typename T, typename Op>
+  T allreduce(const T& value, Op op);
+
+  template <typename T>
+  T allreduce_sum(const T& value) {
+    return allreduce(value, [](const T& a, const T& b) { return a + b; });
+  }
+  template <typename T>
+  T allreduce_max(const T& value) {
+    return allreduce(value, [](const T& a, const T& b) { return a < b ? b : a; });
+  }
+  template <typename T>
+  T allreduce_min(const T& value) {
+    return allreduce(value, [](const T& a, const T& b) { return b < a ? b : a; });
+  }
+
+  /// Every rank contributes one T; every rank receives all P values.
+  template <typename T>
+  std::vector<T> allgather(const T& value);
+
+  /// Every rank contributes a vector<T> of any length; every rank receives
+  /// the concatenation in rank order.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& values);
+
+  /// Rank `root`'s value is returned on every rank.
+  template <typename T>
+  T broadcast(const T& value, int root = 0);
+
+  /// Exclusive prefix sum over ranks (rank r receives sum of values of
+  /// ranks 0..r-1). Used to assign globally unique contig ids.
+  template <typename T>
+  T exscan_sum(const T& value);
+
+  /// All-to-all personalized exchange: `out[r]` goes to rank r; the return
+  /// value is the concatenation of what every rank sent to *this* rank.
+  /// Message accounting: one message per non-empty destination, classified
+  /// on/off-node by the topology.
+  template <typename T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& out);
+
+ private:
+  ThreadTeam* team_;
+  int rank_;
+};
+
+/// Owns the threads, the collective scratch space and per-rank stats.
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(Topology topo);
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Run `fn(Rank&)` on every rank; blocks until all ranks return.
+  /// If any rank throws, the first exception is rethrown here after all
+  /// threads have joined.
+  void run(const std::function<void(Rank&)>& fn);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] int nranks() const noexcept { return topo_.nranks; }
+
+  [[nodiscard]] CommStats& stats(int rank) noexcept { return *stats_[rank]; }
+
+  /// Snapshot of every rank's counters (callable between/after runs, or by
+  /// rank 0 after a barrier).
+  [[nodiscard]] std::vector<CommStatsSnapshot> snapshot_all() const;
+
+  void reset_stats();
+
+  // ---- internals used by Rank's collectives ----
+  void arrive_barrier() { barrier_.arrive_and_wait(); }
+  std::vector<std::byte>& slot(int rank) { return slots_[rank]; }
+
+ private:
+  Topology topo_;
+  std::barrier<> barrier_;
+  std::vector<std::vector<std::byte>> slots_;
+  // unique_ptr: CommStats holds atomics (non-movable) and we also want each
+  // rank's counters on separate cache lines.
+  std::vector<std::unique_ptr<CommStats>> stats_;
+};
+
+// ---- Rank inline/template implementations ----
+
+inline int Rank::nranks() const noexcept { return team_->nranks(); }
+inline const Topology& Rank::topology() const noexcept {
+  return team_->topology();
+}
+inline CommStats& Rank::stats() noexcept { return team_->stats(rank_); }
+inline CommStats& Rank::stats_of(int rank) noexcept {
+  return team_->stats(rank);
+}
+
+inline void Rank::barrier() {
+  stats().add_collective();
+  team_->arrive_barrier();
+}
+
+template <typename T>
+std::vector<T> Rank::allgather(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "allgather requires a trivially copyable type");
+  auto& my_slot = team_->slot(rank_);
+  my_slot.resize(sizeof(T));
+  std::memcpy(my_slot.data(), &value, sizeof(T));
+  barrier();
+  std::vector<T> result(static_cast<std::size_t>(nranks()));
+  for (int r = 0; r < nranks(); ++r) {
+    std::memcpy(&result[static_cast<std::size_t>(r)], team_->slot(r).data(),
+                sizeof(T));
+  }
+  barrier();  // keep slots alive until every rank has read them
+  return result;
+}
+
+template <typename T, typename Op>
+T Rank::allreduce(const T& value, Op op) {
+  auto all = allgather(value);
+  T acc = all[0];
+  for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+  return acc;
+}
+
+template <typename T>
+std::vector<T> Rank::allgatherv(const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "allgatherv requires a trivially copyable type");
+  auto& my_slot = team_->slot(rank_);
+  my_slot.resize(values.size() * sizeof(T));
+  if (!values.empty())
+    std::memcpy(my_slot.data(), values.data(), my_slot.size());
+  barrier();
+  std::vector<T> result;
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& s = team_->slot(r);
+    const std::size_t n = s.size() / sizeof(T);
+    const std::size_t old = result.size();
+    result.resize(old + n);
+    if (n > 0) std::memcpy(result.data() + old, s.data(), s.size());
+  }
+  barrier();
+  return result;
+}
+
+template <typename T>
+T Rank::broadcast(const T& value, int root) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "broadcast requires a trivially copyable type");
+  if (rank_ == root) {
+    auto& s = team_->slot(root);
+    s.resize(sizeof(T));
+    std::memcpy(s.data(), &value, sizeof(T));
+  }
+  barrier();
+  T result;
+  std::memcpy(&result, team_->slot(root).data(), sizeof(T));
+  barrier();
+  return result;
+}
+
+template <typename T>
+T Rank::exscan_sum(const T& value) {
+  auto all = allgather(value);
+  T acc{};
+  for (int r = 0; r < rank_; ++r) acc = acc + all[static_cast<std::size_t>(r)];
+  return acc;
+}
+
+template <typename T>
+std::vector<T> Rank::alltoallv(const std::vector<std::vector<T>>& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "alltoallv requires a trivially copyable type");
+  // Layout this rank's outgoing data as [count_0 .. count_{P-1}] [payloads].
+  const auto p = static_cast<std::size_t>(nranks());
+  auto& my_slot = team_->slot(rank_);
+  std::size_t payload = 0;
+  for (const auto& v : out) payload += v.size() * sizeof(T);
+  my_slot.resize(p * sizeof(std::uint64_t) + payload);
+  auto* counts = reinterpret_cast<std::uint64_t*>(my_slot.data());
+  std::byte* cursor = my_slot.data() + p * sizeof(std::uint64_t);
+  for (std::size_t r = 0; r < p; ++r) {
+    counts[r] = out[r].size();
+    const std::size_t bytes = out[r].size() * sizeof(T);
+    if (bytes > 0) {
+      std::memcpy(cursor, out[r].data(), bytes);
+      cursor += bytes;
+    }
+    // Charge one message per non-empty destination (self excluded: local).
+    const int dest = static_cast<int>(r);
+    if (out[r].empty()) continue;
+    if (dest == rank_) {
+      stats().add_local_access();
+    } else if (topology().same_node(dest, rank_)) {
+      stats().add_onnode_msg(bytes);
+      stats_of(dest).add_recv_ops();
+    } else {
+      stats().add_offnode_msg(bytes);
+      stats_of(dest).add_recv_ops();
+    }
+  }
+  barrier();
+  // Pull the slice destined for this rank out of every sender's slot.
+  std::vector<T> result;
+  for (std::size_t r = 0; r < p; ++r) {
+    const auto& s = team_->slot(static_cast<int>(r));
+    const auto* their_counts = reinterpret_cast<const std::uint64_t*>(s.data());
+    std::size_t offset = p * sizeof(std::uint64_t);
+    for (std::size_t d = 0; d < static_cast<std::size_t>(rank_); ++d)
+      offset += their_counts[d] * sizeof(T);
+    const std::size_t n = their_counts[rank_];
+    if (n > 0) {
+      const std::size_t old = result.size();
+      result.resize(old + n);
+      std::memcpy(result.data() + old, s.data() + offset, n * sizeof(T));
+    }
+  }
+  barrier();
+  return result;
+}
+
+}  // namespace hipmer::pgas

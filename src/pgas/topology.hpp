@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cassert>
+
+/// Rank-to-node mapping for the simulated machine.
+///
+/// HipMer's communication optimizations distinguish *on-node* accesses
+/// (shared-memory, cheap) from *off-node* accesses (network, expensive);
+/// the oracle partitioner even has a node-granularity mode (§3.2). The
+/// simulator keeps that structure: P logical ranks are grouped into nodes of
+/// `ranks_per_node` consecutive ranks, mirroring Edison's 24 cores/node.
+namespace hipmer::pgas {
+
+struct Topology {
+  int nranks = 1;
+  int ranks_per_node = 24;  // Edison: two 12-core Ivy Bridge sockets.
+
+  [[nodiscard]] constexpr int node_of(int rank) const noexcept {
+    return rank / ranks_per_node;
+  }
+
+  [[nodiscard]] constexpr int num_nodes() const noexcept {
+    return (nranks + ranks_per_node - 1) / ranks_per_node;
+  }
+
+  [[nodiscard]] constexpr bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return nranks >= 1 && ranks_per_node >= 1;
+  }
+};
+
+}  // namespace hipmer::pgas

@@ -1,0 +1,398 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "align/contig_store.hpp"
+#include "io/fastq.hpp"
+#include "io/parallel_fastq.hpp"
+#include "scaffold/depths.hpp"
+#include "scaffold/insert_size.hpp"
+#include "scaffold/splints_spans.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace hipmer::pipeline {
+
+double PipelineResult::wall_total() const {
+  double total = 0;
+  for (const auto& s : stages) total += s.wall_seconds;
+  return total;
+}
+
+double PipelineResult::modeled_total() const {
+  double total = 0;
+  for (const auto& s : stages) total += s.modeled_seconds;
+  return total;
+}
+
+double PipelineResult::wall_for(const std::string& stage) const {
+  double total = 0;
+  for (const auto& s : stages)
+    if (s.name == stage) total += s.wall_seconds;
+  return total;
+}
+
+double PipelineResult::modeled_for(const std::string& stage) const {
+  double total = 0;
+  for (const auto& s : stages)
+    if (s.name == stage) total += s.modeled_seconds;
+  return total;
+}
+
+std::string PipelineResult::format_stages() const {
+  std::ostringstream os;
+  // Accumulate by name, preserving first-seen order.
+  std::vector<std::string> names;
+  for (const auto& s : stages)
+    if (std::find(names.begin(), names.end(), s.name) == names.end())
+      names.push_back(s.name);
+  for (const auto& name : names) {
+    os << "  " << name << ": wall " << wall_for(name) << "s, modeled "
+       << modeled_for(name) << "s\n";
+  }
+  return os.str();
+}
+
+Pipeline::Pipeline(pgas::Topology topo, PipelineConfig config)
+    : team_(topo), config_(config) {
+  config_.sync_k();
+}
+
+template <typename Fn>
+void Pipeline::run_stage(std::vector<StageReport>& stages,
+                         const std::string& name, Fn&& fn) {
+  const auto before = team_.snapshot_all();
+  util::WallTimer timer;
+  team_.run(std::forward<Fn>(fn));
+  StageReport report;
+  report.name = name;
+  report.wall_seconds = timer.seconds();
+  const auto after = team_.snapshot_all();
+  std::vector<pgas::CommStatsSnapshot> delta(after.size());
+  for (std::size_t r = 0; r < after.size(); ++r) {
+    delta[r] = after[r] - before[r];
+    report.comm += delta[r];
+  }
+  report.modeled_seconds = config_.machine.phase_seconds(delta, team_.topology());
+  util::log_info("stage " + name + ": wall " +
+                 std::to_string(report.wall_seconds) + "s, modeled " +
+                 std::to_string(report.modeled_seconds) + "s");
+  stages.push_back(std::move(report));
+}
+
+PipelineResult Pipeline::run(
+    const std::vector<std::vector<seq::Read>>& library_reads,
+    const std::vector<seq::ReadLibrary>& libraries) {
+  // Distribute pairs round robin so mates stay together on a rank.
+  const auto p = static_cast<std::size_t>(team_.nranks());
+  RankReads rank_reads(p, std::vector<std::vector<seq::Read>>(libraries.size()));
+  for (std::size_t lib = 0; lib < library_reads.size(); ++lib) {
+    const auto& reads = library_reads[lib];
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      const std::size_t pair = i / 2;
+      rank_reads[pair % p][lib].push_back(reads[i]);
+    }
+  }
+  return assemble(std::move(rank_reads), libraries, {});
+}
+
+PipelineResult Pipeline::run_from_fastq(
+    const std::vector<seq::ReadLibrary>& libraries) {
+  const auto p = static_cast<std::size_t>(team_.nranks());
+  RankReads rank_reads(p, std::vector<std::vector<seq::Read>>(libraries.size()));
+
+  std::vector<StageReport> stages;
+
+  if (config_.serial_io) {
+    // Ray-like mode: rank 0 reads each file whole and scatters pairs.
+    run_stage(stages, kStageIo, [&](pgas::Rank& rank) {
+      for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
+        std::vector<std::vector<std::byte>> outgoing(p);
+        if (rank.is_root()) {
+          const auto reads = io::read_fastq(libraries[lib].fastq_path);
+          std::uint64_t bytes = 0;
+          for (std::size_t i = 0; i < reads.size(); ++i) {
+            const auto& r = reads[i];
+            bytes += r.name.size() + r.seq.size() + r.quals.size() + 6;
+            auto& buf = outgoing[(i / 2) % p];
+            // name\nseq\nquals\n framing.
+            for (const std::string* s : {&r.name, &r.seq, &r.quals}) {
+              const auto* ptr = reinterpret_cast<const std::byte*>(s->data());
+              buf.insert(buf.end(), ptr, ptr + s->size());
+              buf.push_back(std::byte{'\n'});
+            }
+            rank.stats().add_serial_work();
+          }
+          rank.stats().add_io_read(bytes);
+        }
+        const auto mine = rank.alltoallv(outgoing);
+        // Parse the framed records back.
+        auto& dest = rank_reads[static_cast<std::size_t>(rank.id())][lib];
+        std::size_t pos = 0;
+        auto next_field = [&](std::string& out) {
+          std::size_t end = pos;
+          while (end < mine.size() && mine[end] != std::byte{'\n'}) ++end;
+          out.assign(reinterpret_cast<const char*>(mine.data() + pos),
+                     end - pos);
+          pos = end + 1;
+        };
+        while (pos < mine.size()) {
+          seq::Read r;
+          next_field(r.name);
+          next_field(r.seq);
+          next_field(r.quals);
+          dest.push_back(std::move(r));
+        }
+        rank.barrier();
+      }
+    });
+    return assemble(std::move(rank_reads), libraries, std::move(stages));
+  }
+
+  std::vector<std::unique_ptr<io::ParallelFastqReader>> readers;
+  readers.reserve(libraries.size());
+  for (const auto& lib : libraries)
+    readers.push_back(std::make_unique<io::ParallelFastqReader>(lib.fastq_path));
+
+  run_stage(stages, kStageIo, [&](pgas::Rank& rank) {
+    for (std::size_t lib = 0; lib < readers.size(); ++lib) {
+      rank_reads[static_cast<std::size_t>(rank.id())][lib] =
+          readers[lib]->read_my_records(rank);
+      rank.barrier();
+    }
+  });
+  return assemble(std::move(rank_reads), libraries, std::move(stages));
+}
+
+PipelineResult Pipeline::assemble(RankReads rank_reads,
+                                  const std::vector<seq::ReadLibrary>& libraries,
+                                  std::vector<StageReport> initial_stages) {
+  const auto p = static_cast<std::size_t>(team_.nranks());
+  PipelineResult result;
+  auto stages = std::move(initial_stages);
+
+  // ---- Stage 1: k-mer analysis ----
+  kcount::KmerAnalysis kmer_analysis(team_, config_.kmer);
+  run_stage(stages, kStageKmerAnalysis, [&](pgas::Rank& rank) {
+    std::vector<const std::vector<seq::Read>*> sets;
+    for (std::size_t lib = 0; lib < libraries.size(); ++lib)
+      if (libraries[lib].for_contigging)
+        sets.push_back(&rank_reads[static_cast<std::size_t>(rank.id())][lib]);
+    kmer_analysis.run(rank, sets);
+  });
+  result.distinct_kmers = kmer_analysis.distinct_kmers();
+  result.singleton_fraction = kmer_analysis.singleton_fraction();
+  result.heavy_hitters = kmer_analysis.heavy_hitters().size();
+
+  std::size_t total_ufx = 0;
+  for (std::size_t r = 0; r < p; ++r)
+    total_ufx += kmer_analysis.ufx(static_cast<int>(r)).size();
+
+  // ---- Stage 2: contig generation ----
+  dbg::ContigGenerator contig_gen(team_, config_.contig, total_ufx);
+  if (config_.oracle != nullptr) contig_gen.set_oracle(config_.oracle);
+  run_stage(stages, kStageContigGen, [&](pgas::Rank& rank) {
+    contig_gen.build_graph(rank, kmer_analysis.ufx(rank.id()));
+    contig_gen.traverse(rank);
+  });
+
+  // ---- Stage 3: contig store + depths (§4.1) + bubbles (§4.2) ----
+  auto store = std::make_unique<align::ContigStore>(team_);
+  scaffold::DepthCalculator depth_calc(team_, config_.k, total_ufx,
+                                       config_.kmer.flush_threshold);
+  scaffold::BubbleMerger bubble_merger(team_, config_.bubbles,
+                                       std::max<std::size_t>(64, total_ufx / 64));
+  std::vector<std::vector<dbg::Contig>> merged_contigs(p);
+  run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+    store->build(rank, contig_gen.contigs(rank.id()));
+    const auto depths =
+        depth_calc.run(rank, kmer_analysis.ufx(rank.id()), *store);
+    for (const auto& [id, depth] : depths)
+      store->set_local_depth(rank, id, depth);
+    rank.barrier();
+    if (config_.merge_bubbles) {
+      merged_contigs[static_cast<std::size_t>(rank.id())] =
+          bubble_merger.run(rank, *store);
+    }
+  });
+  if (config_.merge_bubbles) {
+    auto merged_store = std::make_unique<align::ContigStore>(team_);
+    run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+      merged_store->build(rank,
+                          merged_contigs[static_cast<std::size_t>(rank.id())]);
+    });
+    store = std::move(merged_store);
+  }
+
+  // Contig statistics.
+  {
+    std::vector<std::uint64_t> lengths;
+    std::vector<std::vector<std::uint64_t>> per_rank(p);
+    team_.run([&](pgas::Rank& rank) {
+      store->for_each_local(rank, [&](std::uint64_t, const dbg::Contig& c) {
+        per_rank[static_cast<std::size_t>(rank.id())].push_back(c.seq.size());
+      });
+    });
+    for (const auto& v : per_rank) lengths.insert(lengths.end(), v.begin(), v.end());
+    result.num_contigs = lengths.size();
+    result.contig_stats = util::compute_assembly_stats(std::move(lengths));
+  }
+
+  // ABySS-like mode: concentrate every read on rank 0 before scaffolding;
+  // the gather is charged as communication and all subsequent scaffolding
+  // work lands on rank 0 (the paper's "single shared memory node").
+  if (config_.serial_scaffolding) {
+    run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+      for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
+        auto& mine = rank_reads[static_cast<std::size_t>(rank.id())][lib];
+        std::vector<std::vector<std::byte>> outgoing(p);
+        auto& to_root = outgoing[0];
+        for (const auto& r : mine) {
+          for (const std::string* f : {&r.name, &r.seq, &r.quals}) {
+            const auto* ptr = reinterpret_cast<const std::byte*>(f->data());
+            to_root.insert(to_root.end(), ptr, ptr + f->size());
+            to_root.push_back(std::byte{'\n'});
+          }
+        }
+        if (!rank.is_root()) mine.clear();
+        const auto gathered = rank.alltoallv(outgoing);
+        if (rank.is_root()) {
+          std::vector<seq::Read> all;
+          std::size_t pos = 0;
+          auto next_field = [&](std::string& out) {
+            std::size_t end = pos;
+            while (end < gathered.size() && gathered[end] != std::byte{'\n'})
+              ++end;
+            out.assign(reinterpret_cast<const char*>(gathered.data() + pos),
+                       end - pos);
+            pos = end + 1;
+          };
+          while (pos < gathered.size()) {
+            seq::Read r;
+            next_field(r.name);
+            next_field(r.seq);
+            next_field(r.quals);
+            all.push_back(std::move(r));
+          }
+          mine = std::move(all);
+        }
+        rank.barrier();
+      }
+    });
+  }
+
+  // ---- Scaffolding rounds ----
+  std::vector<io::FastaRecord> scaffold_records;
+  for (int round = 0; round < config_.scaffolding_rounds; ++round) {
+    std::uint64_t contig_bases = 0;
+    for (std::size_t r = 0; r < p; ++r)
+      contig_bases += store->local_bases(static_cast<int>(r));
+
+    // merAligner (§4.3).
+    align::MerAligner aligner(team_, config_.aligner,
+                              static_cast<std::size_t>(contig_bases));
+    std::vector<std::vector<align::ReadAlignment>> alignments(p);
+    run_stage(stages, kStageAligner, [&](pgas::Rank& rank) {
+      aligner.build_index(rank, *store);
+      auto& mine = alignments[static_cast<std::size_t>(rank.id())];
+      mine.clear();
+      for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
+        auto found = aligner.align_reads(
+            rank, *store, rank_reads[static_cast<std::size_t>(rank.id())][lib],
+            static_cast<int>(lib));
+        mine.insert(mine.end(), found.begin(), found.end());
+      }
+    });
+
+    // Insert sizes (§4.4), splints/spans (§4.5), links (§4.6), ordering
+    // (§4.7) — the "rest of scaffolding" series of Figure 7.
+    std::vector<scaffold::InsertSizeEstimate> inserts(libraries.size());
+    scaffold::LinkConfig link_cfg = config_.links;
+    link_cfg.expected_links =
+        std::max<std::size_t>(1024, result.num_contigs * 4);
+    scaffold::LinkGenerator links(team_, link_cfg);
+    std::vector<scaffold::ScaffoldRecord> scaffolds;
+    run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+      const auto& mine = alignments[static_cast<std::size_t>(rank.id())];
+      for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
+        const auto est =
+            scaffold::estimate_insert_size(rank, mine, static_cast<int>(lib));
+        if (rank.is_root()) inserts[lib] = est;
+      }
+      rank.barrier();
+
+      auto observations = scaffold::locate_splints(rank, mine);
+      const auto spans = scaffold::locate_spans(rank, mine, inserts);
+      observations.insert(observations.end(), spans.begin(), spans.end());
+      links.add_observations(rank, observations);
+      const auto ties = links.assess(rank);
+
+      std::vector<scaffold::ContigLen> lens;
+      store->for_each_local(rank, [&](std::uint64_t id, const dbg::Contig& c) {
+        lens.push_back(scaffold::ContigLen{
+            id, static_cast<std::uint32_t>(c.seq.size()),
+            static_cast<float>(c.avg_depth)});
+      });
+      auto records = scaffold::order_and_orient(rank, ties, lens,
+                                                config_.ordering);
+      if (rank.is_root()) scaffolds = std::move(records);
+      rank.barrier();
+    });
+
+    // Gap closing (§4.8).
+    const auto gaps = scaffold::enumerate_gaps(scaffolds);
+    scaffold::GapCloser closer(team_, config_.gaps);
+    std::vector<std::vector<scaffold::Closure>> closures(p);
+    run_stage(stages, kStageGapClosing, [&](pgas::Rank& rank) {
+      std::vector<const std::vector<seq::Read>*> my_reads;
+      for (std::size_t lib = 0; lib < libraries.size(); ++lib)
+        my_reads.push_back(&rank_reads[static_cast<std::size_t>(rank.id())][lib]);
+      closures[static_cast<std::size_t>(rank.id())] = closer.run(
+          rank, gaps, *store, my_reads,
+          alignments[static_cast<std::size_t>(rank.id())], inserts);
+    });
+
+    // Materialize the round's scaffold sequences.
+    scaffold::ScaffoldStats closure_stats;
+    run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+      auto records = scaffold::build_scaffold_sequences(
+          rank, scaffolds, *store, gaps,
+          closures[static_cast<std::size_t>(rank.id())],
+          rank.is_root() ? &closure_stats : nullptr);
+      if (rank.is_root()) scaffold_records = std::move(records);
+      rank.barrier();
+    });
+    result.closure_stats = closure_stats;
+    if (round == 0) result.insert_estimates = inserts;
+
+    // Feed the next round: scaffolds become contigs.
+    if (round + 1 < config_.scaffolding_rounds) {
+      auto next_store = std::make_unique<align::ContigStore>(team_);
+      run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+        std::vector<dbg::Contig> mine;
+        for (std::size_t i = static_cast<std::size_t>(rank.id());
+             i < scaffold_records.size(); i += p) {
+          dbg::Contig contig;
+          contig.id = i;
+          contig.seq = scaffold_records[i].seq;
+          mine.push_back(std::move(contig));
+        }
+        next_store->build(rank, mine);
+      });
+      store = std::move(next_store);
+    }
+  }
+
+  result.scaffolds = std::move(scaffold_records);
+  {
+    std::vector<std::uint64_t> lengths;
+    for (const auto& rec : result.scaffolds) lengths.push_back(rec.seq.size());
+    result.scaffold_stats = util::compute_assembly_stats(std::move(lengths));
+  }
+  result.stages = std::move(stages);
+  return result;
+}
+
+}  // namespace hipmer::pipeline

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/mer_aligner.hpp"
+#include "dbg/contig_generator.hpp"
+#include "dbg/oracle.hpp"
+#include "io/fasta.hpp"
+#include "kcount/kmer_analysis.hpp"
+#include "pgas/machine_model.hpp"
+#include "pgas/thread_team.hpp"
+#include "scaffold/bubbles.hpp"
+#include "scaffold/gap_closing.hpp"
+#include "scaffold/links.hpp"
+#include "scaffold/ordering.hpp"
+#include "scaffold/sequence_builder.hpp"
+#include "seq/read.hpp"
+#include "util/stats.hpp"
+
+/// End-to-end HipMer pipeline driver.
+///
+/// Orchestrates the full assembly of Figure 1 — k-mer analysis → contig
+/// generation → scaffolding (alignment, insert sizes, splints/spans, links,
+/// ordering/orientation, gap closing) — as a sequence of bulk-synchronous
+/// phases over one ThreadTeam. Each phase is timed twice: measured wall
+/// seconds on this host, and modeled seconds from the machine model applied
+/// to the phase's per-rank communication counters (see
+/// pgas/machine_model.hpp for why). The per-stage reports are exactly the
+/// series Figures 7 and 8 of the paper plot.
+namespace hipmer::pipeline {
+
+struct PipelineConfig {
+  int k = 31;
+
+  kcount::KmerAnalysisConfig kmer;
+  dbg::ContigGenConfig contig;
+  align::AlignerConfig aligner;
+  scaffold::LinkConfig links;
+  scaffold::OrderingConfig ordering;
+  scaffold::GapClosingConfig gaps;
+  scaffold::BubbleConfig bubbles;
+
+  /// Merge diploid bubbles before scaffolding (§4.2). Harmless but
+  /// pointless for haploid genomes.
+  bool merge_bubbles = true;
+  /// Scaffolding rounds (wheat runs four, §5.3); each round re-aligns the
+  /// reads against the previous round's scaffolds.
+  int scaffolding_rounds = 1;
+  /// Optional oracle partition for communication-avoiding traversal (§3.2).
+  const dbg::OraclePartition* oracle = nullptr;
+
+  /// Baseline ("Ray-like") mode: rank 0 reads the FASTQ files alone and
+  /// scatters the records, modelling an assembler without parallel I/O.
+  bool serial_io = false;
+  /// Baseline ("ABySS-like") mode: all reads are gathered to rank 0 before
+  /// scaffolding, which then runs effectively single-rank ("the subsequent
+  /// scaffolding steps must be performed on a single shared memory node").
+  bool serial_scaffolding = false;
+
+  /// Machine model used for the modeled-seconds column of reports.
+  pgas::MachineModel machine;
+
+  /// Propagate k into the sub-configs (call after setting `k`).
+  void sync_k() {
+    kmer.k = k;
+    contig.k = k;
+    aligner.seed_k = k;
+    gaps.k = k;
+    bubbles.k = k;
+  }
+};
+
+/// One timed bulk-synchronous phase.
+struct StageReport {
+  std::string name;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  pgas::CommStatsSnapshot comm;  // aggregate over ranks
+};
+
+struct PipelineResult {
+  std::vector<io::FastaRecord> scaffolds;
+
+  util::AssemblyStats contig_stats;
+  util::AssemblyStats scaffold_stats;
+  scaffold::ScaffoldStats closure_stats;
+  std::vector<scaffold::InsertSizeEstimate> insert_estimates;
+
+  std::uint64_t num_contigs = 0;
+  std::uint64_t distinct_kmers = 0;
+  double singleton_fraction = 0.0;
+  std::size_t heavy_hitters = 0;
+
+  /// Stages in execution order; repeated stage names (rounds) accumulate.
+  std::vector<StageReport> stages;
+
+  [[nodiscard]] double wall_total() const;
+  [[nodiscard]] double modeled_total() const;
+  [[nodiscard]] double wall_for(const std::string& stage) const;
+  [[nodiscard]] double modeled_for(const std::string& stage) const;
+  /// Short human-readable per-stage summary.
+  [[nodiscard]] std::string format_stages() const;
+};
+
+/// Canonical stage names (shared with the benches).
+inline constexpr const char* kStageIo = "io";
+inline constexpr const char* kStageKmerAnalysis = "kmer_analysis";
+inline constexpr const char* kStageContigGen = "contig_generation";
+inline constexpr const char* kStageAligner = "merAligner";
+inline constexpr const char* kStageScaffoldRest = "rest_scaffolding";
+inline constexpr const char* kStageGapClosing = "gap_closing";
+
+class Pipeline {
+ public:
+  Pipeline(pgas::Topology topo, PipelineConfig config);
+
+  /// Assemble from in-memory libraries: `library_reads[l]` holds library
+  /// l's interleaved pairs; `libraries[l]` its metadata.
+  [[nodiscard]] PipelineResult run(
+      const std::vector<std::vector<seq::Read>>& library_reads,
+      const std::vector<seq::ReadLibrary>& libraries);
+
+  /// Assemble from FASTQ files named in `libraries` (parallel block
+  /// reader; adds an "io" stage).
+  [[nodiscard]] PipelineResult run_from_fastq(
+      const std::vector<seq::ReadLibrary>& libraries);
+
+  [[nodiscard]] pgas::ThreadTeam& team() { return team_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+ private:
+  /// Per-rank, per-library read shares.
+  using RankReads = std::vector<std::vector<std::vector<seq::Read>>>;
+
+  [[nodiscard]] PipelineResult assemble(
+      RankReads rank_reads, const std::vector<seq::ReadLibrary>& libraries,
+      std::vector<StageReport> initial_stages);
+
+  /// Run `fn` as a timed collective phase and append its report.
+  template <typename Fn>
+  void run_stage(std::vector<StageReport>& stages, const std::string& name,
+                 Fn&& fn);
+
+  pgas::ThreadTeam team_;
+  PipelineConfig config_;
+};
+
+}  // namespace hipmer::pipeline

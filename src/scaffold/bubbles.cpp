@@ -1,0 +1,326 @@
+#include "scaffold/bubbles.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dbg/contig_wire.hpp"
+#include "seq/dna.hpp"
+#include "util/hash.hpp"
+
+namespace hipmer::scaffold {
+
+namespace {
+
+/// A directed merge edge between two contig ends (replicated; bubble counts
+/// are tiny relative to the k-mer graph).
+struct MergeEdge {
+  std::uint32_t from_contig;
+  std::uint8_t from_end;
+  std::uint32_t to_contig;
+  std::uint8_t to_end;
+};
+
+std::uint64_t end_key(std::uint32_t contig, std::uint8_t end) {
+  return (static_cast<std::uint64_t>(contig) << 1) | end;
+}
+
+/// Contig oriented for chain stitching.
+std::string oriented_seq(const dbg::Contig& contig, bool reversed) {
+  return reversed ? seq::revcomp(contig.seq) : contig.seq;
+}
+
+dbg::TermInfo oriented_term(const dbg::Contig& contig, bool reversed,
+                            bool left_side) {
+  if (!reversed) return left_side ? contig.left : contig.right;
+  return left_side ? contig.right : contig.left;
+}
+
+}  // namespace
+
+BubbleMerger::BubbleMerger(pgas::ThreadTeam& team, BubbleConfig config,
+                           std::size_t expected_contigs)
+    : team_(team), config_(config) {
+  JunctionMap::Config jc;
+  jc.global_capacity = std::max<std::size_t>(1024, expected_contigs * 2);
+  jc.flush_threshold = config.flush_threshold;
+  junctions_ = std::make_unique<JunctionMap>(team, jc);
+  ClaimMap::Config cc;
+  cc.global_capacity = std::max<std::size_t>(1024, expected_contigs);
+  cc.flush_threshold = config.flush_threshold;
+  claims_ = std::make_unique<ClaimMap>(team, cc);
+}
+
+BubbleMerger::~BubbleMerger() = default;
+
+std::vector<dbg::Contig> BubbleMerger::run(pgas::Rank& rank,
+                                           const align::ContigStore& store) {
+  // --- 1. Junction map: every junction-bearing contig end registers. ---
+  store.for_each_local(rank, [&](std::uint64_t id, const dbg::Contig& contig) {
+    for (int end = 0; end < 2; ++end) {
+      const dbg::TermInfo& term = end == 0 ? contig.left : contig.right;
+      if (!term.has_junction) continue;
+      JunctionGroup group{};
+      group.count = 1;
+      group.entries[0] = JunctionEntry{static_cast<std::uint32_t>(id),
+                                       static_cast<std::uint8_t>(end),
+                                       term.code};
+      junctions_->update_buffered(rank, term.junction, group);
+      rank.stats().add_work();
+    }
+    // Seed the claim map while we are here.
+    claims_->update_buffered(rank, id, VState{});
+  });
+  junctions_->flush(rank);
+  claims_->flush(rank);
+  rank.barrier();
+
+  // --- 2. Bubble resolution on local junction buckets. ---
+  std::vector<MergeEdge> my_edges;
+  std::vector<std::uint32_t> my_dead;
+  junctions_->for_each_local(rank, [&](const seq::KmerT&, JunctionGroup& group) {
+    rank.stats().add_work();
+    if (group.overflow != 0 || group.count != 3) return;
+    // Clean bubble: one fork flank + two neighbor-terminated paths.
+    const JunctionEntry* flank = nullptr;
+    const JunctionEntry* paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+    for (int i = 0; i < group.count; ++i) {
+      const auto& e = group.entries[i];
+      if (e.code == 'F' && flank == nullptr) {
+        flank = &e;
+      } else if (e.code == 'N' && npaths < 2) {
+        paths[npaths++] = &e;
+      } else {
+        return;  // anything else: not a clean bubble
+      }
+    }
+    if (flank == nullptr || npaths != 2) return;
+    if (paths[0]->contig == paths[1]->contig ||
+        paths[0]->contig == flank->contig ||
+        paths[1]->contig == flank->contig)
+      return;
+
+    const auto mu = store.meta(rank, paths[0]->contig);
+    const auto mv = store.meta(rank, paths[1]->contig);
+    const double len_skew =
+        std::abs(static_cast<double>(mu.length) - static_cast<double>(mv.length)) /
+        std::max<double>(1.0, std::max(mu.length, mv.length));
+    if (len_skew > config_.max_length_skew) return;
+
+    // Winner: deeper path; deterministic tie-break by id — both junctions
+    // of the bubble reach the same verdict independently.
+    const JunctionEntry* winner = paths[0];
+    const JunctionEntry* loser = paths[1];
+    if (mv.avg_depth > mu.avg_depth ||
+        (mv.avg_depth == mu.avg_depth && paths[1]->contig < paths[0]->contig)) {
+      std::swap(winner, loser);
+    }
+    my_edges.push_back(MergeEdge{flank->contig, flank->end, winner->contig,
+                                 winner->end});
+    my_dead.push_back(loser->contig);
+  });
+
+  // Replicate the (tiny) edge list and dead set.
+  const auto all_edges = rank.allgatherv(my_edges);
+  const auto all_dead = rank.allgatherv(my_dead);
+  std::unordered_set<std::uint32_t> dead(all_dead.begin(), all_dead.end());
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint8_t>> edges;
+  edges.reserve(all_edges.size() * 2);
+  std::uint64_t merged_pairs = 0;
+  for (const auto& e : all_edges) {
+    edges[end_key(e.from_contig, e.from_end)] = {e.to_contig, e.to_end};
+    edges[end_key(e.to_contig, e.to_end)] = {e.from_contig, e.from_end};
+    ++merged_pairs;
+  }
+  if (rank.is_root()) bubbles_merged_ = merged_pairs;
+
+  // --- 3. Speculative chain traversal. ---
+  std::vector<std::uint64_t> seeds;
+  store.for_each_local(rank, [&](std::uint64_t id, const dbg::Contig&) {
+    if (!dead.contains(static_cast<std::uint32_t>(id))) seeds.push_back(id);
+  });
+
+  struct ChainLink {
+    std::uint32_t contig;
+    bool reversed;
+  };
+  enum class Claim { kOk, kBusyLower, kBusyHigher, kSelf, kComplete, kDead };
+  std::uint64_t counter = 0;
+  auto next_ticket = [&]() {
+    return ++counter * static_cast<std::uint64_t>(rank.nranks()) +
+           static_cast<std::uint64_t>(rank.id()) + 1;
+  };
+  auto try_claim = [&](std::uint64_t contig, std::uint64_t ticket) -> Claim {
+    auto result = claims_->modify(rank, contig, [&](VState& v) -> Claim {
+      if (v.state == 2) return Claim::kComplete;
+      if (v.state == 1) {
+        if (v.ticket == ticket) return Claim::kSelf;
+        return v.ticket < ticket ? Claim::kBusyLower : Claim::kBusyHigher;
+      }
+      v.state = 1;
+      v.ticket = ticket;
+      return Claim::kOk;
+    });
+    return result.value_or(Claim::kDead);
+  };
+  auto release = [&](const std::vector<ChainLink>& chain, std::uint8_t state,
+                     std::uint64_t ticket, std::uint64_t new_ticket) {
+    for (const auto& link : chain) {
+      claims_->modify(rank, static_cast<std::uint64_t>(link.contig),
+                      [&](VState& v) {
+                        if (v.state == 1 && v.ticket == ticket) {
+                          v.state = state;
+                          v.ticket = new_ticket;
+                        }
+                        return 0;
+                      });
+    }
+  };
+  // Extend the chain rightward through merge edges. Returns false on
+  // conflict-abort.
+  auto grow_right = [&](std::vector<ChainLink>& chain,
+                        std::uint64_t ticket) -> bool {
+    while (true) {
+      rank.stats().add_work();
+      const ChainLink& tail = chain.back();
+      const auto leading =
+          end_key(tail.contig, static_cast<std::uint8_t>(tail.reversed ? 0 : 1));
+      auto it = edges.find(leading);
+      if (it == edges.end()) return true;
+      const auto [peer_contig, peer_end] = it->second;
+      while (true) {
+        const Claim claim = try_claim(peer_contig, ticket);
+        if (claim == Claim::kOk) break;
+        if (claim == Claim::kBusyHigher) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (claim == Claim::kBusyLower) return false;
+        // kSelf (cycle) / kComplete / kDead: stop cleanly.
+        return true;
+      }
+      chain.push_back(ChainLink{peer_contig, peer_end == 1});
+    }
+  };
+
+  std::vector<std::vector<ChainLink>> my_chains;
+  std::deque<std::uint64_t> pending(seeds.begin(), seeds.end());
+  while (!pending.empty()) {
+    const std::uint64_t seed = pending.front();
+    pending.pop_front();
+    const std::uint64_t ticket = next_ticket();
+    const Claim sc = try_claim(seed, ticket);
+    if (sc == Claim::kComplete || sc == Claim::kDead) continue;
+    if (sc != Claim::kOk) {
+      pending.push_back(seed);
+      std::this_thread::yield();
+      continue;
+    }
+    std::vector<ChainLink> chain{
+        ChainLink{static_cast<std::uint32_t>(seed), false}};
+    if (!grow_right(chain, ticket)) {
+      release(chain, 0, ticket, 0);
+      pending.push_back(seed);
+      std::this_thread::yield();
+      continue;
+    }
+    // Flip and grow the other way.
+    std::reverse(chain.begin(), chain.end());
+    for (auto& link : chain) link.reversed = !link.reversed;
+    if (!grow_right(chain, ticket)) {
+      release(chain, 0, ticket, 0);
+      pending.push_back(seed);
+      std::this_thread::yield();
+      continue;
+    }
+    release(chain, 2, ticket, ticket);
+    my_chains.push_back(std::move(chain));
+  }
+  rank.barrier();
+
+  // --- 4. Compress chains to sequences. ---
+  std::vector<dbg::Contig> merged;
+  merged.reserve(my_chains.size());
+  for (const auto& chain : my_chains) {
+    std::vector<dbg::Contig> records;
+    records.reserve(chain.size());
+    for (const auto& link : chain)
+      records.push_back(store.fetch_record(rank, link.contig));
+
+    dbg::Contig out;
+    out.seq = oriented_seq(records[0], chain[0].reversed);
+    double depth_weight =
+        records[0].avg_depth * static_cast<double>(records[0].seq.size());
+    bool stitched = true;
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const std::string next = oriented_seq(records[i], chain[i].reversed);
+      const auto overlap = static_cast<std::size_t>(config_.k - 1);
+      // Contigs at a junction share k-1 bases: verify before trimming.
+      if (next.size() <= overlap ||
+          out.seq.size() < overlap ||
+          out.seq.compare(out.seq.size() - overlap, overlap, next, 0,
+                          overlap) != 0) {
+        stitched = false;
+        break;
+      }
+      out.seq.append(next, overlap, next.size() - overlap);
+      depth_weight +=
+          records[i].avg_depth * static_cast<double>(records[i].seq.size());
+      rank.stats().add_work();
+    }
+    if (!stitched) {
+      // Defensive: emit members unmerged rather than fabricate sequence.
+      for (std::size_t i = 0; i < chain.size(); ++i)
+        merged.push_back(std::move(records[i]));
+      continue;
+    }
+    out.avg_depth = depth_weight / static_cast<double>(out.seq.size());
+    out.left = oriented_term(records.front(), chain.front().reversed, true);
+    out.right = oriented_term(records.back(), chain.back().reversed, false);
+    // Canonical orientation, matching the traversal's convention.
+    std::string rc = seq::revcomp(out.seq);
+    if (rc < out.seq) {
+      out.seq = std::move(rc);
+      std::swap(out.left, out.right);
+    }
+    merged.push_back(std::move(out));
+  }
+
+  // Deterministic dense ids (same scheme as the traversal's renumbering):
+  // redistribute by sequence hash, sort, exclusive-scan. Which rank
+  // completed which chain is schedule-dependent, and downstream tie-breaks
+  // key on ids.
+  {
+    std::vector<std::vector<std::byte>> outgoing(
+        static_cast<std::size_t>(rank.nranks()));
+    for (const auto& contig : merged) {
+      const auto h = util::hash_string(contig.seq);
+      // Range partition on the hash (not modulo): the concatenation of the
+      // per-rank sorted shards is then globally sorted by (hash, seq), so
+      // the assigned ids do not depend on the rank count.
+      const auto owner = static_cast<std::size_t>(
+          (static_cast<unsigned __int128>(h) *
+           static_cast<unsigned __int128>(rank.nranks())) >>
+          64);
+      dbg::serialize_contig(outgoing[owner], contig);
+    }
+    merged = dbg::deserialize_contigs(rank.alltoallv(outgoing));
+    std::sort(merged.begin(), merged.end(),
+              [](const dbg::Contig& a, const dbg::Contig& b) {
+                const auto ha = util::hash_string(a.seq);
+                const auto hb = util::hash_string(b.seq);
+                if (ha != hb) return ha < hb;
+                return a.seq < b.seq;
+              });
+  }
+  const auto base = rank.exscan_sum<std::uint64_t>(merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) merged[i].id = base + i;
+  rank.barrier();
+  return merged;
+}
+
+}  // namespace hipmer::scaffold

@@ -1,0 +1,50 @@
+#include "scaffold/depths.hpp"
+
+#include <algorithm>
+
+#include "seq/kmer_iterator.hpp"
+
+namespace hipmer::scaffold {
+
+DepthCalculator::DepthCalculator(pgas::ThreadTeam& team, int k,
+                                 std::size_t expected_kmers,
+                                 std::size_t flush_threshold)
+    : k_(k) {
+  CountMap::Config mc;
+  mc.global_capacity = std::max<std::size_t>(1024, expected_kmers);
+  mc.flush_threshold = flush_threshold;
+  counts_ = std::make_unique<CountMap>(team, mc);
+}
+
+std::vector<std::pair<std::uint64_t, double>> DepthCalculator::run(
+    pgas::Rank& rank,
+    const std::vector<std::pair<seq::KmerT, kcount::KmerSummary>>& local_ufx,
+    const align::ContigStore& store) {
+  // Phase 1: populate the k-mer -> count table (aggregating stores).
+  for (const auto& [kmer, summary] : local_ufx) {
+    counts_->update_buffered(rank, kmer, summary.depth);
+    rank.stats().add_work();
+  }
+  counts_->flush(rank);
+  rank.barrier();
+
+  // Phase 2: pure reads — each rank sums the counts of its contigs' k-mers.
+  std::vector<std::pair<std::uint64_t, double>> depths;
+  store.for_each_local(rank, [&](std::uint64_t id, const dbg::Contig& contig) {
+    std::uint64_t sum = 0;
+    std::uint64_t n = 0;
+    for (seq::KmerIterator<seq::KmerT::kMaxK> it(contig.seq, k_); !it.done();
+         it.next()) {
+      sum += counts_->find(rank, it.canonical()).value_or(0);
+      ++n;
+      rank.stats().add_work();
+    }
+    depths.emplace_back(id, n == 0 ? 0.0
+                                   : static_cast<double>(sum) /
+                                         static_cast<double>(n));
+  });
+  rank.barrier();
+  return depths;
+}
+
+}  // namespace hipmer::scaffold

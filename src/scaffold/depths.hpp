@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "align/contig_store.hpp"
+#include "kcount/kmer_tally.hpp"
+#include "pgas/dist_hash_map.hpp"
+#include "pgas/thread_team.hpp"
+#include "seq/types.hpp"
+
+/// §4.1 — contig depths from exact k-mer counts.
+///
+/// "First, the k-mers are stored in a distributed hash table where the keys
+/// are k-mers and the values are the corresponding counts. For the
+/// construction ... we employ ... aggregating stores. Next, each processor
+/// is assigned 1/p of the contigs and for every contig, looks up all the
+/// contained k-mers and sums up their counts." The read phase needs no
+/// synchronization — the table is only read after a barrier.
+///
+/// (The traversal already accumulates an average depth opportunistically;
+/// the pipeline trusts this module instead, since after bubble merging the
+/// compressed paths need fresh depths anyway.)
+namespace hipmer::scaffold {
+
+class DepthCalculator {
+ public:
+  struct SumMerge {
+    void operator()(std::uint32_t& a, const std::uint32_t& b) const { a += b; }
+  };
+  using CountMap = pgas::DistHashMap<seq::KmerT, std::uint32_t,
+                                     seq::KmerHashT, SumMerge>;
+
+  DepthCalculator(pgas::ThreadTeam& team, int k, std::size_t expected_kmers,
+                  std::size_t flush_threshold = 512);
+
+  /// Collective. `local_ufx` is this rank's k-mer analysis output. Returns
+  /// (contig id, mean k-mer depth) for every contig owned by this rank in
+  /// `store`, and also writes the depth back into the store's metadata via
+  /// the contigs' owner (store is local-mutable only, so each rank updates
+  /// its own shard through the returned list at the call site).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> run(
+      pgas::Rank& rank,
+      const std::vector<std::pair<seq::KmerT, kcount::KmerSummary>>& local_ufx,
+      const align::ContigStore& store);
+
+ private:
+  int k_;
+  std::unique_ptr<CountMap> counts_;
+};
+
+}  // namespace hipmer::scaffold

@@ -1,0 +1,48 @@
+#include "scaffold/links.hpp"
+
+#include <algorithm>
+
+namespace hipmer::scaffold {
+
+LinkGenerator::LinkGenerator(pgas::ThreadTeam& team, LinkConfig config)
+    : config_(config) {
+  Map::Config mc;
+  mc.global_capacity = std::max<std::size_t>(1024, config.expected_links);
+  mc.flush_threshold = config.flush_threshold;
+  map_ = std::make_unique<Map>(team, mc);
+}
+
+void LinkGenerator::add_observations(
+    pgas::Rank& rank, const std::vector<LinkObservation>& observations) {
+  for (const auto& obs : observations) {
+    LinkData data;
+    if (obs.is_splint) {
+      data.splint_n = 1;
+    } else {
+      data.span_n = 1;
+    }
+    data.set_gap(obs.gap);
+    map_->update_buffered(rank, LinkKey::make(obs.a, obs.b), data);
+    rank.stats().add_work();
+  }
+  map_->flush(rank);
+  rank.barrier();
+}
+
+std::vector<Tie> LinkGenerator::assess(pgas::Rank& rank) {
+  std::vector<Tie> ties;
+  map_->for_each_local(rank, [&](const LinkKey& key, LinkData& data) {
+    rank.stats().add_work();
+    if (data.support() < config_.min_support) return;
+    Tie tie;
+    tie.a = key.lo;
+    tie.b = key.hi;
+    tie.support = data.support();
+    tie.gap = data.mean_gap();
+    ties.push_back(tie);
+  });
+  rank.barrier();
+  return ties;
+}
+
+}  // namespace hipmer::scaffold

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pgas/dist_hash_map.hpp"
+#include "pgas/thread_team.hpp"
+#include "scaffold/splints_spans.hpp"
+#include "scaffold/types.hpp"
+
+/// §4.6 — contig link generation.
+///
+/// "Parallelizing this operation requires a distributed hash table, where
+/// the keys are pairs of contigs and values are the splint/overlap [and
+/// span/gap] information. Each processor is assigned 1/p of the splints
+/// and stores them in the distributed hash table [with] the aggregating
+/// stores optimization. ... each processor iterates over its local buckets
+/// to further assess/count the links."
+namespace hipmer::scaffold {
+
+struct LinkConfig {
+  /// Minimum supporting observations for a link to become a tie.
+  std::uint32_t min_support = 2;
+  std::size_t flush_threshold = 512;
+  /// Expected number of distinct contig-end pairs (sizes the table).
+  std::size_t expected_links = 4096;
+};
+
+class LinkGenerator {
+ public:
+  using Map = pgas::DistHashMap<LinkKey, LinkData, LinkKeyHash, LinkDataMerge>;
+
+  LinkGenerator(pgas::ThreadTeam& team, LinkConfig config);
+
+  /// Collective: pour this rank's splint/span observations into the table.
+  void add_observations(pgas::Rank& rank,
+                        const std::vector<LinkObservation>& observations);
+
+  /// Collective (call once after all add_observations): each rank assesses
+  /// its local buckets and returns the qualified ties it owns.
+  [[nodiscard]] std::vector<Tie> assess(pgas::Rank& rank);
+
+ private:
+  LinkConfig config_;
+  std::unique_ptr<Map> map_;
+};
+
+}  // namespace hipmer::scaffold

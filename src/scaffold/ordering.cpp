@@ -1,0 +1,137 @@
+#include "scaffold/ordering.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hipmer::scaffold {
+
+namespace {
+
+/// Deterministic tie preference: more support, then tighter gap, then
+/// stable id order.
+bool better_tie(const Tie& x, const Tie& y) {
+  if (x.support != y.support) return x.support > y.support;
+  if (x.gap != y.gap) return x.gap < y.gap;
+  if (!(x.a == y.a)) return x.a < y.a;
+  return x.b < y.b;
+}
+
+bool same_tie(const Tie& x, const Tie& y) {
+  return x.a == y.a && x.b == y.b;
+}
+
+/// Reverse a scaffold in place (orientation flip).
+void flip(std::vector<Placement>& placements) {
+  std::vector<Placement> flipped;
+  flipped.reserve(placements.size());
+  const std::size_t n = placements.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Placement p = placements[n - 1 - i];
+    p.reversed = !p.reversed;
+    p.gap_after = (i + 1 < n) ? placements[n - 2 - i].gap_after : 0.0;
+    flipped.push_back(p);
+  }
+  placements = std::move(flipped);
+}
+
+}  // namespace
+
+std::vector<ScaffoldRecord> order_and_orient(
+    pgas::Rank& rank, const std::vector<Tie>& my_ties,
+    const std::vector<ContigLen>& contig_lengths,
+    const OrderingConfig& config) {
+  // Gather the (small) tie graph everywhere; every rank then computes the
+  // identical traversal. The cost is charged as serial work on rank 0 so
+  // the machine model sees one serial traversal, as in the paper.
+  const auto all_ties = rank.allgatherv(my_ties);
+  const auto all_lengths = rank.allgatherv(contig_lengths);
+  const bool charge = rank.is_root();
+
+  // Repeat exclusion: contigs far deeper than the median are repeat
+  // collapses; their ends attract links from every flanking unique region
+  // and must not anchor ties.
+  std::unordered_map<std::uint64_t, bool> is_repeat;
+  if (config.max_depth_factor > 0.0 && !all_lengths.empty()) {
+    std::vector<float> depths;
+    depths.reserve(all_lengths.size());
+    for (const auto& c : all_lengths) depths.push_back(c.depth);
+    auto mid = depths.begin() + static_cast<std::ptrdiff_t>(depths.size() / 2);
+    std::nth_element(depths.begin(), mid, depths.end());
+    const double median = *mid;
+    if (median > 0.0) {
+      for (const auto& c : all_lengths)
+        if (c.depth > config.max_depth_factor * median) is_repeat[c.id] = true;
+    }
+  }
+
+  // Best tie per contig end (repeat-anchored ties excluded).
+  std::unordered_map<std::uint64_t, Tie> best;
+  best.reserve(all_ties.size() * 2);
+  for (const auto& tie : all_ties) {
+    if (charge) rank.stats().add_serial_work();
+    if (is_repeat.count(tie.a.contig) || is_repeat.count(tie.b.contig))
+      continue;
+    for (const ContigEnd end : {tie.a, tie.b}) {
+      auto it = best.find(end.key());
+      if (it == best.end() || better_tie(tie, it->second))
+        best[end.key()] = tie;
+    }
+  }
+
+  // Seeds in decreasing contig length ("lock together first 'long'
+  // contigs"), stable by id.
+  std::vector<ContigLen> order(all_lengths.begin(), all_lengths.end());
+  std::sort(order.begin(), order.end(), [](const ContigLen& x, const ContigLen& y) {
+    if (x.length != y.length) return x.length > y.length;
+    return x.id < y.id;
+  });
+
+  std::unordered_map<std::uint64_t, bool> visited;
+  visited.reserve(order.size());
+
+  auto extend_right = [&](std::vector<Placement>& placements) {
+    while (true) {
+      if (charge) rank.stats().add_serial_work();
+      const Placement& tail = placements.back();
+      const ContigEnd leading{tail.contig,
+                              static_cast<std::uint8_t>(tail.reversed ? 0 : 1)};
+      auto it = best.find(leading.key());
+      if (it == best.end()) return;
+      const Tie& tie = it->second;
+      const ContigEnd peer = (tie.a == leading) ? tie.b : tie.a;
+      if (!(tie.a == leading) && !(tie.b == leading)) return;
+      if (config.require_mutual_best) {
+        auto pit = best.find(peer.key());
+        if (pit == best.end() || !same_tie(pit->second, tie)) return;
+      }
+      if (visited[peer.contig]) return;
+      visited[peer.contig] = true;
+      placements.back().gap_after = tie.gap;
+      // Entering the peer through end 0 keeps it forward; through end 1
+      // reverses it.
+      placements.push_back(Placement{peer.contig, peer.end == 1, 0.0});
+    }
+  };
+
+  std::vector<ScaffoldRecord> scaffolds;
+  for (const auto& entry : order) {
+    const std::uint64_t contig_id = entry.id;
+    if (visited[contig_id]) continue;
+    visited[contig_id] = true;
+    ScaffoldRecord scaffold;
+    scaffold.id = scaffolds.size();
+    scaffold.placements.push_back(
+        Placement{static_cast<std::uint32_t>(contig_id), false, 0.0});
+    extend_right(scaffold.placements);
+    flip(scaffold.placements);
+    extend_right(scaffold.placements);
+    // Canonical orientation: first contig id <= last contig id.
+    if (scaffold.placements.front().contig > scaffold.placements.back().contig)
+      flip(scaffold.placements);
+    scaffolds.push_back(std::move(scaffold));
+  }
+  rank.barrier();
+  return scaffolds;
+}
+
+}  // namespace hipmer::scaffold

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgas/thread_team.hpp"
+#include "scaffold/types.hpp"
+
+/// §4.7 — ordering and orientation of contigs.
+///
+/// Ties are consolidated per contig end (best-supported link wins) and the
+/// implicit tie graph is traversed "by selecting seeds in order of
+/// decreasing length (this heuristic tries to lock together first 'long'
+/// contigs) and therefore it is inherently serial. We have optimized this
+/// component and found that its execution time is insignificant" — the
+/// contig graph is orders of magnitude smaller than the k-mer graph. Rank 0
+/// runs the traversal; its cost is charged as serial work so the machine
+/// model surfaces exactly the overhead the paper discusses for wheat
+/// (§5.3: less graph contraction + four scaffolding rounds make this serial
+/// component relatively more expensive).
+namespace hipmer::scaffold {
+
+struct OrderingConfig {
+  /// Only ties that are the mutual best of both their ends are followed.
+  bool require_mutual_best = true;
+  /// Contigs deeper than this multiple of the median depth are treated as
+  /// repeats and never anchor ties (Meraculous behaviour: repeat contigs
+  /// attract links from every flanking region and would otherwise absorb
+  /// each segment's best link, leaving the unique regions unchained; this
+  /// is the §4.1 depth information doing its scaffolding job). 0 disables.
+  double max_depth_factor = 3.0;
+};
+
+/// (id, length, depth) of a contig — trivially copyable for the gather.
+struct ContigLen {
+  std::uint64_t id = 0;
+  std::uint32_t length = 0;
+  float depth = 0.0f;
+};
+
+/// Collective. `my_ties` are the ties this rank assessed; `contig_lengths`
+/// lists contigs owned by this rank. Returns the scaffold records,
+/// replicated on every rank.
+[[nodiscard]] std::vector<ScaffoldRecord> order_and_orient(
+    pgas::Rank& rank, const std::vector<Tie>& my_ties,
+    const std::vector<ContigLen>& contig_lengths,
+    const OrderingConfig& config = {});
+
+}  // namespace hipmer::scaffold

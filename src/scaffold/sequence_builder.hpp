@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/contig_store.hpp"
+#include "io/fasta.hpp"
+#include "pgas/thread_team.hpp"
+#include "scaffold/gap_closing.hpp"
+#include "scaffold/types.hpp"
+
+/// Materialize scaffold records into DNA sequences.
+///
+/// Positive gaps take the gap closer's fill when closed, or a run of 'N's
+/// sized by the gap estimate otherwise (the standard representation of an
+/// unclosed scaffold gap). Negative gaps (splint overlaps) merge the
+/// overlapping ends after verifying the sequences agree; on disagreement a
+/// single 'N' marks the uncertain junction instead of fabricating bases.
+namespace hipmer::scaffold {
+
+struct ScaffoldStats {
+  std::uint64_t gaps_total = 0;
+  std::uint64_t gaps_closed = 0;
+  std::uint64_t closed_by_span = 0;
+  std::uint64_t closed_by_walk = 0;
+  std::uint64_t closed_by_patch = 0;
+  std::uint64_t overlap_merges = 0;
+  std::uint64_t overlap_mismatches = 0;
+};
+
+/// Collective: builds the final sequences. Scaffolds with id % P == rank
+/// are assembled by this rank; the full record set is replicated on return
+/// (assemblies at this scale fit comfortably). `my_closures` are this
+/// rank's gap-closing results; they are exchanged internally.
+[[nodiscard]] std::vector<io::FastaRecord> build_scaffold_sequences(
+    pgas::Rank& rank, const std::vector<ScaffoldRecord>& scaffolds,
+    const align::ContigStore& store, const std::vector<GapSpec>& gaps,
+    const std::vector<Closure>& my_closures, ScaffoldStats* stats = nullptr);
+
+}  // namespace hipmer::scaffold

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/alignment.hpp"
+#include "pgas/thread_team.hpp"
+#include "scaffold/insert_size.hpp"
+#include "scaffold/types.hpp"
+
+/// §4.5 — locating splints and spans.
+///
+/// **Splint** (Figure 3a): one read aligns across the ends of two contigs —
+/// the contigs overlap. "Each of the p processors independently processes
+/// 1/p of the total read alignments" — splints need no communication since
+/// the aligner emits a read's alignments together on one rank.
+///
+/// **Span** (Figure 3b): the two mates of a pair align to different
+/// contigs; with the library insert size (§4.4) the gap between the contigs
+/// is estimated as  gap = insert − out_a − out_b  (outward distances per
+/// scaffold/types.hpp). Mates can land on different ranks, so alignments
+/// are first exchanged by pair id.
+namespace hipmer::scaffold {
+
+struct LinkObservation {
+  ContigEnd a;
+  ContigEnd b;
+  /// Estimated gap (negative = overlap).
+  float gap = 0.0f;
+  /// True for splint evidence, false for span evidence.
+  bool is_splint = false;
+};
+
+/// Local (no communication): find splints among this rank's alignments.
+/// `end_slack` is how close to a contig end an alignment must reach.
+[[nodiscard]] std::vector<LinkObservation> locate_splints(
+    pgas::Rank& rank, const std::vector<align::ReadAlignment>& my_alignments,
+    int end_slack = 5);
+
+/// Collective: exchange alignments by pair id, then find spans. `inserts`
+/// holds the per-library estimates from §4.4. `max_outward_factor` bounds
+/// how far inside a contig a mate may sit (mean + 3*stddev) before it can
+/// no longer witness a gap.
+[[nodiscard]] std::vector<LinkObservation> locate_spans(
+    pgas::Rank& rank, const std::vector<align::ReadAlignment>& my_alignments,
+    const std::vector<InsertSizeEstimate>& inserts,
+    double full_fraction = 0.9);
+
+}  // namespace hipmer::scaffold

@@ -1,0 +1,11 @@
+#include "scaffold/types.hpp"
+
+#include "util/hash.hpp"
+
+namespace hipmer::scaffold {
+
+std::uint64_t LinkKeyHash::operator()(const LinkKey& k) const noexcept {
+  return util::hash_combine(util::mix64(k.lo.key()), k.hi.key());
+}
+
+}  // namespace hipmer::scaffold

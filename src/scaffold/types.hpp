@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// Shared scaffolding types and the orientation conventions every module
+/// below (§4.4–§4.8) relies on.
+///
+/// **Ends**: contigs are stored in canonical orientation; end 0 is the left
+/// (prefix) end, end 1 the right (suffix) end.
+///
+/// **Outward distance**: for an alignment of a mate on contig c, the
+/// fragment continues past the mate's 3' side. If the read aligned forward
+/// (`read_fwd`), the fragment exits c through end 1 and the outward
+/// distance is `contig_len - contig_start` (5'-most base to the exit end);
+/// reversed, it exits end 0 with outward distance `contig_end`. For an FR
+/// pair spanning contigs i and j:  insert = out_i + gap + out_j, giving the
+/// gap estimate of §4.5.
+namespace hipmer::scaffold {
+
+/// (contig, end) — the unit the link/tie machinery connects.
+struct ContigEnd {
+  std::uint32_t contig = 0;
+  std::uint8_t end = 0;  // 0 = left, 1 = right
+
+  friend bool operator==(const ContigEnd& a, const ContigEnd& b) noexcept {
+    return a.contig == b.contig && a.end == b.end;
+  }
+  friend bool operator<(const ContigEnd& a, const ContigEnd& b) noexcept {
+    if (a.contig != b.contig) return a.contig < b.contig;
+    return a.end < b.end;
+  }
+  [[nodiscard]] std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(contig) << 1) | end;
+  }
+};
+
+/// Key for a link between two contig ends, normalized so (lo, hi) ordering
+/// is orientation-independent.
+struct LinkKey {
+  ContigEnd lo;
+  ContigEnd hi;
+
+  static LinkKey make(ContigEnd a, ContigEnd b) noexcept {
+    return b < a ? LinkKey{b, a} : LinkKey{a, b};
+  }
+  friend bool operator==(const LinkKey& a, const LinkKey& b) noexcept {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+struct LinkKeyHash {
+  std::uint64_t operator()(const LinkKey& k) const noexcept;
+};
+
+/// Accumulated evidence for one contig-end pair (§4.6): splint support
+/// (reads overlapping both contig ends, implying the contigs overlap) and
+/// span support (mate pairs, implying a gap of roughly gap_sum/span_n).
+///
+/// Gap sums are held in 1/16-base fixed point: concurrent merges apply in
+/// whatever order the ranks race, and integer addition keeps the result
+/// exactly order-independent where floating-point accumulation would
+/// jitter in the last bits (and flip downstream rounding/tie-breaks).
+struct LinkData {
+  static constexpr double kGapScale = 16.0;
+
+  std::uint32_t splint_n = 0;
+  std::uint32_t span_n = 0;
+  /// Sum of per-observation gap estimates, scaled by kGapScale
+  /// (negative = overlap).
+  std::int64_t gap_sum_q = 0;
+
+  void set_gap(double gap) noexcept {
+    gap_sum_q = static_cast<std::int64_t>(gap * kGapScale);
+  }
+  void merge(const LinkData& o) noexcept {
+    splint_n += o.splint_n;
+    span_n += o.span_n;
+    gap_sum_q += o.gap_sum_q;
+  }
+  [[nodiscard]] std::uint32_t support() const noexcept {
+    return splint_n + span_n;
+  }
+  [[nodiscard]] double mean_gap() const noexcept {
+    const auto n = support();
+    return n == 0 ? 0.0
+                  : static_cast<double>(gap_sum_q) / (kGapScale * n);
+  }
+};
+
+struct LinkDataMerge {
+  void operator()(LinkData& existing, const LinkData& incoming) const {
+    existing.merge(incoming);
+  }
+};
+
+/// A consolidated, qualified link ("tie", §4.7).
+struct Tie {
+  ContigEnd a;
+  ContigEnd b;
+  std::uint32_t support = 0;
+  /// Estimated gap between the ends (negative = overlap).
+  double gap = 0.0;
+};
+
+/// One contig's placement inside a scaffold.
+struct Placement {
+  std::uint32_t contig = 0;
+  bool reversed = false;
+  /// Estimated gap to the next placement (unused for the last one).
+  double gap_after = 0.0;
+};
+
+struct ScaffoldRecord {
+  std::uint64_t id = 0;
+  std::vector<Placement> placements;
+};
+
+}  // namespace hipmer::scaffold

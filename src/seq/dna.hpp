@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// DNA alphabet primitives: 2-bit base codes, complements, reverse
+/// complements. Everything downstream (k-mers, reads, contigs) builds on
+/// these encodings.
+namespace hipmer::seq {
+
+/// 2-bit base encoding. The complement is `3 - code`, which the revcomp
+/// routines exploit.
+inline constexpr std::uint8_t kBaseA = 0;
+inline constexpr std::uint8_t kBaseC = 1;
+inline constexpr std::uint8_t kBaseG = 2;
+inline constexpr std::uint8_t kBaseT = 3;
+inline constexpr std::uint8_t kBaseInvalid = 0xff;
+
+[[nodiscard]] constexpr std::uint8_t base_to_code(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return kBaseA;
+    case 'C': case 'c': return kBaseC;
+    case 'G': case 'g': return kBaseG;
+    case 'T': case 't': return kBaseT;
+    default: return kBaseInvalid;
+  }
+}
+
+[[nodiscard]] constexpr char code_to_base(std::uint8_t code) noexcept {
+  constexpr char bases[4] = {'A', 'C', 'G', 'T'};
+  return bases[code & 3];
+}
+
+[[nodiscard]] constexpr std::uint8_t complement_code(std::uint8_t code) noexcept {
+  return static_cast<std::uint8_t>(3 - code);
+}
+
+[[nodiscard]] constexpr char complement_base(char c) noexcept {
+  switch (c) {
+    case 'A': return 'T';
+    case 'C': return 'G';
+    case 'G': return 'C';
+    case 'T': return 'A';
+    case 'a': return 't';
+    case 'c': return 'g';
+    case 'g': return 'c';
+    case 't': return 'a';
+    default: return 'N';
+  }
+}
+
+/// True iff every character is an unambiguous upper/lowercase ACGT base.
+[[nodiscard]] inline bool is_valid_dna(std::string_view s) noexcept {
+  for (char c : s)
+    if (base_to_code(c) == kBaseInvalid) return false;
+  return true;
+}
+
+/// Reverse complement of a DNA string. Characters outside ACGT map to 'N'.
+[[nodiscard]] inline std::string revcomp(std::string_view s) {
+  std::string out(s.size(), 'N');
+  for (std::size_t i = 0; i < s.size(); ++i)
+    out[s.size() - 1 - i] = complement_base(s[i]);
+  return out;
+}
+
+}  // namespace hipmer::seq

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "seq/dna.hpp"
+
+/// K-mer extension codes — Meraculous's "two-letter code".
+///
+/// For every k-mer the pipeline records which base immediately precedes and
+/// follows it in the reads, *when that base is unique and high-quality*.
+/// The de Bruijn graph is then implicit: a k-mer plus its two extension
+/// letters identifies both neighbor vertices (§2 of the paper). The two
+/// non-base codes are:
+///   'F' — fork: more than one distinct high-quality extension was seen
+///         (branch in the graph; contigs terminate here);
+///   'X' — no high-quality extension was seen (dead end).
+namespace hipmer::seq {
+
+inline constexpr char kExtFork = 'F';
+inline constexpr char kExtNone = 'X';
+
+[[nodiscard]] constexpr bool is_base_ext(char e) noexcept {
+  return e == 'A' || e == 'C' || e == 'G' || e == 'T';
+}
+
+/// Left and right extension of a canonical k-mer. Orientation convention:
+/// extensions are stored relative to the *canonical* orientation of the
+/// k-mer; callers flip (complement + swap) when they reach the k-mer in its
+/// reverse-complement orientation.
+struct ExtPair {
+  char left = kExtNone;
+  char right = kExtNone;
+
+  friend bool operator==(const ExtPair& a, const ExtPair& b) noexcept {
+    return a.left == b.left && a.right == b.right;
+  }
+};
+
+/// Flip an extension pair into the reverse-complement frame: left and right
+/// swap, and base extensions complement.
+[[nodiscard]] constexpr ExtPair flip(const ExtPair& e) noexcept {
+  auto comp = [](char c) constexpr {
+    return is_base_ext(c) ? complement_base(c) : c;
+  };
+  return ExtPair{comp(e.right), comp(e.left)};
+}
+
+}  // namespace hipmer::seq

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/dna.hpp"
+#include "util/hash.hpp"
+
+/// Packed k-mer type.
+///
+/// K-mers are the keys of every major distributed hash table in the
+/// pipeline, so representation is compact: 2 bits per base in a fixed array
+/// of 64-bit words, plus the runtime length k (HipMer runs one k per pass
+/// but the gap-closing mini-assembly iterates over *several* k values, so k
+/// is per-object, not global). `MAX_K` bounds k at compile time; the default
+/// of 64 covers the paper's k=51 wheat runs with two words.
+///
+/// Canonical form: a k-mer and its reverse complement denote the same
+/// molecule; `canonical()` picks the lexicographically smaller of the two so
+/// both strands hash to the same table entry.
+namespace hipmer::seq {
+
+template <int MAX_K = 64>
+class Kmer {
+  static_assert(MAX_K >= 1 && MAX_K <= 1024, "unreasonable MAX_K");
+
+ public:
+  static constexpr int kMaxK = MAX_K;
+  static constexpr int kWords = (MAX_K + 31) / 32;
+
+  Kmer() = default;
+
+  /// Parse from a DNA string (all bases must be ACGT).
+  [[nodiscard]] static Kmer from_string(std::string_view s) {
+    assert(s.size() >= 1 && s.size() <= MAX_K);
+    Kmer km;
+    km.k_ = static_cast<std::uint16_t>(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const std::uint8_t code = base_to_code(s[i]);
+      assert(code != kBaseInvalid);
+      km.set_base(static_cast<int>(i), code);
+    }
+    return km;
+  }
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  /// 2-bit code of base at position i (0 = leftmost/5' end).
+  [[nodiscard]] std::uint8_t base(int i) const noexcept {
+    assert(i >= 0 && i < k_);
+    return static_cast<std::uint8_t>(
+        (words_[static_cast<std::size_t>(i >> 5)] >> ((i & 31) * 2)) & 3);
+  }
+
+  void set_base(int i, std::uint8_t code) noexcept {
+    assert(i >= 0 && i < MAX_K && code <= 3);
+    auto& w = words_[static_cast<std::size_t>(i >> 5)];
+    const int shift = (i & 31) * 2;
+    w = (w & ~(std::uint64_t{3} << shift)) |
+        (std::uint64_t{code} << shift);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s(static_cast<std::size_t>(k_), 'A');
+    for (int i = 0; i < k_; ++i) s[static_cast<std::size_t>(i)] = code_to_base(base(i));
+    return s;
+  }
+
+  /// Reverse complement (same k).
+  [[nodiscard]] Kmer revcomp() const noexcept {
+    Kmer rc;
+    rc.k_ = k_;
+    for (int i = 0; i < k_; ++i)
+      rc.set_base(k_ - 1 - i, complement_code(base(i)));
+    return rc;
+  }
+
+  /// Lexicographic comparison against the reverse complement; canonical is
+  /// the smaller.
+  [[nodiscard]] Kmer canonical() const noexcept {
+    const Kmer rc = revcomp();
+    return *this <= rc ? *this : rc;
+  }
+
+  [[nodiscard]] bool is_canonical() const noexcept {
+    return *this <= revcomp();
+  }
+
+  /// Drop the leftmost base and append `code` on the right: the k-mer one
+  /// step *forward* along a sequence.
+  [[nodiscard]] Kmer shifted_left(std::uint8_t code) const noexcept {
+    Kmer out;
+    out.k_ = k_;
+    for (int i = 0; i + 1 < k_; ++i) out.set_base(i, base(i + 1));
+    out.set_base(k_ - 1, code);
+    return out;
+  }
+
+  /// Prepend `code` on the left and drop the rightmost base: one step
+  /// *backward* along a sequence.
+  [[nodiscard]] Kmer shifted_right(std::uint8_t code) const noexcept {
+    Kmer out;
+    out.k_ = k_;
+    for (int i = 0; i + 1 < k_; ++i) out.set_base(i + 1, base(i));
+    out.set_base(0, code);
+    return out;
+  }
+
+  [[nodiscard]] std::uint8_t first_base() const noexcept { return base(0); }
+  [[nodiscard]] std::uint8_t last_base() const noexcept { return base(k_ - 1); }
+
+  /// 64-bit fingerprint over the packed words — the hash every distributed
+  /// structure keys on.
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = util::mix64(static_cast<std::uint64_t>(k_));
+    for (int w = 0; w < kWords; ++w)
+      h = util::hash_combine(h, words_[static_cast<std::size_t>(w)]);
+    return h;
+  }
+
+  friend bool operator==(const Kmer& a, const Kmer& b) noexcept {
+    if (a.k_ != b.k_) return false;
+    for (int w = 0; w < kWords; ++w)
+      if (a.words_[static_cast<std::size_t>(w)] != b.words_[static_cast<std::size_t>(w)]) return false;
+    return true;
+  }
+  friend bool operator!=(const Kmer& a, const Kmer& b) noexcept {
+    return !(a == b);
+  }
+
+  /// Lexicographic order on the base sequence (A < C < G < T).
+  friend bool operator<(const Kmer& a, const Kmer& b) noexcept {
+    const int n = a.k_ < b.k_ ? a.k_ : b.k_;
+    for (int i = 0; i < n; ++i) {
+      if (a.base(i) != b.base(i)) return a.base(i) < b.base(i);
+    }
+    return a.k_ < b.k_;
+  }
+  friend bool operator<=(const Kmer& a, const Kmer& b) noexcept {
+    return !(b < a);
+  }
+
+ private:
+  std::array<std::uint64_t, kWords> words_{};
+  std::uint16_t k_ = 0;
+};
+
+/// Hash functor for DistHashMap / std containers.
+template <int MAX_K>
+struct KmerHash {
+  std::uint64_t operator()(const Kmer<MAX_K>& km) const noexcept {
+    return km.hash();
+  }
+};
+
+/// Extract all k-mers of `sequence` into `out` (cleared first). Returns
+/// false (and leaves `out` empty) if the sequence is shorter than k or
+/// contains non-ACGT characters.
+template <int MAX_K>
+bool extract_kmers(std::string_view sequence, int k,
+                   std::vector<Kmer<MAX_K>>& out) {
+  out.clear();
+  if (static_cast<int>(sequence.size()) < k) return false;
+  if (!is_valid_dna(sequence)) return false;
+  Kmer<MAX_K> km = Kmer<MAX_K>::from_string(sequence.substr(0, static_cast<std::size_t>(k)));
+  out.push_back(km);
+  for (std::size_t i = static_cast<std::size_t>(k); i < sequence.size(); ++i) {
+    km = km.shifted_left(base_to_code(sequence[i]));
+    out.push_back(km);
+  }
+  return true;
+}
+
+}  // namespace hipmer::seq

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <string_view>
+
+#include "seq/kmer.hpp"
+
+/// Streaming canonical k-mer extraction.
+///
+/// Iterates every length-k window of a sequence, maintaining the forward
+/// k-mer *and* its reverse complement incrementally (O(words) per step
+/// instead of O(k)), skipping windows containing non-ACGT characters.
+/// Every consumer that walks reads or contigs k-mer-by-k-mer (k-mer
+/// analysis, seed index construction, depth computation, gap-closing
+/// mini-assembly) uses this iterator, so orientation conventions stay in
+/// one place.
+namespace hipmer::seq {
+
+template <int MAX_K>
+class KmerIterator {
+ public:
+  KmerIterator(std::string_view sequence, int k)
+      : seq_(sequence), k_(k), pos_(0) {
+    if (static_cast<int>(seq_.size()) >= k_) prime(0);
+    else done_ = true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Window start position within the sequence.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  /// Forward-strand k-mer at the current window.
+  [[nodiscard]] const Kmer<MAX_K>& forward() const noexcept { return fwd_; }
+  /// Its reverse complement.
+  [[nodiscard]] const Kmer<MAX_K>& reverse() const noexcept { return rc_; }
+
+  [[nodiscard]] bool is_flipped() const noexcept { return rc_ < fwd_; }
+
+  /// Canonical form (the smaller of forward / reverse complement).
+  [[nodiscard]] const Kmer<MAX_K>& canonical() const noexcept {
+    return is_flipped() ? rc_ : fwd_;
+  }
+
+  /// Advance to the next valid window.
+  void next() {
+    while (true) {
+      const std::size_t new_end = pos_ + static_cast<std::size_t>(k_);
+      if (new_end >= seq_.size()) {
+        done_ = true;
+        return;
+      }
+      const std::uint8_t code = base_to_code(seq_[new_end]);
+      if (code == kBaseInvalid) {
+        // Restart past the invalid character.
+        if (new_end + static_cast<std::size_t>(k_) >= seq_.size() + 1) {
+          done_ = true;
+          return;
+        }
+        prime(new_end + 1);
+        if (done_) return;
+        return;
+      }
+      fwd_ = fwd_.shifted_left(code);
+      rc_ = rc_.shifted_right(complement_code(code));
+      ++pos_;
+      return;
+    }
+  }
+
+ private:
+  /// Initialize the window at `start`, scanning forward past invalid
+  /// characters.
+  void prime(std::size_t start) {
+    while (start + static_cast<std::size_t>(k_) <= seq_.size()) {
+      bool ok = true;
+      for (int i = 0; i < k_; ++i) {
+        if (base_to_code(seq_[start + static_cast<std::size_t>(i)]) ==
+            kBaseInvalid) {
+          start += static_cast<std::size_t>(i) + 1;  // skip past the bad base
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        fwd_ = Kmer<MAX_K>::from_string(
+            seq_.substr(start, static_cast<std::size_t>(k_)));
+        rc_ = fwd_.revcomp();
+        pos_ = start;
+        done_ = false;
+        return;
+      }
+    }
+    done_ = true;
+  }
+
+  std::string_view seq_;
+  int k_;
+  std::size_t pos_;
+  Kmer<MAX_K> fwd_;
+  Kmer<MAX_K> rc_;
+  bool done_ = false;
+};
+
+}  // namespace hipmer::seq

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// Sequencing read with per-base qualities.
+///
+/// Paired-end convention: mates are stored as consecutive records
+/// (interleaved FASTQ); a read's pair id is `read_id ^ 1` and mate 0/1 is
+/// `read_id & 1`. Library metadata (insert size etc.) travels separately in
+/// `ReadLibrary`.
+namespace hipmer::seq {
+
+struct Read {
+  std::string name;
+  std::string seq;
+  /// Phred+33 quality string, same length as `seq`.
+  std::string quals;
+
+  [[nodiscard]] std::size_t size() const noexcept { return seq.size(); }
+};
+
+/// Phred score of a quality character.
+[[nodiscard]] constexpr int phred(char qual_char) noexcept {
+  return static_cast<int>(qual_char) - 33;
+}
+
+[[nodiscard]] constexpr char phred_to_char(int q) noexcept {
+  if (q < 0) q = 0;
+  if (q > 60) q = 60;
+  return static_cast<char>(q + 33);
+}
+
+/// Description of one paired-end library: the pipeline's scaffolder uses
+/// the insert size (estimated, §4.4) to convert read placements into gap
+/// estimates between contigs.
+struct ReadLibrary {
+  std::string name;
+  /// True mean insert size used by the simulator; the pipeline re-estimates
+  /// it from alignments and never reads this field during assembly.
+  double mean_insert = 0.0;
+  double stddev_insert = 0.0;
+  int read_length = 0;
+  /// Interleaved FASTQ path for this library.
+  std::string fastq_path;
+  /// Whether this library's reads feed k-mer analysis / contig generation.
+  /// Long-insert mate-pair libraries are scaffolding-only (§5: wheat's 1kbp
+  /// and 4.2kbp libraries are "leveraged (in addition to the previous
+  /// libraries)" for the scaffolding phase).
+  bool for_contigging = true;
+};
+
+}  // namespace hipmer::seq

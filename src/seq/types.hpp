@@ -1,0 +1,14 @@
+#pragma once
+
+#include "seq/kmer.hpp"
+
+/// Project-wide k-mer instantiation.
+///
+/// MAX_K = 64 covers the paper's k=51 wheat runs (two 64-bit words) and
+/// leaves headroom for the gap closer's iteratively increasing k (§4.8).
+namespace hipmer::seq {
+
+using KmerT = Kmer<64>;
+using KmerHashT = KmerHash<64>;
+
+}  // namespace hipmer::seq

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+#include "sim/genome_sim.hpp"
+
+/// Preset datasets mirroring the paper's three evaluation workloads at
+/// reduced scale (DESIGN.md §2). Benches and examples share these so every
+/// experiment runs against the same simulated "human" and "wheat".
+namespace hipmer::sim {
+
+struct Dataset {
+  std::string name;
+  Genome genome;
+  std::vector<seq::ReadLibrary> libraries;
+  /// Reads per library, interleaved pairs, parallel to `libraries`.
+  std::vector<std::vector<seq::Read>> reads;
+
+  [[nodiscard]] std::uint64_t total_reads() const {
+    std::uint64_t n = 0;
+    for (const auto& lib : reads) n += lib.size();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_bases() const {
+    std::uint64_t n = 0;
+    for (const auto& lib : reads)
+      for (const auto& r : lib) n += r.seq.size();
+    return n;
+  }
+};
+
+/// Human-like (NA12878 stand-in): mostly unique, diploid with ~0.1%
+/// heterozygosity, one paired-end library with 395bp inserts and 101bp
+/// reads, ~20x coverage.
+[[nodiscard]] Dataset make_human_like(std::uint64_t genome_length,
+                                      std::uint64_t seed = 42,
+                                      double coverage = 20.0);
+
+/// Wheat-like (W7984 stand-in): homozygous, heavily repetitive (repeat
+/// families copied thousands of times -> heavy-hitter k-mers), three
+/// short-insert libraries (240/400/740bp, 150bp reads) plus two long-insert
+/// libraries (1kbp and 4.2kbp) used only by scaffolding, as in §5.
+[[nodiscard]] Dataset make_wheat_like(std::uint64_t genome_length,
+                                      std::uint64_t seed = 43,
+                                      double coverage = 24.0);
+
+/// Write each library to `<dir>/<dataset>_<lib>.fastq` and record the path
+/// in the library metadata. Returns false on I/O failure.
+bool write_dataset_fastq(Dataset& dataset, const std::string& dir);
+
+}  // namespace hipmer::sim

@@ -1,0 +1,99 @@
+#include "sim/genome_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "seq/dna.hpp"
+
+namespace hipmer::sim {
+
+std::string random_dna(std::uint64_t n, std::mt19937_64& rng) {
+  static constexpr char bases[4] = {'A', 'C', 'G', 'T'};
+  std::string s(n, 'A');
+  std::uniform_int_distribution<int> dist(0, 3);
+  for (auto& c : s) c = bases[dist(rng)];
+  return s;
+}
+
+namespace {
+
+/// Substitute bases at rate `rate`; every substitution picks one of the
+/// three *other* bases so the divergence is exact.
+std::string substitute(const std::string& input, double rate,
+                       std::mt19937_64& rng) {
+  std::string out = input;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> offset(1, 3);
+  for (auto& c : out) {
+    if (coin(rng) >= rate) continue;
+    const std::uint8_t code = seq::base_to_code(c);
+    c = seq::code_to_base(static_cast<std::uint8_t>((code + offset(rng)) & 3));
+  }
+  return out;
+}
+
+}  // namespace
+
+Genome simulate_genome(const GenomeConfig& config) {
+  assert(config.length > 0);
+  std::mt19937_64 rng(config.seed);
+  Genome genome;
+  genome.primary.reserve(config.length);
+
+  if (config.repeat_fraction <= 0.0 && config.hyper_repeat_fraction <= 0.0) {
+    genome.primary = random_dna(config.length, rng);
+  } else {
+    // Pre-generate the repeat family units.
+    std::vector<std::string> families;
+    families.reserve(static_cast<std::size_t>(config.repeat_families));
+    for (int f = 0; f < config.repeat_families; ++f)
+      families.push_back(
+          random_dna(static_cast<std::uint64_t>(config.repeat_unit_length), rng));
+
+    // Build the genome segment by segment: a repeat-family copy with
+    // probability repeat_fraction, otherwise a unique stretch of the same
+    // expected length (keeps segment granularity uniform).
+    const std::string hyper_unit =
+        config.hyper_repeat_fraction > 0.0
+            ? random_dna(static_cast<std::uint64_t>(config.hyper_repeat_unit_length), rng)
+            : std::string{};
+
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, families.empty() ? 0 : families.size() - 1);
+    while (genome.primary.size() < config.length) {
+      const double roll = coin(rng);
+      if (roll < config.hyper_repeat_fraction) {
+        // A long tandem array per placement so interior (purely periodic)
+        // k-mers dominate: few distinct k-mers, enormous counts.
+        const int copies =
+            std::max(2, 512 / std::max(1, config.hyper_repeat_unit_length));
+        for (int c = 0; c < copies; ++c) genome.primary += hyper_unit;
+      } else if (!families.empty() &&
+                 roll < config.hyper_repeat_fraction + config.repeat_fraction) {
+        const std::string& unit = families[pick(rng)];
+        if (config.repeat_divergence > 0.0) {
+          genome.primary += substitute(unit, config.repeat_divergence, rng);
+        } else {
+          genome.primary += unit;
+        }
+      } else {
+        genome.primary +=
+            random_dna(static_cast<std::uint64_t>(config.repeat_unit_length), rng);
+      }
+    }
+    genome.primary.resize(config.length);
+  }
+
+  if (config.heterozygosity > 0.0)
+    genome.secondary = substitute(genome.primary, config.heterozygosity, rng);
+  return genome;
+}
+
+std::string mutate_individual(const std::string& genome, double divergence,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return substitute(genome, divergence, rng);
+}
+
+}  // namespace hipmer::sim

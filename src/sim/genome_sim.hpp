@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+/// Synthetic genome generation.
+///
+/// The paper evaluates on three real datasets whose *structural properties*
+/// drive the results; the simulator reproduces those properties at reduced
+/// scale (see DESIGN.md §2):
+///   - "human-like": mostly unique sequence, a diploid second haplotype with
+///     ~0.1% heterozygous SNPs (source of the bubbles §4.2 merges);
+///   - "wheat-like": heavily repetitive — repeat families copied thousands
+///     of times produce the skewed k-mer frequency distribution ("about 70
+///     k-mers that occur over 10 million times") behind the heavy-hitter
+///     optimization (§3.1) and the fragmented contig graphs of §5.3;
+///   - individuals of the same species differ by ~0.1–0.4% of bases, which
+///     is what makes oracle partitioning (§3.2) transferable.
+namespace hipmer::sim {
+
+struct GenomeConfig {
+  /// Haploid genome length in bases.
+  std::uint64_t length = 1'000'000;
+  /// Fraction of the genome covered by repeat-family copies (wheat-like:
+  /// 0.5+; human-like: ~0.05).
+  double repeat_fraction = 0.0;
+  /// Number of distinct repeat families.
+  int repeat_families = 8;
+  /// Length of each repeat unit, in bases.
+  int repeat_unit_length = 500;
+  /// Per-base divergence between copies of the same repeat family (0 =
+  /// exact copies = maximal k-mer frequency skew).
+  double repeat_divergence = 0.0;
+  /// Fraction of the genome covered by a *single* short tandem-like unit —
+  /// the stand-in for wheat's ultra-frequent k-mers ("about 70 k-mers that
+  /// occur over 10 million times"): few distinct k-mers, enormous counts,
+  /// hence a hot owner under owner-computes counting.
+  double hyper_repeat_fraction = 0.0;
+  int hyper_repeat_unit_length = 60;
+  /// Heterozygous SNP rate for the second haplotype; 0 = haploid.
+  double heterozygosity = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct Genome {
+  /// Haplotype 0 — also the reference the tests compare assemblies against.
+  std::string primary;
+  /// Haplotype 1 (empty if haploid).
+  std::string secondary;
+
+  [[nodiscard]] bool diploid() const noexcept { return !secondary.empty(); }
+};
+
+/// Uniform random DNA of length `n`.
+[[nodiscard]] std::string random_dna(std::uint64_t n, std::mt19937_64& rng);
+
+/// Generate a genome per the config. Deterministic in `config.seed`.
+[[nodiscard]] Genome simulate_genome(const GenomeConfig& config);
+
+/// Derive another individual of the same species: substitute bases at
+/// `divergence` rate (0.001–0.004 for human, per the paper).
+[[nodiscard]] std::string mutate_individual(const std::string& genome,
+                                            double divergence,
+                                            std::uint64_t seed);
+
+}  // namespace hipmer::sim

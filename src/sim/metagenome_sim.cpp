@@ -1,0 +1,82 @@
+#include "sim/metagenome_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <random>
+
+namespace hipmer::sim {
+
+Metagenome simulate_metagenome(const MetagenomeConfig& config) {
+  assert(config.num_species > 0);
+  std::mt19937_64 rng(config.seed);
+  Metagenome mg;
+  mg.species.reserve(static_cast<std::size_t>(config.num_species));
+  mg.abundance.resize(static_cast<std::size_t>(config.num_species));
+
+  // Species genomes: unrelated random sequence; lengths jitter around the
+  // mean so the community is not artificially uniform.
+  std::uniform_real_distribution<double> len_jitter(0.6, 1.4);
+  for (int s = 0; s < config.num_species; ++s) {
+    GenomeConfig gc;
+    gc.length = static_cast<std::uint64_t>(
+        static_cast<double>(config.mean_genome_length) * len_jitter(rng));
+    gc.length = std::max<std::uint64_t>(gc.length, 4 * static_cast<std::uint64_t>(config.read_length));
+    gc.seed = rng();
+    mg.species.push_back(simulate_genome(gc));
+  }
+
+  // Log-normal relative abundances, normalized.
+  std::lognormal_distribution<double> abundance_dist(0.0, config.abundance_sigma);
+  double total = 0.0;
+  for (auto& a : mg.abundance) {
+    a = abundance_dist(rng);
+    total += a;
+  }
+  for (auto& a : mg.abundance) a /= total;
+
+  // Total sequencing budget in bases, split by abundance *weighted by
+  // genome length* (a reads sampler draws fragments uniformly from the DNA
+  // pool, where each species' DNA mass is abundance * genome length).
+  std::uint64_t community_bases = 0;
+  for (const auto& g : mg.species) community_bases += g.primary.size();
+  const double budget =
+      config.total_coverage * static_cast<double>(community_bases) /
+      static_cast<double>(config.num_species);
+
+  for (int s = 0; s < config.num_species; ++s) {
+    const auto& genome = mg.species[static_cast<std::size_t>(s)];
+    const double species_bases =
+        budget * mg.abundance[static_cast<std::size_t>(s)] *
+        static_cast<double>(config.num_species);
+    LibraryConfig lc;
+    lc.name = "sp" + std::to_string(s);
+    lc.read_length = config.read_length;
+    lc.mean_insert = config.mean_insert;
+    lc.stddev_insert = config.stddev_insert;
+    lc.coverage = species_bases / static_cast<double>(genome.primary.size());
+    if (lc.coverage <= 0.05) continue;  // species effectively unsampled
+    lc.error_rate = config.error_rate;
+    lc.seed = rng();
+    auto reads = simulate_library(genome, lc);
+    mg.reads.insert(mg.reads.end(), std::make_move_iterator(reads.begin()),
+                    std::make_move_iterator(reads.end()));
+  }
+
+  // Shuffle pairs (keeping mates adjacent) so file order does not encode
+  // species identity.
+  const std::size_t npairs = mg.reads.size() / 2;
+  std::vector<std::size_t> order(npairs);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<seq::Read> shuffled;
+  shuffled.reserve(mg.reads.size());
+  for (std::size_t p : order) {
+    shuffled.push_back(std::move(mg.reads[2 * p]));
+    shuffled.push_back(std::move(mg.reads[2 * p + 1]));
+  }
+  mg.reads = std::move(shuffled);
+  return mg;
+}
+
+}  // namespace hipmer::sim

@@ -1,0 +1,96 @@
+#include "sim/read_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <random>
+
+#include "seq/dna.hpp"
+
+namespace hipmer::sim {
+
+namespace {
+
+struct ErrorModel {
+  std::uniform_real_distribution<double> coin{0.0, 1.0};
+  std::uniform_int_distribution<int> other_base{1, 3};
+  std::uniform_int_distribution<int> good_qual{30, 41};
+  std::uniform_int_distribution<int> bad_qual{2, 19};
+
+  /// Apply to `s` in place, writing qualities to `quals`.
+  void apply(std::string& s, std::string& quals, double error_rate,
+             std::mt19937_64& rng) {
+    quals.resize(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (error_rate > 0.0 && coin(rng) < error_rate) {
+        const std::uint8_t code = seq::base_to_code(s[i]);
+        s[i] = seq::code_to_base(
+            static_cast<std::uint8_t>((code + other_base(rng)) & 3));
+        // ~5% of miscalls carry deceptively high quality (real instruments
+        // do this), so quality filtering alone cannot remove all errors.
+        const bool deceptive = coin(rng) < 0.05;
+        quals[i] = seq::phred_to_char(deceptive ? good_qual(rng) : bad_qual(rng));
+      } else {
+        quals[i] = seq::phred_to_char(good_qual(rng));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<seq::Read> simulate_library(const Genome& genome,
+                                        const LibraryConfig& config) {
+  assert(config.read_length > 0);
+  const std::uint64_t genome_len = genome.primary.size();
+  assert(genome_len > static_cast<std::uint64_t>(config.read_length));
+
+  const double bases_needed =
+      config.coverage * static_cast<double>(genome_len);
+  const std::uint64_t num_pairs = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             bases_needed / (2.0 * config.read_length)));
+
+  std::mt19937_64 rng(config.seed);
+  std::normal_distribution<double> insert_dist(config.mean_insert,
+                                               config.stddev_insert);
+  std::uniform_real_distribution<double> hap_coin(0.0, 1.0);
+  ErrorModel errors;
+
+  std::vector<seq::Read> reads;
+  reads.reserve(2 * num_pairs);
+  const int rl = config.read_length;
+
+  for (std::uint64_t p = 0; p < num_pairs; ++p) {
+    // Fragment length: normal, clamped so both mates fit inside it.
+    const auto insert = static_cast<std::uint64_t>(std::max<double>(
+        rl, std::min<double>(static_cast<double>(genome_len),
+                             std::llround(insert_dist(rng)))));
+    const std::string& hap =
+        (genome.diploid() && hap_coin(rng) < 0.5) ? genome.secondary
+                                                  : genome.primary;
+    const std::uint64_t hap_len = hap.size();
+    const std::uint64_t span = std::min(insert, hap_len);
+    std::uniform_int_distribution<std::uint64_t> start_dist(0, hap_len - span);
+    const std::uint64_t start = start_dist(rng);
+
+    seq::Read r0;
+    r0.name = config.name + ":" + std::to_string(p) + "/0";
+    r0.seq = hap.substr(start, static_cast<std::size_t>(std::min<std::uint64_t>(rl, span)));
+    errors.apply(r0.seq, r0.quals, config.error_rate, rng);
+
+    seq::Read r1;
+    r1.name = config.name + ":" + std::to_string(p) + "/1";
+    const std::uint64_t tail_len = std::min<std::uint64_t>(rl, span);
+    r1.seq = seq::revcomp(
+        std::string_view(hap).substr(start + span - tail_len,
+                                     static_cast<std::size_t>(tail_len)));
+    errors.apply(r1.seq, r1.quals, config.error_rate, rng);
+
+    reads.push_back(std::move(r0));
+    reads.push_back(std::move(r1));
+  }
+  return reads;
+}
+
+}  // namespace hipmer::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+#include "seq/read_name.hpp"
+#include "sim/genome_sim.hpp"
+
+/// Paired-end short-read simulation with an Illumina-like error/quality
+/// model.
+///
+/// Reads come in pairs drawn from fragments whose length follows
+/// N(mean_insert, stddev_insert) — exactly the quantity the pipeline's
+/// insert-size estimator (§4.4) must recover. Mate 0 is the fragment's
+/// 5' prefix on the forward strand; mate 1 is the reverse complement of its
+/// 3' suffix, matching the FR orientation the scaffolder assumes.
+///
+/// Error model: each base is miscalled independently with `error_rate`.
+/// Correct bases get high Phred qualities (30–41), miscalled ones get low
+/// qualities (2–19) with a small chance of a deceptively high quality —
+/// enough that quality filtering alone is imperfect and the count threshold
+/// of k-mer analysis is still doing real work, as with real data.
+namespace hipmer::sim {
+
+struct LibraryConfig {
+  std::string name = "lib";
+  int read_length = 100;
+  double mean_insert = 400.0;
+  double stddev_insert = 40.0;
+  /// Mean genome coverage contributed by this library.
+  double coverage = 20.0;
+  /// Per-base miscall probability.
+  double error_rate = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// Simulate one library from `genome`. Diploid genomes contribute both
+/// haplotypes with equal probability. Returns interleaved pairs; read names
+/// are "<lib>:<pair_index>/<0|1>" so pairing survives any file split.
+[[nodiscard]] std::vector<seq::Read> simulate_library(
+    const Genome& genome, const LibraryConfig& config);
+
+/// Parse "<lib>:<pair>/<mate>" names back into (pair_index, mate).
+/// Returns false if the name does not follow the convention.
+/// (Delegates to seq::parse_read_name; kept here for source compatibility.)
+inline bool parse_read_name(const std::string& name, std::uint64_t& pair_index,
+                            int& mate) {
+  return seq::parse_read_name(name, pair_index, mate);
+}
+
+}  // namespace hipmer::sim

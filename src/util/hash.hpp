@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+/// Hashing primitives shared by every distributed data structure.
+///
+/// All of HipMer's distributed hash tables key on 64-bit fingerprints of
+/// packed k-mers or contig-id pairs; the quality of these mixers directly
+/// controls load balance across ranks, so they are the finalizers from
+/// splitmix64 / murmur3, which pass SMHasher.
+namespace hipmer::util {
+
+/// splitmix64 finalizer: a bijective mixer over 64-bit values.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// murmur3 fmix64: second independent mixer, used where two decorrelated
+/// hash functions of the same key are needed (e.g. Bloom filter double
+/// hashing).
+[[nodiscard]] constexpr std::uint64_t fmix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine two 64-bit hashes (boost::hash_combine style, 64-bit constant).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hash an arbitrary byte string (FNV-1a core, mixed through splitmix64).
+[[nodiscard]] inline std::uint64_t hash_bytes(const void* data,
+                                              std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+[[nodiscard]] inline std::uint64_t hash_string(std::string_view s) noexcept {
+  return hash_bytes(s.data(), s.size());
+}
+
+}  // namespace hipmer::util

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+/// Minimal leveled logger.
+///
+/// SPMD code logs from many ranks at once; everything funnels through one
+/// mutex so lines never interleave. Rank-0-only logging is the caller's
+/// convention (pass-through helpers live in pgas::RankContext).
+namespace hipmer::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
+  }
+
+ private:
+  static const char* tag(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info ";
+      case LogLevel::kWarn: return "warn ";
+      case LogLevel::kError: return "error";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+inline void log_debug(const std::string& msg) {
+  Logger::instance().log(LogLevel::kDebug, msg);
+}
+inline void log_info(const std::string& msg) {
+  Logger::instance().log(LogLevel::kInfo, msg);
+}
+inline void log_warn(const std::string& msg) {
+  Logger::instance().log(LogLevel::kWarn, msg);
+}
+inline void log_error(const std::string& msg) {
+  Logger::instance().log(LogLevel::kError, msg);
+}
+
+}  // namespace hipmer::util

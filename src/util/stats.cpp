@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace hipmer::util {
+
+AssemblyStats compute_assembly_stats(std::vector<std::uint64_t> lengths) {
+  AssemblyStats stats;
+  if (lengths.empty()) return stats;
+
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  stats.num_sequences = lengths.size();
+  stats.total_length = std::accumulate(lengths.begin(), lengths.end(),
+                                       std::uint64_t{0});
+  stats.max_length = lengths.front();
+  stats.min_length = lengths.back();
+  stats.mean_length =
+      static_cast<double>(stats.total_length) / static_cast<double>(lengths.size());
+
+  const std::uint64_t half = stats.total_length / 2;
+  const std::uint64_t ninety =
+      static_cast<std::uint64_t>(0.9 * static_cast<double>(stats.total_length));
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    running += lengths[i];
+    if (stats.n50 == 0 && running >= half) {
+      stats.n50 = lengths[i];
+      stats.l50 = i + 1;
+    }
+    if (stats.n90 == 0 && running >= ninety) {
+      stats.n90 = lengths[i];
+      break;
+    }
+  }
+  return stats;
+}
+
+AssemblyStats compute_assembly_stats(const std::vector<std::string>& sequences) {
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(sequences.size());
+  for (const auto& s : sequences) lengths.push_back(s.size());
+  return compute_assembly_stats(std::move(lengths));
+}
+
+std::string format_assembly_stats(const AssemblyStats& stats) {
+  std::ostringstream os;
+  os << "sequences: " << stats.num_sequences
+     << "  total: " << stats.total_length << " bp"
+     << "  max: " << stats.max_length
+     << "  N50: " << stats.n50
+     << "  L50: " << stats.l50
+     << "  N90: " << stats.n90;
+  return os.str();
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  s.min = *mn;
+  s.max = *mx;
+  return s;
+}
+
+}  // namespace hipmer::util

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Assembly quality statistics (contiguity metrics).
+///
+/// The paper defers accuracy evaluation to the Assemblathon studies, but a
+/// usable assembler still has to report the standard contiguity numbers;
+/// examples and integration tests use these to check that scaffolding
+/// actually improves the assembly.
+namespace hipmer::util {
+
+struct AssemblyStats {
+  std::size_t num_sequences = 0;
+  std::uint64_t total_length = 0;
+  std::uint64_t min_length = 0;
+  std::uint64_t max_length = 0;
+  double mean_length = 0.0;
+  /// Length L such that sequences of length >= L cover half the assembly.
+  std::uint64_t n50 = 0;
+  /// Number of sequences needed to reach half the assembly (L50).
+  std::size_t l50 = 0;
+  std::uint64_t n90 = 0;
+};
+
+/// Compute contiguity stats from a list of sequence lengths.
+[[nodiscard]] AssemblyStats compute_assembly_stats(
+    std::vector<std::uint64_t> lengths);
+
+/// Convenience overload for a set of sequences.
+[[nodiscard]] AssemblyStats compute_assembly_stats(
+    const std::vector<std::string>& sequences);
+
+/// Render as a short human-readable block.
+[[nodiscard]] std::string format_assembly_stats(const AssemblyStats& stats);
+
+/// Basic univariate summary used by insert-size estimation tests and the
+/// k-mer histogram reporting.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+}  // namespace hipmer::util

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Fixed-width text tables + CSV emission for the benchmark harness.
+///
+/// Every bench binary regenerates one of the paper's tables/figures; this
+/// gives them a uniform way to print the rows to stdout and mirror them to a
+/// CSV file for plotting.
+namespace hipmer::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment, a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated form (header + rows), no quoting of commas (callers
+  /// never emit commas inside cells).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write the CSV form to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Format helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hipmer::util

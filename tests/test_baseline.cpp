@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+
+#include "baseline/baselines.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/datasets.hpp"
+
+namespace hipmer::baseline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hipmer_base_" + std::to_string(std::random_device{}()));
+    fs::create_directories(dir_);
+    ds_ = sim::make_human_like(60'000, 6001, 15.0);
+    ASSERT_TRUE(sim::write_dataset_fastq(ds_, dir_.string()));
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  sim::Dataset ds_;
+  fs::path dir_;
+};
+
+TEST_F(BaselineFixture, CompetitorOrderingMatchesPaper) {
+  const pgas::Topology topo{16, 4};
+  BaselineConfig cfg;
+  cfg.k = 31;
+
+  pipeline::PipelineConfig pc;
+  pc.k = 31;
+  pc.kmer.min_count = 3;
+  pc.sync_k();
+  pipeline::Pipeline hipmer_pipe(topo, pc);
+  const auto hipmer_result = hipmer_pipe.run_from_fastq(ds_.libraries);
+
+  const auto ray = run_raylike(topo, cfg, ds_.libraries);
+  const auto abyss = run_abysslike(topo, cfg, ds_.libraries);
+
+  // Each comparator produced a real assembly...
+  EXPECT_GT(ray.num_contigs, 0u);
+  EXPECT_GT(ray.num_scaffolds, 0u);
+  EXPECT_GT(abyss.num_contigs, 0u);
+  // ...and the paper's ordering holds in modeled time: HipMer fastest,
+  // the single-node-scaffolding ABySS-like slowest.
+  EXPECT_LT(hipmer_result.modeled_total(), ray.modeled_total());
+  EXPECT_LT(ray.modeled_total(), abyss.modeled_total());
+}
+
+TEST_F(BaselineFixture, SerialMeraculousMatchesParallelOutputSize) {
+  BaselineConfig cfg;
+  cfg.k = 31;
+  const auto mer = run_serial_meraculous(cfg, ds_.reads, ds_.libraries);
+  EXPECT_GT(mer.num_contigs, 0u);
+  EXPECT_GT(mer.num_scaffolds, 0u);
+  // Contig bases in the same ballpark as the genome.
+  EXPECT_GT(mer.contig_bases, 40'000u);
+}
+
+TEST_F(BaselineFixture, RaylikeSerialIoChargesOneNode) {
+  const pgas::Topology topo{8, 4};
+  BaselineConfig cfg;
+  cfg.k = 31;
+  const auto ray = run_raylike(topo, cfg, ds_.libraries);
+  // The io stage exists and has nonzero modeled time (serial bottleneck).
+  double io_modeled = -1.0;
+  for (const auto& s : ray.stages)
+    if (s.name == pipeline::kStageIo) io_modeled = s.modeled_seconds;
+  ASSERT_GE(io_modeled, 0.0) << "raylike must report an io stage";
+
+  // Compare with HipMer's parallel read of the same files at the same
+  // topology: the serial read must be strictly slower in modeled time.
+  pipeline::PipelineConfig pc;
+  pc.k = 31;
+  pc.sync_k();
+  pipeline::Pipeline pipe(topo, pc);
+  const auto par = pipe.run_from_fastq(ds_.libraries);
+  EXPECT_GT(io_modeled, par.modeled_for(pipeline::kStageIo));
+}
+
+}  // namespace
+}  // namespace hipmer::baseline

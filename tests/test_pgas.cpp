@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+
+#include "pgas/dist_hash_map.hpp"
+#include "pgas/machine_model.hpp"
+#include "pgas/thread_team.hpp"
+#include "pgas/topology.hpp"
+
+namespace hipmer::pgas {
+namespace {
+
+TEST(Topology, NodeMapping) {
+  Topology topo{10, 4};
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(3), 0);
+  EXPECT_EQ(topo.node_of(4), 1);
+  EXPECT_EQ(topo.node_of(9), 2);
+  EXPECT_EQ(topo.num_nodes(), 3);
+  EXPECT_TRUE(topo.same_node(4, 7));
+  EXPECT_FALSE(topo.same_node(3, 4));
+}
+
+TEST(ThreadTeam, RunsEveryRankExactlyOnce) {
+  ThreadTeam team(Topology{8, 4});
+  std::atomic<int> counter{0};
+  std::array<std::atomic<int>, 8> seen{};
+  team.run([&](Rank& rank) {
+    counter.fetch_add(1);
+    seen[static_cast<std::size_t>(rank.id())].fetch_add(1);
+    EXPECT_EQ(rank.nranks(), 8);
+    EXPECT_EQ(rank.node(), rank.id() / 4);
+  });
+  EXPECT_EQ(counter.load(), 8);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadTeam, PropagatesExceptions) {
+  ThreadTeam team(Topology{4, 4});
+  EXPECT_THROW(
+      team.run([&](Rank& rank) {
+        if (rank.id() == 2) throw std::runtime_error("rank 2 failed");
+      }),
+      std::runtime_error);
+}
+
+TEST(Collectives, AllreduceSumMaxMin) {
+  ThreadTeam team(Topology{6, 3});
+  team.run([&](Rank& rank) {
+    const int sum = rank.allreduce_sum(rank.id() + 1);
+    EXPECT_EQ(sum, 21);  // 1+2+...+6
+    const int mx = rank.allreduce_max(rank.id());
+    EXPECT_EQ(mx, 5);
+    const int mn = rank.allreduce_min(rank.id() + 10);
+    EXPECT_EQ(mn, 10);
+  });
+}
+
+TEST(Collectives, AllgatherOrdered) {
+  ThreadTeam team(Topology{5, 2});
+  team.run([&](Rank& rank) {
+    const auto all = rank.allgather(rank.id() * rank.id());
+    ASSERT_EQ(all.size(), 5u);
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * r);
+  });
+}
+
+TEST(Collectives, AllgathervVariableSizes) {
+  ThreadTeam team(Topology{4, 2});
+  team.run([&](Rank& rank) {
+    std::vector<int> mine(static_cast<std::size_t>(rank.id()), rank.id());
+    const auto all = rank.allgatherv(mine);
+    // Sizes 0+1+2+3 = 6 elements, in rank order.
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+  });
+}
+
+TEST(Collectives, BroadcastFromNonZeroRoot) {
+  ThreadTeam team(Topology{4, 2});
+  team.run([&](Rank& rank) {
+    const double v = rank.broadcast(rank.id() == 2 ? 2.718 : -1.0, 2);
+    EXPECT_DOUBLE_EQ(v, 2.718);
+  });
+}
+
+TEST(Collectives, ExscanSum) {
+  ThreadTeam team(Topology{5, 5});
+  team.run([&](Rank& rank) {
+    const int prefix = rank.exscan_sum(10);
+    EXPECT_EQ(prefix, rank.id() * 10);
+  });
+}
+
+TEST(Collectives, AlltoallvDeliversExactly) {
+  const int p = 6;
+  ThreadTeam team(Topology{p, 3});
+  team.run([&](Rank& rank) {
+    // Rank r sends r*1000+d repeated (d+1) times to each destination d.
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d)
+      out[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(d + 1),
+                                              rank.id() * 1000 + d);
+    const auto in = rank.alltoallv(out);
+    // This rank receives (id+1) copies of s*1000+id from every sender s.
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(p * (rank.id() + 1)));
+    std::size_t idx = 0;
+    for (int s = 0; s < p; ++s)
+      for (int c = 0; c <= rank.id(); ++c)
+        EXPECT_EQ(in[idx++], s * 1000 + rank.id());
+  });
+}
+
+TEST(Collectives, RepeatedBarriersStayInLockstep) {
+  ThreadTeam team(Topology{8, 2});
+  std::atomic<int> phase_sum{0};
+  team.run([&](Rank& rank) {
+    for (int round = 0; round < 50; ++round) {
+      phase_sum.fetch_add(1);
+      rank.barrier();
+      EXPECT_EQ(phase_sum.load() % 8, 0) << "round " << round;
+      rank.barrier();
+    }
+  });
+}
+
+// ---- DistHashMap ----
+
+using Map = DistHashMap<std::uint64_t, std::uint64_t>;
+
+struct SumMerge {
+  void operator()(std::uint64_t& a, const std::uint64_t& b) const { a += b; }
+};
+using CountMap = DistHashMap<std::uint64_t, std::uint64_t,
+                             std::hash<std::uint64_t>, SumMerge>;
+
+TEST(DistHashMap, InsertFindAcrossRanks) {
+  ThreadTeam team(Topology{4, 2});
+  Map map(team, Map::Config{.global_capacity = 1024, .flush_threshold = 16});
+  team.run([&](Rank& rank) {
+    // Each rank inserts a disjoint key range.
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const std::uint64_t key = static_cast<std::uint64_t>(rank.id()) * 1000 + i;
+      map.update(rank, key, key * 2);
+    }
+    rank.barrier();
+    // Every rank can read every key.
+    for (int r = 0; r < rank.nranks(); ++r) {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>(r) * 1000 + i;
+        const auto v = map.find(rank, key);
+        ASSERT_TRUE(v.has_value()) << key;
+        EXPECT_EQ(*v, key * 2);
+      }
+    }
+    EXPECT_FALSE(map.find(rank, 999999u).has_value());
+  });
+  EXPECT_EQ(map.size_unsafe(), 400u);
+}
+
+TEST(DistHashMap, ConcurrentSumsAreExact) {
+  // All ranks hammer the same small key set with additive updates; the
+  // totals must be exact (per-bucket locking, no lost updates).
+  const int p = 8;
+  ThreadTeam team(Topology{p, 4});
+  CountMap map(team, CountMap::Config{.global_capacity = 64, .flush_threshold = 8});
+  const int updates_per_rank = 5000;
+  team.run([&](Rank& rank) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(rank.id()));
+    for (int i = 0; i < updates_per_rank; ++i)
+      map.update(rank, rng() % 10, 1);
+  });
+  std::atomic<std::uint64_t> total{0};
+  team.run([&](Rank& rank) {
+    if (!rank.is_root()) return;
+    for (std::uint64_t key = 0; key < 10; ++key)
+      total += map.find(rank, key).value_or(0);
+  });
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(p) * updates_per_rank);
+}
+
+TEST(DistHashMap, BufferedPathMatchesUnbuffered) {
+  const int p = 4;
+  ThreadTeam team(Topology{p, 2});
+  CountMap direct(team, CountMap::Config{.global_capacity = 2048, .flush_threshold = 1});
+  CountMap buffered(team, CountMap::Config{.global_capacity = 2048, .flush_threshold = 64});
+  team.run([&](Rank& rank) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(rank.id()) + 99);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = rng() % 500;
+      direct.update(rank, key, 1);
+      buffered.update_buffered(rank, key, 1);
+    }
+    buffered.flush(rank);
+    rank.barrier();
+    for (std::uint64_t key = 0; key < 500; ++key)
+      EXPECT_EQ(direct.find(rank, key).value_or(0),
+                buffered.find(rank, key).value_or(0));
+  });
+}
+
+TEST(DistHashMap, AggregatingStoresReduceMessageCount) {
+  const int p = 4;
+  ThreadTeam team(Topology{p, 1});  // every rank its own node
+  CountMap fine(team, CountMap::Config{.global_capacity = 4096, .flush_threshold = 1});
+  // Key ≡ (rank+1) mod p, so every update targets a remote owner
+  // (std::hash<uint64_t> is the identity in libstdc++).
+  auto remote_key = [p](int rank, std::uint64_t i) {
+    return i * static_cast<std::uint64_t>(p) +
+           static_cast<std::uint64_t>((rank + 1) % p);
+  };
+  team.run([&](Rank& rank) {
+    for (std::uint64_t i = 0; i < 1000; ++i)
+      fine.update(rank, remote_key(rank.id(), i), 1);
+  });
+  const auto fine_stats = team.snapshot_all();
+  team.reset_stats();
+  CountMap coarse(team, CountMap::Config{.global_capacity = 4096, .flush_threshold = 256});
+  team.run([&](Rank& rank) {
+    for (std::uint64_t i = 0; i < 1000; ++i)
+      coarse.update_buffered(rank, remote_key(rank.id(), i), 1);
+    coarse.flush(rank);
+  });
+  const auto coarse_stats = team.snapshot_all();
+  std::uint64_t fine_msgs = 0;
+  std::uint64_t coarse_msgs = 0;
+  for (int r = 0; r < p; ++r) {
+    fine_msgs += fine_stats[static_cast<std::size_t>(r)].total_msgs();
+    coarse_msgs += coarse_stats[static_cast<std::size_t>(r)].total_msgs();
+  }
+  // 256-element batches should cut message count by roughly 256x.
+  EXPECT_GT(fine_msgs, coarse_msgs * 100);
+}
+
+TEST(DistHashMap, IfPresentPolicySkipsNewKeys) {
+  ThreadTeam team(Topology{2, 2});
+  CountMap map(team, CountMap::Config{.global_capacity = 128, .flush_threshold = 4});
+  team.run([&](Rank& rank) {
+    if (rank.id() == 0) map.update(rank, 42u, 5);
+    rank.barrier();
+    map.update(rank, 42u, 1, CountMap::Policy::kIfPresent);
+    map.update(rank, 43u, 1, CountMap::Policy::kIfPresent);
+    rank.barrier();
+    EXPECT_EQ(map.find(rank, 42u).value_or(0), 7u);  // 5 + 1 + 1
+    EXPECT_FALSE(map.find(rank, 43u).has_value());
+  });
+}
+
+TEST(DistHashMap, ModifyInPlace) {
+  ThreadTeam team(Topology{3, 3});
+  Map map(team, Map::Config{.global_capacity = 64, .flush_threshold = 4});
+  team.run([&](Rank& rank) {
+    if (rank.is_root()) map.update(rank, 7u, 100);
+    rank.barrier();
+    const auto r = map.modify(rank, 7u, [](std::uint64_t& v) {
+      ++v;
+      return v;
+    });
+    ASSERT_TRUE(r.has_value());
+    rank.barrier();
+    EXPECT_EQ(map.find(rank, 7u).value_or(0), 103u);  // 100 + one per rank
+    EXPECT_FALSE(map.modify(rank, 8u, [](std::uint64_t& v) { return v; }).has_value());
+  });
+}
+
+TEST(DistHashMap, EraseLocalIf) {
+  ThreadTeam team(Topology{4, 2});
+  Map map(team, Map::Config{.global_capacity = 1024, .flush_threshold = 8});
+  team.run([&](Rank& rank) {
+    if (rank.is_root())
+      for (std::uint64_t i = 0; i < 200; ++i) map.update(rank, i, i);
+    rank.barrier();
+    map.erase_local_if(rank, [](const std::uint64_t&, const std::uint64_t& v) {
+      return v % 2 == 0;
+    });
+    rank.barrier();
+    for (std::uint64_t i = 0; i < 200; ++i)
+      EXPECT_EQ(map.find(rank, i).has_value(), i % 2 == 1) << i;
+  });
+  EXPECT_EQ(map.size_unsafe(), 100u);
+}
+
+TEST(DistHashMap, ForEachLocalVisitsOwnShardExactly) {
+  const int p = 4;
+  ThreadTeam team(Topology{p, 2});
+  Map map(team, Map::Config{.global_capacity = 4096, .flush_threshold = 8});
+  std::atomic<std::uint64_t> visited{0};
+  team.run([&](Rank& rank) {
+    for (std::uint64_t i = 0; i < 500; ++i)
+      if (static_cast<int>(i) % p == rank.id()) map.update(rank, i, 1);
+    rank.barrier();
+    map.for_each_local(rank, [&](const std::uint64_t& k, std::uint64_t& v) {
+      EXPECT_EQ(map.owner_of(k), static_cast<std::uint32_t>(rank.id()));
+      EXPECT_EQ(v, 1u);
+      visited.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(visited.load(), 500u);
+}
+
+TEST(DistHashMap, CustomRankMapperControlsPlacement) {
+  ThreadTeam team(Topology{4, 2});
+  Map map(team, Map::Config{.global_capacity = 256, .flush_threshold = 4});
+  map.set_rank_mapper([](std::uint64_t) { return 3u; });  // everything on rank 3
+  team.run([&](Rank& rank) {
+    map.update(rank, static_cast<std::uint64_t>(rank.id()), 1);
+    rank.barrier();
+    EXPECT_EQ(map.local_size(3), 4u);
+    EXPECT_EQ(map.local_size(rank.id() == 3 ? 0 : rank.id()), 0u);
+  });
+}
+
+TEST(CommStats, LocalityClassification) {
+  // 2 nodes of 2 ranks. Rank 0 sends to rank 1 (on-node) and rank 2
+  // (off-node) via a rank mapper that pins keys to specific owners.
+  ThreadTeam team(Topology{4, 2});
+  Map map(team, Map::Config{.global_capacity = 64, .flush_threshold = 1});
+  map.set_rank_mapper([](std::uint64_t h) { return static_cast<std::uint32_t>(h % 4); });
+  team.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      // std::hash<uint64_t> is identity for libstdc++, so key == owner here.
+      map.update(rank, 0u, 1);  // local
+      map.update(rank, 1u, 1);  // on-node
+      map.update(rank, 2u, 1);  // off-node
+      map.update(rank, 3u, 1);  // off-node
+    }
+  });
+  const auto stats = team.snapshot_all();
+  EXPECT_EQ(stats[0].local_accesses, 1u);
+  EXPECT_EQ(stats[0].onnode_msgs, 1u);
+  EXPECT_EQ(stats[0].offnode_msgs, 2u);
+  EXPECT_EQ(stats[1].recv_ops, 1u);
+  EXPECT_EQ(stats[2].recv_ops, 1u);
+  EXPECT_EQ(stats[3].recv_ops, 1u);
+}
+
+TEST(MachineModel, OffNodeDominatesAndLoadImbalanceShows) {
+  MachineModel model;
+  CommStatsSnapshot local_heavy;
+  local_heavy.local_accesses = 1000;
+  CommStatsSnapshot off_heavy;
+  off_heavy.offnode_msgs = 1000;
+  EXPECT_GT(model.rank_seconds(off_heavy), 10 * model.rank_seconds(local_heavy));
+
+  // Phase time is the max over ranks: one hot rank dominates.
+  CommStatsSnapshot idle;
+  CommStatsSnapshot hot;
+  hot.recv_ops = 1'000'000;
+  const Topology topo{4, 2};
+  const double balanced =
+      model.phase_seconds({idle, idle, idle, idle}, topo);
+  const double imbalanced = model.phase_seconds({idle, idle, idle, hot}, topo);
+  EXPECT_GT(imbalanced, balanced + 0.05);
+}
+
+TEST(MachineModel, IoSaturates) {
+  MachineModel model;
+  const std::uint64_t bytes = 100ull << 30;
+  const double t1 = model.io_seconds(bytes, 1);
+  const double t8 = model.io_seconds(bytes, 8);
+  EXPECT_NEAR(t1 / t8, 8.0, 0.01);  // scales below saturation
+  const double t100 = model.io_seconds(bytes, 100);
+  const double t200 = model.io_seconds(bytes, 200);
+  EXPECT_NEAR(t100, t200, 1e-9);  // flat beyond the saturation point
+}
+
+TEST(CommStats, SnapshotArithmetic) {
+  CommStats stats;
+  stats.add_work(10);
+  stats.add_offnode_msg(100);
+  const auto before = stats.snapshot();
+  stats.add_work(5);
+  stats.add_onnode_msg(50);
+  const auto delta = stats.snapshot() - before;
+  EXPECT_EQ(delta.work_units, 5u);
+  EXPECT_EQ(delta.onnode_msgs, 1u);
+  EXPECT_EQ(delta.offnode_msgs, 0u);
+  EXPECT_EQ(delta.onnode_bytes, 50u);
+}
+
+}  // namespace
+}  // namespace hipmer::pgas

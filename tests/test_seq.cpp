@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "seq/dna.hpp"
+#include "seq/extensions.hpp"
+#include "seq/kmer.hpp"
+#include "seq/kmer_iterator.hpp"
+#include "seq/read.hpp"
+#include "seq/types.hpp"
+
+namespace hipmer::seq {
+namespace {
+
+std::string random_dna_string(std::size_t n, std::mt19937_64& rng) {
+  static constexpr char bases[4] = {'A', 'C', 'G', 'T'};
+  std::string s(n, 'A');
+  std::uniform_int_distribution<int> dist(0, 3);
+  for (auto& c : s) c = bases[dist(rng)];
+  return s;
+}
+
+TEST(Dna, BaseCodesRoundTrip) {
+  for (char c : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(code_to_base(base_to_code(c)), c);
+  }
+  EXPECT_EQ(base_to_code('N'), kBaseInvalid);
+  EXPECT_EQ(base_to_code('a'), kBaseA);
+  EXPECT_EQ(base_to_code('t'), kBaseT);
+}
+
+TEST(Dna, ComplementIsInvolution) {
+  for (std::uint8_t code = 0; code < 4; ++code)
+    EXPECT_EQ(complement_code(complement_code(code)), code);
+  for (char c : {'A', 'C', 'G', 'T'})
+    EXPECT_EQ(complement_base(complement_base(c)), c);
+}
+
+TEST(Dna, RevcompKnownValues) {
+  EXPECT_EQ(revcomp("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(revcomp("AAAA"), "TTTT");
+  EXPECT_EQ(revcomp("GATTACA"), "TGTAATC");
+  EXPECT_EQ(revcomp(""), "");
+}
+
+TEST(Dna, RevcompIsInvolutionProperty) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = random_dna_string(1 + trial * 3, rng);
+    EXPECT_EQ(revcomp(revcomp(s)), s);
+  }
+}
+
+TEST(Dna, IsValidDna) {
+  EXPECT_TRUE(is_valid_dna("ACGTacgt"));
+  EXPECT_FALSE(is_valid_dna("ACGTN"));
+  EXPECT_TRUE(is_valid_dna(""));
+}
+
+TEST(Kmer, FromStringToStringRoundTrip) {
+  for (const char* s : {"A", "ACGT", "GATTACA", "TTTTTTTTTTTTTTTTTTTTT"}) {
+    EXPECT_EQ(KmerT::from_string(s).to_string(), s);
+  }
+}
+
+TEST(Kmer, RoundTripProperty) {
+  std::mt19937_64 rng(13);
+  for (int k = 1; k <= KmerT::kMaxK; ++k) {
+    const auto s = random_dna_string(static_cast<std::size_t>(k), rng);
+    const auto km = KmerT::from_string(s);
+    EXPECT_EQ(km.k(), k);
+    EXPECT_EQ(km.to_string(), s);
+  }
+}
+
+TEST(Kmer, RevcompMatchesStringRevcomp) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int k = 1 + static_cast<int>(rng() % KmerT::kMaxK);
+    const auto s = random_dna_string(static_cast<std::size_t>(k), rng);
+    EXPECT_EQ(KmerT::from_string(s).revcomp().to_string(), revcomp(s));
+  }
+}
+
+TEST(Kmer, CanonicalIsStrandInvariant) {
+  std::mt19937_64 rng(19);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int k = 1 + static_cast<int>(rng() % KmerT::kMaxK);
+    const auto s = random_dna_string(static_cast<std::size_t>(k), rng);
+    const auto km = KmerT::from_string(s);
+    EXPECT_EQ(km.canonical(), km.revcomp().canonical());
+    EXPECT_TRUE(km.canonical().is_canonical());
+  }
+}
+
+TEST(Kmer, OrderingMatchesStringOrdering) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int k = 1 + static_cast<int>(rng() % 40);
+    const auto a = random_dna_string(static_cast<std::size_t>(k), rng);
+    const auto b = random_dna_string(static_cast<std::size_t>(k), rng);
+    EXPECT_EQ(KmerT::from_string(a) < KmerT::from_string(b), a < b)
+        << a << " vs " << b;
+  }
+}
+
+TEST(Kmer, ShiftedLeftWalksSequence) {
+  const std::string s = "ACGTTGCAGT";
+  const int k = 4;
+  auto km = KmerT::from_string(s.substr(0, k));
+  for (std::size_t i = static_cast<std::size_t>(k); i < s.size(); ++i) {
+    km = km.shifted_left(base_to_code(s[i]));
+    EXPECT_EQ(km.to_string(), s.substr(i - k + 1, k));
+  }
+}
+
+TEST(Kmer, ShiftedRightWalksBackward) {
+  const std::string s = "ACGTTGCAGT";
+  const int k = 4;
+  auto km = KmerT::from_string(s.substr(s.size() - k));
+  for (std::size_t i = s.size() - k; i > 0; --i) {
+    km = km.shifted_right(base_to_code(s[i - 1]));
+    EXPECT_EQ(km.to_string(), s.substr(i - 1, k));
+  }
+}
+
+TEST(Kmer, HashDiffersAcrossKmers) {
+  std::mt19937_64 rng(29);
+  std::set<std::uint64_t> hashes;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto s = random_dna_string(21, rng);
+    hashes.insert(KmerT::from_string(s).hash());
+  }
+  // Random 21-mers essentially never collide in 64-bit space.
+  EXPECT_GT(hashes.size(), 495u);
+}
+
+TEST(Kmer, EqualityRequiresSameK) {
+  const auto a = KmerT::from_string("ACGT");
+  const auto b = KmerT::from_string("ACGTA");
+  EXPECT_NE(a, b);
+}
+
+TEST(Kmer, ExtractKmersCountsWindows) {
+  std::vector<KmerT> kmers;
+  ASSERT_TRUE(extract_kmers<KmerT::kMaxK>("ACGTACGT", 5, kmers));
+  EXPECT_EQ(kmers.size(), 4u);
+  EXPECT_EQ(kmers[0].to_string(), "ACGTA");
+  EXPECT_EQ(kmers[3].to_string(), "TACGT");
+  EXPECT_FALSE(extract_kmers<KmerT::kMaxK>("ACG", 5, kmers));
+  EXPECT_FALSE(extract_kmers<KmerT::kMaxK>("ACGTNACGT", 5, kmers));
+}
+
+class KmerIteratorParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(KmerIteratorParam, MatchesNaiveExtraction) {
+  const int k = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(k) * 31 + 1);
+  const auto s = random_dna_string(200, rng);
+  std::size_t pos = 0;
+  for (KmerIterator<KmerT::kMaxK> it(s, k); !it.done(); it.next()) {
+    ASSERT_EQ(it.position(), pos);
+    const auto expect_fwd = KmerT::from_string(s.substr(pos, static_cast<std::size_t>(k)));
+    EXPECT_EQ(it.forward(), expect_fwd);
+    EXPECT_EQ(it.reverse(), expect_fwd.revcomp());
+    EXPECT_EQ(it.canonical(), expect_fwd.canonical());
+    ++pos;
+  }
+  EXPECT_EQ(pos, s.size() - static_cast<std::size_t>(k) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(KRange, KmerIteratorParam,
+                         ::testing::Values(1, 2, 15, 31, 32, 33, 51, 63, 64));
+
+TEST(KmerIterator, SkipsInvalidWindows) {
+  // 'N' at index 5 invalidates windows overlapping it.
+  const std::string s = "ACGTANGTACGT";
+  std::vector<std::size_t> positions;
+  for (KmerIterator<KmerT::kMaxK> it(s, 4); !it.done(); it.next())
+    positions.push_back(it.position());
+  // Valid 4-mer windows: starts 0..1 (before N) and 6..8 (after N).
+  EXPECT_EQ(positions, (std::vector<std::size_t>{0, 1, 6, 7, 8}));
+}
+
+TEST(KmerIterator, EmptyAndShortSequences) {
+  KmerIterator<KmerT::kMaxK> empty("", 5);
+  EXPECT_TRUE(empty.done());
+  KmerIterator<KmerT::kMaxK> tiny("ACG", 5);
+  EXPECT_TRUE(tiny.done());
+  KmerIterator<KmerT::kMaxK> exact("ACGTA", 5);
+  EXPECT_FALSE(exact.done());
+  exact.next();
+  EXPECT_TRUE(exact.done());
+}
+
+TEST(Extensions, FlipSwapsAndComplements) {
+  const ExtPair e{'A', 'G'};
+  const ExtPair f = flip(e);
+  EXPECT_EQ(f.left, 'C');
+  EXPECT_EQ(f.right, 'T');
+  EXPECT_EQ(flip(f), e);  // involution
+  const ExtPair special{kExtFork, kExtNone};
+  const ExtPair fs = flip(special);
+  EXPECT_EQ(fs.left, kExtNone);
+  EXPECT_EQ(fs.right, kExtFork);
+}
+
+TEST(Read, PhredConversions) {
+  EXPECT_EQ(phred('!'), 0);
+  EXPECT_EQ(phred('I'), 40);
+  EXPECT_EQ(phred_to_char(40), 'I');
+  EXPECT_EQ(phred(phred_to_char(17)), 17);
+  EXPECT_EQ(phred_to_char(-5), '!');   // clamped
+  EXPECT_EQ(phred_to_char(100), phred_to_char(60));
+}
+
+}  // namespace
+}  // namespace hipmer::seq

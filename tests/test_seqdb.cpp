@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "io/fastq.hpp"
+#include "io/seqdb.hpp"
+#include "kcount/histogram.hpp"
+#include "pgas/thread_team.hpp"
+#include "sim/genome_sim.hpp"
+
+namespace hipmer::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SeqdbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hipmer_seqdb_" + std::to_string(std::random_device{}()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  fs::path dir_;
+};
+
+std::vector<seq::Read> sample_reads(int n, std::uint64_t seed,
+                                    bool with_ns = false) {
+  std::mt19937_64 rng(seed);
+  std::vector<seq::Read> reads;
+  for (int i = 0; i < n; ++i) {
+    seq::Read r;
+    r.name = "lib:" + std::to_string(i) + "/" + std::to_string(i % 2);
+    r.seq = sim::random_dna(50 + rng() % 150, rng);
+    if (with_ns && i % 7 == 0) r.seq[r.seq.size() / 2] = 'N';
+    r.quals.resize(r.seq.size());
+    for (auto& q : r.quals) q = seq::phred_to_char(static_cast<int>(rng() % 40) + 2);
+    reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+TEST_F(SeqdbFixture, RoundTripExact) {
+  const auto reads = sample_reads(3000, 11);
+  const auto path = file("a.sdb");
+  ASSERT_TRUE(write_seqdb(path, reads));
+  const auto back = read_seqdb(path);
+  ASSERT_EQ(back.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(back[i].name, reads[i].name);
+    EXPECT_EQ(back[i].seq, reads[i].seq);
+    EXPECT_EQ(back[i].quals, reads[i].quals);
+  }
+}
+
+TEST_F(SeqdbFixture, RoundTripWithAmbiguousBases) {
+  const auto reads = sample_reads(500, 13, /*with_ns=*/true);
+  const auto path = file("n.sdb");
+  ASSERT_TRUE(write_seqdb(path, reads));
+  const auto back = read_seqdb(path);
+  ASSERT_EQ(back.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i)
+    EXPECT_EQ(back[i].seq, reads[i].seq);
+}
+
+TEST_F(SeqdbFixture, SmallerThanFastq) {
+  const auto reads = sample_reads(5000, 17);
+  const auto sdb = file("c.sdb");
+  const auto fq = file("c.fastq");
+  ASSERT_TRUE(write_seqdb(sdb, reads));
+  ASSERT_TRUE(write_fastq(fq, reads));
+  EXPECT_LT(fs::file_size(sdb), fs::file_size(fq) * 8 / 10)
+      << "2-bit packing should beat FASTQ by well over 20%";
+}
+
+class SeqdbParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeqdbParallel, UnionOverRanksIsExactlyTheFile) {
+  const int nranks = GetParam();
+  const auto dir = fs::temp_directory_path() /
+                   ("hipmer_psdb_" + std::to_string(std::random_device{}()));
+  fs::create_directories(dir);
+  const auto reads = sample_reads(4321, 19);
+  const auto path = (dir / "p.sdb").string();
+  ASSERT_TRUE(write_seqdb(path, reads));
+
+  pgas::ThreadTeam team(pgas::Topology{nranks, 2});
+  ParallelSeqdbReader reader(path);
+  EXPECT_EQ(reader.num_records(), reads.size());
+  std::vector<std::vector<seq::Read>> by_rank(static_cast<std::size_t>(nranks));
+  team.run([&](pgas::Rank& rank) {
+    by_rank[static_cast<std::size_t>(rank.id())] = reader.read_my_records(rank);
+  });
+  std::vector<seq::Read> combined;
+  for (const auto& part : by_rank)
+    combined.insert(combined.end(), part.begin(), part.end());
+  ASSERT_EQ(combined.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(combined[i].name, reads[i].name) << i;
+    EXPECT_EQ(combined[i].seq, reads[i].seq) << i;
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SeqdbParallel, ::testing::Values(1, 2, 3, 7, 16));
+
+TEST_F(SeqdbFixture, RejectsCorruptMagic) {
+  const auto path = file("bad.sdb");
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a seqdb file at all, padding padding padding";
+  out.close();
+  EXPECT_THROW(read_seqdb(path), std::runtime_error);
+  EXPECT_THROW(ParallelSeqdbReader reader(path), std::runtime_error);
+}
+
+TEST_F(SeqdbFixture, RejectsTruncatedFile) {
+  const auto reads = sample_reads(2000, 23);
+  const auto path = file("t.sdb");
+  ASSERT_TRUE(write_seqdb(path, reads));
+  // Chop the footer off.
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 24);
+  EXPECT_THROW(ParallelSeqdbReader reader(path), std::runtime_error);
+}
+
+TEST_F(SeqdbFixture, EmptyContainer) {
+  const auto path = file("e.sdb");
+  ASSERT_TRUE(write_seqdb(path, {}));
+  EXPECT_TRUE(read_seqdb(path).empty());
+  pgas::ThreadTeam team(pgas::Topology{2, 2});
+  ParallelSeqdbReader reader(path);
+  std::atomic<std::size_t> total{0};
+  team.run([&](pgas::Rank& rank) {
+    total += reader.read_my_records(rank).size();
+  });
+  EXPECT_EQ(total.load(), 0u);
+}
+
+}  // namespace
+}  // namespace hipmer::io
+
+namespace hipmer::kcount {
+namespace {
+
+TEST(Histogram, FindsValleyInBimodalSpectrum) {
+  // Error spike decaying from count 1, coverage hump around 20.
+  std::vector<std::uint64_t> hist(64, 0);
+  const std::uint64_t errors[] = {0, 100000, 20000, 4000, 900, 300, 120, 60};
+  for (std::size_t c = 1; c < 8; ++c) hist[c] = errors[c];
+  for (int c = 8; c < 40; ++c) {
+    const double d = (c - 20.0) / 5.0;
+    hist[static_cast<std::size_t>(c)] +=
+        static_cast<std::uint64_t>(50000.0 * std::exp(-d * d));
+  }
+  const auto cutoff = choose_min_count(hist);
+  EXPECT_GE(cutoff, 4u);
+  EXPECT_LE(cutoff, 10u);
+  EXPECT_NEAR(estimate_kmer_depth(hist, cutoff), 20u, 2u);
+}
+
+TEST(Histogram, FlatSpectrumFallsBack) {
+  std::vector<std::uint64_t> hist(64, 1000);  // metagenome-like: flat
+  EXPECT_EQ(choose_min_count(hist, 2), 2u);
+  EXPECT_EQ(choose_min_count({}, 5), 5u);
+}
+
+TEST(Histogram, MonotoneDecreasingFallsBack) {
+  // Pure error spectrum with no coverage hump at all.
+  std::vector<std::uint64_t> hist(64, 0);
+  for (std::size_t c = 1; c < 64; ++c) hist[c] = 1'000'000 / (c * c * c);
+  EXPECT_EQ(choose_min_count(hist, 3), 3u);
+}
+
+}  // namespace
+}  // namespace hipmer::kcount

@@ -1,0 +1,200 @@
+// hipmer — command-line front end for the assembly pipeline.
+//
+//   hipmer assemble --reads lib.fastq --insert 400 [--reads lib2.fastq
+//          --insert 4200 --scaffold-only] --k 31 --ranks 16
+//          [--rounds 1] [--diploid] [--min-count auto|N]
+//          [--out scaffolds.fasta]
+//   hipmer simulate (human|wheat|metagenome) --genome N --out-dir DIR
+//   hipmer convert --fastq in.fastq --seqdb out.sdb     (either direction)
+//
+// `assemble` accepts interleaved paired-end FASTQ files (read names must
+// carry pairing as "<lib>:<pair>/<mate>"; `simulate` writes that format).
+// `--min-count auto` derives the erroneous-k-mer cutoff from the k-mer
+// count histogram valley (see kcount/histogram.hpp).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/fastq.hpp"
+#include "io/parallel_fastq.hpp"
+#include "io/seqdb.hpp"
+#include "kcount/histogram.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/datasets.hpp"
+#include "sim/metagenome_sim.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace hipmer;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hipmer assemble --reads FILE --insert N [--reads FILE "
+               "--insert N --scaffold-only]...\n"
+               "                  [--k 31] [--ranks 16] [--rounds 1] "
+               "[--diploid] [--min-count auto|N] [--out FILE]\n"
+               "  hipmer simulate (human|wheat|metagenome) [--genome N] "
+               "[--species N] --out-dir DIR\n"
+               "  hipmer convert (--fastq-to-seqdb IN OUT | "
+               "--seqdb-to-fastq IN OUT)\n");
+  return 2;
+}
+
+/// `--reads`/`--insert`/`--scaffold-only` repeat per library, so they are
+/// parsed positionally from argv rather than through util::Options.
+std::vector<seq::ReadLibrary> parse_libraries(int argc, char** argv) {
+  std::vector<seq::ReadLibrary> libraries;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reads") == 0 && i + 1 < argc) {
+      seq::ReadLibrary lib;
+      lib.fastq_path = argv[i + 1];
+      lib.name = "lib" + std::to_string(libraries.size());
+      lib.mean_insert = 400.0;
+      libraries.push_back(lib);
+    } else if (std::strcmp(argv[i], "--insert") == 0 && i + 1 < argc &&
+               !libraries.empty()) {
+      libraries.back().mean_insert = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--scaffold-only") == 0 &&
+               !libraries.empty()) {
+      libraries.back().for_contigging = false;
+    }
+  }
+  return libraries;
+}
+
+int cmd_assemble(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  auto libraries = parse_libraries(argc, argv);
+  if (libraries.empty()) {
+    std::fprintf(stderr, "assemble: at least one --reads FILE required\n");
+    return usage();
+  }
+  const int k = static_cast<int>(opts.get_int("k", 31));
+  const int ranks = static_cast<int>(opts.get_int("ranks", 16));
+  const std::string out = opts.get("out", "scaffolds.fasta");
+  const std::string min_count = opts.get("min-count", "auto");
+
+  pipeline::PipelineConfig cfg;
+  cfg.k = k;
+  cfg.scaffolding_rounds = static_cast<int>(opts.get_int("rounds", 1));
+  cfg.merge_bubbles = opts.get_bool("diploid", false);
+  if (min_count != "auto")
+    cfg.kmer.min_count =
+        static_cast<std::uint32_t>(std::strtoul(min_count.c_str(), nullptr, 10));
+  cfg.sync_k();
+
+  if (min_count == "auto") {
+    // Probe pass: run k-mer analysis cheaply at low rank count to get the
+    // histogram, pick the valley, then run the real pipeline.
+    pgas::ThreadTeam probe_team(pgas::Topology{std::min(ranks, 8), 4});
+    kcount::KmerAnalysisConfig probe_cfg = cfg.kmer;
+    kcount::KmerAnalysis probe(probe_team, probe_cfg);
+    std::vector<std::unique_ptr<io::ParallelFastqReader>> readers;
+    for (const auto& lib : libraries)
+      if (lib.for_contigging)
+        readers.push_back(std::make_unique<io::ParallelFastqReader>(lib.fastq_path));
+    probe_team.run([&](pgas::Rank& rank) {
+      std::vector<std::vector<seq::Read>> mine;
+      std::vector<const std::vector<seq::Read>*> sets;
+      for (auto& reader : readers) {
+        mine.push_back(reader->read_my_records(rank));
+        rank.barrier();
+      }
+      for (const auto& m : mine) sets.push_back(&m);
+      probe.run(rank, sets);
+    });
+    cfg.kmer.min_count = kcount::choose_min_count(probe.histogram());
+    std::printf("auto min-count: %u (histogram valley)\n", cfg.kmer.min_count);
+  }
+
+  pipeline::Pipeline pipe(pgas::Topology{ranks, 4}, cfg);
+  std::printf("assembling %zu librar%s on %d ranks, k=%d, min_count=%u...\n",
+              libraries.size(), libraries.size() == 1 ? "y" : "ies", ranks, k,
+              cfg.kmer.min_count);
+  const auto result = pipe.run_from_fastq(libraries);
+  std::printf("%s", result.format_stages().c_str());
+  std::printf("contigs:   %s\n",
+              util::format_assembly_stats(result.contig_stats).c_str());
+  std::printf("scaffolds: %s\n",
+              util::format_assembly_stats(result.scaffold_stats).c_str());
+  if (!io::write_fasta(out, result.scaffolds)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu scaffolds to %s\n", result.scaffolds.size(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_simulate(const std::string& kind, int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const std::string out_dir = opts.get("out-dir", ".");
+  const auto genome = static_cast<std::uint64_t>(opts.get_int("genome", 500'000));
+  sim::Dataset ds;
+  if (kind == "human") {
+    ds = sim::make_human_like(genome, static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  } else if (kind == "wheat") {
+    ds = sim::make_wheat_like(genome, static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  } else if (kind == "metagenome") {
+    sim::MetagenomeConfig mc;
+    mc.num_species = static_cast<int>(opts.get_int("species", 40));
+    mc.mean_genome_length = genome / static_cast<std::uint64_t>(mc.num_species);
+    mc.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+    const auto mg = sim::simulate_metagenome(mc);
+    ds.name = "metagenome";
+    ds.libraries.push_back(seq::ReadLibrary{"pe", mc.mean_insert,
+                                            mc.stddev_insert, mc.read_length,
+                                            "", true});
+    ds.reads.push_back(mg.reads);
+  } else {
+    return usage();
+  }
+  if (!sim::write_dataset_fastq(ds, out_dir)) {
+    std::fprintf(stderr, "cannot write FASTQ files to %s\n", out_dir.c_str());
+    return 1;
+  }
+  for (const auto& lib : ds.libraries)
+    std::printf("wrote %s (insert %.0f)\n", lib.fastq_path.c_str(),
+                lib.mean_insert);
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::size_t i = 0; i + 2 < args.size(); ++i) {
+    if (args[i] == "--fastq-to-seqdb") {
+      const auto reads = io::read_fastq(args[i + 1]);
+      if (!io::write_seqdb(args[i + 2], reads)) return 1;
+      std::printf("wrote %zu records to %s\n", reads.size(), args[i + 2].c_str());
+      return 0;
+    }
+    if (args[i] == "--seqdb-to-fastq") {
+      const auto reads = io::read_seqdb(args[i + 1]);
+      if (!io::write_fastq(args[i + 2], reads)) return 1;
+      std::printf("wrote %zu records to %s\n", reads.size(), args[i + 2].c_str());
+      return 0;
+    }
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "assemble") return cmd_assemble(argc - 1, argv + 1);
+    if (cmd == "simulate" && argc >= 3)
+      return cmd_simulate(argv[2], argc - 2, argv + 2);
+    if (cmd == "convert") return cmd_convert(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hipmer: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
