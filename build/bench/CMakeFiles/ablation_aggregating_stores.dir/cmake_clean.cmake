@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aggregating_stores.dir/ablation_aggregating_stores.cpp.o"
+  "CMakeFiles/ablation_aggregating_stores.dir/ablation_aggregating_stores.cpp.o.d"
+  "ablation_aggregating_stores"
+  "ablation_aggregating_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregating_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

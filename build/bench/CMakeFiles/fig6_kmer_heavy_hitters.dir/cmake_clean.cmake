@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_kmer_heavy_hitters.dir/fig6_kmer_heavy_hitters.cpp.o"
+  "CMakeFiles/fig6_kmer_heavy_hitters.dir/fig6_kmer_heavy_hitters.cpp.o.d"
+  "fig6_kmer_heavy_hitters"
+  "fig6_kmer_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_kmer_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/io_fastq_reader.cpp" "bench/CMakeFiles/io_fastq_reader.dir/io_fastq_reader.cpp.o" "gcc" "bench/CMakeFiles/io_fastq_reader.dir/io_fastq_reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hipmer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hipmer_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/hipmer_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaffold/CMakeFiles/hipmer_scaffold.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hipmer_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/hipmer_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbg/CMakeFiles/hipmer_dbg.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcount/CMakeFiles/hipmer_kcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/hipmer_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

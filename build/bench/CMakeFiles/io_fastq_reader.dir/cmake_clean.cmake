@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_fastq_reader.dir/io_fastq_reader.cpp.o"
+  "CMakeFiles/io_fastq_reader.dir/io_fastq_reader.cpp.o.d"
+  "io_fastq_reader"
+  "io_fastq_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_fastq_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_competitors.dir/sec56_competitors.cpp.o"
+  "CMakeFiles/sec56_competitors.dir/sec56_competitors.cpp.o.d"
+  "sec56_competitors"
+  "sec56_competitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_competitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_2_oracle_traversal.dir/table1_2_oracle_traversal.cpp.o"
+  "CMakeFiles/table1_2_oracle_traversal.dir/table1_2_oracle_traversal.cpp.o.d"
+  "table1_2_oracle_traversal"
+  "table1_2_oracle_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_oracle_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

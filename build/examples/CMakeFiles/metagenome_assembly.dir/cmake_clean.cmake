@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome_assembly.dir/metagenome_assembly.cpp.o"
+  "CMakeFiles/metagenome_assembly.dir/metagenome_assembly.cpp.o.d"
+  "metagenome_assembly"
+  "metagenome_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_k_sweep.dir/multi_k_sweep.cpp.o"
+  "CMakeFiles/multi_k_sweep.dir/multi_k_sweep.cpp.o.d"
+  "multi_k_sweep"
+  "multi_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_bubbles.dir/variant_bubbles.cpp.o"
+  "CMakeFiles/variant_bubbles.dir/variant_bubbles.cpp.o.d"
+  "variant_bubbles"
+  "variant_bubbles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_bubbles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_align.dir/contig_store.cpp.o"
+  "CMakeFiles/hipmer_align.dir/contig_store.cpp.o.d"
+  "CMakeFiles/hipmer_align.dir/mer_aligner.cpp.o"
+  "CMakeFiles/hipmer_align.dir/mer_aligner.cpp.o.d"
+  "CMakeFiles/hipmer_align.dir/sam.cpp.o"
+  "CMakeFiles/hipmer_align.dir/sam.cpp.o.d"
+  "CMakeFiles/hipmer_align.dir/smith_waterman.cpp.o"
+  "CMakeFiles/hipmer_align.dir/smith_waterman.cpp.o.d"
+  "libhipmer_align.a"
+  "libhipmer_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_baseline.dir/baselines.cpp.o"
+  "CMakeFiles/hipmer_baseline.dir/baselines.cpp.o.d"
+  "libhipmer_baseline.a"
+  "libhipmer_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbg/contig_generator.cpp" "src/dbg/CMakeFiles/hipmer_dbg.dir/contig_generator.cpp.o" "gcc" "src/dbg/CMakeFiles/hipmer_dbg.dir/contig_generator.cpp.o.d"
+  "/root/repo/src/dbg/oracle.cpp" "src/dbg/CMakeFiles/hipmer_dbg.dir/oracle.cpp.o" "gcc" "src/dbg/CMakeFiles/hipmer_dbg.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgas/CMakeFiles/hipmer_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcount/CMakeFiles/hipmer_kcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_dbg.dir/contig_generator.cpp.o"
+  "CMakeFiles/hipmer_dbg.dir/contig_generator.cpp.o.d"
+  "CMakeFiles/hipmer_dbg.dir/oracle.cpp.o"
+  "CMakeFiles/hipmer_dbg.dir/oracle.cpp.o.d"
+  "libhipmer_dbg.a"
+  "libhipmer_dbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_dbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

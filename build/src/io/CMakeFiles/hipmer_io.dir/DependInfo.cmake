@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/fasta.cpp" "src/io/CMakeFiles/hipmer_io.dir/fasta.cpp.o" "gcc" "src/io/CMakeFiles/hipmer_io.dir/fasta.cpp.o.d"
+  "/root/repo/src/io/fastq.cpp" "src/io/CMakeFiles/hipmer_io.dir/fastq.cpp.o" "gcc" "src/io/CMakeFiles/hipmer_io.dir/fastq.cpp.o.d"
+  "/root/repo/src/io/parallel_fastq.cpp" "src/io/CMakeFiles/hipmer_io.dir/parallel_fastq.cpp.o" "gcc" "src/io/CMakeFiles/hipmer_io.dir/parallel_fastq.cpp.o.d"
+  "/root/repo/src/io/seqdb.cpp" "src/io/CMakeFiles/hipmer_io.dir/seqdb.cpp.o" "gcc" "src/io/CMakeFiles/hipmer_io.dir/seqdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgas/CMakeFiles/hipmer_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_io.dir/fasta.cpp.o"
+  "CMakeFiles/hipmer_io.dir/fasta.cpp.o.d"
+  "CMakeFiles/hipmer_io.dir/fastq.cpp.o"
+  "CMakeFiles/hipmer_io.dir/fastq.cpp.o.d"
+  "CMakeFiles/hipmer_io.dir/parallel_fastq.cpp.o"
+  "CMakeFiles/hipmer_io.dir/parallel_fastq.cpp.o.d"
+  "CMakeFiles/hipmer_io.dir/seqdb.cpp.o"
+  "CMakeFiles/hipmer_io.dir/seqdb.cpp.o.d"
+  "libhipmer_io.a"
+  "libhipmer_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

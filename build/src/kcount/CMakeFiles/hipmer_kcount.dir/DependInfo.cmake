@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kcount/kmer_analysis.cpp" "src/kcount/CMakeFiles/hipmer_kcount.dir/kmer_analysis.cpp.o" "gcc" "src/kcount/CMakeFiles/hipmer_kcount.dir/kmer_analysis.cpp.o.d"
+  "/root/repo/src/kcount/ufx_io.cpp" "src/kcount/CMakeFiles/hipmer_kcount.dir/ufx_io.cpp.o" "gcc" "src/kcount/CMakeFiles/hipmer_kcount.dir/ufx_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgas/CMakeFiles/hipmer_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_kcount.dir/kmer_analysis.cpp.o"
+  "CMakeFiles/hipmer_kcount.dir/kmer_analysis.cpp.o.d"
+  "CMakeFiles/hipmer_kcount.dir/ufx_io.cpp.o"
+  "CMakeFiles/hipmer_kcount.dir/ufx_io.cpp.o.d"
+  "libhipmer_kcount.a"
+  "libhipmer_kcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_kcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

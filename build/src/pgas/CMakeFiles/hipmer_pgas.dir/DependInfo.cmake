@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pgas/comm_stats.cpp" "src/pgas/CMakeFiles/hipmer_pgas.dir/comm_stats.cpp.o" "gcc" "src/pgas/CMakeFiles/hipmer_pgas.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/pgas/thread_team.cpp" "src/pgas/CMakeFiles/hipmer_pgas.dir/thread_team.cpp.o" "gcc" "src/pgas/CMakeFiles/hipmer_pgas.dir/thread_team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hipmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_pgas.dir/comm_stats.cpp.o"
+  "CMakeFiles/hipmer_pgas.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/hipmer_pgas.dir/thread_team.cpp.o"
+  "CMakeFiles/hipmer_pgas.dir/thread_team.cpp.o.d"
+  "libhipmer_pgas.a"
+  "libhipmer_pgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

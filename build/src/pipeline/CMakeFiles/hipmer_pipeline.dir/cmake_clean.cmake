@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/hipmer_pipeline.dir/pipeline.cpp.o.d"
+  "libhipmer_pipeline.a"
+  "libhipmer_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

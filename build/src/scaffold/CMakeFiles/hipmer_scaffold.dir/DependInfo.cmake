@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaffold/bubbles.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/bubbles.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/bubbles.cpp.o.d"
+  "/root/repo/src/scaffold/depths.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/depths.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/depths.cpp.o.d"
+  "/root/repo/src/scaffold/gap_closing.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/gap_closing.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/gap_closing.cpp.o.d"
+  "/root/repo/src/scaffold/insert_size.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/insert_size.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/insert_size.cpp.o.d"
+  "/root/repo/src/scaffold/links.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/links.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/links.cpp.o.d"
+  "/root/repo/src/scaffold/ordering.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/ordering.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/ordering.cpp.o.d"
+  "/root/repo/src/scaffold/sequence_builder.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/sequence_builder.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/sequence_builder.cpp.o.d"
+  "/root/repo/src/scaffold/splints_spans.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/splints_spans.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/splints_spans.cpp.o.d"
+  "/root/repo/src/scaffold/types.cpp" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/types.cpp.o" "gcc" "src/scaffold/CMakeFiles/hipmer_scaffold.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgas/CMakeFiles/hipmer_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/hipmer_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hipmer_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbg/CMakeFiles/hipmer_dbg.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcount/CMakeFiles/hipmer_kcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

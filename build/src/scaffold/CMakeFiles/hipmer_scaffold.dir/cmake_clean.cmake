@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_scaffold.dir/bubbles.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/bubbles.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/depths.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/depths.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/gap_closing.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/gap_closing.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/insert_size.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/insert_size.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/links.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/links.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/ordering.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/ordering.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/sequence_builder.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/sequence_builder.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/splints_spans.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/splints_spans.cpp.o.d"
+  "CMakeFiles/hipmer_scaffold.dir/types.cpp.o"
+  "CMakeFiles/hipmer_scaffold.dir/types.cpp.o.d"
+  "libhipmer_scaffold.a"
+  "libhipmer_scaffold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_scaffold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

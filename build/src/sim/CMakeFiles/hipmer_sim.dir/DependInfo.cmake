@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/datasets.cpp" "src/sim/CMakeFiles/hipmer_sim.dir/datasets.cpp.o" "gcc" "src/sim/CMakeFiles/hipmer_sim.dir/datasets.cpp.o.d"
+  "/root/repo/src/sim/genome_sim.cpp" "src/sim/CMakeFiles/hipmer_sim.dir/genome_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hipmer_sim.dir/genome_sim.cpp.o.d"
+  "/root/repo/src/sim/metagenome_sim.cpp" "src/sim/CMakeFiles/hipmer_sim.dir/metagenome_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hipmer_sim.dir/metagenome_sim.cpp.o.d"
+  "/root/repo/src/sim/read_sim.cpp" "src/sim/CMakeFiles/hipmer_sim.dir/read_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hipmer_sim.dir/read_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/hipmer_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/hipmer_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipmer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

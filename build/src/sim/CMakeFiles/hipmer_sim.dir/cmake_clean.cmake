@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_sim.dir/datasets.cpp.o"
+  "CMakeFiles/hipmer_sim.dir/datasets.cpp.o.d"
+  "CMakeFiles/hipmer_sim.dir/genome_sim.cpp.o"
+  "CMakeFiles/hipmer_sim.dir/genome_sim.cpp.o.d"
+  "CMakeFiles/hipmer_sim.dir/metagenome_sim.cpp.o"
+  "CMakeFiles/hipmer_sim.dir/metagenome_sim.cpp.o.d"
+  "CMakeFiles/hipmer_sim.dir/read_sim.cpp.o"
+  "CMakeFiles/hipmer_sim.dir/read_sim.cpp.o.d"
+  "libhipmer_sim.a"
+  "libhipmer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_util.dir/options.cpp.o"
+  "CMakeFiles/hipmer_util.dir/options.cpp.o.d"
+  "CMakeFiles/hipmer_util.dir/stats.cpp.o"
+  "CMakeFiles/hipmer_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hipmer_util.dir/table.cpp.o"
+  "CMakeFiles/hipmer_util.dir/table.cpp.o.d"
+  "libhipmer_util.a"
+  "libhipmer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

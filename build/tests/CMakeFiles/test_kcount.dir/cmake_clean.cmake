@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcount.dir/test_kcount.cpp.o"
+  "CMakeFiles/test_kcount.dir/test_kcount.cpp.o.d"
+  "test_kcount"
+  "test_kcount.pdb"
+  "test_kcount[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

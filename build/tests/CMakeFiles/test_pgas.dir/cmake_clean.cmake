@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pgas.dir/test_pgas.cpp.o"
+  "CMakeFiles/test_pgas.dir/test_pgas.cpp.o.d"
+  "test_pgas"
+  "test_pgas.pdb"
+  "test_pgas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seqdb.dir/test_seqdb.cpp.o"
+  "CMakeFiles/test_seqdb.dir/test_seqdb.cpp.o.d"
+  "test_seqdb"
+  "test_seqdb.pdb"
+  "test_seqdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seqdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipmer_cli.dir/hipmer_cli.cpp.o"
+  "CMakeFiles/hipmer_cli.dir/hipmer_cli.cpp.o.d"
+  "hipmer"
+  "hipmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipmer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
