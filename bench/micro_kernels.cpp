@@ -3,10 +3,21 @@
 // offers, distributed hash-map updates (fine-grained vs aggregated — the
 // per-element cost side of the "aggregating stores" optimization), and the
 // alignment extension kernels.
+//
+// The k-mer section benchmarks each word-parallel kernel *against its
+// retained base-loop `*_reference` twin* at k = 21 / 31 / 51, and a custom
+// main() additionally runs a fixed-budget timing harness over the same pairs
+// and mirrors the ns/op + speedup numbers to micro_kernels.csv, so the perf
+// trajectory of these kernels is tracked in the same CSV scheme as the
+// paper-figure benches.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "align/smith_waterman.hpp"
 #include "kcount/bloom_filter.hpp"
@@ -14,9 +25,10 @@
 #include "kcount/misra_gries.hpp"
 #include "pgas/dist_hash_map.hpp"
 #include "pgas/thread_team.hpp"
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "seq/types.hpp"
 #include "sim/genome_sim.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -26,6 +38,16 @@ using seq::KmerT;
 std::string random_seq(std::size_t n, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   return sim::random_dna(n, rng);
+}
+
+std::vector<KmerT> random_kmers(int k, std::size_t n, std::uint64_t seed) {
+  const auto s = random_seq(n + static_cast<std::size_t>(k), seed);
+  std::vector<KmerT> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(KmerT::from_string(
+        std::string_view(s).substr(i, static_cast<std::size_t>(k))));
+  return out;
 }
 
 void BM_KmerFromString(benchmark::State& state) {
@@ -38,6 +60,26 @@ void BM_KmerFromString(benchmark::State& state) {
 }
 BENCHMARK(BM_KmerFromString)->Arg(21)->Arg(31)->Arg(51)->Arg(63);
 
+void BM_KmerRevcomp(benchmark::State& state) {
+  const auto km = KmerT::from_string(
+      random_seq(static_cast<std::size_t>(state.range(0)), 2));
+  for (auto _ : state) {
+    auto rc = km.revcomp();
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_KmerRevcomp)->Arg(21)->Arg(31)->Arg(51);
+
+void BM_KmerRevcompReference(benchmark::State& state) {
+  const auto km = KmerT::from_string(
+      random_seq(static_cast<std::size_t>(state.range(0)), 2));
+  for (auto _ : state) {
+    auto rc = km.revcomp_reference();
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_KmerRevcompReference)->Arg(21)->Arg(31)->Arg(51);
+
 void BM_KmerCanonical(benchmark::State& state) {
   const auto km = KmerT::from_string(
       random_seq(static_cast<std::size_t>(state.range(0)), 2));
@@ -48,18 +90,52 @@ void BM_KmerCanonical(benchmark::State& state) {
 }
 BENCHMARK(BM_KmerCanonical)->Arg(21)->Arg(31)->Arg(51);
 
-void BM_KmerIterator(benchmark::State& state) {
+void BM_KmerCanonicalReference(benchmark::State& state) {
+  const auto km = KmerT::from_string(
+      random_seq(static_cast<std::size_t>(state.range(0)), 2));
+  for (auto _ : state) {
+    auto canon = km.canonical_reference();
+    benchmark::DoNotOptimize(canon);
+  }
+}
+BENCHMARK(BM_KmerCanonicalReference)->Arg(21)->Arg(31)->Arg(51);
+
+void BM_KmerScanner(benchmark::State& state) {
   const auto s = random_seq(10'000, 3);
+  const int k = static_cast<int>(state.range(0));
   for (auto _ : state) {
     std::uint64_t h = 0;
-    for (seq::KmerIterator<KmerT::kMaxK> it(s, 31); !it.done(); it.next())
+    for (seq::KmerScanner<KmerT::kMaxK> it(s, k); !it.done(); it.next())
       h ^= it.canonical().hash();
     benchmark::DoNotOptimize(h);
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(s.size() - 30));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(s.size() - static_cast<std::size_t>(k) + 1));
 }
-BENCHMARK(BM_KmerIterator);
+BENCHMARK(BM_KmerScanner)->Arg(21)->Arg(31)->Arg(51);
+
+void BM_KmerScannerReference(benchmark::State& state) {
+  // The seed-era sliding extraction: one base-loop shift per window plus a
+  // full O(k) revcomp + base-loop compare to canonicalize.
+  const auto s = random_seq(10'000, 3);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t h = 0;
+    KmerT km = KmerT::from_string(
+        std::string_view(s).substr(0, static_cast<std::size_t>(k)));
+    h ^= km.canonical_reference().hash();
+    for (std::size_t i = static_cast<std::size_t>(k); i < s.size(); ++i) {
+      km = km.shifted_left_reference(seq::base_to_code(s[i]));
+      h ^= km.canonical_reference().hash();
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(s.size() - static_cast<std::size_t>(k) + 1));
+}
+BENCHMARK(BM_KmerScannerReference)->Arg(21)->Arg(31)->Arg(51);
 
 void BM_BloomTestAndSet(benchmark::State& state) {
   kcount::BloomFilter bloom(1 << 20);
@@ -134,6 +210,166 @@ void BM_BandedSW(benchmark::State& state) {
 }
 BENCHMARK(BM_BandedSW)->Arg(2)->Arg(4)->Arg(8);
 
+// ---- CSV harness: word-parallel kernels vs base-loop references ----
+
+/// Measure ns per logical operation: grows the repeat count until the
+/// kernel has run for at least ~20ms.
+template <typename F>
+double ns_per_op(F&& fn, std::size_t ops_per_call) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  std::size_t calls = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t c = 0; c < calls; ++c) fn();
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    if (ns >= 2e7 || calls >= (std::size_t{1} << 22))
+      return ns / static_cast<double>(calls * ops_per_call);
+    calls *= 4;
+  }
+}
+
+void write_kernel_csv() {
+  util::TextTable table({"kernel", "k", "ref_ns_per_op", "word_ns_per_op",
+                         "speedup", "word_mops_per_s"});
+  const std::size_t n = 4096;
+  for (const int k : {21, 31, 51}) {
+    const auto kmers = random_kmers(k, n, static_cast<std::uint64_t>(k) * 977);
+    const auto s = random_seq(100'000, static_cast<std::uint64_t>(k) * 71);
+    const std::size_t windows = s.size() - static_cast<std::size_t>(k) + 1;
+
+    struct Row {
+      const char* kernel;
+      double ref_ns;
+      double word_ns;
+    };
+    std::vector<Row> rows;
+
+    rows.push_back(
+        {"revcomp",
+         ns_per_op(
+             [&] {
+               for (const auto& km : kmers) {
+                 auto rc = km.revcomp_reference();
+                 benchmark::DoNotOptimize(rc);
+               }
+             },
+             n),
+         ns_per_op(
+             [&] {
+               for (const auto& km : kmers) {
+                 auto rc = km.revcomp();
+                 benchmark::DoNotOptimize(rc);
+               }
+             },
+             n)});
+
+    rows.push_back(
+        {"canonical",
+         ns_per_op(
+             [&] {
+               for (const auto& km : kmers) {
+                 auto canon = km.canonical_reference();
+                 benchmark::DoNotOptimize(canon);
+               }
+             },
+             n),
+         ns_per_op(
+             [&] {
+               for (const auto& km : kmers) {
+                 auto canon = km.canonical();
+                 benchmark::DoNotOptimize(canon);
+               }
+             },
+             n)});
+
+    rows.push_back(
+        {"shift",
+         ns_per_op(
+             [&] {
+               for (const auto& km : kmers) {
+                 auto next = km.shifted_left_reference(seq::kBaseG);
+                 benchmark::DoNotOptimize(next);
+               }
+             },
+             n),
+         ns_per_op(
+             [&] {
+               for (const auto& km : kmers) {
+                 auto next = km.shifted_left(seq::kBaseG);
+                 benchmark::DoNotOptimize(next);
+               }
+             },
+             n)});
+
+    rows.push_back(
+        {"compare",
+         ns_per_op(
+             [&] {
+               bool acc = false;
+               for (std::size_t i = 0; i + 1 < kmers.size(); ++i)
+                 acc ^= KmerT::less_reference(kmers[i], kmers[i + 1]);
+               benchmark::DoNotOptimize(acc);
+             },
+             n - 1),
+         ns_per_op(
+             [&] {
+               bool acc = false;
+               for (std::size_t i = 0; i + 1 < kmers.size(); ++i)
+                 acc ^= kmers[i] < kmers[i + 1];
+               benchmark::DoNotOptimize(acc);
+             },
+             n - 1)});
+
+    rows.push_back(
+        {"sliding_extraction",
+         ns_per_op(
+             [&] {
+               std::uint64_t h = 0;
+               KmerT km = KmerT::from_string(
+                   std::string_view(s).substr(0, static_cast<std::size_t>(k)));
+               h ^= km.canonical_reference().hash();
+               for (std::size_t i = static_cast<std::size_t>(k); i < s.size();
+                    ++i) {
+                 km = km.shifted_left_reference(seq::base_to_code(s[i]));
+                 h ^= km.canonical_reference().hash();
+               }
+               benchmark::DoNotOptimize(h);
+             },
+             windows),
+         ns_per_op(
+             [&] {
+               std::uint64_t h = 0;
+               for (seq::KmerScanner<KmerT::kMaxK> it(s, k); !it.done();
+                    it.next())
+                 h ^= it.canonical().hash();
+               benchmark::DoNotOptimize(h);
+             },
+             windows)});
+
+    for (const auto& row : rows) {
+      table.add_row({row.kernel, std::to_string(k),
+                     util::TextTable::fmt(row.ref_ns, 2),
+                     util::TextTable::fmt(row.word_ns, 2),
+                     util::TextTable::fmt(row.ref_ns / row.word_ns, 2),
+                     util::TextTable::fmt(1e3 / row.word_ns, 1)});
+    }
+  }
+  std::printf("\n=== k-mer kernels: word-parallel vs reference ===\n%s\n",
+              table.to_string().c_str());
+  const std::string csv = "micro_kernels.csv";
+  if (table.write_csv(csv))
+    std::printf("[csv written to %s]\n", csv.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_kernel_csv();
+  return 0;
+}

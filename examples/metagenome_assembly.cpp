@@ -17,7 +17,7 @@
 
 #include "dbg/contig_generator.hpp"
 #include "kcount/kmer_analysis.hpp"
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "sim/metagenome_sim.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   // assembled contigs.
   std::unordered_set<KmerT, seq::KmerHashT> assembled;
   for (const auto& c : contigs)
-    for (seq::KmerIterator<KmerT::kMaxK> it(c.seq, k); !it.done(); it.next())
+    for (seq::KmerScanner<KmerT::kMaxK> it(c.seq, k); !it.done(); it.next())
       assembled.insert(it.canonical());
 
   struct SpeciesRow {
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     const auto& genome = mg.species[s].primary;
     std::size_t found = 0;
     std::size_t total = 0;
-    for (seq::KmerIterator<KmerT::kMaxK> it(genome, k); !it.done(); it.next()) {
+    for (seq::KmerScanner<KmerT::kMaxK> it(genome, k); !it.done(); it.next()) {
       found += assembled.contains(it.canonical());
       ++total;
     }

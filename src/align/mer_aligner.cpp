@@ -4,7 +4,7 @@
 #include <cassert>
 
 #include "seq/dna.hpp"
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "seq/read_name.hpp"
 
 namespace hipmer::align {
@@ -24,7 +24,7 @@ MerAligner::~MerAligner() = default;
 
 void MerAligner::build_index(pgas::Rank& rank, const ContigStore& store) {
   store.for_each_local(rank, [&](std::uint64_t id, const dbg::Contig& contig) {
-    for (seq::KmerIterator<KmerT::kMaxK> it(contig.seq, config_.seed_k);
+    for (seq::KmerScanner<KmerT::kMaxK> it(contig.seq, config_.seed_k);
          !it.done(); it.next()) {
       SeedHits entry{};
       entry.count = 1;
@@ -51,7 +51,7 @@ void MerAligner::align_one(pgas::Rank& rank, const ContigStore& store,
   // (contig, diagonal, strand) placements. ---
   std::vector<Candidate> candidates;
   std::int32_t next_sample = 0;
-  for (seq::KmerIterator<KmerT::kMaxK> it(read.seq, config_.seed_k);
+  for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.seed_k);
        !it.done(); it.next()) {
     const auto pos = static_cast<std::int32_t>(it.position());
     if (pos < next_sample) continue;

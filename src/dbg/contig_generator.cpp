@@ -7,7 +7,7 @@
 
 #include "dbg/contig_wire.hpp"
 #include "seq/dna.hpp"
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "util/hash.hpp"
 
 namespace hipmer::dbg {
@@ -99,7 +99,7 @@ ContigGenerator::ClaimResult ContigGenerator::try_claim(pgas::Rank& rank,
 void ContigGenerator::set_states(pgas::Rank& rank, const std::string& subcontig,
                                  std::uint8_t state, std::uint64_t ticket,
                                  std::uint64_t owner_ticket) {
-  for (seq::KmerIterator<KmerT::kMaxK> it(subcontig, config_.k); !it.done();
+  for (seq::KmerScanner<KmerT::kMaxK> it(subcontig, config_.k); !it.done();
        it.next()) {
     map_->modify(rank, it.canonical(), [&](Node& node) {
       // Only touch k-mers still held by the expected ticket: during an

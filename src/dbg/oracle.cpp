@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "seq/types.hpp"
 
 namespace hipmer::dbg {
@@ -27,7 +27,7 @@ OraclePartition OraclePartition::build(const std::vector<std::string>& contigs,
   for (std::size_t c = 0; c < contigs.size(); ++c) {
     const auto target =
         static_cast<std::uint32_t>(c % static_cast<std::size_t>(targets));
-    for (seq::KmerIterator<seq::KmerT::kMaxK> it(contigs[c], k); !it.done();
+    for (seq::KmerScanner<seq::KmerT::kMaxK> it(contigs[c], k); !it.done();
          it.next()) {
       const std::uint64_t h = it.canonical().hash();
       auto& slot = oracle.slots_[h % slots];

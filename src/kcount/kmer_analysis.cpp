@@ -4,7 +4,7 @@
 #include <cassert>
 #include <unordered_map>
 
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 
 namespace hipmer::kcount {
 
@@ -50,7 +50,7 @@ void KmerAnalysis::sketch_pass(
 
   for (const auto* reads : read_sets) {
     for (const auto& read : *reads) {
-      for (seq::KmerIterator<KmerT::kMaxK> it(read.seq, config_.k); !it.done();
+      for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.k); !it.done();
            it.next()) {
         const KmerT& canon = it.canonical();
         hll.add_hash(canon.hash());
@@ -161,7 +161,7 @@ void KmerAnalysis::candidate_pass(
   std::size_t buffered = 0;
   std::size_t set_idx = 0;
   std::size_t read_idx = 0;
-  seq::KmerIterator<KmerT::kMaxK> it("", config_.k);
+  seq::KmerScanner<KmerT::kMaxK> it("", config_.k);
   bool it_active = false;
   auto next_read = [&]() -> const seq::Read* {
     while (set_idx < read_sets.size()) {
@@ -186,7 +186,7 @@ void KmerAnalysis::candidate_pass(
       if (!it_active) {
         const seq::Read* read = next_read();
         if (read == nullptr) break;
-        it = seq::KmerIterator<KmerT::kMaxK>(read->seq, config_.k);
+        it = seq::KmerScanner<KmerT::kMaxK>(read->seq, config_.k);
         it_active = true;
         continue;
       }
@@ -238,7 +238,7 @@ void KmerAnalysis::counting_pass(
   for (const auto& read : *reads_ptr) {
     const std::string& quals = read.quals;
     const std::size_t len = read.seq.size();
-    for (seq::KmerIterator<KmerT::kMaxK> it(read.seq, config_.k); !it.done();
+    for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.k); !it.done();
          it.next()) {
       const std::size_t i = it.position();
       KmerTally tally;

@@ -154,9 +154,14 @@ class DistHashMap {
 
   /// Drain all of this rank's outgoing buffers. Every rank must call this
   /// (followed by a barrier at the call site) before switching the table to
-  /// the read phase.
+  /// the read phase. Ranks drain destinations round-robin starting at their
+  /// successor — a fixed 0..P-1 order would hammer rank 0's shard with P
+  /// near-simultaneous batches at every phase boundary (flush storm) while
+  /// the high ranks idle.
   void flush(Rank& rank) {
-    for (std::uint32_t dest = 0; dest < nranks_; ++dest) flush_one(rank, dest);
+    const auto start = (static_cast<std::uint32_t>(rank.id()) + 1) % nranks_;
+    for (std::uint32_t i = 0; i < nranks_; ++i)
+      flush_one(rank, (start + i) % nranks_);
   }
 
   // ---- local-shard access (owner side) ----

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 
 namespace hipmer::scaffold {
 
@@ -33,7 +33,7 @@ std::vector<std::pair<std::uint64_t, double>> DepthCalculator::run(
   store.for_each_local(rank, [&](std::uint64_t id, const dbg::Contig& contig) {
     std::uint64_t sum = 0;
     std::uint64_t n = 0;
-    for (seq::KmerIterator<seq::KmerT::kMaxK> it(contig.seq, k_); !it.done();
+    for (seq::KmerScanner<seq::KmerT::kMaxK> it(contig.seq, k_); !it.done();
          it.next()) {
       sum += counts_->find(rank, it.canonical()).value_or(0);
       ++n;

@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "seq/dna.hpp"
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "seq/read_name.hpp"
 #include "seq/types.hpp"
 
@@ -226,7 +226,7 @@ bool GapCloser::walk(const std::vector<std::string>& reads,
   };
   std::unordered_map<KmerT, Ext, seq::KmerHashT> table;
   auto add_seq = [&](std::string_view s) {
-    for (seq::KmerIterator<KmerT::kMaxK> it(s, walk_k); !it.done(); it.next()) {
+    for (seq::KmerScanner<KmerT::kMaxK> it(s, walk_k); !it.done(); it.next()) {
       auto& ext = table[it.canonical()];
       const std::size_t i = it.position();
       const bool flipped = it.is_flipped();

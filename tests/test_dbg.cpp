@@ -8,7 +8,7 @@
 #include "dbg/oracle.hpp"
 #include "kcount/kmer_analysis.hpp"
 #include "seq/dna.hpp"
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
 
@@ -242,7 +242,7 @@ TEST(Oracle, CoLocatesContigKmers) {
   for (const auto& c : contigs) {
     std::map<std::uint32_t, int> owners;
     int n = 0;
-    for (seq::KmerIterator<KmerT::kMaxK> it(c, 21); !it.done(); it.next()) {
+    for (seq::KmerScanner<KmerT::kMaxK> it(c, 21); !it.done(); it.next()) {
       ++owners[oracle.rank_of(it.canonical().hash())];
       ++n;
     }
@@ -276,7 +276,7 @@ TEST(Oracle, NodeModeKeepsKmersOnNode) {
   for (const auto& c : contigs) {
     std::map<int, int> node_counts;
     int n = 0;
-    for (seq::KmerIterator<KmerT::kMaxK> it(c, 21); !it.done(); it.next()) {
+    for (seq::KmerScanner<KmerT::kMaxK> it(c, 21); !it.done(); it.next()) {
       node_counts[topo.node_of(static_cast<int>(oracle.rank_of(it.canonical().hash())))]++;
       ++n;
     }

@@ -8,7 +8,7 @@
 #include "seq/dna.hpp"
 #include "sim/datasets.hpp"
 #include "sim/read_sim.hpp"
-#include "seq/kmer_iterator.hpp"
+#include "seq/kmer_scanner.hpp"
 #include <unordered_set>
 
 namespace hipmer::pipeline {
@@ -65,19 +65,19 @@ KmerFidelity kmer_fidelity(const sim::Genome& genome,
   using seq::KmerT;
   std::unordered_set<KmerT, seq::KmerHashT> ref_union;
   std::unordered_set<KmerT, seq::KmerHashT> ref_primary;
-  for (seq::KmerIterator<KmerT::kMaxK> it(genome.primary, k); !it.done();
+  for (seq::KmerScanner<KmerT::kMaxK> it(genome.primary, k); !it.done();
        it.next()) {
     ref_union.insert(it.canonical());
     ref_primary.insert(it.canonical());
   }
   if (genome.diploid()) {
-    for (seq::KmerIterator<KmerT::kMaxK> it(genome.secondary, k); !it.done();
+    for (seq::KmerScanner<KmerT::kMaxK> it(genome.secondary, k); !it.done();
          it.next())
       ref_union.insert(it.canonical());
   }
   std::unordered_set<KmerT, seq::KmerHashT> assembled;
   for (const auto& rec : scaffolds)
-    for (seq::KmerIterator<KmerT::kMaxK> it(rec.seq, k); !it.done(); it.next())
+    for (seq::KmerScanner<KmerT::kMaxK> it(rec.seq, k); !it.done(); it.next())
       assembled.insert(it.canonical());
 
   KmerFidelity f;

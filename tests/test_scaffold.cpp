@@ -15,6 +15,7 @@
 #include "scaffold/sequence_builder.hpp"
 #include "scaffold/splints_spans.hpp"
 #include "seq/dna.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
 
