@@ -10,13 +10,21 @@
 // communication. Paper numbers at 480/1,920 cores: speedups 1.4x/2.8x and
 // 1.3x/1.9x; off-node lookups 92.8% -> 54.6% (oracle-1) -> 22.8%
 // (oracle-4).
+//
+// Table 2 is additionally broken down by lookup path: the same read-probe
+// workload resolved fine-grained (one message per off-node key), batched
+// (lookups aggregated per owner), and batched behind the per-rank software
+// read cache — the journal version's cached + aggregated lookups.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "dbg/contig_generator.hpp"
 #include "dbg/oracle.hpp"
 #include "kcount/kmer_analysis.hpp"
+#include "seq/kmer_scanner.hpp"
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
 #include "util/timer.hpp"
@@ -51,25 +59,72 @@ std::unique_ptr<kcount::KmerAnalysis> analyze(pgas::ThreadTeam& team,
 TraversalRun traverse(pgas::ThreadTeam& team, kcount::KmerAnalysis& ka, int k,
                       const dbg::OraclePartition* oracle,
                       const pgas::MachineModel& machine,
-                      std::vector<dbg::Contig>* contigs_out = nullptr) {
+                      std::vector<dbg::Contig>* contigs_out = nullptr,
+                      std::unique_ptr<dbg::ContigGenerator>* gen_out = nullptr) {
   std::size_t total_ufx = 0;
   for (int r = 0; r < team.nranks(); ++r) total_ufx += ka.ufx(r).size();
   dbg::ContigGenConfig cfg;
   cfg.k = k;
-  dbg::ContigGenerator gen(team, cfg, total_ufx);
-  if (oracle) gen.set_oracle(oracle);
-  team.run([&](pgas::Rank& rank) { gen.build_graph(rank, ka.ufx(rank.id())); });
+  auto gen = std::make_unique<dbg::ContigGenerator>(team, cfg, total_ufx);
+  if (oracle) gen->set_oracle(oracle);
+  team.run(
+      [&](pgas::Rank& rank) { gen->build_graph(rank, ka.ufx(rank.id())); });
 
   const auto before = team.snapshot_all();
   util::WallTimer timer;
-  team.run([&](pgas::Rank& rank) { gen.traverse(rank); });
+  team.run([&](pgas::Rank& rank) { gen->traverse(rank); });
   TraversalRun run;
   run.wall = timer.seconds();
   run.modeled = machine.phase_seconds_no_io(
       bench::snapshot_delta(before, team.snapshot_all()));
-  run.lookups = gen.total_lookup_stats();
-  if (contigs_out) *contigs_out = gen.all_contigs();
+  run.lookups = gen->total_lookup_stats();
+  if (contigs_out) *contigs_out = gen->all_contigs();
+  if (gen_out) *gen_out = std::move(gen);
   return run;
+}
+
+/// The three ways a read-only phase can probe the distributed graph. Fine
+/// issues one message per off-node key; batched aggregates lookups per
+/// owner; cached additionally fronts the batched path with the per-rank
+/// software read cache (journal version of the paper, §"caching and
+/// aggregated lookups").
+enum class LookupPath { kFine, kBatched, kBatchedCached };
+
+struct ProbeResult {
+  std::uint64_t offnode_msgs = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+/// Oracle-traversal probe workload: each rank resolves the k-mers of its
+/// share of `reads` against the (already traversed) graph via `path`.
+ProbeResult probe_lookups(pgas::ThreadTeam& team, dbg::ContigGenerator& gen,
+                          const std::vector<seq::Read>& reads, int k,
+                          LookupPath path) {
+  const auto before = team.snapshot_all();
+  team.run([&](pgas::Rank& rank) {
+    auto& graph = gen.graph();
+    if (path == LookupPath::kBatchedCached)
+      graph.enable_read_cache(rank, 1 << 15);
+    auto sink = [](const seq::KmerT&, const dbg::ContigGenerator::Node*,
+                   std::uint64_t) {};
+    for (std::size_t i = static_cast<std::size_t>(rank.id()); i < reads.size();
+         i += static_cast<std::size_t>(rank.nranks())) {
+      for (seq::KmerScanner<seq::KmerT::kMaxK> it(reads[i].seq, k); !it.done();
+           it.next()) {
+        if (path == LookupPath::kFine) {
+          (void)graph.find(rank, it.canonical());
+        } else {
+          graph.find_buffered(rank, it.canonical(), 0, sink);
+        }
+      }
+    }
+    if (path != LookupPath::kFine) graph.process_lookups(rank, sink);
+    if (path == LookupPath::kBatchedCached) graph.disable_read_cache(rank);
+    rank.barrier();
+  });
+  const auto total =
+      bench::sum_stats(bench::snapshot_delta(before, team.snapshot_all()));
+  return ProbeResult{total.offnode_msgs, total.read_cache_hits};
 }
 
 }  // namespace
@@ -111,7 +166,8 @@ int main(int argc, char** argv) {
 
   util::TextTable t1({"ranks", "no_oracle_s", "oracle1_s", "oracle4_s",
                       "speedup1", "speedup4", "wall_no", "wall_o4"});
-  util::TextTable t2({"ranks", "offnode_no", "offnode_o1", "offnode_o4",
+  util::TextTable t2({"ranks", "lookup_path", "offnode_msgs", "msgs_vs_fine",
+                      "offnode_no", "offnode_o1", "offnode_o4",
                       "offnode_o4node", "onnode_o4node", "reduction_o1",
                       "reduction_o4"});
 
@@ -138,12 +194,23 @@ int main(int argc, char** argv) {
         contig_seqs, k, scale.topology(), total_kmers * 4,
         dbg::OraclePartition::Granularity::kNode);
 
-    // Individual 2: traverse its graph under the three regimes.
+    // Individual 2: traverse its graph under the three regimes. The
+    // oracle-4 generator is kept alive for the lookup-path probes below.
     auto ka2 = analyze(team, reads2, k);
     const auto none = traverse(team, *ka2, k, nullptr, machine);
     const auto o1 = traverse(team, *ka2, k, &oracle1, machine);
-    const auto o4 = traverse(team, *ka2, k, &oracle4, machine);
+    std::unique_ptr<dbg::ContigGenerator> gen4;
+    const auto o4 = traverse(team, *ka2, k, &oracle4, machine, nullptr, &gen4);
     const auto o4n = traverse(team, *ka2, k, &oracle4n, machine);
+
+    // Lookup-path comparison on the same workload: resolve individual 2's
+    // read k-mers against the oracle-4 graph fine-grained, batched, and
+    // batched behind the software read cache.
+    const auto p_fine = probe_lookups(team, *gen4, reads2, k, LookupPath::kFine);
+    const auto p_batched =
+        probe_lookups(team, *gen4, reads2, k, LookupPath::kBatched);
+    const auto p_cached =
+        probe_lookups(team, *gen4, reads2, k, LookupPath::kBatchedCached);
 
     t1.add_row({std::to_string(scale.ranks),
                 util::TextTable::fmt(none.modeled, 4),
@@ -160,15 +227,31 @@ int main(int argc, char** argv) {
     const double f4n_on =
         static_cast<double>(o4n.lookups.onnode) /
         static_cast<double>(std::max<std::uint64_t>(1, o4n.lookups.total()));
-    t2.add_row({std::to_string(scale.ranks), util::TextTable::fmt_pct(fn),
-                util::TextTable::fmt_pct(f1), util::TextTable::fmt_pct(f4),
-                util::TextTable::fmt_pct(f4n), util::TextTable::fmt_pct(f4n_on),
-                util::TextTable::fmt_pct(1.0 - f1 / fn),
-                util::TextTable::fmt_pct(1.0 - f4 / fn)});
+    struct PathRow {
+      const char* name;
+      std::uint64_t msgs;
+    };
+    for (const auto& pr :
+         {PathRow{"fine", p_fine.offnode_msgs},
+          PathRow{"batched", p_batched.offnode_msgs},
+          PathRow{"batched_cache", p_cached.offnode_msgs}}) {
+      const double vs_fine =
+          static_cast<double>(p_fine.offnode_msgs) /
+          static_cast<double>(std::max<std::uint64_t>(1, pr.msgs));
+      t2.add_row({std::to_string(scale.ranks), pr.name,
+                  std::to_string(pr.msgs),
+                  util::TextTable::fmt(vs_fine, 1) + "x",
+                  util::TextTable::fmt_pct(fn), util::TextTable::fmt_pct(f1),
+                  util::TextTable::fmt_pct(f4), util::TextTable::fmt_pct(f4n),
+                  util::TextTable::fmt_pct(f4n_on),
+                  util::TextTable::fmt_pct(1.0 - f1 / fn),
+                  util::TextTable::fmt_pct(1.0 - f4 / fn)});
+    }
     std::printf("[ranks=%d] oracle collision rates: 1x=%.3f 4x=%.3f, "
-                "memory: %zu KB / %zu KB\n",
+                "memory: %zu KB / %zu KB; probe cache hits: %llu\n",
                 scale.ranks, oracle1.collision_rate(), oracle4.collision_rate(),
-                oracle1.memory_bytes() >> 10, oracle4.memory_bytes() >> 10);
+                oracle1.memory_bytes() >> 10, oracle4.memory_bytes() >> 10,
+                static_cast<unsigned long long>(p_cached.cache_hits));
   }
 
   bench::emit("table1_oracle_traversal",
@@ -177,7 +260,9 @@ int main(int argc, char** argv) {
               t1);
   bench::emit("table2_offnode_lookups",
               "Table 2: off-node traversal lookups (paper: 92.8% no-oracle "
-              "-> 54.6% oracle-1 -> 22.8% oracle-4; reductions 41-76%)",
+              "-> 54.6% oracle-1 -> 22.8% oracle-4; reductions 41-76%), "
+              "plus off-node messages by lookup path "
+              "(fine / batched / batched+cache) on the oracle-4 graph",
               t2);
   return 0;
 }

@@ -3,25 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "dbg/contig_wire.hpp"
+
 namespace hipmer::align {
-
-namespace {
-
-/// Serialized contig header for the redistribution exchange. Junction
-/// k-mers ride along because bubble identification (§4.2) keys on them.
-struct WireHeader {
-  std::uint64_t id;
-  std::uint32_t seq_len;
-  float avg_depth;
-  char left_term;
-  char right_term;
-  char left_has_junction;
-  char right_has_junction;
-  seq::KmerT left_junction;
-  seq::KmerT right_junction;
-};
-
-}  // namespace
 
 ContigStore::ContigStore(pgas::ThreadTeam& team)
     : team_(&team),
@@ -31,58 +15,29 @@ ContigStore::ContigStore(pgas::ThreadTeam& team)
 
 void ContigStore::build(pgas::Rank& rank,
                         const std::vector<dbg::Contig>& my_contigs) {
-  // Serialize each contig toward its owner: header + raw sequence bytes.
+  // Serialize each contig toward its owner through the shared wire layer
+  // (junction k-mers ride along because bubble identification keys on
+  // them).
   std::vector<std::vector<std::byte>> outgoing(
       static_cast<std::size_t>(nranks_));
   for (const auto& contig : my_contigs) {
     auto& buf = outgoing[static_cast<std::size_t>(owner_of(contig.id))];
-    WireHeader header{};
-    header.id = contig.id;
-    header.seq_len = static_cast<std::uint32_t>(contig.seq.size());
-    header.avg_depth = static_cast<float>(contig.avg_depth);
-    header.left_term = contig.left.code;
-    header.right_term = contig.right.code;
-    header.left_has_junction = contig.left.has_junction ? 1 : 0;
-    header.right_has_junction = contig.right.has_junction ? 1 : 0;
-    header.left_junction = contig.left.junction;
-    header.right_junction = contig.right.junction;
-    const std::size_t old = buf.size();
-    buf.resize(old + sizeof(WireHeader) + contig.seq.size());
-    std::memcpy(buf.data() + old, &header, sizeof header);
-    std::memcpy(buf.data() + old + sizeof header, contig.seq.data(),
-                contig.seq.size());
+    dbg::serialize_contig(buf, contig);
     rank.stats().add_work();
   }
   const auto incoming = rank.alltoallv(outgoing);
 
   auto& shard = shards_[static_cast<std::size_t>(rank.id())];
-  shard.clear();
-  std::size_t pos = 0;
-  while (pos + sizeof(WireHeader) <= incoming.size()) {
-    WireHeader header;
-    std::memcpy(&header, incoming.data() + pos, sizeof header);
-    pos += sizeof header;
-    dbg::Contig contig;
-    contig.id = header.id;
-    contig.avg_depth = header.avg_depth;
-    contig.left.code = header.left_term;
-    contig.right.code = header.right_term;
-    contig.left.has_junction = header.left_has_junction != 0;
-    contig.right.has_junction = header.right_has_junction != 0;
-    contig.left.junction = header.left_junction;
-    contig.right.junction = header.right_junction;
-    contig.seq.resize(header.seq_len);
-    std::memcpy(contig.seq.data(), incoming.data() + pos, header.seq_len);
-    pos += header.seq_len;
-    shard.push_back(std::move(contig));
-  }
+  shard = dbg::deserialize_contigs(incoming);
   std::sort(shard.begin(), shard.end(),
             [](const dbg::Contig& a, const dbg::Contig& b) { return a.id < b.id; });
 
   caches_[static_cast<std::size_t>(rank.id())].assign(cache_capacity_,
                                                       CacheEntry{});
   const std::uint64_t local = shard.size();
-  total_ = rank.allreduce_sum(local);
+  // Every rank stores the same allreduce result; relaxed atomic keeps the
+  // concurrent same-value stores well-defined.
+  total_.store(rank.allreduce_sum(local), std::memory_order_relaxed);
   rank.barrier();
 }
 

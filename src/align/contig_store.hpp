@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -34,7 +35,9 @@ class ContigStore {
   /// whatever this rank produced during traversal.
   void build(pgas::Rank& rank, const std::vector<dbg::Contig>& my_contigs);
 
-  [[nodiscard]] std::uint64_t num_contigs() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t num_contigs() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] int owner_of(std::uint64_t contig_id) const noexcept {
     return static_cast<int>(contig_id % static_cast<std::uint64_t>(nranks_));
@@ -86,7 +89,7 @@ class ContigStore {
 
   pgas::ThreadTeam* team_;
   int nranks_;
-  std::uint64_t total_ = 0;
+  std::atomic<std::uint64_t> total_{0};
   /// shards_[r] holds contigs with id % P == r, sorted by id.
   std::vector<std::vector<dbg::Contig>> shards_;
   /// Direct-mapped per-rank caches (mutable: fetch is logically const).

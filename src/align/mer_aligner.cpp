@@ -40,41 +40,34 @@ void MerAligner::build_index(pgas::Rank& rank, const ContigStore& store) {
   rank.barrier();
 }
 
-void MerAligner::align_one(pgas::Rank& rank, const ContigStore& store,
-                           const seq::Read& read, std::uint64_t pair_id,
-                           int mate, int library,
-                           std::vector<ReadAlignment>& out) {
+void MerAligner::extend_one(pgas::Rank& rank, const ContigStore& store,
+                            const seq::Read& read,
+                            const std::vector<SeedSlot>& slots,
+                            std::size_t begin, std::size_t end,
+                            std::uint64_t pair_id, int mate, int library,
+                            std::vector<ReadAlignment>& out) {
   const auto read_len = static_cast<std::int32_t>(read.seq.size());
-  if (read_len < config_.seed_k) return;
 
-  // --- Seed: sample k-mers along the read and collect candidate
-  // (contig, diagonal, strand) placements. ---
+  // --- Seed results -> candidate (contig, diagonal, strand) placements. ---
   std::vector<Candidate> candidates;
-  std::int32_t next_sample = 0;
-  for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.seed_k);
-       !it.done(); it.next()) {
-    const auto pos = static_cast<std::int32_t>(it.position());
-    if (pos < next_sample) continue;
-    next_sample = pos + config_.seed_stride;
-    rank.stats().add_work();
-
-    const auto hits = index_->find(rank, it.canonical());
-    if (!hits.has_value() || hits->overflowed != 0) continue;
-    if (hits->count > config_.max_seed_hits) continue;
-    for (int h = 0; h < hits->count; ++h) {
-      const auto& hit = hits->hits[h];
-      // Orientation: read k-mer is flipped (vs canonical) iff
-      // it.is_flipped(); contig k-mer is flipped iff !hit.fwd. The read
-      // aligns forward to the contig when both flips agree.
-      const bool read_fwd = (it.is_flipped() == (hit.fwd == 0));
+  for (std::size_t s = begin; s < end; ++s) {
+    const SeedSlot& slot = slots[s];
+    if (slot.found == 0 || slot.hits.overflowed != 0) continue;
+    if (slot.hits.count > config_.max_seed_hits) continue;
+    for (int h = 0; h < slot.hits.count; ++h) {
+      const auto& hit = slot.hits.hits[h];
+      // Orientation: read k-mer is flipped (vs canonical) iff slot.flipped;
+      // contig k-mer is flipped iff !hit.fwd. The read aligns forward to
+      // the contig when both flips agree.
+      const bool read_fwd = ((slot.flipped != 0) == (hit.fwd == 0));
       std::int32_t shift;
       if (read_fwd) {
-        shift = static_cast<std::int32_t>(hit.pos) - pos;
+        shift = static_cast<std::int32_t>(hit.pos) - slot.pos;
       } else {
         // Reverse-complemented read coordinates: read position p maps to
         // contig position hit.pos + (k - 1) - ... handled by aligning the
         // revcomp'd read; the diagonal is computed against rc coordinates.
-        const std::int32_t rc_pos = read_len - config_.seed_k - pos;
+        const std::int32_t rc_pos = read_len - config_.seed_k - slot.pos;
         shift = static_cast<std::int32_t>(hit.pos) - rc_pos;
       }
       candidates.push_back(Candidate{hit.contig_id, shift, read_fwd});
@@ -165,12 +158,74 @@ std::vector<ReadAlignment> MerAligner::align_reads(
     const std::vector<seq::Read>& reads, int library) {
   std::vector<ReadAlignment> out;
   out.reserve(reads.size());
+
+  // Alignment only reads the seed index, so the whole phase runs under the
+  // software read cache; it is torn down before the closing barrier.
+  index_->enable_read_cache(rank, config_.read_cache_capacity);
+
+  std::vector<SeedSlot> slots;
+  std::vector<std::size_t> slot_begin;  // per chunk read: first slot index
+  struct ChunkRead {
+    const seq::Read* read;
+    std::uint64_t pair_id;
+    int mate;
+  };
+  std::vector<ChunkRead> chunk;
+
+  auto resolve = [&slots](const KmerT& /*key*/, const SeedHits* value,
+                          std::uint64_t tag) {
+    if (value != nullptr) {
+      slots[static_cast<std::size_t>(tag)].found = 1;
+      slots[static_cast<std::size_t>(tag)].hits = *value;
+    }
+  };
+
+  auto drain_chunk = [&]() {
+    if (chunk.empty()) return;
+    index_->process_lookups(rank, resolve);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const std::size_t begin = slot_begin[i];
+      const std::size_t end =
+          i + 1 < chunk.size() ? slot_begin[i + 1] : slots.size();
+      extend_one(rank, store, *chunk[i].read, slots, begin, end,
+                 chunk[i].pair_id, chunk[i].mate, library, out);
+    }
+    chunk.clear();
+    slot_begin.clear();
+    slots.clear();
+  };
+
   for (const auto& read : reads) {
     std::uint64_t pair_id = 0;
     int mate = 0;
     if (!seq::parse_read_name(read.name, pair_id, mate)) continue;
-    align_one(rank, store, read, pair_id, mate, library, out);
+    if (static_cast<std::int32_t>(read.seq.size()) < config_.seed_k) continue;
+
+    // Seed pass: sample k-mers and issue batched lookups; the handler may
+    // run immediately (local key / cache hit) or at process_lookups.
+    slot_begin.push_back(slots.size());
+    chunk.push_back(ChunkRead{&read, pair_id, mate});
+    std::int32_t next_sample = 0;
+    for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.seed_k);
+         !it.done(); it.next()) {
+      const auto pos = static_cast<std::int32_t>(it.position());
+      if (pos < next_sample) continue;
+      next_sample = pos + config_.seed_stride;
+      rank.stats().add_work();
+
+      const std::uint64_t tag = slots.size();
+      slots.push_back(SeedSlot{static_cast<std::uint32_t>(chunk.size() - 1),
+                               pos,
+                               static_cast<std::uint8_t>(it.is_flipped()),
+                               0,
+                               SeedHits{}});
+      index_->find_buffered(rank, it.canonical(), tag, resolve);
+    }
+    if (chunk.size() >= config_.lookup_chunk) drain_chunk();
   }
+  drain_chunk();
+
+  index_->disable_read_cache(rank);
   rank.barrier();
   return out;
 }

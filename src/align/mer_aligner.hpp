@@ -24,9 +24,11 @@
 ///     `max_seed_hits` places are marked repetitive and ignored as seeds —
 ///     the standard defense against repeat k-mers exploding candidate
 ///     lists.
-///   - **Seed lookup**: each rank streams its reads, sampling k-mers every
-///     `seed_stride` bases, and resolves candidate (contig, diagonal,
-///     strand) placements through the index.
+///   - **Seed lookup**: each rank streams its reads in chunks, sampling
+///     k-mers every `seed_stride` bases, and resolves candidate (contig,
+///     diagonal, strand) placements through the index's batched read path:
+///     lookups are aggregated per owner and fronted by a per-rank software
+///     cache (the journal version's cached + aggregated lookups).
 ///   - **Extend**: candidates are scored against contig sequence fetched
 ///     from the distributed ContigStore (cached). The fast path is a
 ///     gap-free diagonal extension; if its score is weak the banded
@@ -48,6 +50,12 @@ struct AlignerConfig {
   int sw_band = 4;
   /// Aggregating-stores batch size for index construction.
   std::size_t flush_threshold = 512;
+  /// Reads seeded per batched-lookup round in align_reads.
+  std::size_t lookup_chunk = 256;
+  /// Per-rank software read-cache capacity for seed lookups (entries).
+  /// Reads cover the genome many times over, so the same seed k-mers
+  /// recur; caching them turns repeat off-node lookups into local hits.
+  std::size_t read_cache_capacity = 1 << 15;
   Scoring scoring;
 };
 
@@ -101,9 +109,22 @@ class MerAligner {
     }
   };
 
-  void align_one(pgas::Rank& rank, const ContigStore& store,
-                 const seq::Read& read, std::uint64_t pair_id, int mate,
-                 int library, std::vector<ReadAlignment>& out);
+  /// One sampled seed k-mer awaiting (or holding) its index lookup result.
+  /// Filled in by the batched-lookup handler; tag = slot index.
+  struct SeedSlot {
+    std::uint32_t read_idx;  // ordinal within the current chunk
+    std::int32_t pos;        // sample position in the read
+    std::uint8_t flipped;    // canonical form was the read's revcomp
+    std::uint8_t found;      // index had an entry for this k-mer
+    SeedHits hits;
+  };
+
+  /// Extend phase for one read whose seed lookups (slots [begin,end)) have
+  /// already been resolved by the batched read path.
+  void extend_one(pgas::Rank& rank, const ContigStore& store,
+                  const seq::Read& read, const std::vector<SeedSlot>& slots,
+                  std::size_t begin, std::size_t end, std::uint64_t pair_id,
+                  int mate, int library, std::vector<ReadAlignment>& out);
 
   pgas::ThreadTeam& team_;
   AlignerConfig config_;

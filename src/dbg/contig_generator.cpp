@@ -266,7 +266,23 @@ void ContigGenerator::traverse(pgas::Rank& rank) {
   while (!pending.empty() || !deferred_enqueued) {
     if (pending.empty()) {
       rank.barrier();
-      for (const auto& km : deferred) pending.push_back(Seed{km, true});
+      // Batched pre-screen (aggregated lookup path): most deferred seeds
+      // sit inside contigs their home rank completed during phase 1, so
+      // one aggregated read per owner replaces a fine-grained claim per
+      // seed. A seed observed COMPLETE stays complete (completion is
+      // final; aborts only revert ACTIVE claims), so skipping it is
+      // exactly what the claim path would have done — any seed observed
+      // otherwise falls through to the normal claim protocol.
+      std::vector<char> complete(deferred.size(), 0);
+      auto screen = [&](const KmerT&, const Node* node, std::uint64_t tag) {
+        if (node != nullptr && node->state == 2)
+          complete[static_cast<std::size_t>(tag)] = 1;
+      };
+      for (std::size_t i = 0; i < deferred.size(); ++i)
+        map_->find_buffered(rank, deferred[i], i, screen);
+      map_->process_lookups(rank, screen);
+      for (std::size_t i = 0; i < deferred.size(); ++i)
+        if (complete[i] == 0) pending.push_back(Seed{deferred[i], true});
       deferred_enqueued = true;
       if (pending.empty()) break;
       continue;

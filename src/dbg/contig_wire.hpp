@@ -1,18 +1,18 @@
 #pragma once
 
-#include <cstring>
 #include <vector>
 
 #include "dbg/contig.hpp"
+#include "io/wire.hpp"
 
 /// Flat serialization of contigs for alltoallv exchanges (used by the
 /// traversal's deterministic renumbering and by ContigStore's
-/// redistribution).
+/// redistribution). Framing goes through the shared wire layer: a POD
+/// header followed by the length-prefixed sequence.
 namespace hipmer::dbg {
 
 struct ContigWireHeader {
   std::uint64_t id;
-  std::uint32_t seq_len;
   float avg_depth;
   char left_term;
   char right_term;
@@ -24,9 +24,9 @@ struct ContigWireHeader {
 
 inline void serialize_contig(std::vector<std::byte>& buf,
                              const Contig& contig) {
+  io::wire::Writer w(buf);
   ContigWireHeader header{};
   header.id = contig.id;
-  header.seq_len = static_cast<std::uint32_t>(contig.seq.size());
   header.avg_depth = static_cast<float>(contig.avg_depth);
   header.left_term = contig.left.code;
   header.right_term = contig.right.code;
@@ -34,21 +34,16 @@ inline void serialize_contig(std::vector<std::byte>& buf,
   header.right_has_junction = contig.right.has_junction ? 1 : 0;
   header.left_junction = contig.left.junction;
   header.right_junction = contig.right.junction;
-  const std::size_t old = buf.size();
-  buf.resize(old + sizeof header + contig.seq.size());
-  std::memcpy(buf.data() + old, &header, sizeof header);
-  std::memcpy(buf.data() + old + sizeof header, contig.seq.data(),
-              contig.seq.size());
+  w.put_pod(header);
+  w.put_bytes(contig.seq);
 }
 
 inline std::vector<Contig> deserialize_contigs(
     const std::vector<std::byte>& buf) {
   std::vector<Contig> contigs;
-  std::size_t pos = 0;
-  while (pos + sizeof(ContigWireHeader) <= buf.size()) {
-    ContigWireHeader header;
-    std::memcpy(&header, buf.data() + pos, sizeof header);
-    pos += sizeof header;
+  io::wire::Reader r(buf);
+  while (!r.done()) {
+    const auto header = r.get_pod<ContigWireHeader>();
     Contig contig;
     contig.id = header.id;
     contig.avg_depth = header.avg_depth;
@@ -58,9 +53,8 @@ inline std::vector<Contig> deserialize_contigs(
     contig.right.has_junction = header.right_has_junction != 0;
     contig.left.junction = header.left_junction;
     contig.right.junction = header.right_junction;
-    contig.seq.resize(header.seq_len);
-    std::memcpy(contig.seq.data(), buf.data() + pos, header.seq_len);
-    pos += header.seq_len;
+    contig.seq = r.get_bytes();
+    if (r.truncated()) break;  // partial trailing record: drop, don't misparse
     contigs.push_back(std::move(contig));
   }
   return contigs;

@@ -114,8 +114,12 @@ double ParallelFastqReader::sample_record_length(std::uint64_t offset,
 std::vector<seq::Read> ParallelFastqReader::read_my_records(pgas::Rank& rank) {
   const int p = rank.nranks();
   const int me = rank.id();
-  if (stats_.size() != static_cast<std::size_t>(p))
+  // Root sizes the per-rank stats table; the barrier publishes it before
+  // any rank takes a reference into it (a lazy any-rank resize would race
+  // with slot writers).
+  if (rank.is_root() && stats_.size() != static_cast<std::size_t>(p))
     stats_.assign(static_cast<std::size_t>(p), ParallelFastqStats{});
+  rank.barrier();
   ParallelFastqStats& st = stats_[static_cast<std::size_t>(me)];
   st = ParallelFastqStats{};
 

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+/// Generic per-destination aggregation: the buffering half of §4.1's
+/// "aggregating stores", factored out of DistHashMap so any stage can batch
+/// any operation type toward any owner.
+///
+/// The engine owns a P×P grid of op buffers, indexed
+/// [initiator][destination]. Each initiating rank touches only its own row,
+/// so no locking is needed; a rank's row is allocated lazily on its first
+/// buffered op (a table that never buffers — or a rank that never
+/// participates — costs O(P) pointers, not O(P²) vectors).
+///
+/// The engine is pure buffering policy: *what a batch means* (applying
+/// hash-table updates, answering lookups, shipping reads) and *what it
+/// costs* (CommStats charging) belong to the caller, which receives each
+/// full batch through a flush callback `fn(dest, ops)`.
+namespace hipmer::pgas {
+
+template <typename Op>
+class AggregatingEngine {
+ public:
+  /// `nranks` sizes the grid; `flush_threshold` is the batch size at which
+  /// a destination buffer is handed to the flush callback automatically.
+  AggregatingEngine(std::uint32_t nranks, std::size_t flush_threshold)
+      : nranks_(nranks),
+        flush_threshold_(flush_threshold == 0 ? 1 : flush_threshold),
+        rows_(nranks) {}
+
+  [[nodiscard]] std::size_t flush_threshold() const noexcept {
+    return flush_threshold_;
+  }
+
+  /// Buffer `op` from `initiator` toward `dest`. When the destination
+  /// buffer reaches the threshold it is passed to `fn(dest, ops)` and
+  /// cleared. `fn` may be invoked before this call returns.
+  template <typename FlushFn>
+  void enqueue(int initiator, std::uint32_t dest, Op op, FlushFn&& fn) {
+    auto& row = row_of(initiator);
+    auto& buf = row[dest];
+    buf.push_back(std::move(op));
+    if (buf.size() >= flush_threshold_) {
+      fn(dest, buf);
+      buf.clear();
+    }
+  }
+
+  /// Drain all of `initiator`'s outgoing buffers through `fn(dest, ops)`.
+  /// Destinations are drained round-robin starting at the initiator's
+  /// successor — a fixed 0..P-1 order would hammer rank 0 with P
+  /// near-simultaneous batches at every phase boundary (flush storm) while
+  /// the high ranks idle.
+  template <typename FlushFn>
+  void flush(int initiator, FlushFn&& fn) {
+    auto* row = rows_[static_cast<std::size_t>(initiator)].get();
+    if (row == nullptr) return;  // never buffered anything
+    const auto start = (static_cast<std::uint32_t>(initiator) + 1) % nranks_;
+    for (std::uint32_t i = 0; i < nranks_; ++i) {
+      const std::uint32_t dest = (start + i) % nranks_;
+      auto& buf = (*row)[dest];
+      if (buf.empty()) continue;
+      fn(dest, buf);
+      buf.clear();
+    }
+  }
+
+  /// Ops currently buffered by `initiator` across all destinations. Zero
+  /// after flush() — the post-flush drain invariant the tests assert.
+  [[nodiscard]] std::size_t pending(int initiator) const {
+    const auto* row = rows_[static_cast<std::size_t>(initiator)].get();
+    if (row == nullptr) return 0;
+    std::size_t total = 0;
+    for (const auto& buf : *row) total += buf.size();
+    return total;
+  }
+
+ private:
+  using Row = std::vector<std::vector<Op>>;
+
+  Row& row_of(int initiator) {
+    auto& slot = rows_[static_cast<std::size_t>(initiator)];
+    if (slot == nullptr) slot = std::make_unique<Row>(nranks_);
+    return *slot;
+  }
+
+  std::uint32_t nranks_;
+  std::size_t flush_threshold_;
+  // rows_[initiator] — lazily allocated; only `initiator` writes its slot,
+  // so the unique_ptr needs no synchronization.
+  std::vector<std::unique_ptr<Row>> rows_;
+};
+
+}  // namespace hipmer::pgas

@@ -14,6 +14,8 @@ CommStatsSnapshot& CommStatsSnapshot::operator+=(
   onnode_bytes += o.onnode_bytes;
   offnode_bytes += o.offnode_bytes;
   recv_ops += o.recv_ops;
+  read_cache_hits += o.read_cache_hits;
+  read_cache_misses += o.read_cache_misses;
   io_read_bytes += o.io_read_bytes;
   io_write_bytes += o.io_write_bytes;
   collectives += o.collectives;
@@ -30,6 +32,8 @@ CommStatsSnapshot& CommStatsSnapshot::operator-=(
   onnode_bytes -= o.onnode_bytes;
   offnode_bytes -= o.offnode_bytes;
   recv_ops -= o.recv_ops;
+  read_cache_hits -= o.read_cache_hits;
+  read_cache_misses -= o.read_cache_misses;
   io_read_bytes -= o.io_read_bytes;
   io_write_bytes -= o.io_write_bytes;
   collectives -= o.collectives;
@@ -42,6 +46,7 @@ std::string CommStatsSnapshot::to_string() const {
      << " local=" << local_accesses << " on_msgs=" << onnode_msgs
      << " off_msgs=" << offnode_msgs << " on_B=" << onnode_bytes
      << " off_B=" << offnode_bytes << " recv=" << recv_ops
+     << " cacheH=" << read_cache_hits << " cacheM=" << read_cache_misses
      << " ioR=" << io_read_bytes << " ioW=" << io_write_bytes
      << " coll=" << collectives;
   return os.str();

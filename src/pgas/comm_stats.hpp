@@ -36,6 +36,12 @@ struct CommStatsSnapshot {
   // up as a huge recv_ops count on one rank.
   std::uint64_t recv_ops = 0;
 
+  // Software read-cache traffic (batched lookup path): a hit is a lookup
+  // answered locally that would otherwise have been part of a remote
+  // batch — the saved off-node messages the machine model and Table 2 see.
+  std::uint64_t read_cache_hits = 0;
+  std::uint64_t read_cache_misses = 0;
+
   // Bytes read from / written to the filesystem by this rank.
   std::uint64_t io_read_bytes = 0;
   std::uint64_t io_write_bytes = 0;
@@ -102,6 +108,12 @@ class CommStats {
   void add_recv_ops(std::uint64_t n = 1) noexcept {
     recv_ops_.fetch_add(n, std::memory_order_relaxed);
   }
+  void add_read_cache_hit(std::uint64_t n = 1) noexcept {
+    read_cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_read_cache_miss(std::uint64_t n = 1) noexcept {
+    read_cache_misses_.fetch_add(n, std::memory_order_relaxed);
+  }
   void add_io_read(std::uint64_t bytes) noexcept {
     io_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
@@ -122,6 +134,8 @@ class CommStats {
     s.onnode_bytes = onnode_bytes_.load(std::memory_order_relaxed);
     s.offnode_bytes = offnode_bytes_.load(std::memory_order_relaxed);
     s.recv_ops = recv_ops_.load(std::memory_order_relaxed);
+    s.read_cache_hits = read_cache_hits_.load(std::memory_order_relaxed);
+    s.read_cache_misses = read_cache_misses_.load(std::memory_order_relaxed);
     s.io_read_bytes = io_read_bytes_.load(std::memory_order_relaxed);
     s.io_write_bytes = io_write_bytes_.load(std::memory_order_relaxed);
     s.collectives = collectives_.load(std::memory_order_relaxed);
@@ -137,6 +151,8 @@ class CommStats {
     onnode_bytes_ = 0;
     offnode_bytes_ = 0;
     recv_ops_ = 0;
+    read_cache_hits_ = 0;
+    read_cache_misses_ = 0;
     io_read_bytes_ = 0;
     io_write_bytes_ = 0;
     collectives_ = 0;
@@ -151,6 +167,8 @@ class CommStats {
   std::atomic<std::uint64_t> onnode_bytes_{0};
   std::atomic<std::uint64_t> offnode_bytes_{0};
   std::atomic<std::uint64_t> recv_ops_{0};
+  std::atomic<std::uint64_t> read_cache_hits_{0};
+  std::atomic<std::uint64_t> read_cache_misses_{0};
   std::atomic<std::uint64_t> io_read_bytes_{0};
   std::atomic<std::uint64_t> io_write_bytes_{0};
   std::atomic<std::uint64_t> collectives_{0};

@@ -7,11 +7,14 @@
 #include <optional>
 #include <vector>
 
+#include "pgas/aggregating_engine.hpp"
+#include "pgas/read_cache.hpp"
 #include "pgas/spin_mutex.hpp"
 #include "pgas/thread_team.hpp"
 #include "util/hash.hpp"
 
-/// Distributed hash table with one-sided access and aggregating stores.
+/// Distributed hash table with one-sided access, aggregating stores and
+/// aggregated, software-cached lookups.
 ///
 /// "We emphasize that distributed hash tables lie in the heart of HipMer and
 /// the main operations on them are irregular lookups" (§7 of the paper).
@@ -26,9 +29,18 @@
 ///
 /// Two store paths exist, mirroring §4.1's "aggregating stores":
 ///   - `update()` — one message per element (the naive fine-grained path);
-///   - `update_buffered()` + `flush()` — per-destination buffers that move
-///     B elements per message, cutting message count by B on the critical
-///     path.
+///   - `update_buffered()` + `flush()` — per-destination buffers (the
+///     shared AggregatingEngine) that move B elements per message, cutting
+///     message count by B on the critical path.
+///
+/// Two read paths mirror them, per the journal version's aligner
+/// optimizations (arXiv:1705.11147):
+///   - `find()` — one message per lookup;
+///   - `find_buffered()` + `process_lookups()` — lookup requests aggregate
+///     per owner and replies arrive through a caller handler, optionally
+///     fronted by a per-rank bounded LRU ReadCache (`enable_read_cache`)
+///     for read-only phases. The cache self-invalidates across write-phase
+///     boundaries via the table's write-version counter.
 namespace hipmer::pgas {
 
 /// Default conflict policy: last write wins.
@@ -51,7 +63,8 @@ class DistHashMap {
     /// exactly as HipMer sizes tables from the cardinality estimate).
     std::size_t global_capacity = 1024;
     /// Elements buffered per destination before a flush ("aggregating
-    /// stores" batch size).
+    /// stores" batch size; also the batch size of the aggregated lookup
+    /// path).
     std::size_t flush_threshold = 512;
   };
 
@@ -60,7 +73,9 @@ class DistHashMap {
         cfg_(cfg),
         nranks_(static_cast<std::uint32_t>(team.nranks())),
         shards_(static_cast<std::size_t>(team.nranks())),
-        send_buffers_(static_cast<std::size_t>(team.nranks())) {
+        store_engine_(nranks_, cfg.flush_threshold),
+        lookup_engine_(nranks_, cfg.flush_threshold),
+        caches_(static_cast<std::size_t>(team.nranks())) {
     const std::size_t per_shard =
         (cfg.global_capacity + nranks_ - 1) / nranks_;
     // Aim for ~2 entries per bucket at the estimated cardinality.
@@ -71,8 +86,6 @@ class DistHashMap {
       shard.locks = std::make_unique<SpinMutex[]>(nbuckets);
       shard.mask = nbuckets - 1;
     }
-    for (auto& bufs : send_buffers_)
-      bufs.resize(static_cast<std::size_t>(nranks_));
   }
 
   /// Install a custom owner mapping (oracle partitioning). Must be called
@@ -101,22 +114,29 @@ class DistHashMap {
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
-    charge(rank, owner, sizeof(K) + sizeof(V), 1);
+    rank.charge_message(static_cast<int>(owner), sizeof(K) + sizeof(V), 1);
     apply_update(owner, h, key, delta, policy);
+    bump_version();
   }
 
-  /// One-sided lookup. One message (request+reply counted once).
+  /// One-sided lookup. One message (request+reply counted once); a miss
+  /// moves only the key-sized request — the reply carries no value — so
+  /// modeled lookup traffic is not inflated by absent keys.
   [[nodiscard]] std::optional<V> find(Rank& rank, const K& key) const {
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
-    charge(rank, owner, sizeof(K) + sizeof(V), 1);
     const Shard& shard = shards_[owner];
     const std::size_t b = bucket_index(shard, h);
-    std::lock_guard<SpinMutex> lock(shard.locks[b]);
-    const Entry* e = find_in_bucket(shard.buckets[b], key);
-    if (e == nullptr) return std::nullopt;
-    return e->value;
+    std::optional<V> result;
+    {
+      std::lock_guard<SpinMutex> lock(shard.locks[b]);
+      const Entry* e = find_in_bucket(shard.buckets[b], key);
+      if (e != nullptr) result = e->value;
+    }
+    rank.charge_message(static_cast<int>(owner),
+                        sizeof(K) + (result.has_value() ? sizeof(V) : 0), 1);
+    return result;
   }
 
   /// Lock the key's bucket and run `fn(V&)` in place if present. Returns
@@ -129,13 +149,18 @@ class DistHashMap {
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
-    charge(rank, owner, sizeof(K) + sizeof(V), 1);
+    rank.charge_message(static_cast<int>(owner), sizeof(K) + sizeof(V), 1);
     Shard& shard = shards_[owner];
     const std::size_t b = bucket_index(shard, h);
-    std::lock_guard<SpinMutex> lock(shard.locks[b]);
-    Entry* e = find_in_bucket_mut(shard.buckets[b], key);
-    if (e == nullptr) return std::nullopt;
-    return fn(e->value);
+    std::optional<decltype(fn(std::declval<V&>()))> result;
+    {
+      std::lock_guard<SpinMutex> lock(shard.locks[b]);
+      Entry* e = find_in_bucket_mut(shard.buckets[b], key);
+      if (e == nullptr) return std::nullopt;
+      result = fn(e->value);
+    }
+    bump_version();
+    return result;
   }
 
   // ---- aggregating-stores path ----
@@ -147,21 +172,125 @@ class DistHashMap {
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
-    auto& buf = send_buffers_[static_cast<std::size_t>(rank.id())][owner];
-    buf.push_back(PendingOp{h, key, delta, policy});
-    if (buf.size() >= cfg_.flush_threshold) flush_one(rank, owner);
+    store_engine_.enqueue(rank.id(), owner, PendingOp{h, key, delta, policy},
+                          [&](std::uint32_t dest, std::vector<PendingOp>& ops) {
+                            apply_store_batch(rank, dest, ops);
+                          });
   }
 
-  /// Drain all of this rank's outgoing buffers. Every rank must call this
-  /// (followed by a barrier at the call site) before switching the table to
-  /// the read phase. Ranks drain destinations round-robin starting at their
-  /// successor — a fixed 0..P-1 order would hammer rank 0's shard with P
-  /// near-simultaneous batches at every phase boundary (flush storm) while
-  /// the high ranks idle.
+  /// Drain all of this rank's outgoing store buffers. Every rank must call
+  /// this (followed by a barrier at the call site) before switching the
+  /// table to the read phase. The engine drains destinations round-robin
+  /// starting at this rank's successor (flush-storm avoidance).
   void flush(Rank& rank) {
-    const auto start = (static_cast<std::uint32_t>(rank.id()) + 1) % nranks_;
-    for (std::uint32_t i = 0; i < nranks_; ++i)
-      flush_one(rank, (start + i) % nranks_);
+    store_engine_.flush(rank.id(),
+                        [&](std::uint32_t dest, std::vector<PendingOp>& ops) {
+                          apply_store_batch(rank, dest, ops);
+                        });
+  }
+
+  /// Store ops this rank has buffered but not yet applied (0 after flush).
+  [[nodiscard]] std::size_t pending_store_ops(int rank) const {
+    return store_engine_.pending(rank);
+  }
+
+  // ---- aggregated lookup path (batched reads + software cache) ----
+  //
+  // Handler signature: void(const K& key, const V* value, std::uint64_t
+  // tag). `value` is nullptr on miss and otherwise valid only for the
+  // duration of the call; `tag` is the caller's routing cookie (slot index,
+  // contig id, ...). The handler for a key may run inside `find_buffered`
+  // itself — on a cache hit, a local key, or an auto-flushed full batch —
+  // or inside `process_lookups`; callers must pass the same handler to
+  // both and must not assume reply order.
+
+  /// Queue a lookup of `key`, delivering the reply through `handler`.
+  /// Local keys are served immediately (local access, no batching); remote
+  /// keys consult this rank's ReadCache when enabled and otherwise join
+  /// the per-owner request batch.
+  template <typename Handler>
+  void find_buffered(Rank& rank, const K& key, std::uint64_t tag,
+                     Handler&& handler) {
+    const std::uint64_t h = Hash{}(key);
+    const std::uint32_t owner =
+        mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    if (static_cast<int>(owner) == rank.id()) {
+      // Owner-local: answer from the shard directly, as find() would.
+      const Shard& shard = shards_[owner];
+      const std::size_t b = bucket_index(shard, h);
+      bool found = false;
+      V copy;
+      {
+        std::lock_guard<SpinMutex> lock(shard.locks[b]);
+        if (const Entry* e = find_in_bucket(shard.buckets[b], key)) {
+          copy = e->value;
+          found = true;
+        }
+      }
+      rank.stats().add_local_access(1);
+      handler(key, found ? &copy : nullptr, tag);
+      return;
+    }
+    if (auto* cache = caches_[static_cast<std::size_t>(rank.id())].get()) {
+      cache->check_version(version_.load(std::memory_order_acquire));
+      if (const V* hit = cache->lookup(key)) {
+        rank.stats().add_read_cache_hit();
+        handler(key, hit, tag);
+        return;
+      }
+      rank.stats().add_read_cache_miss();
+    }
+    lookup_engine_.enqueue(
+        rank.id(), owner, LookupReq{h, key, tag},
+        [&](std::uint32_t dest, std::vector<LookupReq>& reqs) {
+          answer_lookup_batch(rank, dest, reqs, handler);
+        });
+  }
+
+  /// Drain this rank's pending lookup batches, delivering every
+  /// outstanding reply through `handler`. Round-robin over owners, like
+  /// flush(). Call at the end of a read phase (no barrier needed: lookups
+  /// touch only owner shards, which are valid throughout).
+  template <typename Handler>
+  void process_lookups(Rank& rank, Handler&& handler) {
+    lookup_engine_.flush(rank.id(),
+                         [&](std::uint32_t dest, std::vector<LookupReq>& reqs) {
+                           answer_lookup_batch(rank, dest, reqs, handler);
+                         });
+  }
+
+  /// Lookups this rank has queued but not yet answered (0 after
+  /// process_lookups).
+  [[nodiscard]] std::size_t pending_lookups(int rank) const {
+    return lookup_engine_.pending(rank);
+  }
+
+  /// Opt this rank into the software read cache (read-only phases). Each
+  /// rank manages only its own cache slot, so this is callable from inside
+  /// team.run() without synchronization.
+  void enable_read_cache(Rank& rank, std::size_t capacity) {
+    auto& slot = caches_[static_cast<std::size_t>(rank.id())];
+    slot = std::make_unique<Cache>(capacity);
+    active_caches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drop this rank's cache (end of the read phase) and release its memory.
+  void disable_read_cache(Rank& rank) {
+    auto& slot = caches_[static_cast<std::size_t>(rank.id())];
+    if (slot == nullptr) return;
+    slot.reset();
+    active_caches_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// This rank's cache hit/miss counters (zeros when no cache is enabled).
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] CacheStats read_cache_stats(int rank) const {
+    const auto* cache = caches_[static_cast<std::size_t>(rank)].get();
+    if (cache == nullptr) return {};
+    return CacheStats{cache->hits(), cache->misses()};
   }
 
   // ---- local-shard access (owner side) ----
@@ -219,6 +348,7 @@ class DistHashMap {
       }
     }
     shard.size.fetch_sub(erased, std::memory_order_relaxed);
+    bump_version();
     return erased;
   }
 
@@ -267,6 +397,14 @@ class DistHashMap {
     Policy policy;
   };
 
+  struct LookupReq {
+    std::uint64_t hash;
+    K key;
+    std::uint64_t tag;
+  };
+
+  using Cache = ReadCache<K, V, Hash>;
+
   static std::size_t bucket_index(const Shard& shard, std::uint64_t h) {
     // Decorrelate from the owner mapping (which typically uses h % P).
     return util::fmix64(h) & shard.mask;
@@ -308,30 +446,53 @@ class DistHashMap {
     shard.size.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Charge communication for `ops` logical operations moved to `owner` in
-  /// a single message of `bytes` payload.
-  void charge(Rank& rank, std::uint32_t owner, std::size_t bytes,
-              std::size_t ops) const {
-    const int self = rank.id();
-    if (static_cast<int>(owner) == self) {
-      rank.stats().add_local_access(ops);
-      return;
-    }
-    if (rank.topology().same_node(static_cast<int>(owner), self)) {
-      rank.stats().add_onnode_msg(bytes);
-    } else {
-      rank.stats().add_offnode_msg(bytes);
-    }
-    rank.stats_of(static_cast<int>(owner)).add_recv_ops(ops);
+  /// One aggregated store message: charge once, apply every op.
+  void apply_store_batch(Rank& rank, std::uint32_t dest,
+                         std::vector<PendingOp>& ops) {
+    rank.charge_message(static_cast<int>(dest),
+                        ops.size() * (sizeof(K) + sizeof(V)), ops.size());
+    for (const auto& op : ops)
+      apply_update(dest, op.hash, op.key, op.delta, op.policy);
+    bump_version();
   }
 
-  void flush_one(Rank& rank, std::uint32_t dest) {
-    auto& buf = send_buffers_[static_cast<std::size_t>(rank.id())][dest];
-    if (buf.empty()) return;
-    charge(rank, dest, buf.size() * (sizeof(K) + sizeof(V)), buf.size());
-    for (const auto& op : buf)
-      apply_update(dest, op.hash, op.key, op.delta, op.policy);
-    buf.clear();
+  /// One aggregated lookup message: the request ships the keys, the reply
+  /// ships values for the hits only (the miss accounting rule of find()).
+  template <typename Handler>
+  void answer_lookup_batch(Rank& rank, std::uint32_t dest,
+                           std::vector<LookupReq>& reqs, Handler&& handler) {
+    auto* cache = caches_[static_cast<std::size_t>(rank.id())].get();
+    const Shard& shard = shards_[dest];
+    std::size_t hits = 0;
+    for (const auto& req : reqs) {
+      const std::size_t b = bucket_index(shard, req.hash);
+      bool found = false;
+      V copy;
+      {
+        std::lock_guard<SpinMutex> lock(shard.locks[b]);
+        if (const Entry* e = find_in_bucket(shard.buckets[b], req.key)) {
+          copy = e->value;
+          found = true;
+        }
+      }
+      if (found) {
+        ++hits;
+        if (cache != nullptr) cache->insert(req.key, copy);
+      }
+      handler(static_cast<const K&>(req.key), found ? &copy : nullptr,
+              req.tag);
+    }
+    rank.charge_message(static_cast<int>(dest),
+                        reqs.size() * sizeof(K) + hits * sizeof(V),
+                        reqs.size());
+  }
+
+  /// Writes advance the table version so read caches self-invalidate.
+  /// Skipped while no cache exists anywhere — the common write phases —
+  /// to keep the hot update paths free of shared-counter traffic.
+  void bump_version() {
+    if (active_caches_.load(std::memory_order_relaxed) == 0) return;
+    version_.fetch_add(1, std::memory_order_release);
   }
 
   ThreadTeam* team_;
@@ -339,9 +500,15 @@ class DistHashMap {
   std::uint32_t nranks_;
   RankMapper mapper_;
   std::vector<Shard> shards_;
-  // send_buffers_[initiator][destination] — each initiating rank touches
-  // only its own row, so no locking is needed.
-  std::vector<std::vector<std::vector<PendingOp>>> send_buffers_;
+  AggregatingEngine<PendingOp> store_engine_;
+  AggregatingEngine<LookupReq> lookup_engine_;
+  // caches_[r] — rank r's software read cache (null = not opted in). Each
+  // rank touches only its own slot.
+  std::vector<std::unique_ptr<Cache>> caches_;
+  std::atomic<std::uint64_t> active_caches_{0};
+  // Monotonic write version; starts at 1 so a fresh cache (seen_version 0)
+  // always syncs on first use.
+  std::atomic<std::uint64_t> version_{1};
 };
 
 }  // namespace hipmer::pgas

@@ -60,6 +60,7 @@ struct MachineModel {
   double onnode_byte_ns = 0.05;
   double offnode_byte_ns = 0.25;
   double recv_op_ns = 100.0;
+  double cache_hit_ns = 5.0;  // software read-cache hit: L1/L2-resident probe
   double collective_ns = 30000.0;
   double io_bw_node_gbs = 0.5;   // per-node achievable filesystem bandwidth
   double io_bw_peak_gbs = 36.0;  // aggregate saturation point
@@ -75,6 +76,7 @@ struct MachineModel {
         onnode_byte_ns * static_cast<double>(s.onnode_bytes) +
         offnode_byte_ns * static_cast<double>(s.offnode_bytes) +
         recv_op_ns * static_cast<double>(s.recv_ops) +
+        cache_hit_ns * static_cast<double>(s.read_cache_hits) +
         collective_ns * static_cast<double>(s.collectives);
     return ns * 1e-9;
   }

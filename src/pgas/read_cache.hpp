@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+/// Per-rank software cache for remote hash-table reads.
+///
+/// The journal version of the paper (Georganas et al., arXiv:1705.11147)
+/// fronts merAligner's seed-index lookups with exactly this: a bounded
+/// per-processor cache of (key, value) pairs that short-circuits repeated
+/// remote lookups — at 18x read coverage the same seed k-mer is probed ~18
+/// times, so most lookups never leave the rank. The cache is strictly a
+/// read-phase structure: DistHashMap tags it with the table's write version
+/// and the cache drops everything when the version moves (see
+/// `check_version`), so a value can never be served across a write-phase
+/// boundary.
+///
+/// Single-threaded by construction — each rank owns one cache and nobody
+/// else touches it — so no locking, and the LRU list is a plain std::list.
+namespace hipmer::pgas {
+
+template <typename K, typename V, typename Hash>
+class ReadCache {
+ public:
+  explicit ReadCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    map_.reserve(capacity_);
+  }
+
+  /// Drop everything if the owning table has been written since the cache
+  /// was last coherent. Call before every lookup/insert batch.
+  void check_version(std::uint64_t table_version) {
+    if (table_version == seen_version_) return;
+    map_.clear();
+    lru_.clear();
+    seen_version_ = table_version;
+  }
+
+  /// nullptr on miss; on hit the pointer stays valid until the next
+  /// mutating call. Bumps the hit/miss counters.
+  [[nodiscard]] const V* lookup(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return &it->second->second;
+  }
+
+  /// Insert (or refresh) a key fetched from the owner; evicts the least
+  /// recently used entry at capacity. Only positive results are cached —
+  /// a cached "absent" could not be invalidated by the insert that fills
+  /// it without a version bump on every store, which read-only phases
+  /// never issue.
+  void insert(const K& key, const V& value) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = value;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+    lru_.emplace_front(key, value);
+    map_.emplace(key, lru_.begin());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_version_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  // Front = most recently used.
+  std::list<std::pair<K, V>> lru_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      map_;
+};
+
+}  // namespace hipmer::pgas

@@ -52,6 +52,14 @@ class Rank {
 
   ThreadTeam& team() noexcept { return *team_; }
 
+  /// Charge one message of `bytes` payload carrying `ops` logical
+  /// operations against `owner`'s shard: the initiator's counters are
+  /// bumped with the locality-classified message, the owner's with the
+  /// service ops. A self-targeted message is a local access. This is the
+  /// single accounting rule every one-sided structure (DistHashMap, the
+  /// aggregating engine's users, ContigStore) shares.
+  void charge_message(int owner, std::size_t bytes, std::size_t ops = 1);
+
   // ---- Collectives (must be called by every rank, in the same order) ----
 
   void barrier();
@@ -149,6 +157,20 @@ inline const Topology& Rank::topology() const noexcept {
 inline CommStats& Rank::stats() noexcept { return team_->stats(rank_); }
 inline CommStats& Rank::stats_of(int rank) noexcept {
   return team_->stats(rank);
+}
+
+inline void Rank::charge_message(int owner, std::size_t bytes,
+                                 std::size_t ops) {
+  if (owner == rank_) {
+    stats().add_local_access(ops);
+    return;
+  }
+  if (topology().same_node(owner, rank_)) {
+    stats().add_onnode_msg(bytes);
+  } else {
+    stats().add_offnode_msg(bytes);
+  }
+  stats_of(owner).add_recv_ops(ops);
 }
 
 inline void Rank::barrier() {

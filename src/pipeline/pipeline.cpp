@@ -7,6 +7,7 @@
 #include "align/contig_store.hpp"
 #include "io/fastq.hpp"
 #include "io/parallel_fastq.hpp"
+#include "io/wire.hpp"
 #include "scaffold/depths.hpp"
 #include "scaffold/insert_size.hpp"
 #include "scaffold/splints_spans.hpp"
@@ -116,35 +117,15 @@ PipelineResult Pipeline::run_from_fastq(
           for (std::size_t i = 0; i < reads.size(); ++i) {
             const auto& r = reads[i];
             bytes += r.name.size() + r.seq.size() + r.quals.size() + 6;
-            auto& buf = outgoing[(i / 2) % p];
-            // name\nseq\nquals\n framing.
-            for (const std::string* s : {&r.name, &r.seq, &r.quals}) {
-              const auto* ptr = reinterpret_cast<const std::byte*>(s->data());
-              buf.insert(buf.end(), ptr, ptr + s->size());
-              buf.push_back(std::byte{'\n'});
-            }
+            io::wire::Writer w(outgoing[(i / 2) % p]);
+            io::wire::put_read(w, r);
             rank.stats().add_serial_work();
           }
           rank.stats().add_io_read(bytes);
         }
         const auto mine = rank.alltoallv(outgoing);
-        // Parse the framed records back.
-        auto& dest = rank_reads[static_cast<std::size_t>(rank.id())][lib];
-        std::size_t pos = 0;
-        auto next_field = [&](std::string& out) {
-          std::size_t end = pos;
-          while (end < mine.size() && mine[end] != std::byte{'\n'}) ++end;
-          out.assign(reinterpret_cast<const char*>(mine.data() + pos),
-                     end - pos);
-          pos = end + 1;
-        };
-        while (pos < mine.size()) {
-          seq::Read r;
-          next_field(r.name);
-          next_field(r.seq);
-          next_field(r.quals);
-          dest.push_back(std::move(r));
-        }
+        io::wire::get_reads(mine,
+                            rank_reads[static_cast<std::size_t>(rank.id())][lib]);
         rank.barrier();
       }
     });
@@ -248,34 +229,13 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
       for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
         auto& mine = rank_reads[static_cast<std::size_t>(rank.id())][lib];
         std::vector<std::vector<std::byte>> outgoing(p);
-        auto& to_root = outgoing[0];
-        for (const auto& r : mine) {
-          for (const std::string* f : {&r.name, &r.seq, &r.quals}) {
-            const auto* ptr = reinterpret_cast<const std::byte*>(f->data());
-            to_root.insert(to_root.end(), ptr, ptr + f->size());
-            to_root.push_back(std::byte{'\n'});
-          }
-        }
+        io::wire::Writer to_root(outgoing[0]);
+        for (const auto& r : mine) io::wire::put_read(to_root, r);
         if (!rank.is_root()) mine.clear();
         const auto gathered = rank.alltoallv(outgoing);
         if (rank.is_root()) {
           std::vector<seq::Read> all;
-          std::size_t pos = 0;
-          auto next_field = [&](std::string& out) {
-            std::size_t end = pos;
-            while (end < gathered.size() && gathered[end] != std::byte{'\n'})
-              ++end;
-            out.assign(reinterpret_cast<const char*>(gathered.data() + pos),
-                       end - pos);
-            pos = end + 1;
-          };
-          while (pos < gathered.size()) {
-            seq::Read r;
-            next_field(r.name);
-            next_field(r.seq);
-            next_field(r.quals);
-            all.push_back(std::move(r));
-          }
+          io::wire::get_reads(gathered, all);
           mine = std::move(all);
         }
         rank.barrier();

@@ -28,21 +28,38 @@ std::vector<std::pair<std::uint64_t, double>> DepthCalculator::run(
   counts_->flush(rank);
   rank.barrier();
 
-  // Phase 2: pure reads — each rank sums the counts of its contigs' k-mers.
-  std::vector<std::pair<std::uint64_t, double>> depths;
+  // Phase 2: pure reads — each rank sums the counts of its contigs' k-mers
+  // through the batched lookup path (one aggregated message per owner
+  // instead of one per k-mer). No read cache: contig k-mers are distinct,
+  // so there is no reuse to exploit.
+  std::vector<std::uint64_t> ids;
+  std::vector<std::uint64_t> sums;
+  std::vector<std::uint64_t> ns;
+  auto accumulate = [&sums](const seq::KmerT& /*key*/,
+                            const std::uint32_t* count, std::uint64_t tag) {
+    if (count != nullptr) sums[static_cast<std::size_t>(tag)] += *count;
+  };
   store.for_each_local(rank, [&](std::uint64_t id, const dbg::Contig& contig) {
-    std::uint64_t sum = 0;
-    std::uint64_t n = 0;
+    const std::uint64_t ordinal = ids.size();
+    ids.push_back(id);
+    sums.push_back(0);
+    ns.push_back(0);
     for (seq::KmerScanner<seq::KmerT::kMaxK> it(contig.seq, k_); !it.done();
          it.next()) {
-      sum += counts_->find(rank, it.canonical()).value_or(0);
-      ++n;
+      counts_->find_buffered(rank, it.canonical(), ordinal, accumulate);
+      ++ns[ordinal];
       rank.stats().add_work();
     }
-    depths.emplace_back(id, n == 0 ? 0.0
-                                   : static_cast<double>(sum) /
-                                         static_cast<double>(n));
   });
+  counts_->process_lookups(rank, accumulate);
+
+  std::vector<std::pair<std::uint64_t, double>> depths;
+  depths.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    depths.emplace_back(ids[i], ns[i] == 0 ? 0.0
+                                           : static_cast<double>(sums[i]) /
+                                                 static_cast<double>(ns[i]));
+  }
   rank.barrier();
   return depths;
 }

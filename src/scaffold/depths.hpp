@@ -17,7 +17,9 @@
 /// construction ... we employ ... aggregating stores. Next, each processor
 /// is assigned 1/p of the contigs and for every contig, looks up all the
 /// contained k-mers and sums up their counts." The read phase needs no
-/// synchronization — the table is only read after a barrier.
+/// synchronization — the table is only read after a barrier — so the probes
+/// ride the batched lookup path (aggregated per owner, one message per
+/// batch).
 ///
 /// (The traversal already accumulates an average depth opportunistically;
 /// the pipeline trusts this module instead, since after bubble merging the

@@ -30,17 +30,31 @@ void LinkGenerator::add_observations(
 }
 
 std::vector<Tie> LinkGenerator::assess(pgas::Rank& rank) {
+  // Candidate keys are local by construction (each rank assesses the shard
+  // it owns), but the tie reads still flow through the table's batched
+  // lookup path so they share its accounting and semantics with the other
+  // read-only phases. Keys are collected first: find_buffered takes the
+  // bucket lock, so it must not run inside for_each_local's iteration.
+  std::vector<LinkKey> candidates;
+  map_->for_each_local(rank, [&](const LinkKey& key, LinkData& /*data*/) {
+    candidates.push_back(key);
+  });
+
   std::vector<Tie> ties;
-  map_->for_each_local(rank, [&](const LinkKey& key, LinkData& data) {
+  auto emit = [&](const LinkKey& key, const LinkData* data,
+                  std::uint64_t /*tag*/) {
     rank.stats().add_work();
-    if (data.support() < config_.min_support) return;
+    if (data == nullptr || data->support() < config_.min_support) return;
     Tie tie;
     tie.a = key.lo;
     tie.b = key.hi;
-    tie.support = data.support();
-    tie.gap = data.mean_gap();
+    tie.support = data->support();
+    tie.gap = data->mean_gap();
     ties.push_back(tie);
-  });
+  };
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    map_->find_buffered(rank, candidates[i], i, emit);
+  map_->process_lookups(rank, emit);
   rank.barrier();
   return ties;
 }

@@ -9,6 +9,7 @@
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
 #include "io/parallel_fastq.hpp"
+#include "io/wire.hpp"
 #include "pgas/thread_team.hpp"
 #include "sim/genome_sim.hpp"
 
@@ -190,6 +191,97 @@ TEST(ParallelFastq, BoundaryDetectionIgnoresAtSignQuality) {
     std::getline(in, line);
     EXPECT_EQ(line.rfind("@t", 0), 0u) << "offset " << off << " boundary " << b;
   }
+}
+
+// ---- wire framing ----
+
+TEST(Wire, PodAndBytesRoundTrip) {
+  std::vector<std::byte> buf;
+  wire::Writer w(buf);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(1ull << 40);
+  struct Pod {
+    double d;
+    std::int16_t s;
+  } pod{3.25, -7};
+  w.put_pod(pod);
+  w.put_bytes("hello");
+  w.put_bytes("");  // zero-length field is legal
+
+  wire::Reader r(buf);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 1ull << 40);
+  const auto back = r.get_pod<Pod>();
+  EXPECT_EQ(back.d, 3.25);
+  EXPECT_EQ(back.s, -7);
+  EXPECT_EQ(r.get_bytes(), "hello");
+  EXPECT_EQ(r.get_bytes(), "");
+  EXPECT_TRUE(r.done());
+  EXPECT_FALSE(r.truncated());
+}
+
+TEST(Wire, PayloadsMayContainAnyByte) {
+  // The newline-framed serializers this layer replaced could not carry
+  // newlines (or NULs) inside a field; length prefixes can.
+  std::vector<std::byte> buf;
+  wire::Writer w(buf);
+  const std::string nasty("line1\nline2\0@+\n", 15);
+  w.put_bytes(nasty);
+  w.put_bytes("\n\n\n");
+  wire::Reader r(buf);
+  EXPECT_EQ(r.get_bytes(), nasty);
+  EXPECT_EQ(r.get_bytes(), "\n\n\n");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, ReadRecordsConcatenateAndRoundTrip) {
+  // Streams from different senders concatenate without sentinels — the
+  // alltoallv receive path parses sender boundaries implicitly.
+  std::vector<std::byte> buf;
+  wire::Writer w(buf);
+  const auto reads = make_reads(17, 20, 80, true, 424242);
+  for (const auto& read : reads) wire::put_read(w, read);
+
+  std::vector<seq::Read> out;
+  ASSERT_TRUE(wire::get_reads(buf, out));
+  ASSERT_EQ(out.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(out[i].name, reads[i].name);
+    EXPECT_EQ(out[i].seq, reads[i].seq);
+    EXPECT_EQ(out[i].quals, reads[i].quals);
+  }
+}
+
+TEST(Wire, TruncatedStreamIsDetectedNotMisparsed) {
+  std::vector<std::byte> buf;
+  wire::Writer w(buf);
+  seq::Read read;
+  read.name = "r1";
+  read.seq = "ACGTACGT";
+  read.quals = "IIIIIIII";
+  wire::put_read(w, read);
+  wire::put_read(w, read);
+
+  // Chop the buffer at every possible point: the first record either
+  // parses whole or the truncation flag trips — never a corrupt record.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::vector<std::byte> partial(buf.begin(),
+                                   buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::vector<seq::Read> out;
+    const bool ok = wire::get_reads(partial, out);
+    if (ok) {
+      for (const auto& r : out) {
+        EXPECT_EQ(r.name, read.name);
+        EXPECT_EQ(r.seq, read.seq);
+        EXPECT_EQ(r.quals, read.quals);
+      }
+    } else {
+      EXPECT_LT(out.size(), 2u);
+    }
+  }
+  std::vector<seq::Read> out;
+  EXPECT_TRUE(wire::get_reads(buf, out));
+  EXPECT_EQ(out.size(), 2u);
 }
 
 }  // namespace

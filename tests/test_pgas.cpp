@@ -4,8 +4,10 @@
 #include <numeric>
 #include <random>
 
+#include "pgas/aggregating_engine.hpp"
 #include "pgas/dist_hash_map.hpp"
 #include "pgas/machine_model.hpp"
+#include "pgas/read_cache.hpp"
 #include "pgas/thread_team.hpp"
 #include "pgas/topology.hpp"
 
@@ -110,6 +112,60 @@ TEST(Collectives, AlltoallvDeliversExactly) {
     for (int s = 0; s < p; ++s)
       for (int c = 0; c <= rank.id(); ++c)
         EXPECT_EQ(in[idx++], s * 1000 + rank.id());
+  });
+}
+
+TEST(Collectives, AlltoallvAllEmptyDestinations) {
+  const int p = 4;
+  ThreadTeam team(Topology{p, 2});
+  team.run([&](Rank& rank) {
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    const auto in = rank.alltoallv(out);
+    EXPECT_TRUE(in.empty());
+  });
+}
+
+TEST(Collectives, AlltoallvSomeEmptyContributions) {
+  // Only even ranks send; everyone still converges and receives exactly
+  // the even ranks' payloads.
+  const int p = 6;
+  ThreadTeam team(Topology{p, 3});
+  team.run([&](Rank& rank) {
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    if (rank.id() % 2 == 0)
+      for (int d = 0; d < p; ++d)
+        out[static_cast<std::size_t>(d)].push_back(rank.id());
+    const auto in = rank.alltoallv(out);
+    ASSERT_EQ(in.size(), 3u);  // ranks 0, 2, 4
+    EXPECT_EQ(in, (std::vector<int>{0, 2, 4}));
+  });
+}
+
+TEST(Collectives, AllgathervAllEmpty) {
+  ThreadTeam team(Topology{4, 2});
+  team.run([&](Rank& rank) {
+    const auto all = rank.allgatherv(std::vector<int>{});
+    EXPECT_TRUE(all.empty());
+  });
+}
+
+TEST(Collectives, SingleRankTeam) {
+  // A team of one: every collective degenerates to the identity and must
+  // not deadlock on itself.
+  ThreadTeam team(Topology{1, 1});
+  team.run([&](Rank& rank) {
+    EXPECT_EQ(rank.nranks(), 1);
+    rank.barrier();
+    EXPECT_EQ(rank.allreduce_sum(7), 7);
+    EXPECT_EQ(rank.allreduce_max(-3), -3);
+    EXPECT_EQ(rank.exscan_sum(5), 0);
+    EXPECT_DOUBLE_EQ(rank.broadcast(1.5, 0), 1.5);
+    EXPECT_EQ(rank.allgather(9), std::vector<int>{9});
+    EXPECT_EQ(rank.allgatherv(std::vector<int>{1, 2}),
+              (std::vector<int>{1, 2}));
+    std::vector<std::vector<int>> out{{42}};
+    EXPECT_EQ(rank.alltoallv(out), std::vector<int>{42});
+    rank.barrier();
   });
 }
 
@@ -310,6 +366,236 @@ TEST(DistHashMap, CustomRankMapperControlsPlacement) {
     EXPECT_EQ(map.local_size(3), 4u);
     EXPECT_EQ(map.local_size(rank.id() == 3 ? 0 : rank.id()), 0u);
   });
+}
+
+// ---- AggregatingEngine / batched lookups / read cache ----
+
+TEST(AggregatingEngine, FlushesAtThresholdAndDrainsRoundRobin) {
+  AggregatingEngine<int> engine(4, 3);
+  std::vector<std::pair<std::uint32_t, std::vector<int>>> batches;
+  auto record = [&](std::uint32_t dest, std::vector<int>& ops) {
+    batches.emplace_back(dest, ops);
+  };
+  // Two ops stay buffered; the third auto-flushes the full batch.
+  engine.enqueue(0, 2, 10, record);
+  engine.enqueue(0, 2, 11, record);
+  EXPECT_TRUE(batches.empty());
+  EXPECT_EQ(engine.pending(0), 2u);
+  engine.enqueue(0, 2, 12, record);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].first, 2u);
+  EXPECT_EQ(batches[0].second, (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(engine.pending(0), 0u);
+
+  // flush() drains round-robin from the initiator's successor: rank 2's
+  // buffers drain in dest order 3, 0, 1.
+  batches.clear();
+  engine.enqueue(2, 0, 1, record);
+  engine.enqueue(2, 1, 2, record);
+  engine.enqueue(2, 3, 3, record);
+  engine.flush(2, record);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].first, 3u);
+  EXPECT_EQ(batches[1].first, 0u);
+  EXPECT_EQ(batches[2].first, 1u);
+  EXPECT_EQ(engine.pending(2), 0u);
+  // A rank that never buffered flushes as a no-op (lazy rows).
+  engine.flush(1, record);
+  EXPECT_EQ(batches.size(), 3u);
+}
+
+TEST(ReadCache, LruEvictionAndCounters) {
+  ReadCache<std::uint64_t, int, std::hash<std::uint64_t>> cache(2);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  cache.insert(1, 100);
+  cache.insert(2, 200);
+  ASSERT_NE(cache.lookup(1), nullptr);  // 1 is now most recent
+  cache.insert(3, 300);                 // evicts 2 (LRU)
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  ASSERT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(*cache.lookup(3), 300);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ReadCache, VersionChangeDropsEverything) {
+  ReadCache<std::uint64_t, int, std::hash<std::uint64_t>> cache(8);
+  cache.check_version(1);
+  cache.insert(5, 50);
+  cache.check_version(1);  // unchanged version: cache intact
+  EXPECT_NE(cache.lookup(5), nullptr);
+  cache.check_version(2);  // table was written: everything goes
+  EXPECT_EQ(cache.lookup(5), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DistHashMap, BatchedLookupsMatchFind) {
+  const int p = 4;
+  ThreadTeam team(Topology{p, 2});
+  Map map(team, Map::Config{.global_capacity = 2048, .flush_threshold = 32});
+  team.run([&](Rank& rank) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      const std::uint64_t key = static_cast<std::uint64_t>(rank.id()) * 1000 + i;
+      map.update(rank, key, key + 7);
+    }
+    rank.barrier();
+    // Probe every key plus a stripe of absent ones; replies (in any order,
+    // possibly inside find_buffered) must match the fine-grained path.
+    std::vector<std::uint64_t> keys;
+    for (int r = 0; r < p; ++r)
+      for (std::uint64_t i = 0; i < 250; ++i)  // 200 present + 50 absent
+        keys.push_back(static_cast<std::uint64_t>(r) * 1000 + i);
+    std::vector<char> answered(keys.size(), 0);
+    auto check = [&](const std::uint64_t& key, const std::uint64_t* value,
+                     std::uint64_t tag) {
+      answered[static_cast<std::size_t>(tag)] = 1;
+      const auto expected = map.find(rank, key);
+      ASSERT_EQ(value != nullptr, expected.has_value()) << key;
+      if (value != nullptr) EXPECT_EQ(*value, *expected);
+    };
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      map.find_buffered(rank, keys[i], i, check);
+    map.process_lookups(rank, check);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      EXPECT_EQ(answered[i], 1) << keys[i];
+  });
+}
+
+TEST(DistHashMap, DrainInvariantAfterFlushAndProcessLookups) {
+  const int p = 4;
+  ThreadTeam team(Topology{p, 2});
+  Map map(team, Map::Config{.global_capacity = 1024, .flush_threshold = 1000});
+  std::atomic<std::uint64_t> replies{0};
+  team.run([&](Rank& rank) {
+    // Far below the threshold: everything stays buffered until the
+    // explicit drain, and nothing is left behind afterwards.
+    for (std::uint64_t i = 0; i < 10; ++i)
+      map.update_buffered(rank, i * 131, i);
+    EXPECT_GT(map.pending_store_ops(rank.id()), 0u);
+    map.flush(rank);
+    EXPECT_EQ(map.pending_store_ops(rank.id()), 0u);
+    rank.barrier();
+
+    auto count = [&](const std::uint64_t&, const std::uint64_t*,
+                     std::uint64_t) { replies.fetch_add(1); };
+    for (std::uint64_t i = 0; i < 10; ++i)
+      map.find_buffered(rank, i * 131, i, count);
+    map.process_lookups(rank, count);
+    EXPECT_EQ(map.pending_lookups(rank.id()), 0u);
+  });
+  // Every queued lookup produced exactly one reply.
+  EXPECT_EQ(replies.load(), static_cast<std::uint64_t>(p) * 10u);
+}
+
+TEST(DistHashMap, ReadCacheNeverServesStaleValues) {
+  // A value cached during one read phase must not survive a write phase:
+  // the table's write version moves and the cache self-invalidates.
+  ThreadTeam team(Topology{2, 1});
+  Map map(team, Map::Config{.global_capacity = 64, .flush_threshold = 8});
+  map.set_rank_mapper([](std::uint64_t) { return 1u; });  // all keys on rank 1
+  team.run([&](Rank& rank) {
+    if (rank.id() == 1) map.update(rank, 7u, 100);
+    rank.barrier();
+    if (rank.id() == 0) {
+      map.enable_read_cache(rank, 16);
+      std::uint64_t seen = 0;
+      auto capture = [&](const std::uint64_t&, const std::uint64_t* v,
+                         std::uint64_t) { seen = v ? *v : 0; };
+      map.find_buffered(rank, 7u, 0, capture);
+      map.process_lookups(rank, capture);
+      EXPECT_EQ(seen, 100u);
+      // Cached now: a repeat lookup is a hit.
+      map.find_buffered(rank, 7u, 0, capture);
+      map.process_lookups(rank, capture);
+      EXPECT_EQ(map.read_cache_stats(rank.id()).hits, 1u);
+    }
+    rank.barrier();
+    if (rank.id() == 1) map.update(rank, 7u, 999);  // write phase
+    rank.barrier();
+    if (rank.id() == 0) {
+      std::uint64_t seen = 0;
+      auto capture = [&](const std::uint64_t&, const std::uint64_t* v,
+                         std::uint64_t) { seen = v ? *v : 0; };
+      map.find_buffered(rank, 7u, 0, capture);
+      map.process_lookups(rank, capture);
+      EXPECT_EQ(seen, 999u) << "cache served a value across a write phase";
+      map.disable_read_cache(rank);
+    }
+  });
+}
+
+TEST(DistHashMap, CachedBatchedLookupsCutOffnodeMessages) {
+  // Re-probing the same remote key set: fine-grained pays one off-node
+  // message per probe; batching pays one per batch; the cache answers
+  // repeats locally.
+  const int p = 4;
+  ThreadTeam team(Topology{p, 1});  // every rank its own node
+  Map map(team, Map::Config{.global_capacity = 4096, .flush_threshold = 64});
+  auto remote_key = [p](int rank, std::uint64_t i) {
+    return i * static_cast<std::uint64_t>(p) +
+           static_cast<std::uint64_t>((rank + 1) % p);
+  };
+  team.run([&](Rank& rank) {
+    for (std::uint64_t i = 0; i < 100; ++i)
+      map.update(rank, remote_key((rank.id() + p - 1) % p, i), 1);
+  });
+  team.reset_stats();
+  const int rounds = 20;
+  auto sink = [](const std::uint64_t&, const std::uint64_t*, std::uint64_t) {};
+  team.run([&](Rank& rank) {
+    for (int round = 0; round < rounds; ++round)
+      for (std::uint64_t i = 0; i < 100; ++i)
+        (void)map.find(rank, remote_key(rank.id(), i));
+  });
+  const auto fine = team.snapshot_all();
+  team.reset_stats();
+  team.run([&](Rank& rank) {
+    map.enable_read_cache(rank, 4096);
+    for (int round = 0; round < rounds; ++round) {
+      for (std::uint64_t i = 0; i < 100; ++i)
+        map.find_buffered(rank, remote_key(rank.id(), i), i, sink);
+      map.process_lookups(rank, sink);  // round 1's replies fill the cache
+    }
+    map.disable_read_cache(rank);
+  });
+  const auto cached = team.snapshot_all();
+  std::uint64_t fine_msgs = 0;
+  std::uint64_t cached_msgs = 0;
+  std::uint64_t cache_hits = 0;
+  for (int r = 0; r < p; ++r) {
+    fine_msgs += fine[static_cast<std::size_t>(r)].offnode_msgs;
+    cached_msgs += cached[static_cast<std::size_t>(r)].offnode_msgs;
+    cache_hits += cached[static_cast<std::size_t>(r)].read_cache_hits;
+  }
+  EXPECT_EQ(fine_msgs, static_cast<std::uint64_t>(p) * rounds * 100);
+  // Round 1 misses fill the cache (100 keys / 64-batches = 2 messages per
+  // rank); rounds 2..20 are all hits.
+  EXPECT_EQ(cached_msgs, static_cast<std::uint64_t>(p) * 2);
+  EXPECT_EQ(cache_hits, static_cast<std::uint64_t>(p) * (rounds - 1) * 100);
+}
+
+TEST(DistHashMap, FindMissChargesKeyOnlyBytes) {
+  // Satellite of the charging model: a miss ships only the key-sized
+  // request; a hit additionally ships the value back.
+  ThreadTeam team(Topology{2, 1});
+  Map map(team, Map::Config{.global_capacity = 64, .flush_threshold = 8});
+  map.set_rank_mapper([](std::uint64_t) { return 1u; });
+  team.run([&](Rank& rank) {
+    if (rank.id() == 1) map.update(rank, 1u, 5);
+  });
+  team.reset_stats();
+  team.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      EXPECT_TRUE(map.find(rank, 1u).has_value());   // hit
+      EXPECT_FALSE(map.find(rank, 2u).has_value());  // miss
+    }
+  });
+  const auto stats = team.snapshot_all();
+  EXPECT_EQ(stats[0].offnode_bytes,
+            2 * sizeof(std::uint64_t)      // two key-sized requests
+                + sizeof(std::uint64_t));  // one value-sized reply (the hit)
+  EXPECT_EQ(stats[0].offnode_msgs, 2u);
 }
 
 TEST(CommStats, LocalityClassification) {

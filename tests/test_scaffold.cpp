@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <random>
 
@@ -173,14 +174,14 @@ TEST(Spans, SkipsBuriedAndAmbiguousMates) {
   alignments.push_back(make_alignment(2, 0, 3, 1000, 900, 1000, true, 0, 100));
   alignments.push_back(make_alignment(2, 1, 4, 1000, 0, 100, false, 0, 100));
   alignments.push_back(make_alignment(2, 1, 5, 1000, 0, 100, false, 0, 100));
-  std::size_t total = 0;
+  std::atomic<std::size_t> total{0};
   team.run([&](pgas::Rank& rank) {
     const auto result = locate_spans(
         rank, rank.is_root() ? alignments : std::vector<ReadAlignment>{},
         inserts);
     total += result.size();
   });
-  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(total.load(), 0u);
 }
 
 // ---- links (§4.6) ----
