@@ -1,0 +1,120 @@
+// Checkpoint subsystem — snapshot/restore throughput per pipeline stage.
+//
+// Runs the full pipeline on a simulated human-like dataset with stage
+// checkpointing enabled, then reports, per snapshotted artifact: shard
+// count, on-disk size, snapshot (write) seconds and MB/s taken from the
+// pipeline's "checkpoint" stage reports, and restore (read + CRC verify +
+// decode) seconds and MB/s measured by replaying every manifest entry on a
+// fresh team. The restore path exercises exactly what Pipeline::resume
+// does per entry: parallel shard reads, integrity checks, artifact decode.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ckpt/artifacts.hpp"
+#include "ckpt/manifest.hpp"
+#include "ckpt/snapshot_store.hpp"
+#include "pgas/thread_team.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/datasets.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hipmer;
+  util::Options opts(argc, argv);
+  const auto genome_len =
+      static_cast<std::uint64_t>(opts.get_int("genome", 400'000));
+  const int ranks = static_cast<int>(opts.get_int("ranks", 8));
+  const int rounds = static_cast<int>(opts.get_int("rounds", 2));
+  const std::string workdir =
+      opts.get("workdir", std::filesystem::temp_directory_path().string());
+  const std::string ckpt_dir = workdir + "/io_checkpoint_run";
+  std::filesystem::remove_all(ckpt_dir);
+
+  std::printf("simulating human-like dataset (%llu bp)...\n",
+              static_cast<unsigned long long>(genome_len));
+  auto ds = sim::make_human_like(genome_len, 20260806);
+
+  pipeline::PipelineConfig cfg;
+  cfg.k = 31;
+  cfg.kmer.min_count = 3;
+  cfg.scaffolding_rounds = rounds;
+  cfg.checkpoint.dir = ckpt_dir;
+  cfg.sync_k();
+
+  pipeline::Pipeline pipe(pgas::Topology{ranks, 4}, cfg);
+  const auto result = pipe.run(ds.reads, ds.libraries);
+  std::printf("assembled: %zu scaffolds, contig N50 %llu\n",
+              result.scaffolds.size(),
+              static_cast<unsigned long long>(result.contig_stats.n50));
+
+  // One "checkpoint" stage report per committed snapshot, in commit order;
+  // the manifest entries (sorted by seq) are the same sequence.
+  std::vector<const pipeline::StageReport*> snaps;
+  for (const auto& s : result.stages)
+    if (s.name == pipeline::kStageCheckpoint) snaps.push_back(&s);
+
+  ckpt::SnapshotStore store(ckpt_dir);
+  auto manifest = store.load_manifest();
+  if (!manifest || manifest->entries.size() != snaps.size()) {
+    std::fprintf(stderr, "manifest/report mismatch (%zu entries, %zu reports)\n",
+                 manifest ? manifest->entries.size() : 0, snaps.size());
+    return 1;
+  }
+  std::sort(manifest->entries.begin(), manifest->entries.end(),
+            [](const auto& a, const auto& b) { return a.seq < b.seq; });
+
+  // Restore measurement: parallel shard read + CRC verify + decode per
+  // entry, on a fresh team (what resume does per manifest entry).
+  pgas::ThreadTeam read_team(pgas::Topology{ranks, 4});
+  util::TextTable table({"stage", "shards", "bytes", "write_s", "write_MBps",
+                         "read_s", "read_MBps"});
+  for (std::size_t i = 0; i < manifest->entries.size(); ++i) {
+    const auto& entry = manifest->entries[i];
+    std::uint64_t bytes = 0;
+    for (const auto b : entry.shard_bytes) bytes += b;
+
+    util::WallTimer timer;
+    read_team.run([&](pgas::Rank& rank) {
+      for (std::uint32_t s = static_cast<std::uint32_t>(rank.id());
+           s < entry.shard_count; s += static_cast<std::uint32_t>(ranks)) {
+        const auto payload = store.read_shard(entry, s);
+        if (!payload) continue;
+        const int progress = ckpt::stage_progress(entry.stage);
+        bool ok = false;
+        if (entry.stage == ckpt::kStageReads) {
+          ok = ckpt::decode_reads_shard(*payload).has_value();
+        } else if (entry.stage == ckpt::kStageUfx) {
+          ok = ckpt::decode_ufx_shard(*payload).has_value();
+        } else if (entry.stage == ckpt::kStageContigs) {
+          ok = ckpt::decode_contigs_shard(*payload).has_value();
+        } else if (ckpt::progress_is_alignments(progress)) {
+          ok = ckpt::decode_alignments_shard(*payload).has_value();
+        } else {
+          ok = ckpt::decode_scaffolds_shard(*payload).has_value();
+        }
+        if (!ok) std::fprintf(stderr, "decode failed: %s\n", entry.stage.c_str());
+      }
+      rank.barrier();
+    });
+    const double read_s = timer.seconds();
+
+    const double write_s = snaps[i]->wall_seconds;
+    const double mb = static_cast<double>(bytes) / 1e6;
+    table.add_row({entry.stage, std::to_string(entry.shard_count),
+                   std::to_string(bytes),
+                   util::TextTable::fmt(write_s),
+                   util::TextTable::fmt(write_s > 0 ? mb / write_s : 0.0),
+                   util::TextTable::fmt(read_s),
+                   util::TextTable::fmt(read_s > 0 ? mb / read_s : 0.0)});
+  }
+
+  bench::emit("io_checkpoint", "checkpoint snapshot/restore throughput",
+              table);
+  std::filesystem::remove_all(ckpt_dir);
+  return 0;
+}

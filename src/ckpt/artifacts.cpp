@@ -1,0 +1,347 @@
+#include "ckpt/artifacts.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "dbg/contig_wire.hpp"
+#include "io/wire.hpp"
+#include "seq/read_name.hpp"
+
+namespace hipmer::ckpt {
+
+namespace {
+
+using io::wire::Reader;
+using io::wire::Writer;
+
+/// Reject record counts that could not possibly fit in the remaining bytes
+/// (corrupt counts would otherwise trigger huge allocations before the
+/// truncation check fires).
+bool count_fits(const Reader& r, std::uint64_t n, std::size_t min_record) {
+  return n <= r.remaining() / min_record + 1;
+}
+
+}  // namespace
+
+// ---- reads ----
+
+std::vector<std::byte> encode_reads_shard(
+    const std::vector<std::vector<seq::Read>>& libs) {
+  std::vector<std::byte> buf;
+  Writer w(buf);
+  w.put_u32(kReadsMagic);
+  w.put_u32(static_cast<std::uint32_t>(libs.size()));
+  for (const auto& reads : libs) {
+    w.put_u64(reads.size());
+    for (const auto& read : reads) io::wire::put_read(w, read);
+  }
+  return buf;
+}
+
+std::optional<std::vector<std::vector<seq::Read>>> decode_reads_shard(
+    const std::vector<std::byte>& bytes) {
+  Reader r(bytes);
+  if (r.get_u32() != kReadsMagic || r.truncated()) return std::nullopt;
+  const std::uint32_t nlibs = r.get_u32();
+  if (r.truncated() || nlibs > (1u << 16)) return std::nullopt;
+  std::vector<std::vector<seq::Read>> libs(nlibs);
+  for (auto& reads : libs) {
+    const std::uint64_t n = r.get_u64();
+    // A framed read is three length-prefixed fields, 12 bytes minimum.
+    if (r.truncated() || !count_fits(r, n, 12)) return std::nullopt;
+    reads.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto read = io::wire::get_read(r);
+      if (r.truncated()) return std::nullopt;
+      reads.push_back(std::move(read));
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return libs;
+}
+
+std::vector<std::vector<std::vector<seq::Read>>> reshard_reads(
+    std::vector<std::vector<std::vector<seq::Read>>> shards, int p) {
+  if (static_cast<int>(shards.size()) == p) return shards;
+
+  std::size_t nlibs = 0;
+  for (const auto& shard : shards) nlibs = std::max(nlibs, shard.size());
+
+  std::vector<std::vector<std::vector<seq::Read>>> out(
+      static_cast<std::size_t>(p),
+      std::vector<std::vector<seq::Read>>(nlibs));
+
+  for (std::size_t lib = 0; lib < nlibs; ++lib) {
+    struct PairEntry {
+      std::uint64_t name_key;
+      std::uint64_t fallback_key;
+      seq::Read reads[2];
+      int n;
+    };
+    std::vector<PairEntry> pairs;
+    bool all_parse = true;
+    std::uint64_t enumeration = 0;
+    for (auto& shard : shards) {
+      if (lib >= shard.size()) continue;
+      auto& reads = shard[lib];
+      for (std::size_t i = 0; i < reads.size(); i += 2) {
+        PairEntry entry;
+        entry.fallback_key = enumeration++;
+        entry.name_key = entry.fallback_key;
+        int mate = 0;
+        std::uint64_t pair_index = 0;
+        if (seq::parse_read_name(reads[i].name, pair_index, mate))
+          entry.name_key = pair_index;
+        else
+          all_parse = false;
+        entry.reads[0] = std::move(reads[i]);
+        entry.n = 1;
+        if (i + 1 < reads.size()) {
+          entry.reads[1] = std::move(reads[i + 1]);
+          entry.n = 2;
+        }
+        pairs.push_back(std::move(entry));
+      }
+      reads.clear();
+    }
+    // Keying on the name's pair index keeps each pair's reads on the same
+    // rank as its alignments (resharded by pair_id % p); when any name
+    // deviates from the convention, fall back to the enumeration order,
+    // which is still deterministic and pair-preserving.
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [&](const PairEntry& a, const PairEntry& b) {
+                       return (all_parse ? a.name_key : a.fallback_key) <
+                              (all_parse ? b.name_key : b.fallback_key);
+                     });
+    for (auto& entry : pairs) {
+      const std::uint64_t key =
+          all_parse ? entry.name_key : entry.fallback_key;
+      auto& dest = out[static_cast<std::size_t>(
+          key % static_cast<std::uint64_t>(p))][lib];
+      for (int m = 0; m < entry.n; ++m)
+        dest.push_back(std::move(entry.reads[m]));
+    }
+  }
+  return out;
+}
+
+// ---- ufx ----
+
+std::vector<std::byte> encode_ufx_shard(
+    const std::vector<kcount::UfxRecord>& records) {
+  std::vector<std::byte> buf;
+  Writer w(buf);
+  w.put_u32(kUfxMagic);
+  w.put_u64(records.size());
+  for (const auto& [kmer, summary] : records) {
+    w.put_pod(kmer);
+    w.put_u32(summary.depth);
+    w.put_pod(summary.left_ext);
+    w.put_pod(summary.right_ext);
+  }
+  return buf;
+}
+
+std::optional<std::vector<kcount::UfxRecord>> decode_ufx_shard(
+    const std::vector<std::byte>& bytes) {
+  Reader r(bytes);
+  if (r.get_u32() != kUfxMagic || r.truncated()) return std::nullopt;
+  const std::uint64_t n = r.get_u64();
+  constexpr std::size_t kRecordBytes = sizeof(seq::KmerT) + 4 + 2;
+  if (r.truncated() || !count_fits(r, n, kRecordBytes)) return std::nullopt;
+  std::vector<kcount::UfxRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    kcount::UfxRecord record;
+    record.first = r.get_pod<seq::KmerT>();
+    record.second.depth = r.get_u32();
+    record.second.left_ext = r.get_pod<char>();
+    record.second.right_ext = r.get_pod<char>();
+    if (r.truncated()) return std::nullopt;
+    records.push_back(record);
+  }
+  if (!r.done()) return std::nullopt;
+  return records;
+}
+
+// ---- contigs ----
+
+std::vector<std::byte> encode_contigs_shard(
+    const std::vector<const dbg::Contig*>& contigs) {
+  std::vector<std::byte> buf;
+  Writer w(buf);
+  w.put_u32(kContigsMagic);
+  w.put_u64(contigs.size());
+  for (const auto* contig : contigs) dbg::serialize_contig(buf, *contig);
+  return buf;
+}
+
+std::optional<std::vector<dbg::Contig>> decode_contigs_shard(
+    const std::vector<std::byte>& bytes) {
+  Reader r(bytes);
+  if (r.get_u32() != kContigsMagic || r.truncated()) return std::nullopt;
+  const std::uint64_t n = r.get_u64();
+  if (r.truncated() ||
+      !count_fits(r, n, sizeof(dbg::ContigWireHeader) + sizeof(std::uint32_t)))
+    return std::nullopt;
+  std::vector<dbg::Contig> contigs;
+  contigs.reserve(static_cast<std::size_t>(n));
+  // Count-driven loop (not dbg::deserialize_contigs, which stops silently
+  // on a partial trailing record): a record shortfall is corruption here.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto header = r.get_pod<dbg::ContigWireHeader>();
+    dbg::Contig contig;
+    contig.id = header.id;
+    contig.avg_depth = header.avg_depth;
+    contig.left.code = header.left_term;
+    contig.right.code = header.right_term;
+    contig.left.has_junction = header.left_has_junction != 0;
+    contig.right.has_junction = header.right_has_junction != 0;
+    contig.left.junction = header.left_junction;
+    contig.right.junction = header.right_junction;
+    contig.seq = r.get_bytes();
+    if (r.truncated()) return std::nullopt;
+    contigs.push_back(std::move(contig));
+  }
+  if (!r.done()) return std::nullopt;
+  return contigs;
+}
+
+// ---- alignments ----
+
+std::vector<std::byte> encode_alignments_shard(
+    const std::vector<align::ReadAlignment>& alignments) {
+  std::vector<std::byte> buf;
+  Writer w(buf);
+  w.put_u32(kAlignMagic);
+  w.put_u64(alignments.size());
+  for (const auto& a : alignments) w.put_pod(a);
+  return buf;
+}
+
+std::optional<std::vector<align::ReadAlignment>> decode_alignments_shard(
+    const std::vector<std::byte>& bytes) {
+  Reader r(bytes);
+  if (r.get_u32() != kAlignMagic || r.truncated()) return std::nullopt;
+  const std::uint64_t n = r.get_u64();
+  if (r.truncated() || !count_fits(r, n, sizeof(align::ReadAlignment)))
+    return std::nullopt;
+  std::vector<align::ReadAlignment> alignments;
+  alignments.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    alignments.push_back(r.get_pod<align::ReadAlignment>());
+    if (r.truncated()) return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return alignments;
+}
+
+std::vector<std::vector<align::ReadAlignment>> reshard_alignments(
+    std::vector<std::vector<align::ReadAlignment>> shards, int p) {
+  if (static_cast<int>(shards.size()) == p) return shards;
+  std::vector<align::ReadAlignment> all;
+  for (auto& shard : shards) {
+    all.insert(all.end(), shard.begin(), shard.end());
+    shard.clear();
+  }
+  const auto key = [](const align::ReadAlignment& a) {
+    return std::make_tuple(a.library, a.pair_id, a.mate, a.read_start,
+                           a.read_end, a.contig_id, a.contig_start,
+                           a.contig_end, a.score);
+  };
+  std::stable_sort(all.begin(), all.end(),
+                   [&](const align::ReadAlignment& a,
+                       const align::ReadAlignment& b) {
+                     return key(a) < key(b);
+                   });
+  std::vector<std::vector<align::ReadAlignment>> out(
+      static_cast<std::size_t>(p));
+  for (const auto& a : all)
+    out[static_cast<std::size_t>(a.pair_id % static_cast<std::uint64_t>(p))]
+        .push_back(a);
+  return out;
+}
+
+// ---- scaffolds ----
+
+std::vector<std::byte> encode_scaffolds_shard(
+    const std::vector<io::FastaRecord>& records, int shard, int nshards,
+    const ScaffoldExtras* extras) {
+  std::vector<std::byte> buf;
+  Writer w(buf);
+  w.put_u32(kScaffMagic);
+  w.put_pod<std::uint8_t>(extras != nullptr ? 1 : 0);
+  if (extras != nullptr) {
+    w.put_pod(extras->closure_stats);
+    w.put_u32(static_cast<std::uint32_t>(extras->inserts.size()));
+    for (const auto& est : extras->inserts) w.put_pod(est);
+  }
+  std::uint64_t mine = 0;
+  for (std::size_t i = static_cast<std::size_t>(shard); i < records.size();
+       i += static_cast<std::size_t>(nshards))
+    ++mine;
+  w.put_u64(mine);
+  for (std::size_t i = static_cast<std::size_t>(shard); i < records.size();
+       i += static_cast<std::size_t>(nshards)) {
+    w.put_u64(i);
+    w.put_bytes(records[i].name);
+    w.put_bytes(records[i].seq);
+  }
+  return buf;
+}
+
+std::optional<ScaffoldShard> decode_scaffolds_shard(
+    const std::vector<std::byte>& bytes) {
+  Reader r(bytes);
+  if (r.get_u32() != kScaffMagic || r.truncated()) return std::nullopt;
+  ScaffoldShard shard;
+  const auto has_extras = r.get_pod<std::uint8_t>();
+  if (r.truncated() || has_extras > 1) return std::nullopt;
+  if (has_extras != 0) {
+    ScaffoldExtras extras;
+    extras.closure_stats = r.get_pod<scaffold::ScaffoldStats>();
+    const std::uint32_t n_inserts = r.get_u32();
+    if (r.truncated() ||
+        !count_fits(r, n_inserts, sizeof(scaffold::InsertSizeEstimate)))
+      return std::nullopt;
+    extras.inserts.reserve(n_inserts);
+    for (std::uint32_t i = 0; i < n_inserts; ++i) {
+      extras.inserts.push_back(r.get_pod<scaffold::InsertSizeEstimate>());
+      if (r.truncated()) return std::nullopt;
+    }
+    shard.extras = std::move(extras);
+  }
+  const std::uint64_t n = r.get_u64();
+  // Record minimum: u64 index + two length prefixes.
+  if (r.truncated() || !count_fits(r, n, 16)) return std::nullopt;
+  shard.records.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t index = r.get_u64();
+    io::FastaRecord record;
+    record.name = r.get_bytes();
+    record.seq = r.get_bytes();
+    if (r.truncated()) return std::nullopt;
+    shard.records.emplace_back(index, std::move(record));
+  }
+  if (!r.done()) return std::nullopt;
+  return shard;
+}
+
+std::vector<io::FastaRecord> merge_scaffold_shards(
+    std::vector<ScaffoldShard> shards) {
+  std::vector<std::pair<std::uint64_t, io::FastaRecord>> all;
+  for (auto& shard : shards) {
+    for (auto& rec : shard.records) all.push_back(std::move(rec));
+    shard.records.clear();
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<io::FastaRecord> out;
+  out.reserve(all.size());
+  for (auto& [index, record] : all) out.push_back(std::move(record));
+  return out;
+}
+
+}  // namespace hipmer::ckpt

@@ -1,0 +1,311 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <climits>
+#include <numeric>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace hipmer::ckpt {
+
+namespace {
+
+/// Stages a resume from `stage` still needs loaded alongside it. `rounds`
+/// lets the final round's scaffolds be recognized as self-contained; pass
+/// INT_MAX when the round count is unknown (pruning) for the conservative
+/// answer.
+std::vector<std::string> load_dependencies(const std::string& stage,
+                                           int rounds) {
+  const int progress = stage_progress(stage);
+  if (progress <= kProgressReads) return {};
+  if (progress == kProgressUfx || progress == kProgressContigs)
+    return {kStageReads};
+  const int round = progress_round(progress);
+  if (progress_is_alignments(progress)) {
+    // Round r's scaffolding needs the store input (contigs for round 0,
+    // previous scaffolds after) plus the reads for gap closing.
+    if (round == 0) return {kStageReads, kStageContigs};
+    return {kStageReads, stage_scaffolds(round - 1)};
+  }
+  // scaffolds.r: the final round's records ARE the result; earlier rounds
+  // feed the next round's aligner, which needs the reads again.
+  if (round >= rounds - 1) return {};
+  return {kStageReads};
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(CheckpointConfig config, std::uint64_t fingerprint)
+    : config_(std::move(config)),
+      fingerprint_(fingerprint),
+      store_(config_.dir) {
+  if (!config_.enabled()) return;
+  if (auto manifest = store_.load_manifest()) manifest_ = std::move(*manifest);
+}
+
+StageEntry Checkpointer::begin_entry(const std::string& stage, int shard_count,
+                                     const AuxStats& aux) {
+  StageEntry entry;
+  entry.stage = stage;
+  entry.seq = manifest_.next_seq();
+  entry.fingerprint = fingerprint_;
+  entry.shard_count = static_cast<std::uint32_t>(shard_count);
+  entry.shard_bytes.assign(entry.shard_count, 0);
+  entry.shard_crcs.assign(entry.shard_count, 0);
+  entry.aux = aux;
+  if (!store_.prepare_entry(entry))
+    util::log_warn("ckpt: cannot create " + store_.entry_dir(entry).string());
+  return entry;
+}
+
+bool Checkpointer::write_shard(StageEntry& entry, int shard,
+                               const std::vector<std::byte>& payload) {
+  const auto s = static_cast<std::size_t>(shard);
+  if (shard < 0 || s >= entry.shard_bytes.size()) return false;
+  if (!store_.write_shard(entry, static_cast<std::uint32_t>(shard), payload))
+    return false;
+  entry.shard_bytes[s] = payload.size();
+  entry.shard_crcs[s] = util::crc32c(payload.data(), payload.size());
+  return true;
+}
+
+bool Checkpointer::commit(StageEntry entry) {
+  const std::string stage = entry.stage;
+  manifest_.entries.push_back(std::move(entry));
+  if (!store_.write_manifest(manifest_)) {
+    manifest_.entries.pop_back();
+    util::log_warn("ckpt: manifest commit failed for stage " + stage);
+    return false;
+  }
+  prune();
+  return true;
+}
+
+const StageEntry* Checkpointer::usable(const std::string& stage) const {
+  const StageEntry* best = nullptr;
+  for (const auto& entry : manifest_.entries) {
+    if (entry.stage != stage || entry.fingerprint != fingerprint_) continue;
+    if (blacklist_.count({entry.stage, entry.seq}) != 0) continue;
+    if (best == nullptr || entry.seq > best->seq) best = &entry;
+  }
+  return best;
+}
+
+std::optional<std::vector<std::vector<std::byte>>> Checkpointer::read_entry(
+    pgas::ThreadTeam& team, const StageEntry& entry) const {
+  const int p = team.nranks();
+  std::vector<std::vector<std::byte>> shards(entry.shard_count);
+  std::atomic<bool> ok{true};
+  team.faults().begin_stage(kRestoreFaultStage);
+  team.run([&](pgas::Rank& rank) {
+    team.faults().on_fault_point(rank.id());
+    for (std::uint32_t s = static_cast<std::uint32_t>(rank.id());
+         s < entry.shard_count; s += static_cast<std::uint32_t>(p)) {
+      auto bytes = store_.read_shard(entry, s);
+      if (!bytes) {
+        ok.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      rank.stats().add_io_read(bytes->size());
+      shards[s] = std::move(*bytes);
+    }
+    rank.barrier();
+  });
+  if (!ok.load(std::memory_order_relaxed)) return std::nullopt;
+  return shards;
+}
+
+ResumeState Checkpointer::load(pgas::ThreadTeam& team, int rounds,
+                               int max_progress) {
+  ResumeState none;
+  if (!config_.enabled() || manifest_.entries.empty()) return none;
+  const int p = team.nranks();
+
+  // Resume targets, furthest pipeline progress first.
+  std::vector<std::string> targets;
+  for (int r = rounds - 1; r >= 0; --r) {
+    targets.push_back(stage_scaffolds(r));
+    targets.push_back(stage_alignments(r));
+  }
+  targets.push_back(kStageContigs);
+  targets.push_back(kStageUfx);
+  targets.push_back(kStageReads);
+
+  for (;;) {
+    // Pick the furthest target whose entry and dependency closure exist.
+    const StageEntry* target = nullptr;
+    std::vector<const StageEntry*> entries;
+    for (const auto& stage : targets) {
+      if (stage_progress(stage) > max_progress) continue;
+      const auto* candidate = usable(stage);
+      if (candidate == nullptr) continue;
+      std::vector<const StageEntry*> resolved;
+      bool complete = true;
+      for (const auto& dep : load_dependencies(stage, rounds)) {
+        const auto* e = usable(dep);
+        if (e == nullptr) {
+          complete = false;
+          break;
+        }
+        resolved.push_back(e);
+      }
+      if (!complete) continue;
+      target = candidate;
+      entries = std::move(resolved);
+      entries.push_back(candidate);
+      break;
+    }
+    if (target == nullptr) return none;
+
+    // Read + CRC-verify every shard of every entry involved.
+    const StageEntry* bad = nullptr;
+    std::vector<std::vector<std::vector<std::byte>>> shard_sets(
+        entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      auto shards = read_entry(team, *entries[i]);
+      if (!shards) {
+        bad = entries[i];
+        break;
+      }
+      shard_sets[i] = std::move(*shards);
+    }
+
+    // Decode and re-shard onto the current team.
+    ResumeState loaded;
+    if (bad == nullptr) {
+      loaded.progress = stage_progress(target->stage);
+      loaded.aux = target->aux;
+      for (std::size_t i = 0; i < entries.size() && bad == nullptr; ++i) {
+        const auto& entry = *entries[i];
+        const auto& shards = shard_sets[i];
+        const int progress = stage_progress(entry.stage);
+        if (entry.stage == kStageReads) {
+          std::vector<std::vector<std::vector<seq::Read>>> by_shard;
+          for (const auto& payload : shards) {
+            auto libs = decode_reads_shard(payload);
+            if (!libs) {
+              bad = &entry;
+              break;
+            }
+            by_shard.push_back(std::move(*libs));
+          }
+          if (bad == nullptr)
+            loaded.reads = reshard_reads(std::move(by_shard), p);
+        } else if (entry.stage == kStageUfx) {
+          // Deal shards round robin; downstream re-owns every k-mer by its
+          // hash, so any distribution is valid input.
+          loaded.ufx.assign(static_cast<std::size_t>(p), {});
+          for (std::size_t s = 0; s < shards.size(); ++s) {
+            auto records = decode_ufx_shard(shards[s]);
+            if (!records) {
+              bad = &entry;
+              break;
+            }
+            auto& dest = loaded.ufx[s % static_cast<std::size_t>(p)];
+            dest.insert(dest.end(), records->begin(), records->end());
+          }
+        } else if (entry.stage == kStageContigs) {
+          // Same: ContigStore::build redistributes by id % P.
+          loaded.contigs.assign(static_cast<std::size_t>(p), {});
+          for (std::size_t s = 0; s < shards.size(); ++s) {
+            auto contigs = decode_contigs_shard(shards[s]);
+            if (!contigs) {
+              bad = &entry;
+              break;
+            }
+            auto& dest = loaded.contigs[s % static_cast<std::size_t>(p)];
+            std::move(contigs->begin(), contigs->end(),
+                      std::back_inserter(dest));
+          }
+        } else if (progress_is_alignments(progress)) {
+          std::vector<std::vector<align::ReadAlignment>> by_shard;
+          for (const auto& payload : shards) {
+            auto alignments = decode_alignments_shard(payload);
+            if (!alignments) {
+              bad = &entry;
+              break;
+            }
+            by_shard.push_back(std::move(*alignments));
+          }
+          if (bad == nullptr) {
+            loaded.aligned_round = progress_round(progress);
+            loaded.alignments = reshard_alignments(std::move(by_shard), p);
+          }
+        } else {
+          std::vector<ScaffoldShard> by_shard;
+          for (const auto& payload : shards) {
+            auto shard = decode_scaffolds_shard(payload);
+            if (!shard) {
+              bad = &entry;
+              break;
+            }
+            by_shard.push_back(std::move(*shard));
+          }
+          if (bad == nullptr) {
+            for (const auto& shard : by_shard) {
+              if (!shard.extras) continue;
+              loaded.closure_stats = shard.extras->closure_stats;
+              loaded.inserts = shard.extras->inserts;
+            }
+            loaded.scaffold_round = progress_round(progress);
+            loaded.scaffolds = merge_scaffold_shards(std::move(by_shard));
+          }
+        }
+      }
+    }
+
+    if (bad != nullptr) {
+      util::log_warn("ckpt: snapshot " + bad->stage + "." +
+                     std::to_string(bad->seq) +
+                     " failed validation; falling back");
+      blacklist_.insert({bad->stage, bad->seq});
+      continue;
+    }
+    util::log_info("ckpt: resuming from " + target->stage + "." +
+                   std::to_string(target->seq));
+    return loaded;
+  }
+}
+
+void Checkpointer::prune() {
+  if (config_.keep_last <= 0) return;
+  const std::size_t n = manifest_.entries.size();
+  if (n <= static_cast<std::size_t>(config_.keep_last)) return;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return manifest_.entries[a].seq > manifest_.entries[b].seq;
+  });
+
+  std::set<EntryKey> keep;
+  for (std::size_t i = 0;
+       i < std::min(n, static_cast<std::size_t>(config_.keep_last)); ++i) {
+    const auto& entry = manifest_.entries[order[i]];
+    keep.insert({entry.stage, entry.seq});
+  }
+  // Keep the newest entry's dependency closure so the best resume point
+  // stays loadable (conservative round-agnostic closure).
+  const auto& newest = manifest_.entries[order[0]];
+  for (const auto& dep : load_dependencies(newest.stage, INT_MAX)) {
+    if (const auto* e = usable(dep)) keep.insert({e->stage, e->seq});
+  }
+
+  Manifest pruned;
+  std::vector<StageEntry> dropped;
+  for (auto& entry : manifest_.entries) {
+    if (keep.count({entry.stage, entry.seq}) != 0)
+      pruned.entries.push_back(entry);
+    else
+      dropped.push_back(entry);
+  }
+  if (dropped.empty()) return;
+  // Manifest first (the commit point), then the now-unreferenced dirs.
+  if (!store_.write_manifest(pruned)) return;
+  manifest_ = std::move(pruned);
+  for (const auto& entry : dropped) store_.remove_entry(entry);
+}
+
+}  // namespace hipmer::ckpt

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+/// Checkpoint manifest: the versioned index of committed stage snapshots.
+///
+/// A checkpoint run directory holds one `manifest.bin` plus one directory
+/// per committed snapshot (`<stage>.<seq>/shard.<i>`). The manifest is the
+/// *only* source of truth: a shard directory not referenced by a committed
+/// manifest entry does not exist as far as resume is concerned (that is
+/// what makes temp-file + atomic-rename commits crash-consistent — a crash
+/// mid-snapshot leaves orphan files, never a manifest pointing at torn
+/// data).
+///
+/// Each entry records the stage name, a monotonic commit sequence number, a
+/// config fingerprint (k, stage parameters, library set — see
+/// pipeline.cpp's fingerprint rules), the writer's shard count (the team
+/// size at write time; resume re-shards to the current team), and per-shard
+/// byte counts + CRC-32C checksums. The manifest itself carries a trailing
+/// CRC-32C over its own encoding, so a flipped byte anywhere — entry,
+/// count, or checksum field — makes the whole manifest unloadable rather
+/// than partially believable.
+namespace hipmer::ckpt {
+
+inline constexpr std::uint32_t kManifestMagic = 0x48434b50;  // "HCKP"
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// Canonical stage names of the five inter-stage artifacts.
+inline constexpr const char* kStageReads = "reads";
+inline constexpr const char* kStageUfx = "ufx";
+inline constexpr const char* kStageContigs = "contigs";
+[[nodiscard]] std::string stage_alignments(int round);
+[[nodiscard]] std::string stage_scaffolds(int round);
+
+/// Total order over resume points: reads < ufx < contigs < alignments.0 <
+/// scaffolds.0 < alignments.1 < ... A higher value resumes further into
+/// the pipeline.
+inline constexpr int kProgressReads = 0;
+inline constexpr int kProgressUfx = 1;
+inline constexpr int kProgressContigs = 2;
+[[nodiscard]] constexpr int progress_alignments(int round) {
+  return 3 + 2 * round;
+}
+[[nodiscard]] constexpr int progress_scaffolds(int round) {
+  return 4 + 2 * round;
+}
+[[nodiscard]] constexpr bool progress_is_alignments(int progress) {
+  return progress >= 3 && (progress - 3) % 2 == 0;
+}
+[[nodiscard]] constexpr bool progress_is_scaffolds(int progress) {
+  return progress >= 4 && (progress - 4) % 2 == 0;
+}
+/// Round of an alignments/scaffolds progress point (meaningless below 3).
+[[nodiscard]] constexpr int progress_round(int progress) {
+  return progress_is_alignments(progress) ? (progress - 3) / 2
+                                          : (progress - 4) / 2;
+}
+/// Progress encoding of a stage name, or -1 if the name is not a
+/// checkpointable stage.
+[[nodiscard]] int stage_progress(const std::string& stage);
+
+/// Small pipeline statistics carried forward with every snapshot so a
+/// resumed run reports them without recomputing the stages that produced
+/// them (the scaffold bytes are what must match; these are bookkeeping).
+struct AuxStats {
+  std::uint64_t distinct_kmers = 0;
+  double singleton_fraction = 0.0;
+  std::uint64_t heavy_hitters = 0;
+  std::uint64_t num_contigs = 0;
+  util::AssemblyStats contig_stats{};
+};
+
+struct StageEntry {
+  std::string stage;
+  /// Monotonic commit sequence; among entries with the same stage name the
+  /// highest seq wins.
+  std::uint64_t seq = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t shard_count = 0;
+  std::vector<std::uint64_t> shard_bytes;
+  std::vector<std::uint32_t> shard_crcs;
+  AuxStats aux;
+};
+
+struct Manifest {
+  std::vector<StageEntry> entries;
+
+  /// Newest committed entry for a stage name, or nullptr.
+  [[nodiscard]] const StageEntry* latest(const std::string& stage) const;
+  [[nodiscard]] std::uint64_t next_seq() const;
+};
+
+/// Encode to the wire format described above (CRC-32C trailer included).
+[[nodiscard]] std::vector<std::byte> encode_manifest(const Manifest& manifest);
+
+/// Decode and verify; nullopt on bad magic/version, truncation, or CRC
+/// mismatch — a corrupt manifest is never partially loaded.
+[[nodiscard]] std::optional<Manifest> decode_manifest(
+    const std::vector<std::byte>& bytes);
+
+}  // namespace hipmer::ckpt

@@ -1,0 +1,117 @@
+#include "ckpt/snapshot_store.hpp"
+
+#include <fstream>
+#include <system_error>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace hipmer::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Write `bytes` to `final_path` via a `.tmp` sibling + atomic rename.
+bool write_file_atomic(const fs::path& final_path,
+                       const std::byte* data, std::size_t size) {
+  const fs::path tmp = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    if (size > 0)
+      out.write(reinterpret_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return std::nullopt;
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    if (!in) return std::nullopt;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::optional<Manifest> SnapshotStore::load_manifest() const {
+  const auto bytes = read_file(fs::path(dir_) / "manifest.bin");
+  if (!bytes) return std::nullopt;
+  auto manifest = decode_manifest(*bytes);
+  if (!manifest)
+    util::log_warn("ckpt: corrupt manifest at " + dir_ +
+                   "/manifest.bin; ignoring all checkpoints");
+  return manifest;
+}
+
+bool SnapshotStore::write_manifest(const Manifest& manifest) const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return false;
+  const auto bytes = encode_manifest(manifest);
+  return write_file_atomic(fs::path(dir_) / "manifest.bin", bytes.data(),
+                           bytes.size());
+}
+
+fs::path SnapshotStore::entry_dir(const StageEntry& entry) const {
+  return fs::path(dir_) / (entry.stage + "." + std::to_string(entry.seq));
+}
+
+fs::path SnapshotStore::shard_path(const StageEntry& entry,
+                                   std::uint32_t shard) const {
+  return entry_dir(entry) / ("shard." + std::to_string(shard));
+}
+
+bool SnapshotStore::prepare_entry(const StageEntry& entry) const {
+  std::error_code ec;
+  fs::create_directories(entry_dir(entry), ec);
+  return !ec;
+}
+
+bool SnapshotStore::write_shard(const StageEntry& entry, std::uint32_t shard,
+                                const std::vector<std::byte>& payload) const {
+  return write_file_atomic(shard_path(entry, shard), payload.data(),
+                           payload.size());
+}
+
+std::optional<std::vector<std::byte>> SnapshotStore::read_shard(
+    const StageEntry& entry, std::uint32_t shard) const {
+  if (shard >= entry.shard_count) return std::nullopt;
+  auto bytes = read_file(shard_path(entry, shard));
+  if (!bytes) return std::nullopt;
+  if (bytes->size() != entry.shard_bytes[shard] ||
+      util::crc32c(bytes->data(), bytes->size()) != entry.shard_crcs[shard]) {
+    util::log_warn("ckpt: shard " + shard_path(entry, shard).string() +
+                   " fails size/CRC validation");
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+void SnapshotStore::remove_entry(const StageEntry& entry) const {
+  std::error_code ec;
+  fs::remove_all(entry_dir(entry), ec);
+}
+
+}  // namespace hipmer::ckpt

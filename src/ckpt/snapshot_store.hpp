@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/manifest.hpp"
+
+/// Filesystem layer of the checkpoint subsystem.
+///
+/// Layout under the run directory:
+///
+///     <dir>/manifest.bin            committed manifest (see manifest.hpp)
+///     <dir>/<stage>.<seq>/shard.<i> raw artifact payload, one per writer rank
+///
+/// Crash-consistency discipline: every durable write lands in a `.tmp`
+/// sibling first and is committed by `std::filesystem::rename`, which is
+/// atomic within a filesystem. Shards are renamed before the manifest entry
+/// that references them, and the manifest rename is the commit point — a
+/// crash at any instant leaves either the old manifest (orphan shard files,
+/// ignored) or the new one (all referenced shards already in place).
+///
+/// All methods are exception-free: filesystem errors surface as false /
+/// nullopt so a sick disk degrades checkpointing, never the assembly.
+namespace hipmer::ckpt {
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Read and verify `<dir>/manifest.bin`. nullopt when absent, unreadable
+  /// or failing its CRC — a corrupt manifest means "no checkpoints".
+  [[nodiscard]] std::optional<Manifest> load_manifest() const;
+
+  /// Encode and commit the manifest (tmp + rename). Creates the run
+  /// directory if needed.
+  bool write_manifest(const Manifest& manifest) const;
+
+  [[nodiscard]] std::filesystem::path entry_dir(const StageEntry& entry) const;
+  [[nodiscard]] std::filesystem::path shard_path(const StageEntry& entry,
+                                                 std::uint32_t shard) const;
+
+  /// Create the entry's shard directory (serial, before parallel writes).
+  bool prepare_entry(const StageEntry& entry) const;
+
+  /// Write one shard payload (tmp + rename). Safe to call concurrently for
+  /// distinct shards of the same entry.
+  bool write_shard(const StageEntry& entry, std::uint32_t shard,
+                   const std::vector<std::byte>& payload) const;
+
+  /// Read one shard back, verifying its size and CRC-32C against the
+  /// manifest entry. nullopt on any mismatch: a flipped byte or truncated
+  /// file is detected here, never surfaced as data.
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_shard(
+      const StageEntry& entry, std::uint32_t shard) const;
+
+  /// Best-effort recursive delete of the entry's directory (pruning).
+  void remove_entry(const StageEntry& entry) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace hipmer::ckpt

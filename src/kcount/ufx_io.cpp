@@ -1,8 +1,10 @@
 #include "kcount/ufx_io.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace hipmer::kcount {
 
@@ -16,26 +18,50 @@ std::string shard_path(const std::string& path, int shard) {
 
 bool write_ufx_shard(pgas::Rank& rank, const std::string& path,
                      const std::vector<UfxRecord>& records) {
+  // Crash consistency: write the whole shard to a temp file, then
+  // atomic-rename onto the final name. A crash mid-write leaves either the
+  // old complete shard or a stray .tmp — never a torn `<path>.<rank>`.
   const auto file = shard_path(path, rank.id());
-  std::ofstream out(file);
-  if (!out) return false;
+  const auto tmp = file + ".tmp";
   std::uint64_t bytes = 0;
-  for (const auto& [kmer, summary] : records) {
-    const auto line = kmer.to_string() + "\t" +
-                      std::to_string(summary.depth) + "\t" +
-                      summary.left_ext + std::string(1, summary.right_ext) +
-                      "\n";
-    out << line;
-    bytes += line.size();
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    for (const auto& [kmer, summary] : records) {
+      const auto line = kmer.to_string() + "\t" +
+                        std::to_string(summary.depth) + "\t" +
+                        summary.left_ext + std::string(1, summary.right_ext) +
+                        "\n";
+      out << line;
+      bytes += line.size();
+    }
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, file, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
   }
   rank.stats().add_io_write(bytes);
-  return static_cast<bool>(out);
+  return true;
 }
 
-std::vector<UfxRecord> read_ufx_shard(const std::string& path, int shard) {
+std::vector<UfxRecord> read_ufx_shard(const std::string& path, int shard,
+                                      std::uint64_t* io_bytes) {
   const auto file = shard_path(path, shard);
   std::ifstream in(file);
   if (!in) throw std::runtime_error("cannot open UFX shard: " + file);
+  if (io_bytes != nullptr) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(file, ec);
+    *io_bytes = ec ? 0 : static_cast<std::uint64_t>(size);
+  }
   std::vector<UfxRecord> records;
   std::string line;
   while (std::getline(in, line)) {
@@ -60,10 +86,8 @@ std::vector<UfxRecord> read_ufx_shards(pgas::Rank& rank,
                                        int num_shards) {
   std::vector<UfxRecord> mine;
   for (int shard = rank.id(); shard < num_shards; shard += rank.nranks()) {
-    auto records = read_ufx_shard(path, shard);
     std::uint64_t bytes = 0;
-    for (const auto& [kmer, summary] : records)
-      bytes += static_cast<std::uint64_t>(kmer.k()) + 8;
+    auto records = read_ufx_shard(path, shard, &bytes);
     rank.stats().add_io_read(bytes);
     mine.insert(mine.end(), std::make_move_iterator(records.begin()),
                 std::make_move_iterator(records.end()));

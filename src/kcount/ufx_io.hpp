@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,15 +25,20 @@ namespace hipmer::kcount {
 using UfxRecord = std::pair<seq::KmerT, KmerSummary>;
 
 /// Write this rank's records to `<path>.<rank id>`; charges io counters.
+/// Crash-consistent: the shard is staged at `<path>.<rank>.tmp` and
+/// atomically renamed into place, so a reader never sees a torn shard.
 bool write_ufx_shard(pgas::Rank& rank, const std::string& path,
                      const std::vector<UfxRecord>& records);
 
-/// Load one shard file (any rank may read any shard).
-[[nodiscard]] std::vector<UfxRecord> read_ufx_shard(const std::string& path,
-                                                    int shard);
+/// Load one shard file (any rank may read any shard). When `io_bytes` is
+/// given it receives the shard's on-disk size — the real byte count an io
+/// counter should be charged, matching what the writer charged.
+[[nodiscard]] std::vector<UfxRecord> read_ufx_shard(
+    const std::string& path, int shard, std::uint64_t* io_bytes = nullptr);
 
 /// Collective: load all `num_shards` shard files, dealing shards to ranks
-/// round robin; returns this rank's share.
+/// round robin; returns this rank's share. Charges each shard's actual
+/// file size to the reading rank's io counters.
 [[nodiscard]] std::vector<UfxRecord> read_ufx_shards(pgas::Rank& rank,
                                                      const std::string& path,
                                                      int num_shards);

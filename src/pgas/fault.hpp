@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+/// Rank fault injection for checkpoint/restart testing.
+///
+/// A `FaultPlan` names one rank and one point in the pipeline — a stage (by
+/// the name the driver announces via `begin_stage`), which execution of that
+/// stage (stages repeat across scaffolding rounds), and the n-th *fault
+/// point* the rank passes inside it. Fault points are every collective
+/// barrier entry plus an explicit poll at stage entry, so `step = 0` kills a
+/// rank exactly at the stage boundary and larger steps kill it mid-stage,
+/// between collectives.
+///
+/// Death semantics mirror a real job: once the planned rank throws
+/// `RankKilled`, a shared flag makes every other rank throw at its own next
+/// fault point, so no survivor computes past the crash with a missing
+/// teammate. Fault points sit at barrier *entry*, after the rank has
+/// published any collective payload, so peers released by the dying rank's
+/// `arrive_and_drop` never read a half-written slot. A ThreadTeam that took
+/// a fault is dead for good — `std::barrier::arrive_and_drop` shrinks the
+/// barrier permanently — exactly like a killed SPMD job: restart means a
+/// fresh team, which is what `pipeline::Pipeline::resume` builds.
+namespace hipmer::pgas {
+
+struct FaultPlan {
+  /// Rank to kill; -1 disarms the plan.
+  int rank = -1;
+  /// Stage name at which to kill (as announced by FaultInjector::begin_stage).
+  std::string stage;
+  /// Which execution of that stage (0 = first; stages repeat across rounds).
+  int occurrence = 0;
+  /// Which fault point within the stage on that rank (0 = stage entry,
+  /// k > 0 = the k-th barrier the rank enters inside the stage).
+  int step = 0;
+
+  [[nodiscard]] bool armed() const noexcept {
+    return rank >= 0 && !stage.empty();
+  }
+};
+
+/// Thrown on the killed rank, and on every other rank at its next fault
+/// point once the kill fired.
+class RankKilled : public std::runtime_error {
+ public:
+  RankKilled(int rank, const std::string& what)
+      : std::runtime_error("rank " + std::to_string(rank) + " killed: " + what),
+        rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+class FaultInjector {
+ public:
+  /// Serial context (between team.run calls). Re-arming clears prior state.
+  void set_plan(FaultPlan plan) {
+    plan_ = std::move(plan);
+    fired_.store(false, std::memory_order_relaxed);
+    seen_.clear();
+    matched_ = false;
+    steps_.store(0, std::memory_order_relaxed);
+  }
+
+  void clear() { set_plan(FaultPlan{}); }
+
+  [[nodiscard]] bool fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Serial context: announce the stage the next team.run executes.
+  void begin_stage(const std::string& name) {
+    if (!plan_.armed()) return;
+    const int occurrence = seen_[name]++;
+    matched_ = name == plan_.stage && occurrence == plan_.occurrence;
+    steps_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Called by every rank at each fault point; throws RankKilled when the
+  /// plan fires (on the planned rank) or has fired (on everyone else).
+  void on_fault_point(int rank) {
+    if (fired_.load(std::memory_order_relaxed))
+      throw RankKilled(rank, "aborting with killed teammate");
+    if (!matched_ || rank != plan_.rank) return;
+    const int step = steps_.fetch_add(1, std::memory_order_relaxed);
+    if (step == plan_.step) {
+      fired_.store(true, std::memory_order_relaxed);
+      throw RankKilled(rank, "fault plan at stage '" + plan_.stage +
+                                 "' occurrence " +
+                                 std::to_string(plan_.occurrence) + " step " +
+                                 std::to_string(plan_.step));
+    }
+  }
+
+ private:
+  FaultPlan plan_;
+  /// Executions seen per stage name (mutated only in serial context).
+  std::map<std::string, int> seen_;
+  /// Whether the currently running stage matches the plan (written in
+  /// serial context, read by team threads; thread creation synchronizes).
+  bool matched_ = false;
+  std::atomic<int> steps_{0};
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace hipmer::pgas

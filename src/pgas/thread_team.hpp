@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pgas/comm_stats.hpp"
+#include "pgas/fault.hpp"
 #include "pgas/topology.hpp"
 
 /// SPMD execution engine: the stand-in for the UPC runtime.
@@ -129,6 +130,10 @@ class ThreadTeam {
 
   [[nodiscard]] CommStats& stats(int rank) noexcept { return *stats_[rank]; }
 
+  /// Rank fault injection (see pgas/fault.hpp). Disarmed by default; drivers
+  /// announce stages via faults().begin_stage and ranks poll at barriers.
+  [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
+
   /// Snapshot of every rank's counters (callable between/after runs, or by
   /// rank 0 after a barrier).
   [[nodiscard]] std::vector<CommStatsSnapshot> snapshot_all() const;
@@ -142,6 +147,7 @@ class ThreadTeam {
  private:
   Topology topo_;
   std::barrier<> barrier_;
+  FaultInjector faults_;
   std::vector<std::vector<std::byte>> slots_;
   // unique_ptr: CommStats holds atomics (non-movable) and we also want each
   // rank's counters on separate cache lines.
@@ -174,6 +180,10 @@ inline void Rank::charge_message(int owner, std::size_t bytes,
 }
 
 inline void Rank::barrier() {
+  // Fault point: polled before arriving, so a killed rank has already
+  // published any collective payload and its catch-side arrive_and_drop
+  // releases peers with consistent slots.
+  team_->faults().on_fault_point(rank_);
   stats().add_collective();
   team_->arrive_barrier();
 }
@@ -188,8 +198,12 @@ std::vector<T> Rank::allgather(const T& value) {
   barrier();
   std::vector<T> result(static_cast<std::size_t>(nranks()));
   for (int r = 0; r < nranks(); ++r) {
-    std::memcpy(&result[static_cast<std::size_t>(r)], team_->slot(r).data(),
-                sizeof(T));
+    // A rank killed before publishing (fault injection) leaves a stale slot;
+    // skip undersized ones so survivors reach their own fault point instead
+    // of reading out of bounds.
+    const auto& s = team_->slot(r);
+    if (s.size() < sizeof(T)) continue;
+    std::memcpy(&result[static_cast<std::size_t>(r)], s.data(), sizeof(T));
   }
   barrier();  // keep slots alive until every rank has read them
   return result;
@@ -234,8 +248,9 @@ T Rank::broadcast(const T& value, int root) {
     std::memcpy(s.data(), &value, sizeof(T));
   }
   barrier();
-  T result;
-  std::memcpy(&result, team_->slot(root).data(), sizeof(T));
+  T result{};
+  const auto& s = team_->slot(root);
+  if (s.size() >= sizeof(T)) std::memcpy(&result, s.data(), sizeof(T));
   barrier();
   return result;
 }
@@ -285,12 +300,15 @@ std::vector<T> Rank::alltoallv(const std::vector<std::vector<T>>& out) {
   std::vector<T> result;
   for (std::size_t r = 0; r < p; ++r) {
     const auto& s = team_->slot(static_cast<int>(r));
+    // Stale slot from a rank killed before publishing (fault injection):
+    // treat as an empty contribution rather than reading out of bounds.
+    if (s.size() < p * sizeof(std::uint64_t)) continue;
     const auto* their_counts = reinterpret_cast<const std::uint64_t*>(s.data());
     std::size_t offset = p * sizeof(std::uint64_t);
     for (std::size_t d = 0; d < static_cast<std::size_t>(rank_); ++d)
       offset += their_counts[d] * sizeof(T);
     const std::size_t n = their_counts[rank_];
-    if (n > 0) {
+    if (n > 0 && offset + n * sizeof(T) <= s.size()) {
       const std::size_t old = result.size();
       result.resize(old + n);
       std::memcpy(result.data() + old, s.data() + offset, n * sizeof(T));

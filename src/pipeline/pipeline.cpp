@@ -1,7 +1,9 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <optional>
 #include <sstream>
 
 #include "align/contig_store.hpp"
@@ -11,6 +13,7 @@
 #include "scaffold/depths.hpp"
 #include "scaffold/insert_size.hpp"
 #include "scaffold/splints_spans.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -61,12 +64,95 @@ Pipeline::Pipeline(pgas::Topology topo, PipelineConfig config)
   config_.sync_k();
 }
 
-template <typename Fn>
-void Pipeline::run_stage(std::vector<StageReport>& stages,
-                         const std::string& name, Fn&& fn) {
+std::uint64_t Pipeline::config_fingerprint(
+    const std::vector<seq::ReadLibrary>& libraries) const {
+  std::vector<std::byte> buf;
+  io::wire::Writer w(buf);
+  const auto put_u = [&](std::uint64_t v) { w.put_u64(v); };
+  const auto put_i = [&](std::int64_t v) {
+    w.put_u64(static_cast<std::uint64_t>(v));
+  };
+  const auto put_d = [&](double v) { w.put_pod(v); };
+  const auto put_b = [&](bool v) { w.put_u32(v ? 1 : 0); };
+
+  // Only result-affecting parameters enter the fingerprint. Batching knobs
+  // (flush_threshold, chunk_kmers, lookup_chunk, read_cache_capacity,
+  // expected_links) change message schedules and table sizing, not what is
+  // computed; the machine model, oracle partition and checkpoint config are
+  // likewise excluded, as are the team size (resume re-shards) and
+  // scaffolding_rounds (a longer run reuses a shorter run's snapshots).
+  w.put_u32(0x31504643);  // "CFP1"
+  put_i(config_.k);
+  put_u(config_.kmer.min_count);
+  put_i(config_.kmer.qual_threshold);
+  put_u(config_.kmer.min_ext_count);
+  put_b(config_.kmer.use_heavy_hitters);
+  put_u(config_.kmer.mg_capacity);
+  put_u(config_.kmer.hh_min_count);
+  put_b(config_.kmer.use_bloom);
+  put_d(config_.kmer.candidate_fraction);
+  put_u(config_.contig.min_contig_len);
+  put_i(config_.aligner.seed_stride);
+  put_i(config_.aligner.max_seed_hits);
+  put_d(config_.aligner.min_score_fraction);
+  put_i(config_.aligner.max_alignments_per_read);
+  put_i(config_.aligner.sw_band);
+  put_i(config_.aligner.scoring.match);
+  put_i(config_.aligner.scoring.mismatch);
+  put_i(config_.aligner.scoring.gap);
+  put_u(config_.links.min_support);
+  put_b(config_.ordering.require_mutual_best);
+  put_d(config_.ordering.max_depth_factor);
+  put_i(config_.gaps.walk_k_step);
+  put_i(config_.gaps.max_walk_k);
+  put_i(config_.gaps.anchor);
+  put_d(config_.gaps.reach_sigma);
+  put_i(config_.gaps.end_slack);
+  put_u(config_.gaps.max_reads_per_gap);
+  put_b(config_.merge_bubbles);
+  put_d(config_.bubbles.max_length_skew);
+  put_b(config_.serial_scaffolding);
+  // Library set: names and contigging roles. Insert statistics are
+  // re-estimated from alignments, paths only locate the same data.
+  put_u(libraries.size());
+  for (const auto& lib : libraries) {
+    w.put_bytes(lib.name);
+    put_b(lib.for_contigging);
+  }
+  return util::hash_bytes(buf.data(), buf.size());
+}
+
+void Pipeline::init_checkpointer(
+    const std::vector<seq::ReadLibrary>& libraries) {
+  if (!config_.checkpoint.enabled()) {
+    ckpt_.reset();
+    return;
+  }
+  ckpt_ = std::make_unique<ckpt::Checkpointer>(config_.checkpoint,
+                                               config_fingerprint(libraries));
+}
+
+ckpt::ResumeState Pipeline::load_resume_state(
+    std::vector<StageReport>& stages) {
+  if (!ckpt_) return {};
+  // Serial scaffolding concentrates the reads on rank 0 after the contig
+  // stage; snapshots past that point assume the distributed layout, so cap
+  // resume there.
+  int max_progress = ckpt::progress_scaffolds(config_.scaffolding_rounds - 1);
+  if (config_.serial_scaffolding) max_progress = ckpt::kProgressContigs;
+  ckpt::ResumeState rs;
+  run_reported(stages, kStageRestore, [&] {
+    rs = ckpt_->load(team_, config_.scaffolding_rounds, max_progress);
+  });
+  return rs;
+}
+
+template <typename Body>
+void Pipeline::run_reported(std::vector<StageReport>& stages,
+                            const std::string& name, Body&& body) {
   const auto before = team_.snapshot_all();
   util::WallTimer timer;
-  team_.run(std::forward<Fn>(fn));
+  body();
   StageReport report;
   report.name = name;
   report.wall_seconds = timer.seconds();
@@ -83,9 +169,46 @@ void Pipeline::run_stage(std::vector<StageReport>& stages,
   stages.push_back(std::move(report));
 }
 
+template <typename Fn>
+void Pipeline::run_stage(std::vector<StageReport>& stages,
+                         const std::string& name, Fn&& fn) {
+  run_reported(stages, name, [&] {
+    team_.faults().begin_stage(name);
+    team_.run([&](pgas::Rank& rank) {
+      // Stage-boundary fault point: step 0 of a FaultPlan kills here,
+      // before the stage does any work.
+      team_.faults().on_fault_point(rank.id());
+      fn(rank);
+    });
+  });
+}
+
+template <typename EncodeFn>
+void Pipeline::snapshot_stage(std::vector<StageReport>& stages,
+                              const std::string& artifact,
+                              const ckpt::AuxStats& aux, EncodeFn&& encode) {
+  if (!ckpt_) return;
+  auto entry = ckpt_->begin_entry(artifact, team_.nranks(), aux);
+  std::atomic<bool> ok{true};
+  run_stage(stages, kStageCheckpoint, [&](pgas::Rank& rank) {
+    const auto payload = encode(rank);
+    rank.stats().add_io_write(payload.size());
+    if (!ckpt_->write_shard(entry, rank.id(), payload))
+      ok.store(false, std::memory_order_relaxed);
+    rank.barrier();
+  });
+  if (ok.load(std::memory_order_relaxed)) {
+    (void)ckpt_->commit(std::move(entry));
+  } else {
+    util::log_warn("checkpoint: shard write failed for " + artifact +
+                   "; snapshot not committed");
+  }
+}
+
 PipelineResult Pipeline::run(
     const std::vector<std::vector<seq::Read>>& library_reads,
     const std::vector<seq::ReadLibrary>& libraries) {
+  init_checkpointer(libraries);
   // Distribute pairs round robin so mates stay together on a rank.
   const auto p = static_cast<std::size_t>(team_.nranks());
   RankReads rank_reads(p, std::vector<std::vector<seq::Read>>(libraries.size()));
@@ -96,11 +219,12 @@ PipelineResult Pipeline::run(
       rank_reads[pair % p][lib].push_back(reads[i]);
     }
   }
-  return assemble(std::move(rank_reads), libraries, {});
+  return assemble(std::move(rank_reads), libraries, {}, {});
 }
 
 PipelineResult Pipeline::run_from_fastq(
     const std::vector<seq::ReadLibrary>& libraries) {
+  init_checkpointer(libraries);
   const auto p = static_cast<std::size_t>(team_.nranks());
   RankReads rank_reads(p, std::vector<std::vector<seq::Read>>(libraries.size()));
 
@@ -129,7 +253,7 @@ PipelineResult Pipeline::run_from_fastq(
         rank.barrier();
       }
     });
-    return assemble(std::move(rank_reads), libraries, std::move(stages));
+    return assemble(std::move(rank_reads), libraries, std::move(stages), {});
   }
 
   std::vector<std::unique_ptr<io::ParallelFastqReader>> readers;
@@ -144,81 +268,182 @@ PipelineResult Pipeline::run_from_fastq(
       rank.barrier();
     }
   });
-  return assemble(std::move(rank_reads), libraries, std::move(stages));
+  return assemble(std::move(rank_reads), libraries, std::move(stages), {});
+}
+
+PipelineResult Pipeline::resume(
+    const std::vector<std::vector<seq::Read>>& library_reads,
+    const std::vector<seq::ReadLibrary>& libraries) {
+  init_checkpointer(libraries);
+  std::vector<StageReport> stages;
+  auto rs = load_resume_state(stages);
+  if (rs.empty()) {
+    util::log_info("resume: no usable checkpoint, assembling from scratch");
+    const auto p = static_cast<std::size_t>(team_.nranks());
+    RankReads rank_reads(p,
+                         std::vector<std::vector<seq::Read>>(libraries.size()));
+    for (std::size_t lib = 0; lib < library_reads.size(); ++lib) {
+      const auto& reads = library_reads[lib];
+      for (std::size_t i = 0; i < reads.size(); ++i)
+        rank_reads[(i / 2) % p][lib].push_back(reads[i]);
+    }
+    return assemble(std::move(rank_reads), libraries, std::move(stages), {});
+  }
+  return assemble({}, libraries, std::move(stages), std::move(rs));
+}
+
+PipelineResult Pipeline::resume_from_fastq(
+    const std::vector<seq::ReadLibrary>& libraries) {
+  init_checkpointer(libraries);
+  std::vector<StageReport> stages;
+  auto rs = load_resume_state(stages);
+  if (rs.empty()) {
+    util::log_info("resume: no usable checkpoint, assembling from FASTQ");
+    return run_from_fastq(libraries);
+  }
+  return assemble({}, libraries, std::move(stages), std::move(rs));
 }
 
 PipelineResult Pipeline::assemble(RankReads rank_reads,
                                   const std::vector<seq::ReadLibrary>& libraries,
-                                  std::vector<StageReport> initial_stages) {
+                                  std::vector<StageReport> initial_stages,
+                                  ckpt::ResumeState resume_state) {
   const auto p = static_cast<std::size_t>(team_.nranks());
   PipelineResult result;
   auto stages = std::move(initial_stages);
 
-  // ---- Stage 1: k-mer analysis ----
-  kcount::KmerAnalysis kmer_analysis(team_, config_.kmer);
-  run_stage(stages, kStageKmerAnalysis, [&](pgas::Rank& rank) {
-    std::vector<const std::vector<seq::Read>*> sets;
-    for (std::size_t lib = 0; lib < libraries.size(); ++lib)
-      if (libraries[lib].for_contigging)
-        sets.push_back(&rank_reads[static_cast<std::size_t>(rank.id())][lib]);
-    kmer_analysis.run(rank, sets);
-  });
-  result.distinct_kmers = kmer_analysis.distinct_kmers();
-  result.singleton_fraction = kmer_analysis.singleton_fraction();
-  result.heavy_hitters = kmer_analysis.heavy_hitters().size();
+  const int progress = resume_state.progress;
+  if (!resume_state.reads.empty()) rank_reads = std::move(resume_state.reads);
+  if (rank_reads.size() != p)
+    rank_reads.assign(p, std::vector<std::vector<seq::Read>>(libraries.size()));
+  for (auto& per_rank : rank_reads)
+    if (per_rank.size() < libraries.size()) per_rank.resize(libraries.size());
 
-  std::size_t total_ufx = 0;
-  for (std::size_t r = 0; r < p; ++r)
-    total_ufx += kmer_analysis.ufx(static_cast<int>(r)).size();
+  // Bookkeeping stats ride with every snapshot so a resumed run reports
+  // them without redoing the stages that computed them.
+  ckpt::AuxStats aux = resume_state.aux;
 
-  // ---- Stage 2: contig generation ----
-  dbg::ContigGenerator contig_gen(team_, config_.contig, total_ufx);
-  if (config_.oracle != nullptr) contig_gen.set_oracle(config_.oracle);
-  run_stage(stages, kStageContigGen, [&](pgas::Rank& rank) {
-    contig_gen.build_graph(rank, kmer_analysis.ufx(rank.id()));
-    contig_gen.traverse(rank);
-  });
-
-  // ---- Stage 3: contig store + depths (§4.1) + bubbles (§4.2) ----
-  auto store = std::make_unique<align::ContigStore>(team_);
-  scaffold::DepthCalculator depth_calc(team_, config_.k, total_ufx,
-                                       config_.kmer.flush_threshold);
-  scaffold::BubbleMerger bubble_merger(team_, config_.bubbles,
-                                       std::max<std::size_t>(64, total_ufx / 64));
-  std::vector<std::vector<dbg::Contig>> merged_contigs(p);
-  run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
-    store->build(rank, contig_gen.contigs(rank.id()));
-    const auto depths =
-        depth_calc.run(rank, kmer_analysis.ufx(rank.id()), *store);
-    for (const auto& [id, depth] : depths)
-      store->set_local_depth(rank, id, depth);
-    rank.barrier();
-    if (config_.merge_bubbles) {
-      merged_contigs[static_cast<std::size_t>(rank.id())] =
-          bubble_merger.run(rank, *store);
-    }
-  });
-  if (config_.merge_bubbles) {
-    auto merged_store = std::make_unique<align::ContigStore>(team_);
-    run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
-      merged_store->build(rank,
-                          merged_contigs[static_cast<std::size_t>(rank.id())]);
+  if (progress < ckpt::kProgressReads) {
+    snapshot_stage(stages, ckpt::kStageReads, aux, [&](pgas::Rank& rank) {
+      return ckpt::encode_reads_shard(
+          rank_reads[static_cast<std::size_t>(rank.id())]);
     });
-    store = std::move(merged_store);
   }
 
-  // Contig statistics.
-  {
-    std::vector<std::uint64_t> lengths;
-    std::vector<std::vector<std::uint64_t>> per_rank(p);
-    team_.run([&](pgas::Rank& rank) {
-      store->for_each_local(rank, [&](std::uint64_t, const dbg::Contig& c) {
-        per_rank[static_cast<std::size_t>(rank.id())].push_back(c.seq.size());
-      });
+  // ---- Stage 1: k-mer analysis ----
+  std::optional<kcount::KmerAnalysis> kmer_analysis;
+  std::vector<std::vector<kcount::UfxRecord>> loaded_ufx;
+  if (progress >= ckpt::kProgressUfx) {
+    loaded_ufx = std::move(resume_state.ufx);
+    loaded_ufx.resize(p);
+  } else {
+    kmer_analysis.emplace(team_, config_.kmer);
+    run_stage(stages, kStageKmerAnalysis, [&](pgas::Rank& rank) {
+      std::vector<const std::vector<seq::Read>*> sets;
+      for (std::size_t lib = 0; lib < libraries.size(); ++lib)
+        if (libraries[lib].for_contigging)
+          sets.push_back(&rank_reads[static_cast<std::size_t>(rank.id())][lib]);
+      kmer_analysis->run(rank, sets);
     });
-    for (const auto& v : per_rank) lengths.insert(lengths.end(), v.begin(), v.end());
-    result.num_contigs = lengths.size();
-    result.contig_stats = util::compute_assembly_stats(std::move(lengths));
+    aux.distinct_kmers = kmer_analysis->distinct_kmers();
+    aux.singleton_fraction = kmer_analysis->singleton_fraction();
+    aux.heavy_hitters = kmer_analysis->heavy_hitters().size();
+    snapshot_stage(stages, ckpt::kStageUfx, aux, [&](pgas::Rank& rank) {
+      return ckpt::encode_ufx_shard(kmer_analysis->ufx(rank.id()));
+    });
+  }
+  result.distinct_kmers = aux.distinct_kmers;
+  result.singleton_fraction = aux.singleton_fraction;
+  result.heavy_hitters = static_cast<std::size_t>(aux.heavy_hitters);
+
+  const auto ufx_of = [&](int r) -> const std::vector<kcount::UfxRecord>& {
+    return kmer_analysis ? kmer_analysis->ufx(r)
+                         : loaded_ufx[static_cast<std::size_t>(r)];
+  };
+
+  // ---- Stages 2+3: contig generation, store + depths (§4.1) + bubbles
+  // (§4.2) ----
+  auto store = std::make_unique<align::ContigStore>(team_);
+  if (progress < ckpt::kProgressContigs) {
+    std::size_t total_ufx = 0;
+    for (std::size_t r = 0; r < p; ++r)
+      total_ufx += ufx_of(static_cast<int>(r)).size();
+
+    dbg::ContigGenerator contig_gen(team_, config_.contig, total_ufx);
+    if (config_.oracle != nullptr) contig_gen.set_oracle(config_.oracle);
+    run_stage(stages, kStageContigGen, [&](pgas::Rank& rank) {
+      contig_gen.build_graph(rank, ufx_of(rank.id()));
+      contig_gen.traverse(rank);
+    });
+
+    scaffold::DepthCalculator depth_calc(team_, config_.k, total_ufx,
+                                         config_.kmer.flush_threshold);
+    scaffold::BubbleMerger bubble_merger(
+        team_, config_.bubbles, std::max<std::size_t>(64, total_ufx / 64));
+    std::vector<std::vector<dbg::Contig>> merged_contigs(p);
+    run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+      store->build(rank, contig_gen.contigs(rank.id()));
+      const auto depths = depth_calc.run(rank, ufx_of(rank.id()), *store);
+      for (const auto& [id, depth] : depths)
+        store->set_local_depth(rank, id, depth);
+      rank.barrier();
+      if (config_.merge_bubbles) {
+        merged_contigs[static_cast<std::size_t>(rank.id())] =
+            bubble_merger.run(rank, *store);
+      }
+    });
+    if (config_.merge_bubbles) {
+      auto merged_store = std::make_unique<align::ContigStore>(team_);
+      run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+        merged_store->build(rank,
+                            merged_contigs[static_cast<std::size_t>(rank.id())]);
+      });
+      store = std::move(merged_store);
+    }
+
+    // Contig statistics.
+    {
+      std::vector<std::uint64_t> lengths;
+      std::vector<std::vector<std::uint64_t>> per_rank(p);
+      team_.run([&](pgas::Rank& rank) {
+        store->for_each_local(rank, [&](std::uint64_t, const dbg::Contig& c) {
+          per_rank[static_cast<std::size_t>(rank.id())].push_back(c.seq.size());
+        });
+      });
+      for (const auto& v : per_rank)
+        lengths.insert(lengths.end(), v.begin(), v.end());
+      result.num_contigs = lengths.size();
+      result.contig_stats = util::compute_assembly_stats(std::move(lengths));
+    }
+    aux.num_contigs = result.num_contigs;
+    aux.contig_stats = result.contig_stats;
+
+    snapshot_stage(stages, ckpt::kStageContigs, aux, [&](pgas::Rank& rank) {
+      std::vector<const dbg::Contig*> mine;
+      store->for_each_local(rank, [&](std::uint64_t, const dbg::Contig& c) {
+        mine.push_back(&c);
+      });
+      return ckpt::encode_contigs_shard(mine);
+    });
+  } else {
+    result.num_contigs = aux.num_contigs;
+    result.contig_stats = aux.contig_stats;
+    // Round 0 scaffolds against the contig store; rebuild it from the
+    // snapshot when resume lands at contigs or at round-0 alignments.
+    // (Later resume points rebuild their store from scaffold records at the
+    // top of the round loop instead.)
+    const bool need_contig_store =
+        progress == ckpt::kProgressContigs ||
+        progress == ckpt::progress_alignments(0);
+    if (need_contig_store) {
+      run_stage(stages, kStageRestore, [&](pgas::Rank& rank) {
+        static const std::vector<dbg::Contig> kNone;
+        const auto r = static_cast<std::size_t>(rank.id());
+        store->build(rank, r < resume_state.contigs.size()
+                               ? resume_state.contigs[r]
+                               : kNone);
+      });
+    }
   }
 
   // ABySS-like mode: concentrate every read on rank 0 before scaffolding;
@@ -244,27 +469,72 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
   }
 
   // ---- Scaffolding rounds ----
-  std::vector<io::FastaRecord> scaffold_records;
-  for (int round = 0; round < config_.scaffolding_rounds; ++round) {
+  std::vector<io::FastaRecord> scaffold_records =
+      std::move(resume_state.scaffolds);
+  int start_round = 0;
+  if (ckpt::progress_is_alignments(progress))
+    start_round = ckpt::progress_round(progress);
+  else if (ckpt::progress_is_scaffolds(progress))
+    start_round = ckpt::progress_round(progress) + 1;
+  if (start_round > 0) {
+    // Round-level results loaded with the scaffold snapshot; overwritten if
+    // further rounds actually run.
+    result.insert_estimates = resume_state.inserts;
+    result.closure_stats = resume_state.closure_stats;
+  }
+
+  for (int round = start_round; round < config_.scaffolding_rounds; ++round) {
+    // Feed this round: the previous round's scaffolds become the contigs
+    // (round 0 uses the contig store built above).
+    if (round > 0) {
+      auto next_store = std::make_unique<align::ContigStore>(team_);
+      run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+        std::vector<dbg::Contig> mine;
+        for (std::size_t i = static_cast<std::size_t>(rank.id());
+             i < scaffold_records.size(); i += p) {
+          dbg::Contig contig;
+          contig.id = i;
+          contig.seq = scaffold_records[i].seq;
+          mine.push_back(std::move(contig));
+        }
+        next_store->build(rank, mine);
+      });
+      store = std::move(next_store);
+    }
+
     std::uint64_t contig_bases = 0;
     for (std::size_t r = 0; r < p; ++r)
       contig_bases += store->local_bases(static_cast<int>(r));
 
-    // merAligner (§4.3).
-    align::MerAligner aligner(team_, config_.aligner,
-                              static_cast<std::size_t>(contig_bases));
+    // merAligner (§4.3) — skipped when this round's alignments were loaded
+    // from a snapshot.
     std::vector<std::vector<align::ReadAlignment>> alignments(p);
-    run_stage(stages, kStageAligner, [&](pgas::Rank& rank) {
-      aligner.build_index(rank, *store);
-      auto& mine = alignments[static_cast<std::size_t>(rank.id())];
-      mine.clear();
-      for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
-        auto found = aligner.align_reads(
-            rank, *store, rank_reads[static_cast<std::size_t>(rank.id())][lib],
-            static_cast<int>(lib));
-        mine.insert(mine.end(), found.begin(), found.end());
+    if (resume_state.aligned_round == round) {
+      alignments = std::move(resume_state.alignments);
+      alignments.resize(p);
+    } else {
+      align::MerAligner aligner(team_, config_.aligner,
+                                static_cast<std::size_t>(contig_bases));
+      run_stage(stages, kStageAligner, [&](pgas::Rank& rank) {
+        aligner.build_index(rank, *store);
+        auto& mine = alignments[static_cast<std::size_t>(rank.id())];
+        mine.clear();
+        for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
+          auto found = aligner.align_reads(
+              rank, *store, rank_reads[static_cast<std::size_t>(rank.id())][lib],
+              static_cast<int>(lib));
+          mine.insert(mine.end(), found.begin(), found.end());
+        }
+      });
+      if (config_.checkpoint.granularity ==
+          ckpt::CheckpointConfig::Granularity::kStage) {
+        snapshot_stage(stages, ckpt::stage_alignments(round), aux,
+                       [&](pgas::Rank& rank) {
+                         return ckpt::encode_alignments_shard(
+                             alignments[static_cast<std::size_t>(rank.id())]);
+                       });
       }
-    });
+    }
 
     // Insert sizes (§4.4), splints/spans (§4.5), links (§4.6), ordering
     // (§4.7) — the "rest of scaffolding" series of Figure 7.
@@ -327,21 +597,18 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
     result.closure_stats = closure_stats;
     if (round == 0) result.insert_estimates = inserts;
 
-    // Feed the next round: scaffolds become contigs.
-    if (round + 1 < config_.scaffolding_rounds) {
-      auto next_store = std::make_unique<align::ContigStore>(team_);
-      run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
-        std::vector<dbg::Contig> mine;
-        for (std::size_t i = static_cast<std::size_t>(rank.id());
-             i < scaffold_records.size(); i += p) {
-          dbg::Contig contig;
-          contig.id = i;
-          contig.seq = scaffold_records[i].seq;
-          mine.push_back(std::move(contig));
-        }
-        next_store->build(rank, mine);
-      });
-      store = std::move(next_store);
+    // Snapshot the round's scaffold state (with the round-level results,
+    // so a resume here reports them too).
+    {
+      ckpt::ScaffoldExtras extras;
+      extras.closure_stats = closure_stats;
+      extras.inserts = result.insert_estimates;
+      snapshot_stage(stages, ckpt::stage_scaffolds(round), aux,
+                     [&](pgas::Rank& rank) {
+                       return ckpt::encode_scaffolds_shard(
+                           scaffold_records, rank.id(), team_.nranks(),
+                           rank.is_root() ? &extras : nullptr);
+                     });
     }
   }
 

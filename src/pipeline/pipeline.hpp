@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "align/mer_aligner.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "dbg/contig_generator.hpp"
 #include "dbg/oracle.hpp"
 #include "io/fasta.hpp"
@@ -63,6 +64,12 @@ struct PipelineConfig {
   /// Machine model used for the modeled-seconds column of reports.
   pgas::MachineModel machine;
 
+  /// Checkpoint/restart (src/ckpt): with a non-empty directory, `run`
+  /// snapshots each stage's artifact and `resume` restarts from the newest
+  /// valid snapshot. Excluded from the config fingerprint, like the machine
+  /// model — neither affects assembly results.
+  ckpt::CheckpointConfig checkpoint;
+
   /// Propagate k into the sub-configs (call after setting `k`).
   void sync_k() {
     kmer.k = k;
@@ -112,6 +119,11 @@ inline constexpr const char* kStageContigGen = "contig_generation";
 inline constexpr const char* kStageAligner = "merAligner";
 inline constexpr const char* kStageScaffoldRest = "rest_scaffolding";
 inline constexpr const char* kStageGapClosing = "gap_closing";
+/// Checkpoint snapshot writes (one report per snapshotted artifact).
+inline constexpr const char* kStageCheckpoint = "checkpoint";
+/// Checkpoint reads on resume (also the fault-injection stage name for
+/// killing a rank mid-restore; see ckpt::kRestoreFaultStage).
+inline constexpr const char* kStageRestore = "restore";
 
 class Pipeline {
  public:
@@ -128,8 +140,28 @@ class Pipeline {
   [[nodiscard]] PipelineResult run_from_fastq(
       const std::vector<seq::ReadLibrary>& libraries);
 
+  /// Restart from the newest valid checkpoint under
+  /// `config().checkpoint.dir`, re-sharding snapshots to this team's size,
+  /// then continue (and keep checkpointing). Falls back to a full `run`
+  /// with the given in-memory reads when no snapshot survives validation.
+  [[nodiscard]] PipelineResult resume(
+      const std::vector<std::vector<seq::Read>>& library_reads,
+      const std::vector<seq::ReadLibrary>& libraries);
+
+  /// FASTQ variant of `resume` (falls back to `run_from_fastq`).
+  [[nodiscard]] PipelineResult resume_from_fastq(
+      const std::vector<seq::ReadLibrary>& libraries);
+
   [[nodiscard]] pgas::ThreadTeam& team() { return team_; }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+  /// Fingerprint binding checkpoints to this configuration: k, every
+  /// result-affecting stage parameter, and the library set (names +
+  /// contigging roles). Deliberately excludes the team size (resume
+  /// re-shards), scaffolding_rounds (a longer run reuses a shorter run's
+  /// snapshots), and pure performance/modeling knobs.
+  [[nodiscard]] std::uint64_t config_fingerprint(
+      const std::vector<seq::ReadLibrary>& libraries) const;
 
  private:
   /// Per-rank, per-library read shares.
@@ -137,15 +169,35 @@ class Pipeline {
 
   [[nodiscard]] PipelineResult assemble(
       RankReads rank_reads, const std::vector<seq::ReadLibrary>& libraries,
-      std::vector<StageReport> initial_stages);
+      std::vector<StageReport> initial_stages, ckpt::ResumeState resume_state);
 
-  /// Run `fn` as a timed collective phase and append its report.
+  void init_checkpointer(const std::vector<seq::ReadLibrary>& libraries);
+  [[nodiscard]] ckpt::ResumeState load_resume_state(
+      std::vector<StageReport>& stages);
+
+  /// Time `body()` (which may run any number of collective phases) and
+  /// append a report for it.
+  template <typename Body>
+  void run_reported(std::vector<StageReport>& stages, const std::string& name,
+                    Body&& body);
+
+  /// Run `fn` as one timed collective phase and append its report. The
+  /// stage is announced to the fault injector and `fn` entry is a fault
+  /// point (step 0 of a FaultPlan kills a rank at the stage boundary).
   template <typename Fn>
   void run_stage(std::vector<StageReport>& stages, const std::string& name,
                  Fn&& fn);
 
+  /// Snapshot one artifact: every rank encodes and writes its shard
+  /// (reported as a "checkpoint" stage), then the serial context commits.
+  template <typename EncodeFn>
+  void snapshot_stage(std::vector<StageReport>& stages,
+                      const std::string& artifact, const ckpt::AuxStats& aux,
+                      EncodeFn&& encode);
+
   pgas::ThreadTeam team_;
   PipelineConfig config_;
+  std::unique_ptr<ckpt::Checkpointer> ckpt_;
 };
 
 }  // namespace hipmer::pipeline

@@ -54,4 +54,51 @@ namespace hipmer::util {
   return hash_bytes(s.data(), s.size());
 }
 
+/// Incremental CRC-32C (Castagnoli, reflected polynomial 0x82f63b78) —
+/// the checksum guarding checkpoint shards and manifests (src/ckpt).
+/// CRC-32C detects every single-byte corruption and all burst errors up to
+/// 32 bits, which is exactly the guarantee the snapshot store needs: a
+/// flipped byte in a shard or manifest must never be loadable as data.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t crc = state_;
+    for (std::size_t i = 0; i < len; ++i)
+      crc = (crc >> 8) ^ table()[(crc ^ p[i]) & 0xff];
+    state_ = crc;
+  }
+
+  /// Finalized checksum of everything fed so far (update may continue).
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = 0xffffffffU; }
+
+ private:
+  static const std::uint32_t* table() noexcept {
+    static const auto tab = [] {
+      struct Table {
+        std::uint32_t entries[256];
+      } t{};
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+          c = (c & 1) ? (c >> 1) ^ 0x82f63b78U : c >> 1;
+        t.entries[i] = c;
+      }
+      return t;
+    }();
+    return tab.entries;
+  }
+
+  std::uint32_t state_ = 0xffffffffU;
+};
+
+[[nodiscard]] inline std::uint32_t crc32c(const void* data,
+                                          std::size_t len) noexcept {
+  Crc32 crc;
+  crc.update(data, len);
+  return crc.value();
+}
+
 }  // namespace hipmer::util

@@ -174,5 +174,94 @@ TEST(Ufx, RejectsMalformedLines) {
   fs::remove_all(dir);
 }
 
+TEST(Ufx, TruncationAtEveryOffsetNeverYieldsGarbage) {
+  const auto dir = fs::temp_directory_path() /
+                   ("hipmer_ufxtrunc_" + std::to_string(std::random_device{}()));
+  fs::create_directories(dir);
+  const auto path = (dir / "trunc.ufx").string();
+
+  std::vector<kcount::UfxRecord> records;
+  for (int i = 0; i < 6; ++i) {
+    kcount::KmerSummary s;
+    s.depth = static_cast<std::uint32_t>(100 + 37 * i);  // multi-digit counts
+    s.left_ext = "ACGTFA"[i];
+    s.right_ext = "TGCAXT"[i];
+    std::string km;
+    for (int j = 0; j < 21; ++j) km += "ACGT"[(i + j) % 4];
+    records.emplace_back(seq::KmerT::from_string(km), s);
+  }
+  {
+    pgas::ThreadTeam team(pgas::Topology{1, 1});
+    team.run([&](pgas::Rank& rank) {
+      ASSERT_TRUE(kcount::write_ufx_shard(rank, path, records));
+    });
+  }
+  // Atomic rename left no temp file behind.
+  EXPECT_FALSE(fs::exists(path + ".0.tmp"));
+
+  std::ifstream in(path + ".0", std::ios::binary);
+  const std::string full((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(full.empty());
+
+  // A shard cut at any byte offset must load as a strict prefix of the
+  // written records or throw — never misparse into different records.
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    std::ofstream out(path + ".0", std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(len));
+    out.close();
+    std::vector<kcount::UfxRecord> loaded;
+    try {
+      loaded = kcount::read_ufx_shard(path, 0);
+    } catch (const std::runtime_error&) {
+      continue;  // detected — fine
+    }
+    ASSERT_LE(loaded.size(), records.size()) << "len " << len;
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      EXPECT_EQ(loaded[i].first, records[i].first) << "len " << len;
+      EXPECT_EQ(loaded[i].second.depth, records[i].second.depth)
+          << "len " << len;
+      EXPECT_EQ(loaded[i].second.left_ext, records[i].second.left_ext);
+      EXPECT_EQ(loaded[i].second.right_ext, records[i].second.right_ext);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Ufx, ReadChargesActualFileBytes) {
+  const auto dir = fs::temp_directory_path() /
+                   ("hipmer_ufxio_" + std::to_string(std::random_device{}()));
+  fs::create_directories(dir);
+  const auto path = (dir / "io.ufx").string();
+
+  std::vector<kcount::UfxRecord> records;
+  kcount::KmerSummary s;
+  s.depth = 12345;  // 5 digits: record bytes != k + 8
+  s.left_ext = 'A';
+  s.right_ext = 'T';
+  records.emplace_back(seq::KmerT::from_string(std::string(21, 'A')), s);
+
+  pgas::ThreadTeam team(pgas::Topology{2, 1});
+  team.run([&](pgas::Rank& rank) {
+    ASSERT_TRUE(kcount::write_ufx_shard(rank, path, records));
+    rank.barrier();
+    const auto mine = kcount::read_ufx_shards(rank, path, 2);
+    EXPECT_EQ(mine.size(), 1u);
+  });
+  const auto file_bytes = fs::file_size(path + ".0") + fs::file_size(path + ".1");
+  const auto stats = team.snapshot_all();
+  std::uint64_t read_bytes = 0, write_bytes = 0;
+  for (const auto& st : stats) {
+    read_bytes += st.io_read_bytes;
+    write_bytes += st.io_write_bytes;
+  }
+  // Symmetric accounting: reads charge exactly what the writers wrote —
+  // the real on-disk size, not a per-record estimate.
+  EXPECT_EQ(read_bytes, file_bytes);
+  EXPECT_EQ(write_bytes, file_bytes);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace hipmer

@@ -4,6 +4,8 @@
 //          --insert 4200 --scaffold-only] --k 31 --ranks 16
 //          [--rounds 1] [--diploid] [--min-count auto|N]
 //          [--out scaffolds.fasta]
+//          [--checkpoint-dir DIR [--resume] [--keep-last N]
+//           [--checkpoint-rounds-only]]
 //   hipmer simulate (human|wheat|metagenome) --genome N --out-dir DIR
 //   hipmer convert --fastq in.fastq --seqdb out.sdb     (either direction)
 //
@@ -37,6 +39,8 @@ int usage() {
                "--insert N --scaffold-only]...\n"
                "                  [--k 31] [--ranks 16] [--rounds 1] "
                "[--diploid] [--min-count auto|N] [--out FILE]\n"
+               "                  [--checkpoint-dir DIR [--resume] "
+               "[--keep-last N] [--checkpoint-rounds-only]]\n"
                "  hipmer simulate (human|wheat|metagenome) [--genome N] "
                "[--species N] --out-dir DIR\n"
                "  hipmer convert (--fastq-to-seqdb IN OUT | "
@@ -85,6 +89,15 @@ int cmd_assemble(int argc, char** argv) {
   if (min_count != "auto")
     cfg.kmer.min_count =
         static_cast<std::uint32_t>(std::strtoul(min_count.c_str(), nullptr, 10));
+  cfg.checkpoint.dir = opts.get("checkpoint-dir", "");
+  cfg.checkpoint.keep_last = static_cast<int>(opts.get_int("keep-last", 0));
+  if (opts.get_bool("checkpoint-rounds-only", false))
+    cfg.checkpoint.granularity = ckpt::CheckpointConfig::Granularity::kRound;
+  const bool resume = opts.get_bool("resume", false);
+  if (resume && cfg.checkpoint.dir.empty()) {
+    std::fprintf(stderr, "assemble: --resume requires --checkpoint-dir DIR\n");
+    return usage();
+  }
   cfg.sync_k();
 
   if (min_count == "auto") {
@@ -115,7 +128,8 @@ int cmd_assemble(int argc, char** argv) {
   std::printf("assembling %zu librar%s on %d ranks, k=%d, min_count=%u...\n",
               libraries.size(), libraries.size() == 1 ? "y" : "ies", ranks, k,
               cfg.kmer.min_count);
-  const auto result = pipe.run_from_fastq(libraries);
+  const auto result = resume ? pipe.resume_from_fastq(libraries)
+                             : pipe.run_from_fastq(libraries);
   std::printf("%s", result.format_stages().c_str());
   std::printf("contigs:   %s\n",
               util::format_assembly_stats(result.contig_stats).c_str());
