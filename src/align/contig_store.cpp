@@ -11,10 +11,21 @@ ContigStore::ContigStore(pgas::ThreadTeam& team)
     : team_(&team),
       nranks_(team.nranks()),
       shards_(static_cast<std::size_t>(team.nranks())),
-      caches_(static_cast<std::size_t>(team.nranks())) {}
+      caches_(static_cast<std::size_t>(team.nranks()))
+#if defined(HIPMER_CHECKED)
+      ,
+      checked_(team.checker(), "align.contig_store", nullptr, nullptr)
+#endif
+{
+}
 
 void ContigStore::build(pgas::Rank& rank,
-                        const std::vector<dbg::Contig>& my_contigs) {
+                        const std::vector<dbg::Contig>& my_contigs
+                            HIPMER_SITE_PARAM) {
+#if defined(HIPMER_CHECKED)
+  checked_.on_store(rank.id(), pgas::CheckedTable::Path::kBatched,
+                    pgas::to_site(hipmer_site));
+#endif
   // Serialize each contig toward its owner through the shared wire layer
   // (junction k-mers ride along because bubble identification keys on
   // them).
@@ -56,7 +67,12 @@ const dbg::Contig* ContigStore::local_lookup(std::uint64_t id) const {
   return &*it;
 }
 
-ContigStore::Meta ContigStore::meta(pgas::Rank& rank, std::uint64_t id) const {
+ContigStore::Meta ContigStore::meta(pgas::Rank& rank,
+                                    std::uint64_t id HIPMER_SITE_PARAM) const {
+#if defined(HIPMER_CHECKED)
+  checked_.on_lookup(rank.id(), pgas::CheckedTable::Path::kFine,
+                     pgas::to_site(hipmer_site));
+#endif
   const int owner = owner_of(id);
   Meta m;
   const dbg::Contig* contig = local_lookup(id);
@@ -79,7 +95,12 @@ ContigStore::Meta ContigStore::meta(pgas::Rank& rank, std::uint64_t id) const {
 }
 
 std::string ContigStore::fetch(pgas::Rank& rank, std::uint64_t id,
-                               std::uint32_t start, std::uint32_t len) const {
+                               std::uint32_t start,
+                               std::uint32_t len HIPMER_SITE_PARAM) const {
+#if defined(HIPMER_CHECKED)
+  checked_.on_lookup(rank.id(), pgas::CheckedTable::Path::kFine,
+                     pgas::to_site(hipmer_site));
+#endif
   const int owner = owner_of(id);
   if (owner == rank.id()) {
     rank.stats().add_local_access();
@@ -118,12 +139,20 @@ std::string ContigStore::fetch(pgas::Rank& rank, std::uint64_t id,
   return seq->substr(start, std::min<std::size_t>(len, seq->size() - start));
 }
 
-std::string ContigStore::fetch_all(pgas::Rank& rank, std::uint64_t id) const {
-  return fetch(rank, id, 0, 0xffffffffu);
+std::string ContigStore::fetch_all(pgas::Rank& rank,
+                                   std::uint64_t id HIPMER_SITE_PARAM) const {
+  return fetch(rank, id, 0, 0xffffffffu HIPMER_SITE_FWD);
 }
 
 void ContigStore::set_local_depth(pgas::Rank& rank, std::uint64_t id,
-                                  double depth) {
+                                  double depth HIPMER_SITE_PARAM) {
+#if defined(HIPMER_CHECKED)
+  // Owner-local in-place write: a store for phase purposes (readers on
+  // other ranks in the same epoch would observe it racing), but exempt
+  // from the mixed-access rule like erase_local_if.
+  checked_.on_store(rank.id(), pgas::CheckedTable::Path::kLocal,
+                    pgas::to_site(hipmer_site));
+#endif
   auto& shard = shards_[static_cast<std::size_t>(rank.id())];
   auto it = std::lower_bound(
       shard.begin(), shard.end(), id,
@@ -140,7 +169,12 @@ std::uint64_t ContigStore::local_bases(int rank) const {
 }
 
 dbg::Contig ContigStore::fetch_record(pgas::Rank& rank,
-                                      std::uint64_t id) const {
+                                      std::uint64_t id
+                                          HIPMER_SITE_PARAM) const {
+#if defined(HIPMER_CHECKED)
+  checked_.on_lookup(rank.id(), pgas::CheckedTable::Path::kFine,
+                     pgas::to_site(hipmer_site));
+#endif
   const int owner = owner_of(id);
   const dbg::Contig* contig = local_lookup(id);
   dbg::Contig copy = contig ? *contig : dbg::Contig{};

@@ -7,7 +7,12 @@
 #include <vector>
 
 #include "dbg/contig.hpp"
+#include "pgas/checked.hpp"
 #include "pgas/thread_team.hpp"
+
+#if defined(HIPMER_CHECKED)
+#include "pgas/phase_checker.hpp"
+#endif
 
 /// Distributed contig storage.
 ///
@@ -33,7 +38,8 @@ class ContigStore {
 
   /// Collective: move each contig to rank (id % P). `my_contigs` is
   /// whatever this rank produced during traversal.
-  void build(pgas::Rank& rank, const std::vector<dbg::Contig>& my_contigs);
+  void build(pgas::Rank& rank,
+             const std::vector<dbg::Contig>& my_contigs HIPMER_SITE_DEFAULT);
 
   [[nodiscard]] std::uint64_t num_contigs() const noexcept {
     return total_.load(std::memory_order_relaxed);
@@ -44,21 +50,25 @@ class ContigStore {
   }
 
   /// One-sided read of contig `id`'s metadata.
-  [[nodiscard]] Meta meta(pgas::Rank& rank, std::uint64_t id) const;
+  [[nodiscard]] Meta meta(pgas::Rank& rank,
+                          std::uint64_t id HIPMER_SITE_DEFAULT) const;
 
   /// One-sided read of `len` bases starting at `start` (clamped to the
   /// contig). Goes through the per-rank cache when enabled.
   [[nodiscard]] std::string fetch(pgas::Rank& rank, std::uint64_t id,
-                                  std::uint32_t start, std::uint32_t len) const;
+                                  std::uint32_t start,
+                                  std::uint32_t len HIPMER_SITE_DEFAULT) const;
 
   /// Fetch the whole contig sequence.
-  [[nodiscard]] std::string fetch_all(pgas::Rank& rank, std::uint64_t id) const;
+  [[nodiscard]] std::string fetch_all(pgas::Rank& rank,
+                                      std::uint64_t id HIPMER_SITE_DEFAULT) const;
 
   /// One-sided read of the complete contig record (sequence, depth,
   /// termination states with junction k-mers). Used by bubble merging,
   /// which needs the ends' junction data.
   [[nodiscard]] dbg::Contig fetch_record(pgas::Rank& rank,
-                                         std::uint64_t id) const;
+                                         std::uint64_t id
+                                             HIPMER_SITE_DEFAULT) const;
 
   /// Iterate contigs owned by this rank: fn(id, const Contig&).
   template <typename Fn>
@@ -74,7 +84,8 @@ class ContigStore {
   /// Owner-side depth update (the §4.1 depth recomputation writes back
   /// through this; call only for contigs owned by `rank`, after build and
   /// behind a barrier).
-  void set_local_depth(pgas::Rank& rank, std::uint64_t id, double depth);
+  void set_local_depth(pgas::Rank& rank, std::uint64_t id,
+                       double depth HIPMER_SITE_DEFAULT);
 
   /// Total bases across this rank's contigs.
   [[nodiscard]] std::uint64_t local_bases(int rank) const;
@@ -95,6 +106,12 @@ class ContigStore {
   /// Direct-mapped per-rank caches (mutable: fetch is logically const).
   mutable std::vector<std::vector<CacheEntry>> caches_;
   std::size_t cache_capacity_ = 64;
+#if defined(HIPMER_CHECKED)
+  // ContigStore is not a DistHashMap but obeys the same phase contract:
+  // build/set_local_depth are its write phase, one-sided meta/fetch reads
+  // its read phase. mutable: reads are logically const but record events.
+  mutable pgas::CheckedTable checked_;
+#endif
 };
 
 }  // namespace hipmer::align

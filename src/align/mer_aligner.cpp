@@ -18,6 +18,7 @@ MerAligner::MerAligner(pgas::ThreadTeam& team, AlignerConfig config,
   ic.global_capacity = std::max<std::size_t>(1024, expected_seed_kmers);
   ic.flush_threshold = config_.flush_threshold;
   index_ = std::make_unique<SeedIndex>(team, ic);
+  index_->set_name("align.seed_index");
 }
 
 MerAligner::~MerAligner() = default;

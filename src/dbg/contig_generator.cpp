@@ -26,6 +26,7 @@ ContigGenerator::ContigGenerator(pgas::ThreadTeam& team, ContigGenConfig config,
   mc.global_capacity = std::max<std::size_t>(1024, expected_kmers);
   mc.flush_threshold = config_.flush_threshold;
   map_ = std::make_unique<Map>(team, mc);
+  map_->set_name("dbg.graph");
 }
 
 ContigGenerator::~ContigGenerator() = default;
@@ -263,6 +264,17 @@ void ContigGenerator::traverse(pgas::Rank& rank) {
   // instead of racing a home traversal for a whole remote walk (which would
   // also make the Table-2 lookup counts schedule-dependent).
   bool deferred_enqueued = false;
+  // The claim/abort walk is mixed-phase *by protocol*: fine-grained RMW
+  // claims (try_claim/set_states) interleave with the batched deferred-seed
+  // pre-screen inside a single epoch, on every rank at once. It is correct
+  // because each node's claim state arbitrates access — a traversal only
+  // reads k-mers it has claimed, aborts revert only ACTIVE claims, and
+  // COMPLETE is final — so the bulk-synchronous WRITE/READ alternation the
+  // checker enforces elsewhere does not apply inside this scope (UPC's
+  // "relaxed" mode). The scope runs to the end of traverse(); the claim
+  // protocol ends at the barrier below and the renumbering that follows
+  // never touches the table.
+  pgas::RelaxedPhase relaxed_claims(rank, *map_);
   while (!pending.empty() || !deferred_enqueued) {
     if (pending.empty()) {
       rank.barrier();

@@ -51,8 +51,12 @@ class Writer {
 
  private:
   void append(const void* data, std::size_t n) {
-    const auto* p = static_cast<const std::byte*>(data);
-    buf_->insert(buf_->end(), p, p + n);
+    // resize + memcpy rather than insert(end, p, p + n): the range insert
+    // trips GCC 12's -Wstringop-overflow false positive when the growth
+    // path is inlined, and this form codegens identically.
+    const std::size_t old = buf_->size();
+    buf_->resize(old + n);
+    std::memcpy(buf_->data() + old, data, n);
   }
 
   std::vector<std::byte>* buf_;

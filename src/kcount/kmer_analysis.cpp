@@ -140,6 +140,7 @@ void KmerAnalysis::allocate(pgas::Rank& rank) {
                                        config_.candidate_fraction));
     mc.flush_threshold = config_.flush_threshold;
     table_ = std::make_unique<Map>(team_, mc);
+    table_->set_name("kcount.counts");
     if (config_.use_bloom) {
       const std::size_t per_rank =
           est / static_cast<std::size_t>(team_.nranks()) + 1024;

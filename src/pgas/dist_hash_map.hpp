@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "pgas/aggregating_engine.hpp"
+#include "pgas/checked.hpp"
 #include "pgas/read_cache.hpp"
 #include "pgas/spin_mutex.hpp"
 #include "pgas/thread_team.hpp"
@@ -75,7 +76,14 @@ class DistHashMap {
         shards_(static_cast<std::size_t>(team.nranks())),
         store_engine_(nranks_, cfg.flush_threshold),
         lookup_engine_(nranks_, cfg.flush_threshold),
-        caches_(static_cast<std::size_t>(team.nranks())) {
+        caches_(static_cast<std::size_t>(team.nranks()))
+#if defined(HIPMER_CHECKED)
+        ,
+        checked_(team.checker(), "DistHashMap",
+                 [this](int r) { return store_engine_.pending(r); },
+                 [this](int r) { return lookup_engine_.pending(r); })
+#endif
+  {
     const std::size_t per_shard =
         (cfg.global_capacity + nranks_ - 1) / nranks_;
     // Aim for ~2 entries per bucket at the estimated cardinality.
@@ -91,6 +99,17 @@ class DistHashMap {
   /// Install a custom owner mapping (oracle partitioning). Must be called
   /// while the table is empty and outside concurrent access.
   void set_rank_mapper(RankMapper mapper) { mapper_ = std::move(mapper); }
+
+  /// Name this table in HIPMER_CHECKED diagnostics ("kcount.counts",
+  /// "align.seed_index", ...). No-op in unchecked builds.
+#if defined(HIPMER_CHECKED)
+  void set_name(const std::string& name) { checked_.set_name(name); }
+  // RelaxedPhase plumbing (see pgas/checked.hpp).
+  void checked_relaxed_begin(int rank) { checked_.relaxed_begin(rank); }
+  void checked_relaxed_end(int rank) { checked_.relaxed_end(rank); }
+#else
+  void set_name(const std::string&) {}
+#endif
 
   [[nodiscard]] std::uint64_t hash_of(const K& key) const {
     return Hash{}(key);
@@ -110,7 +129,11 @@ class DistHashMap {
 
   /// Find-or-insert `key` and merge `delta` into its value. One message.
   void update(Rank& rank, const K& key, const V& delta,
-              Policy policy = Policy::kInsert) {
+              Policy policy = Policy::kInsert HIPMER_SITE_DEFAULT) {
+#if defined(HIPMER_CHECKED)
+    checked_.on_store(rank.id(), CheckedTable::Path::kFine,
+                      to_site(hipmer_site));
+#endif
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
@@ -122,7 +145,12 @@ class DistHashMap {
   /// One-sided lookup. One message (request+reply counted once); a miss
   /// moves only the key-sized request — the reply carries no value — so
   /// modeled lookup traffic is not inflated by absent keys.
-  [[nodiscard]] std::optional<V> find(Rank& rank, const K& key) const {
+  [[nodiscard]] std::optional<V> find(Rank& rank,
+                                      const K& key HIPMER_SITE_DEFAULT) const {
+#if defined(HIPMER_CHECKED)
+    checked_.on_lookup(rank.id(), CheckedTable::Path::kFine,
+                       to_site(hipmer_site));
+#endif
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
@@ -144,8 +172,13 @@ class DistHashMap {
   /// absent. This is the primitive the traversal's claim/abort protocol and
   /// the scaffolder's tie updates are built on.
   template <typename Fn>
-  auto modify(Rank& rank, const K& key, Fn&& fn)
+  auto modify(Rank& rank, const K& key, Fn&& fn HIPMER_SITE_DEFAULT)
       -> std::optional<decltype(fn(std::declval<V&>()))> {
+#if defined(HIPMER_CHECKED)
+    // An in-place RMW is a store for phase purposes.
+    checked_.on_store(rank.id(), CheckedTable::Path::kFine,
+                      to_site(hipmer_site));
+#endif
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
@@ -168,7 +201,11 @@ class DistHashMap {
   /// Buffer (key, delta) toward the owner; flushes the destination buffer
   /// automatically at the batch threshold.
   void update_buffered(Rank& rank, const K& key, const V& delta,
-                       Policy policy = Policy::kInsert) {
+                       Policy policy = Policy::kInsert HIPMER_SITE_DEFAULT) {
+#if defined(HIPMER_CHECKED)
+    checked_.on_store(rank.id(), CheckedTable::Path::kBatched,
+                      to_site(hipmer_site));
+#endif
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
@@ -210,7 +247,11 @@ class DistHashMap {
   /// the per-owner request batch.
   template <typename Handler>
   void find_buffered(Rank& rank, const K& key, std::uint64_t tag,
-                     Handler&& handler) {
+                     Handler&& handler HIPMER_SITE_DEFAULT) {
+#if defined(HIPMER_CHECKED)
+    checked_.on_lookup(rank.id(), CheckedTable::Path::kBatched,
+                       to_site(hipmer_site));
+#endif
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
@@ -232,6 +273,14 @@ class DistHashMap {
       return;
     }
     if (auto* cache = caches_[static_cast<std::size_t>(rank.id())].get()) {
+#if defined(HIPMER_CHECKED)
+      // Consult the contract *before* check_version drops stale entries:
+      // a cache that outlived a write phase is a bug even though the data
+      // would have been discarded here.
+      checked_.on_cache_consult(rank.id(), cache->seen_version(),
+                                version_.load(std::memory_order_acquire),
+                                cache->size(), to_site(hipmer_site));
+#endif
       cache->check_version(version_.load(std::memory_order_acquire));
       if (const V* hit = cache->lookup(key)) {
         rank.stats().add_read_cache_hit();
@@ -312,7 +361,13 @@ class DistHashMap {
   /// Erase local entries for which `pred(key, value)` is true; returns the
   /// number removed. Used to discard below-threshold (erroneous) k-mers.
   template <typename Pred>
-  std::size_t erase_local_if(Rank& rank, Pred&& pred) {
+  std::size_t erase_local_if(Rank& rank, Pred&& pred HIPMER_SITE_DEFAULT) {
+#if defined(HIPMER_CHECKED)
+    // Owner-local compaction still mutates entries remote lookups may be
+    // reading: a store event, but exempt from the mixed-access rule.
+    checked_.on_store(rank.id(), CheckedTable::Path::kLocal,
+                      to_site(hipmer_site));
+#endif
     Shard& shard = shards_[static_cast<std::size_t>(rank.id())];
     std::size_t erased = 0;
     for (std::size_t b = 0; b < shard.buckets.size(); ++b) {
@@ -505,6 +560,10 @@ class DistHashMap {
   // caches_[r] — rank r's software read cache (null = not opted in). Each
   // rank touches only its own slot.
   std::vector<std::unique_ptr<Cache>> caches_;
+#if defined(HIPMER_CHECKED)
+  // mutable: lookups are logically const but must record read events.
+  mutable CheckedTable checked_;
+#endif
   std::atomic<std::uint64_t> active_caches_{0};
   // Monotonic write version; starts at 1 so a fresh cache (seen_version 0)
   // always syncs on first use.

@@ -1,0 +1,370 @@
+#include "pgas/phase_checker.hpp"
+
+#if defined(HIPMER_CHECKED)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "pgas/thread_team.hpp"
+
+namespace hipmer::pgas {
+
+namespace {
+
+std::string format_site(const SiteInfo& s) {
+  std::ostringstream out;
+  out << (s.file != nullptr ? s.file : "?") << ":" << s.line;
+  if (s.function != nullptr && s.function[0] != '\0')
+    out << " (" << s.function << ")";
+  return out.str();
+}
+
+std::mutex g_handler_mu;
+
+void default_handler(const Violation& v) {
+  std::fprintf(stderr, "%s\n", v.to_string().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+ViolationHandler& handler_ref() {
+  static ViolationHandler handler = default_handler;
+  return handler;
+}
+
+}  // namespace
+
+std::string Violation::to_string() const {
+  std::ostringstream out;
+  out << "HIPMER_CHECKED violation: " << rule << "\n"
+      << "  table: " << table << "\n"
+      << "  rank " << rank << " at " << format_site(site) << "\n";
+  if (other_rank >= 0)
+    out << "  conflicts with rank " << other_rank << " at "
+        << format_site(other_site) << "\n";
+  if (!detail.empty()) out << "  " << detail << "\n";
+  return out.str();
+}
+
+PhaseViolation::PhaseViolation(Violation v)
+    : std::runtime_error(v.to_string()), v_(std::move(v)) {}
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handler_mu);
+  ViolationHandler previous = std::move(handler_ref());
+  handler_ref() = handler ? std::move(handler) : default_handler;
+  return previous;
+}
+
+// ---- PhaseChecker ----
+
+const char* PhaseChecker::kind_name(int kind) {
+  switch (kind) {
+    case kBarrier: return "barrier";
+    case kAllreduce: return "allreduce";
+    case kAllgather: return "allgather";
+    case kAllgatherv: return "allgatherv";
+    case kBroadcast: return "broadcast";
+    case kExscan: return "exscan";
+    case kAlltoallv: return "alltoallv";
+    default: return "unknown-collective";
+  }
+}
+
+PhaseChecker::PhaseChecker(ThreadTeam& team, int nranks)
+    : team_(&team), nranks_(nranks) {
+  slots_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    slots_.push_back(std::make_unique<RankSlot>());
+}
+
+void PhaseChecker::register_table(CheckedTable* table) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  tables_.push_back(table);
+}
+
+void PhaseChecker::unregister_table(CheckedTable* table) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  tables_.erase(std::remove(tables_.begin(), tables_.end(), table),
+                tables_.end());
+}
+
+void PhaseChecker::pre_barrier(int rank, int kind, SiteInfo site) {
+  if (!suppressed()) {
+    // Snapshot the registry so a table check (which takes the table's own
+    // lock) never nests inside the registry lock.
+    std::vector<CheckedTable*> tables;
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      tables = tables_;
+    }
+    for (CheckedTable* t : tables) t->check_undrained_at_barrier(rank, site);
+  }
+  auto& slot = *slots_[static_cast<std::size_t>(rank)];
+  slot.record_kind = kind;
+  slot.record_site = site;
+}
+
+void PhaseChecker::compare_barrier_records(int rank) {
+  if (suppressed()) return;
+  const auto& mine = *slots_[static_cast<std::size_t>(rank)];
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank) continue;
+    const auto& theirs = *slots_[static_cast<std::size_t>(r)];
+    if (theirs.record_kind == mine.record_kind) continue;
+    Violation v;
+    v.rule = kRuleMismatchedCollective;
+    v.table = "(collectives)";
+    v.rank = rank;
+    v.site = mine.record_site;
+    v.other_rank = r;
+    v.other_site = theirs.record_site;
+    v.detail = std::string("this rank entered ") + kind_name(mine.record_kind) +
+               ", rank " + std::to_string(r) + " entered " +
+               kind_name(theirs.record_kind) +
+               " at the same barrier instance (epoch " +
+               std::to_string(epoch(rank)) + ")";
+    report(v);
+    return;
+  }
+}
+
+void PhaseChecker::push_collective(int rank, int kind, SiteInfo site) noexcept {
+  auto& slot = *slots_[static_cast<std::size_t>(rank)];
+  if (slot.scope_depth == 0) {
+    slot.scope_kind = kind;
+    slot.scope_site = site;
+  }
+  ++slot.scope_depth;
+}
+
+void PhaseChecker::pop_collective(int rank) noexcept {
+  auto& slot = *slots_[static_cast<std::size_t>(rank)];
+  if (--slot.scope_depth == 0) slot.scope_kind = kBarrier;
+}
+
+int PhaseChecker::scope_kind(int rank) const noexcept {
+  return slots_[static_cast<std::size_t>(rank)]->scope_kind;
+}
+
+bool PhaseChecker::in_collective(int rank) const noexcept {
+  return slots_[static_cast<std::size_t>(rank)]->scope_depth > 0;
+}
+
+SiteInfo PhaseChecker::scope_site(int rank) const noexcept {
+  return slots_[static_cast<std::size_t>(rank)]->scope_site;
+}
+
+bool PhaseChecker::suppressed() const {
+  return tripped_.load(std::memory_order_relaxed) || team_->faults().fired();
+}
+
+void PhaseChecker::report(const Violation& v) {
+  // Set the flag before invoking the handler: peers released by this rank's
+  // unwind (arrive_and_drop) must skip their own checks instead of piling
+  // secondary diagnostics on top of the first.
+  tripped_.store(true, std::memory_order_release);
+  ViolationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mu);
+    handler = handler_ref();
+  }
+  handler(v);
+}
+
+// ---- CheckedTable ----
+
+CheckedTable::CheckedTable(PhaseChecker& checker, std::string name,
+                           PendingFn pending_stores, PendingFn pending_lookups)
+    : checker_(&checker),
+      name_(std::move(name)),
+      pending_stores_(std::move(pending_stores)),
+      pending_lookups_(std::move(pending_lookups)),
+      states_(static_cast<std::size_t>(checker.nranks())) {
+  checker_->register_table(this);
+}
+
+CheckedTable::~CheckedTable() { checker_->unregister_table(this); }
+
+void CheckedTable::set_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  name_ = std::move(name);
+}
+
+std::string CheckedTable::name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return name_;
+}
+
+void CheckedTable::conflict(const char* rule, int rank, SiteInfo site,
+                            int other_rank, const Event& other,
+                            const std::string& detail) {
+  Violation v;
+  v.rule = rule;
+  v.table = name_;
+  v.rank = rank;
+  v.site = site;
+  v.other_rank = other_rank;
+  v.other_site = other.site;
+  v.detail = detail;
+  checker_->report(v);
+}
+
+void CheckedTable::on_store(int rank, Path path, SiteInfo site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t e = checker_->epoch(rank);
+  auto& mine = states_[static_cast<std::size_t>(rank)];
+  const bool relaxed = mine.relaxed_depth > 0;
+  if (!relaxed && !checker_->suppressed()) {
+    // store-during-READ: another rank read this table in the current epoch;
+    // a store now races those lookups — a barrier must "reopen" the table
+    // for writing first.
+    for (int r = 0; r < checker_->nranks(); ++r) {
+      if (r == rank) continue;
+      const auto& theirs = states_[static_cast<std::size_t>(r)];
+      for (const Event* ev : {&theirs.fine_lookup, &theirs.batched_lookup}) {
+        if (ev->epoch == e && !ev->relaxed) {
+          conflict(kRuleStoreDuringRead, rank, site, r, *ev,
+                   "store in epoch " + std::to_string(e) +
+                       " while the table is in its READ phase (no barrier "
+                       "since that lookup)");
+          return;
+        }
+      }
+    }
+    // mixed-access: fine and batched stores to one table in one epoch defeat
+    // the aggregation accounting and the flush discipline.
+    if (path == Path::kFine && mine.batched_store.epoch == e &&
+        !mine.batched_store.relaxed) {
+      conflict(kRuleMixedAccess, rank, site, rank, mine.batched_store,
+               "fine-grained store in epoch " + std::to_string(e) +
+                   " mixed with buffered stores in the same phase");
+      return;
+    }
+    if (path == Path::kBatched && mine.fine_store.epoch == e &&
+        !mine.fine_store.relaxed) {
+      conflict(kRuleMixedAccess, rank, site, rank, mine.fine_store,
+               "buffered store in epoch " + std::to_string(e) +
+                   " mixed with fine-grained stores in the same phase");
+      return;
+    }
+  }
+  Event ev{e, site, relaxed};
+  if (path == Path::kBatched) {
+    mine.batched_store = ev;
+    mine.store_enqueue_site = site;
+  } else {
+    mine.fine_store = ev;
+  }
+  last_store_ = ev;
+  last_store_rank_ = rank;
+}
+
+void CheckedTable::on_lookup(int rank, Path path, SiteInfo site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t e = checker_->epoch(rank);
+  auto& mine = states_[static_cast<std::size_t>(rank)];
+  const bool relaxed = mine.relaxed_depth > 0;
+  if (!relaxed && !checker_->suppressed()) {
+    // lookup-during-WRITE, case 1: this rank still has buffered stores it
+    // never flushed — the lookup could miss its own writes.
+    if (pending_stores_ && pending_stores_(rank) > 0) {
+      Event pending{e, mine.store_enqueue_site, false};
+      conflict(kRuleLookupDuringWrite, rank, site, rank, pending,
+               "lookup with " + std::to_string(pending_stores_(rank)) +
+                   " of this rank's stores still buffered (flush + barrier "
+                   "required before the READ phase)");
+      return;
+    }
+    // case 2: another rank stored in this epoch; without a barrier between,
+    // this lookup races that write.
+    for (int r = 0; r < checker_->nranks(); ++r) {
+      if (r == rank) continue;
+      const auto& theirs = states_[static_cast<std::size_t>(r)];
+      for (const Event* ev : {&theirs.fine_store, &theirs.batched_store}) {
+        if (ev->epoch == e && !ev->relaxed) {
+          conflict(kRuleLookupDuringWrite, rank, site, r, *ev,
+                   "lookup in epoch " + std::to_string(e) +
+                       " while the table is in its WRITE phase (no barrier "
+                       "since that store)");
+          return;
+        }
+      }
+    }
+    if (path == Path::kFine && mine.batched_lookup.epoch == e &&
+        !mine.batched_lookup.relaxed) {
+      conflict(kRuleMixedAccess, rank, site, rank, mine.batched_lookup,
+               "fine-grained lookup in epoch " + std::to_string(e) +
+                   " mixed with buffered lookups in the same phase");
+      return;
+    }
+    if (path == Path::kBatched && mine.fine_lookup.epoch == e &&
+        !mine.fine_lookup.relaxed) {
+      conflict(kRuleMixedAccess, rank, site, rank, mine.fine_lookup,
+               "buffered lookup in epoch " + std::to_string(e) +
+                   " mixed with fine-grained lookups in the same phase");
+      return;
+    }
+  }
+  Event ev{e, site, relaxed};
+  if (path == Path::kBatched) {
+    mine.batched_lookup = ev;
+    mine.lookup_enqueue_site = site;
+  } else {
+    mine.fine_lookup = ev;
+  }
+}
+
+void CheckedTable::on_cache_consult(int rank, std::uint64_t cache_seen_version,
+                                    std::uint64_t table_version,
+                                    std::size_t cache_size, SiteInfo site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& mine = states_[static_cast<std::size_t>(rank)];
+  if (mine.relaxed_depth > 0 || checker_->suppressed()) return;
+  // seen_version 0 = cache never synced (fresh); empty cache = nothing
+  // stale to serve. Anything else means entries from before the write
+  // phase are still resident — the cache should have been dropped.
+  if (cache_seen_version == 0 || cache_seen_version == table_version ||
+      cache_size == 0)
+    return;
+  conflict(kRuleStaleCache, rank, site, last_store_rank_, last_store_,
+           "read cache holds " + std::to_string(cache_size) +
+               " entries from table version " +
+               std::to_string(cache_seen_version) + " but the table is at " +
+               std::to_string(table_version) +
+               " (cache survived a write phase; disable it before writing)");
+}
+
+void CheckedTable::relaxed_begin(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++states_[static_cast<std::size_t>(rank)].relaxed_depth;
+}
+
+void CheckedTable::relaxed_end(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --states_[static_cast<std::size_t>(rank)].relaxed_depth;
+}
+
+void CheckedTable::check_undrained_at_barrier(int rank, SiteInfo barrier_site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& mine = states_[static_cast<std::size_t>(rank)];
+  const std::size_t stores = pending_stores_ ? pending_stores_(rank) : 0;
+  const std::size_t lookups = pending_lookups_ ? pending_lookups_(rank) : 0;
+  if (stores == 0 && lookups == 0) return;
+  const bool store_side = stores > 0;
+  Event pending{checker_->epoch(rank),
+                store_side ? mine.store_enqueue_site : mine.lookup_enqueue_site,
+                false};
+  conflict(kRuleUndrained, rank, barrier_site, rank, pending,
+           "barrier entered with " + std::to_string(stores) +
+               " buffered store ops and " + std::to_string(lookups) +
+               " pending lookups on this rank (flush()/process_lookups() "
+               "must drain before the phase boundary)");
+}
+
+}  // namespace hipmer::pgas
+
+#endif  // HIPMER_CHECKED

@@ -74,6 +74,12 @@ class ReadCache {
 
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Table version this cache was last coherent with (0 = never synced).
+  /// The phase checker compares it against the live table version *before*
+  /// check_version self-invalidates.
+  [[nodiscard]] std::uint64_t seen_version() const noexcept {
+    return seen_version_;
+  }
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 

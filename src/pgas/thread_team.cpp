@@ -8,6 +8,9 @@ namespace hipmer::pgas {
 ThreadTeam::ThreadTeam(Topology topo)
     : topo_(topo),
       barrier_(topo.nranks),
+#if defined(HIPMER_CHECKED)
+      checker_(*this, topo.nranks),
+#endif
       slots_(static_cast<std::size_t>(topo.nranks)) {
   assert(topo_.valid());
   stats_.reserve(static_cast<std::size_t>(topo_.nranks));
@@ -16,6 +19,14 @@ ThreadTeam::ThreadTeam(Topology topo)
 }
 
 void ThreadTeam::run(const std::function<void(Rank&)>& fn) {
+#if defined(HIPMER_CHECKED)
+  // A run() boundary is a full synchronization point — the previous SPMD
+  // body's threads joined before this one spawns — so stores from an
+  // earlier run() can never race reads in this one. Advance every rank's
+  // epoch (serial context) so the checker sees the boundary as it would a
+  // barrier.
+  for (int r = 0; r < topo_.nranks; ++r) checker_.advance_epoch(r);
+#endif
   std::exception_ptr first_error;
   std::mutex error_mu;
 

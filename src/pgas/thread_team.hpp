@@ -11,9 +11,14 @@
 #include <type_traits>
 #include <vector>
 
+#include "pgas/checked.hpp"
 #include "pgas/comm_stats.hpp"
 #include "pgas/fault.hpp"
 #include "pgas/topology.hpp"
+
+#if defined(HIPMER_CHECKED)
+#include "pgas/phase_checker.hpp"
+#endif
 
 /// SPMD execution engine: the stand-in for the UPC runtime.
 ///
@@ -62,50 +67,61 @@ class Rank {
   void charge_message(int owner, std::size_t bytes, std::size_t ops = 1);
 
   // ---- Collectives (must be called by every rank, in the same order) ----
+  //
+  // Under HIPMER_CHECKED every collective carries its caller's source
+  // location and tags its internal barriers with its kind, so the checker
+  // can report "rank 0 entered allgather, rank 1 entered barrier" with both
+  // call sites when the SPMD bodies diverge.
 
-  void barrier();
+  void barrier(HIPMER_SITE_DEFAULT0);
 
   /// Reduce `value` with `op` across ranks; every rank gets the result.
   template <typename T, typename Op>
-  T allreduce(const T& value, Op op);
+  T allreduce(const T& value, Op op HIPMER_SITE_DEFAULT);
 
   template <typename T>
-  T allreduce_sum(const T& value) {
-    return allreduce(value, [](const T& a, const T& b) { return a + b; });
+  T allreduce_sum(const T& value HIPMER_SITE_DEFAULT) {
+    return allreduce(
+        value, [](const T& a, const T& b) { return a + b; } HIPMER_SITE_FWD);
   }
   template <typename T>
-  T allreduce_max(const T& value) {
-    return allreduce(value, [](const T& a, const T& b) { return a < b ? b : a; });
+  T allreduce_max(const T& value HIPMER_SITE_DEFAULT) {
+    return allreduce(
+        value,
+        [](const T& a, const T& b) { return a < b ? b : a; } HIPMER_SITE_FWD);
   }
   template <typename T>
-  T allreduce_min(const T& value) {
-    return allreduce(value, [](const T& a, const T& b) { return b < a ? b : a; });
+  T allreduce_min(const T& value HIPMER_SITE_DEFAULT) {
+    return allreduce(
+        value,
+        [](const T& a, const T& b) { return b < a ? b : a; } HIPMER_SITE_FWD);
   }
 
   /// Every rank contributes one T; every rank receives all P values.
   template <typename T>
-  std::vector<T> allgather(const T& value);
+  std::vector<T> allgather(const T& value HIPMER_SITE_DEFAULT);
 
   /// Every rank contributes a vector<T> of any length; every rank receives
   /// the concatenation in rank order.
   template <typename T>
-  std::vector<T> allgatherv(const std::vector<T>& values);
+  std::vector<T> allgatherv(const std::vector<T>& values HIPMER_SITE_DEFAULT);
 
   /// Rank `root`'s value is returned on every rank.
   template <typename T>
-  T broadcast(const T& value, int root = 0);
+  T broadcast(const T& value, int root = 0 HIPMER_SITE_DEFAULT);
 
   /// Exclusive prefix sum over ranks (rank r receives sum of values of
   /// ranks 0..r-1). Used to assign globally unique contig ids.
   template <typename T>
-  T exscan_sum(const T& value);
+  T exscan_sum(const T& value HIPMER_SITE_DEFAULT);
 
   /// All-to-all personalized exchange: `out[r]` goes to rank r; the return
   /// value is the concatenation of what every rank sent to *this* rank.
   /// Message accounting: one message per non-empty destination, classified
   /// on/off-node by the topology.
   template <typename T>
-  std::vector<T> alltoallv(const std::vector<std::vector<T>>& out);
+  std::vector<T> alltoallv(
+      const std::vector<std::vector<T>>& out HIPMER_SITE_DEFAULT);
 
  private:
   ThreadTeam* team_;
@@ -134,6 +150,12 @@ class ThreadTeam {
   /// announce stages via faults().begin_stage and ranks poll at barriers.
   [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
 
+#if defined(HIPMER_CHECKED)
+  /// Phase-discipline checker (see pgas/phase_checker.hpp). Tables register
+  /// here; barriers advance epochs and validate the drain/match invariants.
+  [[nodiscard]] PhaseChecker& checker() noexcept { return checker_; }
+#endif
+
   /// Snapshot of every rank's counters (callable between/after runs, or by
   /// rank 0 after a barrier).
   [[nodiscard]] std::vector<CommStatsSnapshot> snapshot_all() const;
@@ -148,6 +170,9 @@ class ThreadTeam {
   Topology topo_;
   std::barrier<> barrier_;
   FaultInjector faults_;
+#if defined(HIPMER_CHECKED)
+  PhaseChecker checker_;
+#endif
   std::vector<std::vector<std::byte>> slots_;
   // unique_ptr: CommStats holds atomics (non-movable) and we also want each
   // rank's counters on separate cache lines.
@@ -179,19 +204,43 @@ inline void Rank::charge_message(int owner, std::size_t bytes,
   stats_of(owner).add_recv_ops(ops);
 }
 
-inline void Rank::barrier() {
+inline void Rank::barrier(HIPMER_SITE_PARAM0) {
   // Fault point: polled before arriving, so a killed rank has already
   // published any collective payload and its catch-side arrive_and_drop
   // releases peers with consistent slots.
   team_->faults().on_fault_point(rank_);
   stats().add_collective();
+#if defined(HIPMER_CHECKED)
+  // Checked protocol: validate drained tables, publish this rank's
+  // (collective kind, call site) record, then double-barrier — the first
+  // phase makes every record fresh, the comparison runs between phases,
+  // and the second phase keeps records stable until everyone has read
+  // them. A rank that unwinds (RankKilled / PhaseViolation) satisfies the
+  // outstanding phase via arrive_and_drop in ThreadTeam::run, so the
+  // two-phase shape stays deadlock-free; comparisons are skipped once a
+  // fault or violation fired.
+  PhaseChecker& chk = team_->checker();
+  const int kind = chk.scope_kind(rank_);
+  const SiteInfo site =
+      chk.in_collective(rank_) ? chk.scope_site(rank_) : to_site(hipmer_site);
+  chk.pre_barrier(rank_, kind, site);
   team_->arrive_barrier();
+  chk.compare_barrier_records(rank_);
+  team_->arrive_barrier();
+  chk.advance_epoch(rank_);
+#else
+  team_->arrive_barrier();
+#endif
 }
 
 template <typename T>
-std::vector<T> Rank::allgather(const T& value) {
+std::vector<T> Rank::allgather(const T& value HIPMER_SITE_PARAM) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "allgather requires a trivially copyable type");
+#if defined(HIPMER_CHECKED)
+  CollectiveScope hipmer_scope(team_->checker(), rank_,
+                               PhaseChecker::kAllgather, to_site(hipmer_site));
+#endif
   auto& my_slot = team_->slot(rank_);
   my_slot.resize(sizeof(T));
   std::memcpy(my_slot.data(), &value, sizeof(T));
@@ -210,17 +259,25 @@ std::vector<T> Rank::allgather(const T& value) {
 }
 
 template <typename T, typename Op>
-T Rank::allreduce(const T& value, Op op) {
-  auto all = allgather(value);
+T Rank::allreduce(const T& value, Op op HIPMER_SITE_PARAM) {
+#if defined(HIPMER_CHECKED)
+  CollectiveScope hipmer_scope(team_->checker(), rank_,
+                               PhaseChecker::kAllreduce, to_site(hipmer_site));
+#endif
+  auto all = allgather(value HIPMER_SITE_FWD);
   T acc = all[0];
   for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
   return acc;
 }
 
 template <typename T>
-std::vector<T> Rank::allgatherv(const std::vector<T>& values) {
+std::vector<T> Rank::allgatherv(const std::vector<T>& values HIPMER_SITE_PARAM) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "allgatherv requires a trivially copyable type");
+#if defined(HIPMER_CHECKED)
+  CollectiveScope hipmer_scope(team_->checker(), rank_,
+                               PhaseChecker::kAllgatherv, to_site(hipmer_site));
+#endif
   auto& my_slot = team_->slot(rank_);
   my_slot.resize(values.size() * sizeof(T));
   if (!values.empty())
@@ -239,9 +296,13 @@ std::vector<T> Rank::allgatherv(const std::vector<T>& values) {
 }
 
 template <typename T>
-T Rank::broadcast(const T& value, int root) {
+T Rank::broadcast(const T& value, int root HIPMER_SITE_PARAM) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "broadcast requires a trivially copyable type");
+#if defined(HIPMER_CHECKED)
+  CollectiveScope hipmer_scope(team_->checker(), rank_,
+                               PhaseChecker::kBroadcast, to_site(hipmer_site));
+#endif
   if (rank_ == root) {
     auto& s = team_->slot(root);
     s.resize(sizeof(T));
@@ -256,17 +317,26 @@ T Rank::broadcast(const T& value, int root) {
 }
 
 template <typename T>
-T Rank::exscan_sum(const T& value) {
-  auto all = allgather(value);
+T Rank::exscan_sum(const T& value HIPMER_SITE_PARAM) {
+#if defined(HIPMER_CHECKED)
+  CollectiveScope hipmer_scope(team_->checker(), rank_, PhaseChecker::kExscan,
+                               to_site(hipmer_site));
+#endif
+  auto all = allgather(value HIPMER_SITE_FWD);
   T acc{};
   for (int r = 0; r < rank_; ++r) acc = acc + all[static_cast<std::size_t>(r)];
   return acc;
 }
 
 template <typename T>
-std::vector<T> Rank::alltoallv(const std::vector<std::vector<T>>& out) {
+std::vector<T> Rank::alltoallv(
+    const std::vector<std::vector<T>>& out HIPMER_SITE_PARAM) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "alltoallv requires a trivially copyable type");
+#if defined(HIPMER_CHECKED)
+  CollectiveScope hipmer_scope(team_->checker(), rank_,
+                               PhaseChecker::kAlltoallv, to_site(hipmer_site));
+#endif
   // Layout this rank's outgoing data as [count_0 .. count_{P-1}] [payloads].
   const auto p = static_cast<std::size_t>(nranks());
   auto& my_slot = team_->slot(rank_);

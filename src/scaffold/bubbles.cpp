@@ -48,10 +48,12 @@ BubbleMerger::BubbleMerger(pgas::ThreadTeam& team, BubbleConfig config,
   jc.global_capacity = std::max<std::size_t>(1024, expected_contigs * 2);
   jc.flush_threshold = config.flush_threshold;
   junctions_ = std::make_unique<JunctionMap>(team, jc);
+  junctions_->set_name("scaffold.junctions");
   ClaimMap::Config cc;
   cc.global_capacity = std::max<std::size_t>(1024, expected_contigs);
   cc.flush_threshold = config.flush_threshold;
   claims_ = std::make_unique<ClaimMap>(team, cc);
+  claims_->set_name("scaffold.bubble_claims");
 }
 
 BubbleMerger::~BubbleMerger() = default;

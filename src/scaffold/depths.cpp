@@ -14,6 +14,7 @@ DepthCalculator::DepthCalculator(pgas::ThreadTeam& team, int k,
   mc.global_capacity = std::max<std::size_t>(1024, expected_kmers);
   mc.flush_threshold = flush_threshold;
   counts_ = std::make_unique<CountMap>(team, mc);
+  counts_->set_name("scaffold.depth_counts");
 }
 
 std::vector<std::pair<std::uint64_t, double>> DepthCalculator::run(

@@ -10,6 +10,7 @@ LinkGenerator::LinkGenerator(pgas::ThreadTeam& team, LinkConfig config)
   mc.global_capacity = std::max<std::size_t>(1024, config.expected_links);
   mc.flush_threshold = config.flush_threshold;
   map_ = std::make_unique<Map>(team, mc);
+  map_->set_name("scaffold.links");
 }
 
 void LinkGenerator::add_observations(

@@ -64,8 +64,9 @@ std::vector<seq::Read> simulate_library(const Genome& genome,
   for (std::uint64_t p = 0; p < num_pairs; ++p) {
     // Fragment length: normal, clamped so both mates fit inside it.
     const auto insert = static_cast<std::uint64_t>(std::max<double>(
-        rl, std::min<double>(static_cast<double>(genome_len),
-                             std::llround(insert_dist(rng)))));
+        rl, std::min<double>(
+                static_cast<double>(genome_len),
+                static_cast<double>(std::llround(insert_dist(rng))))));
     const std::string& hap =
         (genome.diploid() && hap_coin(rng) < 0.5) ? genome.secondary
                                                   : genome.primary;

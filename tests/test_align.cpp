@@ -176,13 +176,14 @@ TEST(ContigStore, CacheReducesRemoteBytes) {
   team.run([&](pgas::Rank& rank) {
     if (rank.id() != 1) return;
     for (int round = 0; round < 50; ++round)
-      cached.fetch(rank, 0, 0, 50);  // contig 0 owned by rank 0: remote
+      (void)cached.fetch(rank, 0, 0, 50);  // contig 0 owned by rank 0: remote
   });
   const auto with_cache = team.snapshot_all()[1].total_msgs();
   team.reset_stats();
   team.run([&](pgas::Rank& rank) {
     if (rank.id() != 1) return;
-    for (int round = 0; round < 50; ++round) uncached.fetch(rank, 0, 0, 50);
+    for (int round = 0; round < 50; ++round)
+      (void)uncached.fetch(rank, 0, 0, 50);
   });
   const auto without_cache = team.snapshot_all()[1].total_msgs();
   EXPECT_EQ(with_cache, 1u);

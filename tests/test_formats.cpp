@@ -94,8 +94,9 @@ TEST(Sam, WriteFileWithHeader) {
     store.build(rank, rank.is_root() ? std::vector<dbg::Contig>{c}
                                      : std::vector<dbg::Contig>{});
     rank.barrier();
-    if (rank.is_root())
+    if (rank.is_root()) {
       EXPECT_TRUE(align::write_sam(rank, store, {a}, {read}, path));
+    }
   });
   std::ifstream in(path);
   std::string text((std::istreambuf_iterator<char>(in)),

@@ -142,7 +142,7 @@ TEST(ParallelFastq, ChargesIoBytes) {
   ASSERT_TRUE(write_fastq(path, reads));
   pgas::ThreadTeam team(pgas::Topology{4, 2});
   ParallelFastqReader reader(path);
-  team.run([&](pgas::Rank& rank) { reader.read_my_records(rank); });
+  team.run([&](pgas::Rank& rank) { (void)reader.read_my_records(rank); });
   const auto stats = team.snapshot_all();
   std::uint64_t total_io = 0;
   for (const auto& s : stats) total_io += s.io_read_bytes;

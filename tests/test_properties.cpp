@@ -33,6 +33,11 @@ TEST(Conservation, SentOpsEqualReceivedOps) {
   pgas::ThreadTeam team(pgas::Topology{p, 2});
   Map map(team, Map::Config{.global_capacity = 1 << 14, .flush_threshold = 32});
   team.run([&](pgas::Rank& rank) {
+    // Deliberately interleaves the fine and buffered store paths (the
+    // checker's mixed-access rule) — the property under test is message
+    // *accounting*, which must hold regardless of phase discipline, and
+    // SumMerge makes the interleaving semantically safe.
+    pgas::RelaxedPhase relaxed(rank, map);
     std::mt19937_64 rng(static_cast<std::uint64_t>(rank.id()) * 77 + 1);
     for (int i = 0; i < 5000; ++i) {
       if (i % 3 == 0) {
@@ -199,7 +204,7 @@ TEST_F(CorruptFastq, ParallelReaderRejectsLengthMismatch) {
   pgas::ThreadTeam team(pgas::Topology{2, 2});
   io::ParallelFastqReader reader(path);
   EXPECT_THROW(
-      team.run([&](pgas::Rank& rank) { reader.read_my_records(rank); }),
+      team.run([&](pgas::Rank& rank) { (void)reader.read_my_records(rank); }),
       std::runtime_error);
 }
 

@@ -50,10 +50,12 @@ TEST(ContigWire, RoundTripWithJunctions) {
     EXPECT_EQ(back[i].left.code, contigs[i].left.code);
     EXPECT_EQ(back[i].right.code, contigs[i].right.code);
     EXPECT_EQ(back[i].left.has_junction, contigs[i].left.has_junction);
-    if (contigs[i].left.has_junction)
+    if (contigs[i].left.has_junction) {
       EXPECT_EQ(back[i].left.junction, contigs[i].left.junction);
-    if (contigs[i].right.has_junction)
+    }
+    if (contigs[i].right.has_junction) {
       EXPECT_EQ(back[i].right.junction, contigs[i].right.junction);
+    }
   }
 }
 
