@@ -98,7 +98,7 @@ std::optional<std::vector<std::vector<std::byte>>> Checkpointer::read_entry(
   const int p = team.nranks();
   std::vector<std::vector<std::byte>> shards(entry.shard_count);
   std::atomic<bool> ok{true};
-  team.faults().begin_stage(kRestoreFaultStage);
+  team.begin_stage(kRestoreFaultStage);
   team.run([&](pgas::Rank& rank) {
     team.faults().on_fault_point(rank.id());
     for (std::uint32_t s = static_cast<std::uint32_t>(rank.id());

@@ -126,10 +126,17 @@ std::vector<seq::Read> read_seqdb(const std::string& path) {
   if (get<std::uint32_t>(buf, pos) != kSeqdbVersion)
     throw std::runtime_error("seqdb: unsupported version in " + path);
   const auto n = get<std::uint64_t>(buf, pos);
+  // Sanity-bound the declared count before allocating: every record costs
+  // at least 9 header bytes (two u32 lengths + the packed flag), so a count
+  // the file couldn't possibly hold is corruption, not a big file.
+  if (n > (buf.size() - pos) / 9)
+    throw std::runtime_error("seqdb: corrupt record count in " + path);
   std::vector<seq::Read> reads;
   reads.reserve(n);
   while (reads.size() < n) {
     const auto count = get<std::uint32_t>(buf, pos);
+    if (count > n - reads.size())
+      throw std::runtime_error("seqdb: corrupt block record count in " + path);
     for (std::uint32_t i = 0; i < count; ++i)
       reads.push_back(deserialize_record(buf, pos));
   }
@@ -167,13 +174,32 @@ ParallelSeqdbReader::ParallelSeqdbReader(std::string path)
   pread_exact(trailer, sizeof trailer, file_size_ - 16);
   const std::uint64_t num_blocks = trailer[0];
   const std::uint64_t footer_offset = trailer[1];
-  if (footer_offset + num_blocks * 8 + 16 != file_size_)
+  // Bound num_blocks by what the file can hold *before* the size identity:
+  // a garbage count would overflow `num_blocks * 8` (making the identity
+  // pass by wraparound) and then drive a monster allocation below. The
+  // header is 16 bytes, so no footer can start before offset 16 either.
+  if (num_blocks > (file_size_ - 16) / 8 || footer_offset < 16 ||
+      footer_offset + num_blocks * 8 + 16 != file_size_) {
+    ::close(fd_);
+    fd_ = -1;
     throw std::runtime_error("seqdb: corrupt footer in " + path_);
+  }
   block_offsets_.resize(num_blocks + 1);
   if (num_blocks > 0)
     pread_exact(block_offsets_.data(), num_blocks * 8, footer_offset);
   // Sentinel: end of the last block == start of the footer.
   block_offsets_[num_blocks] = footer_offset;
+  // Offsets must start at the header boundary and step strictly forward;
+  // anything else sends read_my_records off the end of the file (or into
+  // a negative-length block) before any record check could fire.
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const bool first_ok = b > 0 || block_offsets_[b] == 16;
+    if (!first_ok || block_offsets_[b] >= block_offsets_[b + 1]) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("seqdb: corrupt block index in " + path_);
+    }
+  }
 }
 
 ParallelSeqdbReader::~ParallelSeqdbReader() {
@@ -205,6 +231,8 @@ std::vector<seq::Read> ParallelSeqdbReader::read_my_records(pgas::Rank& rank) {
     bytes += len;
     std::size_t pos = 0;
     const auto count = get<std::uint32_t>(buf, pos);
+    if (count > (buf.size() - pos) / 9)
+      throw std::runtime_error("seqdb: corrupt block record count in " + path_);
     for (std::uint32_t i = 0; i < count; ++i)
       reads.push_back(deserialize_record(buf, pos));
   }

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -28,6 +29,33 @@
 /// The Writer appends to a caller-owned std::vector<std::byte> (the
 /// alltoallv unit), the Reader walks a borrowed buffer.
 namespace hipmer::io::wire {
+
+/// Base of every wire decode failure. Two refinements let callers react
+/// differently to "the frame is short" (ask the sender again / keep
+/// reading) versus "the frame is the right length but the bytes are wrong"
+/// (checksum mismatch: retransmit, never trust the contents):
+///   - TruncatedError — a field ran off the end of the buffer; the message
+///     names the field, so a partial write or chopped stream is
+///     diagnosable without a hex dump.
+///   - CorruptError — framing that is present but inconsistent (bad magic,
+///     CRC mismatch, length fields that disagree).
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class TruncatedError : public Error {
+ public:
+  TruncatedError(const char* field, std::size_t need, std::size_t have)
+      : Error(std::string("wire: truncated: field '") + field + "' needs " +
+              std::to_string(need) + " bytes, " + std::to_string(have) +
+              " remain") {}
+};
+
+class CorruptError : public Error {
+ public:
+  using Error::Error;
+};
 
 class Writer {
  public:
@@ -86,6 +114,31 @@ class Reader {
 
   [[nodiscard]] std::uint32_t get_u32() { return get_pod<std::uint32_t>(); }
   [[nodiscard]] std::uint64_t get_u64() { return get_pod<std::uint64_t>(); }
+
+  /// Checked variant of the cursor: throw TruncatedError (naming `field`)
+  /// unless `n` more bytes are available. The legacy getters above keep
+  /// their non-throwing truncated() protocol for streaming callers
+  /// (get_reads); new framed decoders (the transport envelope) use this so
+  /// the error says *which* field ran off the end.
+  void require(std::size_t n, const char* field) const {
+    if (truncated_ || n > remaining()) throw TruncatedError(field, n, remaining());
+  }
+
+  /// require(n, field) + copy out `n` raw bytes.
+  void get_raw(void* out, std::size_t n, const char* field) {
+    require(n, field);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  [[nodiscard]] T get_pod_checked(const char* field) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "wire PODs must be trivially copyable");
+    T value{};
+    get_raw(&value, sizeof value, field);
+    return value;
+  }
 
   [[nodiscard]] std::string get_bytes() {
     const std::uint32_t n = get_u32();

@@ -38,14 +38,27 @@ class AggregatingEngine {
   /// Buffer `op` from `initiator` toward `dest`. When the destination
   /// buffer reaches the threshold it is passed to `fn(dest, ops)` and
   /// cleared. `fn` may be invoked before this call returns.
+  ///
+  /// The batch is moved *out* of the grid before `fn` runs: if the flush
+  /// callback throws after handing the batch to a transport (which stamped
+  /// it with a sequence number), the ops must not linger in the buffer to
+  /// be re-sent under a fresh sequence number — that would defeat the
+  /// receiver's duplicate suppression.
   template <typename FlushFn>
   void enqueue(int initiator, std::uint32_t dest, Op op, FlushFn&& fn) {
     auto& row = row_of(initiator);
     auto& buf = row[dest];
     buf.push_back(std::move(op));
     if (buf.size() >= flush_threshold_) {
-      fn(dest, buf);
-      buf.clear();
+      std::vector<Op> batch;
+      batch.swap(buf);
+      fn(dest, batch);
+      // Success path: give the allocation back so the steady state stays
+      // zero-allocation per batch.
+      if (buf.empty()) {
+        batch.clear();
+        buf = std::move(batch);
+      }
     }
   }
 
@@ -63,9 +76,24 @@ class AggregatingEngine {
       const std::uint32_t dest = (start + i) % nranks_;
       auto& buf = (*row)[dest];
       if (buf.empty()) continue;
-      fn(dest, buf);
-      buf.clear();
+      std::vector<Op> batch;  // moved out first — see enqueue
+      batch.swap(buf);
+      fn(dest, batch);
+      if (buf.empty()) {
+        batch.clear();
+        buf = std::move(batch);
+      }
     }
+  }
+
+  /// Discard everything `initiator` has buffered, without invoking any
+  /// flush callback. Used when degrading after a suspect peer: in-flight
+  /// rows are stale (the team is unwinding to a checkpoint) and must not
+  /// be shipped by a later flush.
+  void clear(int initiator) {
+    auto* row = rows_[static_cast<std::size_t>(initiator)].get();
+    if (row == nullptr) return;
+    for (auto& buf : *row) buf.clear();
   }
 
   /// Ops currently buffered by `initiator` across all destinations. Zero

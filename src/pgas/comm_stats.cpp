@@ -16,6 +16,10 @@ CommStatsSnapshot& CommStatsSnapshot::operator+=(
   recv_ops += o.recv_ops;
   read_cache_hits += o.read_cache_hits;
   read_cache_misses += o.read_cache_misses;
+  transport_retries += o.transport_retries;
+  transport_dups += o.transport_dups;
+  transport_reorders += o.transport_reorders;
+  transport_corrupts += o.transport_corrupts;
   io_read_bytes += o.io_read_bytes;
   io_write_bytes += o.io_write_bytes;
   collectives += o.collectives;
@@ -34,6 +38,10 @@ CommStatsSnapshot& CommStatsSnapshot::operator-=(
   recv_ops -= o.recv_ops;
   read_cache_hits -= o.read_cache_hits;
   read_cache_misses -= o.read_cache_misses;
+  transport_retries -= o.transport_retries;
+  transport_dups -= o.transport_dups;
+  transport_reorders -= o.transport_reorders;
+  transport_corrupts -= o.transport_corrupts;
   io_read_bytes -= o.io_read_bytes;
   io_write_bytes -= o.io_write_bytes;
   collectives -= o.collectives;
@@ -47,6 +55,8 @@ std::string CommStatsSnapshot::to_string() const {
      << " off_msgs=" << offnode_msgs << " on_B=" << onnode_bytes
      << " off_B=" << offnode_bytes << " recv=" << recv_ops
      << " cacheH=" << read_cache_hits << " cacheM=" << read_cache_misses
+     << " retry=" << transport_retries << " dup=" << transport_dups
+     << " reord=" << transport_reorders << " corrupt=" << transport_corrupts
      << " ioR=" << io_read_bytes << " ioW=" << io_write_bytes
      << " coll=" << collectives;
   return os.str();

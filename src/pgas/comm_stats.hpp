@@ -42,6 +42,16 @@ struct CommStatsSnapshot {
   std::uint64_t read_cache_hits = 0;
   std::uint64_t read_cache_misses = 0;
 
+  // Lossy-transport protocol events (pgas/transport.hpp), charged to the
+  // *sender* whose thread simulates the delivery: retransmissions after a
+  // lost/rejected envelope, duplicate envelopes the receiver suppressed,
+  // envelopes buffered out of sequence, and corrupt frames the CRC caught.
+  // All zero on a healthy fabric (no ChaosPlan armed).
+  std::uint64_t transport_retries = 0;
+  std::uint64_t transport_dups = 0;
+  std::uint64_t transport_reorders = 0;
+  std::uint64_t transport_corrupts = 0;
+
   // Bytes read from / written to the filesystem by this rank.
   std::uint64_t io_read_bytes = 0;
   std::uint64_t io_write_bytes = 0;
@@ -114,6 +124,18 @@ class CommStats {
   void add_read_cache_miss(std::uint64_t n = 1) noexcept {
     read_cache_misses_.fetch_add(n, std::memory_order_relaxed);
   }
+  void add_transport_retry(std::uint64_t n = 1) noexcept {
+    transport_retries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_transport_dup(std::uint64_t n = 1) noexcept {
+    transport_dups_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_transport_reorder(std::uint64_t n = 1) noexcept {
+    transport_reorders_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_transport_corrupt(std::uint64_t n = 1) noexcept {
+    transport_corrupts_.fetch_add(n, std::memory_order_relaxed);
+  }
   void add_io_read(std::uint64_t bytes) noexcept {
     io_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
@@ -136,6 +158,10 @@ class CommStats {
     s.recv_ops = recv_ops_.load(std::memory_order_relaxed);
     s.read_cache_hits = read_cache_hits_.load(std::memory_order_relaxed);
     s.read_cache_misses = read_cache_misses_.load(std::memory_order_relaxed);
+    s.transport_retries = transport_retries_.load(std::memory_order_relaxed);
+    s.transport_dups = transport_dups_.load(std::memory_order_relaxed);
+    s.transport_reorders = transport_reorders_.load(std::memory_order_relaxed);
+    s.transport_corrupts = transport_corrupts_.load(std::memory_order_relaxed);
     s.io_read_bytes = io_read_bytes_.load(std::memory_order_relaxed);
     s.io_write_bytes = io_write_bytes_.load(std::memory_order_relaxed);
     s.collectives = collectives_.load(std::memory_order_relaxed);
@@ -153,6 +179,10 @@ class CommStats {
     recv_ops_ = 0;
     read_cache_hits_ = 0;
     read_cache_misses_ = 0;
+    transport_retries_ = 0;
+    transport_dups_ = 0;
+    transport_reorders_ = 0;
+    transport_corrupts_ = 0;
     io_read_bytes_ = 0;
     io_write_bytes_ = 0;
     collectives_ = 0;
@@ -169,6 +199,10 @@ class CommStats {
   std::atomic<std::uint64_t> recv_ops_{0};
   std::atomic<std::uint64_t> read_cache_hits_{0};
   std::atomic<std::uint64_t> read_cache_misses_{0};
+  std::atomic<std::uint64_t> transport_retries_{0};
+  std::atomic<std::uint64_t> transport_dups_{0};
+  std::atomic<std::uint64_t> transport_reorders_{0};
+  std::atomic<std::uint64_t> transport_corrupts_{0};
   std::atomic<std::uint64_t> io_read_bytes_{0};
   std::atomic<std::uint64_t> io_write_bytes_{0};
   std::atomic<std::uint64_t> collectives_{0};

@@ -1,17 +1,22 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "io/wire.hpp"
 #include "pgas/aggregating_engine.hpp"
 #include "pgas/checked.hpp"
 #include "pgas/read_cache.hpp"
 #include "pgas/spin_mutex.hpp"
 #include "pgas/thread_team.hpp"
+#include "pgas/transport.hpp"
 #include "util/hash.hpp"
 
 /// Distributed hash table with one-sided access, aggregating stores and
@@ -80,10 +85,15 @@ class DistHashMap {
 #if defined(HIPMER_CHECKED)
         ,
         checked_(team.checker(), "DistHashMap",
-                 [this](int r) { return store_engine_.pending(r); },
-                 [this](int r) { return lookup_engine_.pending(r); })
+                 [this](int r) { return pending_store_ops(r); },
+                 [this](int r) { return pending_lookups(r); })
 #endif
   {
+    // Register the table's two wire channels so batched traffic travels
+    // through the lossy-transport layer (per-channel chaos overrides key
+    // off these names; set_name refines them).
+    store_channel_ = team.transport().open_channel("DistHashMap/store");
+    lookup_channel_ = team.transport().open_channel("DistHashMap/lookup");
     const std::size_t per_shard =
         (cfg.global_capacity + nranks_ - 1) / nranks_;
     // Aim for ~2 entries per bucket at the estimated cardinality.
@@ -100,15 +110,20 @@ class DistHashMap {
   /// while the table is empty and outside concurrent access.
   void set_rank_mapper(RankMapper mapper) { mapper_ = std::move(mapper); }
 
-  /// Name this table in HIPMER_CHECKED diagnostics ("kcount.counts",
-  /// "align.seed_index", ...). No-op in unchecked builds.
+  /// Name this table ("kcount.counts", "align.seed_index", ...): labels
+  /// HIPMER_CHECKED diagnostics and renames the transport channels so
+  /// chaos-spec patterns and retry histograms key off the table name.
+  void set_name(const std::string& name) {
 #if defined(HIPMER_CHECKED)
-  void set_name(const std::string& name) { checked_.set_name(name); }
+    checked_.set_name(name);
+#endif
+    team_->transport().set_channel_name(store_channel_, name + "/store");
+    team_->transport().set_channel_name(lookup_channel_, name + "/lookup");
+  }
+#if defined(HIPMER_CHECKED)
   // RelaxedPhase plumbing (see pgas/checked.hpp).
   void checked_relaxed_begin(int rank) { checked_.relaxed_begin(rank); }
   void checked_relaxed_end(int rank) { checked_.relaxed_end(rank); }
-#else
-  void set_name(const std::string&) {}
 #endif
 
   [[nodiscard]] std::uint64_t hash_of(const K& key) const {
@@ -211,7 +226,7 @@ class DistHashMap {
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
     store_engine_.enqueue(rank.id(), owner, PendingOp{h, key, delta, policy},
                           [&](std::uint32_t dest, std::vector<PendingOp>& ops) {
-                            apply_store_batch(rank, dest, ops);
+                            ship_store_batch(rank, dest, ops);
                           });
   }
 
@@ -222,13 +237,25 @@ class DistHashMap {
   void flush(Rank& rank) {
     store_engine_.flush(rank.id(),
                         [&](std::uint32_t dest, std::vector<PendingOp>& ops) {
-                          apply_store_batch(rank, dest, ops);
+                          ship_store_batch(rank, dest, ops);
                         });
+    // Chaos may have held shipped envelopes "in the network" (reorder /
+    // delay fates); the post-flush contract is "all stores applied", so
+    // drain them here.
+    if constexpr (kWireStores) {
+      team_->transport().drain(rank.id(), store_channel_, rank.stats(),
+                               store_deliver(rank));
+    }
   }
 
   /// Store ops this rank has buffered but not yet applied (0 after flush).
+  /// A store batch held in transport limbo is un-applied state exactly
+  /// like an unflushed row, so it counts.
   [[nodiscard]] std::size_t pending_store_ops(int rank) const {
-    return store_engine_.pending(rank);
+    std::size_t n = store_engine_.pending(rank);
+    if constexpr (kWireStores)
+      n += team_->transport().pending(rank, store_channel_);
+    return n;
   }
 
   // ---- aggregated lookup path (batched reads + software cache) ----
@@ -292,7 +319,7 @@ class DistHashMap {
     lookup_engine_.enqueue(
         rank.id(), owner, LookupReq{h, key, tag},
         [&](std::uint32_t dest, std::vector<LookupReq>& reqs) {
-          answer_lookup_batch(rank, dest, reqs, handler);
+          ship_lookup_batch(rank, dest, reqs, handler);
         });
   }
 
@@ -304,14 +331,21 @@ class DistHashMap {
   void process_lookups(Rank& rank, Handler&& handler) {
     lookup_engine_.flush(rank.id(),
                          [&](std::uint32_t dest, std::vector<LookupReq>& reqs) {
-                           answer_lookup_batch(rank, dest, reqs, handler);
+                           ship_lookup_batch(rank, dest, reqs, handler);
                          });
+    if constexpr (kWireLookups) {
+      team_->transport().drain(rank.id(), lookup_channel_, rank.stats(),
+                               lookup_deliver(rank, handler));
+    }
   }
 
   /// Lookups this rank has queued but not yet answered (0 after
-  /// process_lookups).
+  /// process_lookups). Requests held in transport limbo count.
   [[nodiscard]] std::size_t pending_lookups(int rank) const {
-    return lookup_engine_.pending(rank);
+    std::size_t n = lookup_engine_.pending(rank);
+    if constexpr (kWireLookups)
+      n += team_->transport().pending(rank, lookup_channel_);
+    return n;
   }
 
   /// Opt this rank into the software read cache (read-only phases). Each
@@ -460,6 +494,110 @@ class DistHashMap {
 
   using Cache = ReadCache<K, V, Hash>;
 
+  /// Whether a batch can travel the wire as a byte envelope: POD ops are
+  /// memcpy-serializable, which covers every instantiation the pipeline
+  /// uses. Non-POD instantiations keep the direct shared-memory apply (a
+  /// real network backend would need a proper serializer there).
+  static constexpr bool kWireStores = std::is_trivially_copyable_v<PendingOp>;
+  static constexpr bool kWireLookups = std::is_trivially_copyable_v<LookupReq>;
+
+  template <typename Op>
+  static std::vector<std::byte> encode_batch(const std::vector<Op>& ops) {
+    static_assert(std::is_trivially_copyable_v<Op>);
+    std::vector<std::byte> out;
+    io::wire::Writer w(out);
+    w.put_u32(static_cast<std::uint32_t>(ops.size()));
+    w.put_bytes(std::string_view(reinterpret_cast<const char*>(ops.data()),
+                                 ops.size() * sizeof(Op)));
+    return out;
+  }
+
+  /// Inverse of encode_batch. The payload arrived through a CRC-checked
+  /// envelope, so a mismatch here means a framing bug, not line noise —
+  /// but it is still validated (and the bytes are memcpy'd into a fresh
+  /// vector, never reinterpreted in place: the envelope buffer carries no
+  /// alignment guarantee for Op).
+  template <typename Op>
+  static std::vector<Op> decode_batch(const std::byte* data,
+                                      std::size_t size) {
+    static_assert(std::is_trivially_copyable_v<Op>);
+    io::wire::Reader r(data, size);
+    const auto count = r.get_pod_checked<std::uint32_t>("batch count");
+    const auto len = r.get_pod_checked<std::uint32_t>("batch byte length");
+    if (static_cast<std::size_t>(len) != count * sizeof(Op) ||
+        static_cast<std::size_t>(len) != r.remaining())
+      throw io::wire::CorruptError(
+          "wire: corrupt: batch length disagrees with op count");
+    std::vector<Op> ops(count);
+    if (len > 0) r.get_raw(ops.data(), len, "batch ops");
+    return ops;
+  }
+
+  /// Receiver-side apply for one store envelope (run on the initiator's
+  /// thread — synchronous simulated delivery). Runs exactly once per
+  /// distinct envelope: the transport dedups retransmits, so CommStats
+  /// charging stays inside, identical to the pre-transport accounting.
+  auto store_deliver(Rank& rank) {
+    return [this, &rank](int dst, const std::byte* data, std::size_t size) {
+      auto ops = decode_batch<PendingOp>(data, size);
+      apply_store_batch(rank, static_cast<std::uint32_t>(dst), ops);
+    };
+  }
+
+  template <typename Handler>
+  auto lookup_deliver(Rank& rank, Handler& handler) {
+    return [this, &rank, &handler](int dst, const std::byte* data,
+                                   std::size_t size) {
+      auto reqs = decode_batch<LookupReq>(data, size);
+      answer_lookup_batch(rank, static_cast<std::uint32_t>(dst), reqs,
+                          handler);
+    };
+  }
+
+  void ship_store_batch(Rank& rank, std::uint32_t dest,
+                        std::vector<PendingOp>& ops) {
+    if constexpr (kWireStores) {
+      try {
+        team_->transport().send(rank.id(), static_cast<int>(dest),
+                                store_channel_, encode_batch(ops),
+                                rank.stats(), store_deliver(rank));
+      } catch (const PeerSuspect&) {
+        degrade(rank);
+        throw;
+      }
+    } else {
+      apply_store_batch(rank, dest, ops);
+    }
+  }
+
+  template <typename Handler>
+  void ship_lookup_batch(Rank& rank, std::uint32_t dest,
+                         std::vector<LookupReq>& reqs, Handler& handler) {
+    if constexpr (kWireLookups) {
+      try {
+        team_->transport().send(rank.id(), static_cast<int>(dest),
+                                lookup_channel_, encode_batch(reqs),
+                                rank.stats(), lookup_deliver(rank, handler));
+      } catch (const PeerSuspect&) {
+        degrade(rank);
+        throw;
+      }
+    } else {
+      answer_lookup_batch(rank, dest, reqs, handler);
+    }
+  }
+
+  /// Suspect-peer degradation: the team is about to unwind through the
+  /// RankKilled path and resume from a checkpoint, so everything this rank
+  /// holds in flight is stale. Drop the read cache (its seen-version dies
+  /// with the team) and clear the engine rows so no later flush ships
+  /// half-finished batches at the dead fabric.
+  void degrade(Rank& rank) {
+    disable_read_cache(rank);
+    store_engine_.clear(rank.id());
+    lookup_engine_.clear(rank.id());
+  }
+
   static std::size_t bucket_index(const Shard& shard, std::uint64_t h) {
     // Decorrelate from the owner mapping (which typically uses h % P).
     return util::fmix64(h) & shard.mask;
@@ -557,6 +695,8 @@ class DistHashMap {
   std::vector<Shard> shards_;
   AggregatingEngine<PendingOp> store_engine_;
   AggregatingEngine<LookupReq> lookup_engine_;
+  Transport::ChannelId store_channel_ = 0;
+  Transport::ChannelId lookup_channel_ = 0;
   // caches_[r] — rank r's software read cache (null = not opted in). Each
   // rank touches only its own slot.
   std::vector<std::unique_ptr<Cache>> caches_;

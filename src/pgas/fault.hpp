@@ -70,8 +70,13 @@ class FaultInjector {
   void clear() { set_plan(FaultPlan{}); }
 
   [[nodiscard]] bool fired() const noexcept {
-    return fired_.load(std::memory_order_relaxed);
+    return fired_.load(std::memory_order_acquire);
   }
+
+  /// Externally declare the team dead — the suspect-peer escalation path
+  /// of the transport (pgas/transport.hpp). Every rank throws RankKilled
+  /// at its next fault point, exactly as if a planned kill had fired.
+  void trip() noexcept { fired_.store(true, std::memory_order_release); }
 
   /// Serial context: announce the stage the next team.run executes.
   void begin_stage(const std::string& name) {
@@ -84,12 +89,18 @@ class FaultInjector {
   /// Called by every rank at each fault point; throws RankKilled when the
   /// plan fires (on the planned rank) or has fired (on everyone else).
   void on_fault_point(int rank) {
-    if (fired_.load(std::memory_order_relaxed))
+    // Acquire/release on fired_: the store below publishes the dying
+    // rank's final state (its aborted stage's partial writes, the plan
+    // text in the exception) and the load here must observe it before a
+    // survivor acts on the kill. Relaxed ordering let a survivor race
+    // past a fault point without seeing the flag set by a kill that
+    // already happened-before its barrier entry.
+    if (fired_.load(std::memory_order_acquire))
       throw RankKilled(rank, "aborting with killed teammate");
     if (!matched_ || rank != plan_.rank) return;
     const int step = steps_.fetch_add(1, std::memory_order_relaxed);
     if (step == plan_.step) {
-      fired_.store(true, std::memory_order_relaxed);
+      fired_.store(true, std::memory_order_release);
       throw RankKilled(rank, "fault plan at stage '" + plan_.stage +
                                  "' occurrence " +
                                  std::to_string(plan_.occurrence) + " step " +

@@ -8,6 +8,7 @@ namespace hipmer::pgas {
 ThreadTeam::ThreadTeam(Topology topo)
     : topo_(topo),
       barrier_(topo.nranks),
+      transport_(topo.nranks, faults_),
 #if defined(HIPMER_CHECKED)
       checker_(*this, topo.nranks),
 #endif

@@ -15,6 +15,7 @@
 #include "pgas/comm_stats.hpp"
 #include "pgas/fault.hpp"
 #include "pgas/topology.hpp"
+#include "pgas/transport.hpp"
 
 #if defined(HIPMER_CHECKED)
 #include "pgas/phase_checker.hpp"
@@ -150,6 +151,18 @@ class ThreadTeam {
   /// announce stages via faults().begin_stage and ranks poll at barriers.
   [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
 
+  /// Lossy-fabric transport under the batched comm paths (see
+  /// pgas/transport.hpp). Perfect fabric by default; a ChaosPlan arms it.
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
+
+  /// Announce the next stage to both fault machineries (the kill plans of
+  /// faults() and the blackhole rules of transport()). Drivers should call
+  /// this rather than faults().begin_stage directly.
+  void begin_stage(const std::string& name) {
+    faults_.begin_stage(name);
+    transport_.begin_stage(name);
+  }
+
 #if defined(HIPMER_CHECKED)
   /// Phase-discipline checker (see pgas/phase_checker.hpp). Tables register
   /// here; barriers advance epochs and validate the drain/match invariants.
@@ -170,6 +183,7 @@ class ThreadTeam {
   Topology topo_;
   std::barrier<> barrier_;
   FaultInjector faults_;
+  Transport transport_;
 #if defined(HIPMER_CHECKED)
   PhaseChecker checker_;
 #endif

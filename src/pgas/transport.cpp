@@ -1,0 +1,225 @@
+#include "pgas/transport.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hipmer::pgas {
+
+std::vector<std::byte> frame_envelope(const Envelope& env) {
+  std::vector<std::byte> out;
+  io::wire::Writer w(out);
+  w.put_u32(kEnvelopeMagic);
+  w.put_u32(env.channel);
+  w.put_u32(env.src);
+  w.put_u32(env.dst);
+  w.put_u64(env.seq);
+  w.put_bytes(std::string_view(
+      reinterpret_cast<const char*>(env.payload.data()), env.payload.size()));
+  w.put_u32(util::crc32c(out.data(), out.size()));
+  return out;
+}
+
+Envelope decode_envelope(const std::byte* data, std::size_t size) {
+  io::wire::Reader r(data, size);
+  const auto magic = r.get_pod_checked<std::uint32_t>("envelope magic");
+  if (magic != kEnvelopeMagic)
+    throw io::wire::CorruptError("wire: corrupt: envelope magic mismatch");
+  Envelope env;
+  env.channel = r.get_pod_checked<std::uint32_t>("envelope channel");
+  env.src = r.get_pod_checked<std::uint32_t>("envelope src");
+  env.dst = r.get_pod_checked<std::uint32_t>("envelope dst");
+  env.seq = r.get_pod_checked<std::uint64_t>("envelope seq");
+  const auto len = r.get_pod_checked<std::uint32_t>("envelope payload length");
+  env.payload.resize(len);
+  if (len > 0) r.get_raw(env.payload.data(), len, "envelope payload");
+  const std::size_t covered = size - r.remaining();
+  const auto stored = r.get_pod_checked<std::uint32_t>("envelope crc");
+  const std::uint32_t computed = util::crc32c(data, covered);
+  if (stored != computed) {
+    std::ostringstream os;
+    os << "wire: corrupt: envelope crc mismatch (stored 0x" << std::hex
+       << stored << ", computed 0x" << computed << ")";
+    throw io::wire::CorruptError(os.str());
+  }
+  if (!r.done())
+    throw io::wire::CorruptError("wire: corrupt: trailing bytes after envelope");
+  return env;
+}
+
+Transport::ChannelId Transport::open_channel(std::string name) {
+  std::lock_guard<std::mutex> lock(open_mu_);
+  const auto id = count_.load(std::memory_order_relaxed);
+  if (id >= kMaxChannels)
+    throw std::runtime_error("transport: channel registry exhausted");
+  auto chan = std::make_unique<Channel>();
+  chan->name = std::move(name);
+  chan->probs = plan_.resolve(chan->name);
+  chan->rows.resize(static_cast<std::size_t>(nranks_));
+  channels_.push_back(std::move(chan));
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+void Transport::set_channel_name(ChannelId ch, std::string name) {
+  std::lock_guard<std::mutex> lock(open_mu_);
+  Channel& chan = *channels_[ch];
+  chan.name = std::move(name);
+  chan.probs = plan_.resolve(chan.name);
+}
+
+void Transport::set_plan(ChaosPlan plan) {
+  plan_ = std::move(plan);
+  chaos_on_ = plan_.enabled();
+  stage_seen_.clear();
+  blackhole_rank_ = -1;
+  suspect_peer_.store(-1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(open_mu_);
+  for (auto& chan : channels_) chan->probs = plan_.resolve(chan->name);
+}
+
+void Transport::begin_stage(const std::string& name) {
+  if (!chaos_on_) return;
+  const int occurrence = stage_seen_[name]++;
+  for (const auto& rule : plan_.blackholes) {
+    if (!rule.armed()) continue;
+    if (rule.stage == name && rule.occurrence == occurrence)
+      blackhole_rank_ = rule.rank;
+  }
+}
+
+void Transport::declare_suspect(int src, int dst, Channel& chan, Link& link,
+                                int attempts) {
+  // In-flight envelopes to a dead peer are unrecoverable; drop them so
+  // nothing half-shipped survives into the unwind.
+  link.limbo.clear();
+  link.reorder.clear();
+  suspect_peer_.store(dst, std::memory_order_relaxed);
+  // Trip the team's shared kill flag: every other rank throws RankKilled
+  // at its next fault point, exactly as if dst had been killed by plan.
+  faults_->trip();
+  throw PeerSuspect(src, dst, chan.name, attempts);
+}
+
+std::vector<Transport::ChannelReport> Transport::channel_reports() const {
+  std::lock_guard<std::mutex> lock(open_mu_);
+  std::vector<ChannelReport> out;
+  out.reserve(channels_.size());
+  for (const auto& chan : channels_) {
+    ChannelReport report;
+    report.name = chan->name;
+    for (std::size_t b = 0; b < kHistBuckets; ++b)
+      report.attempts_hist[b] =
+          chan->hist[b].load(std::memory_order_relaxed);
+    report.backoff_ticks =
+        chan->backoff_ticks.load(std::memory_order_relaxed);
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+std::string Transport::format_retry_histograms() const {
+  std::ostringstream os;
+  for (const auto& report : channel_reports()) {
+    std::uint64_t total = 0;
+    for (auto count : report.attempts_hist) total += count;
+    if (total == 0) continue;
+    os << "channel " << report.name << ": ";
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (report.attempts_hist[b] == 0) continue;
+      os << report.attempts_hist[b] << "x" << b
+         << (b == kHistBuckets - 1 ? "+" : "") << " ";
+    }
+    os << "retries, backoff " << report.backoff_ticks << " ticks\n";
+  }
+  return os.str();
+}
+
+ChaosPlan ChaosPlan::parse(std::uint64_t seed, const std::string& spec) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("chaos spec: " + why + " (in '" + spec + "')");
+  };
+  std::stringstream clauses(spec);
+  std::string clause;
+  while (std::getline(clauses, clause, ';')) {
+    if (clause.empty()) continue;
+    if (clause.rfind("blackhole=", 0) == 0) {
+      // blackhole=RANK@STAGE[#OCCURRENCE]
+      const std::string body = clause.substr(10);
+      const auto at = body.find('@');
+      if (at == std::string::npos) fail("blackhole needs RANK@STAGE");
+      BlackholeRule rule;
+      try {
+        rule.rank = std::stoi(body.substr(0, at));
+      } catch (const std::exception&) {
+        fail("bad blackhole rank '" + body.substr(0, at) + "'");
+      }
+      std::string stage = body.substr(at + 1);
+      const auto hash_pos = stage.find('#');
+      if (hash_pos != std::string::npos) {
+        try {
+          rule.occurrence = std::stoi(stage.substr(hash_pos + 1));
+        } catch (const std::exception&) {
+          fail("bad blackhole occurrence in '" + stage + "'");
+        }
+        stage.resize(hash_pos);
+      }
+      if (stage.empty() || rule.rank < 0) fail("blackhole needs RANK@STAGE");
+      rule.stage = std::move(stage);
+      plan.blackholes.push_back(std::move(rule));
+      continue;
+    }
+    // [pattern ':'] kv (',' kv)*  — the pattern may not contain '=' (that
+    // would be a kv with a stray colon).
+    std::string pattern;
+    std::string kvs = clause;
+    const auto colon = clause.find(':');
+    if (colon != std::string::npos &&
+        clause.substr(0, colon).find('=') == std::string::npos) {
+      pattern = clause.substr(0, colon);
+      kvs = clause.substr(colon + 1);
+    }
+    ChaosProbs probs;
+    std::stringstream pairs(kvs);
+    std::string kv;
+    bool saw_any = false;
+    while (std::getline(pairs, kv, ',')) {
+      if (kv.empty()) continue;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) fail("expected key=value, got '" + kv + "'");
+      const std::string key = kv.substr(0, eq);
+      double value = 0.0;
+      try {
+        value = std::stod(kv.substr(eq + 1));
+      } catch (const std::exception&) {
+        fail("bad probability '" + kv.substr(eq + 1) + "'");
+      }
+      if (value < 0.0 || value > 1.0)
+        fail("probability out of [0,1]: '" + kv + "'");
+      if (key == "drop") {
+        probs.drop = value;
+      } else if (key == "dup") {
+        probs.dup = value;
+      } else if (key == "reorder") {
+        probs.reorder = value;
+      } else if (key == "delay") {
+        probs.delay = value;
+      } else if (key == "corrupt") {
+        probs.corrupt = value;
+      } else {
+        fail("unknown fault kind '" + key + "'");
+      }
+      saw_any = true;
+    }
+    if (!saw_any) fail("empty clause '" + clause + "'");
+    if (pattern.empty()) {
+      plan.defaults = probs;
+    } else {
+      plan.per_channel.emplace_back(std::move(pattern), probs);
+    }
+  }
+  return plan;
+}
+
+}  // namespace hipmer::pgas

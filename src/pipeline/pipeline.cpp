@@ -62,6 +62,7 @@ std::string PipelineResult::format_stages() const {
 Pipeline::Pipeline(pgas::Topology topo, PipelineConfig config)
     : team_(topo), config_(config) {
   config_.sync_k();
+  team_.transport().set_plan(config_.chaos);
 }
 
 std::uint64_t Pipeline::config_fingerprint(
@@ -173,7 +174,7 @@ template <typename Fn>
 void Pipeline::run_stage(std::vector<StageReport>& stages,
                          const std::string& name, Fn&& fn) {
   run_reported(stages, name, [&] {
-    team_.faults().begin_stage(name);
+    team_.begin_stage(name);  // fault plans + transport blackhole rules
     team_.run([&](pgas::Rank& rank) {
       // Stage-boundary fault point: step 0 of a FaultPlan kills here,
       // before the stage does any work.

@@ -11,6 +11,7 @@
 #include "dbg/oracle.hpp"
 #include "io/fasta.hpp"
 #include "kcount/kmer_analysis.hpp"
+#include "pgas/chaos.hpp"
 #include "pgas/machine_model.hpp"
 #include "pgas/thread_team.hpp"
 #include "scaffold/bubbles.hpp"
@@ -69,6 +70,13 @@ struct PipelineConfig {
   /// valid snapshot. Excluded from the config fingerprint, like the machine
   /// model — neither affects assembly results.
   ckpt::CheckpointConfig checkpoint;
+
+  /// Lossy-fabric chaos schedule (pgas/chaos.hpp): seeded fault injection
+  /// on the batched comm paths. Default-constructed = perfect fabric.
+  /// Excluded from the config fingerprint: the delivery protocol makes
+  /// chaos invisible to assembly results — that invariance is what the
+  /// chaos tests assert.
+  pgas::ChaosPlan chaos;
 
   /// Propagate k into the sub-configs (call after setting `k`).
   void sync_k() {

@@ -1,0 +1,255 @@
+// End-to-end chaos harness: the full pipeline under seeded lossy-fabric
+// schedules must produce byte-identical assemblies to a fault-free run —
+// the delivery protocol (seq/ack/dedup/reorder-buffer/retry) makes the
+// chaos invisible to results, visible only in the transport counters. A
+// blackholed peer must escalate to suspect-peer unwind and resume cleanly
+// from the last checkpoint.
+//
+// The combined-schedule sweep honors HIPMER_CHAOS_SEEDS (comma-separated),
+// which the CI chaos job pins to three fixed seeds.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pgas/chaos.hpp"
+#include "pgas/fault.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/datasets.hpp"
+
+namespace hipmer {
+namespace {
+
+namespace fs = std::filesystem;
+
+pipeline::PipelineConfig chaos_config() {
+  pipeline::PipelineConfig cfg;
+  cfg.k = 25;
+  cfg.kmer.min_count = 3;
+  cfg.sync_k();
+  return cfg;
+}
+
+void expect_same_assembly(const pipeline::PipelineResult& expected,
+                          const pipeline::PipelineResult& actual,
+                          const std::string& label) {
+  ASSERT_EQ(expected.scaffolds.size(), actual.scaffolds.size()) << label;
+  for (std::size_t i = 0; i < expected.scaffolds.size(); ++i) {
+    EXPECT_EQ(expected.scaffolds[i].name, actual.scaffolds[i].name)
+        << label << " record " << i;
+    EXPECT_EQ(expected.scaffolds[i].seq, actual.scaffolds[i].seq)
+        << label << " record " << i;
+  }
+  EXPECT_EQ(expected.num_contigs, actual.num_contigs) << label;
+  EXPECT_EQ(expected.distinct_kmers, actual.distinct_kmers) << label;
+  EXPECT_EQ(expected.contig_stats.n50, actual.contig_stats.n50) << label;
+  EXPECT_EQ(expected.scaffold_stats.n50, actual.scaffold_stats.n50) << label;
+}
+
+pgas::CommStatsSnapshot total_comm(pipeline::Pipeline& pipe) {
+  pgas::CommStatsSnapshot total;
+  for (const auto& s : pipe.team().snapshot_all()) total += s;
+  return total;
+}
+
+std::vector<std::uint64_t> chaos_seeds() {
+  std::vector<std::uint64_t> seeds;
+  if (const char* env = std::getenv("HIPMER_CHAOS_SEEDS")) {
+    std::stringstream ss(env);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+      if (!tok.empty()) seeds.push_back(std::stoull(tok));
+  }
+  if (seeds.empty()) seeds = {101, 202, 303};
+  return seeds;
+}
+
+/// The built-in schedules the acceptance harness runs: each stresses one
+/// protocol mechanism, the last combines them all.
+struct Schedule {
+  const char* name;
+  const char* spec;
+};
+constexpr Schedule kSchedules[] = {
+    {"drop", "drop=0.10"},
+    {"dup", "dup=0.05"},
+    {"reorder", "reorder=0.30"},
+    {"delay", "delay=0.30"},
+    {"corrupt", "corrupt=0.05"},
+    {"combined", "drop=0.08,dup=0.04,reorder=0.10,delay=0.10,corrupt=0.03"},
+};
+
+TEST(Chaos, EveryBuiltInScheduleYieldsByteIdenticalAssembly) {
+  auto ds = sim::make_human_like(18000, 4242, 15.0);
+
+  const pgas::Topology teams[] = {{4, 2}, {6, 3}};
+  for (const auto& topo : teams) {
+    // The fault-free reference is computed at the same team size the chaos
+    // runs use: assemblies are team-size independent, but the raw
+    // distinct_kmers statistic is not (per-rank Bloom filters admit
+    // different false-positive sets), so comparing 6-rank chaos output to
+    // a 4-rank reference would flag a pre-existing sharding artifact as a
+    // transport bug.
+    pipeline::Pipeline reference(topo, chaos_config());
+    const auto expected = reference.run(ds.reads, ds.libraries);
+    ASSERT_FALSE(expected.scaffolds.empty());
+    EXPECT_EQ(total_comm(reference).transport_retries, 0u);
+
+    for (const auto& schedule : kSchedules) {
+      const std::string label = std::string(schedule.name) + " on " +
+                                std::to_string(topo.nranks) + " ranks";
+      auto cfg = chaos_config();
+      cfg.chaos = pgas::ChaosPlan::parse(1234, schedule.spec);
+      pipeline::Pipeline pipe(topo, cfg);
+      const auto result = pipe.run(ds.reads, ds.libraries);
+      expect_same_assembly(expected, result, label);
+
+      // The schedule's fault kind actually fired, and it is visible in the
+      // CommStats text output.
+      const auto comm = total_comm(pipe);
+      const std::string text = comm.to_string();
+      EXPECT_NE(text.find("retry="), std::string::npos) << text;
+      EXPECT_NE(text.find("corrupt="), std::string::npos) << text;
+      if (cfg.chaos.defaults.drop > 0) {
+        EXPECT_GT(comm.transport_retries, 0u) << label;
+      }
+      if (cfg.chaos.defaults.dup > 0) {
+        EXPECT_GT(comm.transport_dups, 0u) << label;
+      }
+      if (cfg.chaos.defaults.corrupt > 0) {
+        EXPECT_GT(comm.transport_corrupts, 0u) << label;
+        EXPECT_GT(comm.transport_retries, 0u) << label;
+      }
+      // The retry histogram report names at least one channel whenever
+      // anything retried.
+      if (comm.transport_retries > 0) {
+        EXPECT_FALSE(pipe.team().transport().format_retry_histograms().empty())
+            << label;
+      }
+    }
+  }
+}
+
+TEST(Chaos, CombinedScheduleAcrossSeeds) {
+  auto ds = sim::make_wheat_like(15000, 7, 15.0);
+  pipeline::Pipeline reference(pgas::Topology{4, 2}, chaos_config());
+  const auto expected = reference.run(ds.reads, ds.libraries);
+  ASSERT_FALSE(expected.scaffolds.empty());
+
+  for (const auto seed : chaos_seeds()) {
+    auto cfg = chaos_config();
+    cfg.chaos = pgas::ChaosPlan::parse(
+        seed, "drop=0.08,dup=0.04,reorder=0.10,delay=0.10,corrupt=0.03");
+    pipeline::Pipeline pipe(pgas::Topology{4, 2}, cfg);
+    const auto result = pipe.run(ds.reads, ds.libraries);
+    expect_same_assembly(expected, result, "seed " + std::to_string(seed));
+    EXPECT_GT(total_comm(pipe).transport_retries, 0u)
+        << "seed " << seed;
+  }
+}
+
+TEST(Chaos, PerChannelOverridesScopeTheFaults) {
+  auto ds = sim::make_human_like(15000, 99, 15.0);
+  pipeline::Pipeline reference(pgas::Topology{4, 2}, chaos_config());
+  const auto expected = reference.run(ds.reads, ds.libraries);
+
+  // Chaos only on lookup channels: stores must sail through untouched
+  // (no retries charged by the store path alone would be hard to isolate,
+  // but the assembly must still be byte-identical).
+  auto cfg = chaos_config();
+  cfg.chaos = pgas::ChaosPlan::parse(31, "lookup:drop=0.2,dup=0.1");
+  pipeline::Pipeline pipe(pgas::Topology{4, 2}, cfg);
+  const auto result = pipe.run(ds.reads, ds.libraries);
+  expect_same_assembly(expected, result, "lookup-only chaos");
+  EXPECT_GT(total_comm(pipe).transport_retries, 0u);
+}
+
+TEST(Chaos, ComposesWithRankKillPlans) {
+  // Chaos on the fabric while a FaultPlan kills a rank: the kill still
+  // unwinds cleanly (no hang, no double-fault confusion).
+  auto ds = sim::make_human_like(15000, 99, 15.0);
+  auto cfg = chaos_config();
+  cfg.chaos = pgas::ChaosPlan::parse(7, "drop=0.05,dup=0.05");
+  pipeline::Pipeline pipe(pgas::Topology{4, 2}, cfg);
+  pipe.team().faults().set_plan(
+      pgas::FaultPlan{1, pipeline::kStageContigGen, 0, 1});
+  EXPECT_THROW((void)pipe.run(ds.reads, ds.libraries), pgas::RankKilled);
+  EXPECT_TRUE(pipe.team().faults().fired());
+}
+
+TEST(Chaos, BlackholedPeerUnwindsAndResumesFromCheckpoint) {
+  auto ds = sim::make_human_like(18000, 4242, 15.0);
+  pipeline::Pipeline reference(pgas::Topology{4, 2}, chaos_config());
+  const auto expected = reference.run(ds.reads, ds.libraries);
+  ASSERT_FALSE(expected.scaffolds.empty());
+
+  const auto dir = fs::temp_directory_path() /
+                   ("hipmer_chaos_bh_" +
+                    std::to_string(std::random_device{}()));
+  fs::create_directories(dir);
+
+  auto cfg = chaos_config();
+  cfg.checkpoint.dir = dir.string();
+  // Rank 2's fabric goes dark when contig generation begins: its peers
+  // exhaust the retry deadline, declare it suspect, and the whole team
+  // unwinds through the RankKilled path — bounded by max_attempts, so the
+  // run terminates instead of hanging on a silent peer.
+  cfg.chaos = pgas::ChaosPlan::parse(5, "blackhole=2@kmer_analysis");
+  {
+    pipeline::Pipeline victim(pgas::Topology{4, 2}, cfg);
+    try {
+      (void)victim.run(ds.reads, ds.libraries);
+      FAIL() << "expected the blackholed run to unwind via RankKilled";
+    } catch (const pgas::RankKilled& e) {
+      EXPECT_NE(std::string(e.what()).find("killed"), std::string::npos);
+    }
+    EXPECT_TRUE(victim.team().faults().fired());
+    EXPECT_NE(victim.team().transport().suspect_peer(), -1);
+    EXPECT_GT(total_comm(victim).transport_retries, 0u);
+  }
+
+  // Recovery: a fresh team with a healthy fabric resumes from the last
+  // committed snapshot and finishes with the fault-free assembly.
+  auto recover_cfg = cfg;
+  recover_cfg.chaos = pgas::ChaosPlan{};
+  pipeline::Pipeline recovery(pgas::Topology{4, 2}, recover_cfg);
+  const auto resumed = recovery.resume(ds.reads, ds.libraries);
+  expect_same_assembly(expected, resumed, "post-blackhole resume");
+  fs::remove_all(dir);
+}
+
+TEST(Chaos, BlackholeRecoveryUnderContinuedChaos) {
+  // Degraded-mode check: after the suspect-peer unwind, even the recovery
+  // run keeps a lossy (but not blackholed) fabric and still converges.
+  auto ds = sim::make_human_like(15000, 1, 15.0);
+  pipeline::Pipeline reference(pgas::Topology{4, 2}, chaos_config());
+  const auto expected = reference.run(ds.reads, ds.libraries);
+
+  const auto dir = fs::temp_directory_path() /
+                   ("hipmer_chaos_bh2_" +
+                    std::to_string(std::random_device{}()));
+  fs::create_directories(dir);
+
+  auto cfg = chaos_config();
+  cfg.checkpoint.dir = dir.string();
+  cfg.chaos =
+      pgas::ChaosPlan::parse(9, "drop=0.05;blackhole=1@contig_generation");
+  {
+    pipeline::Pipeline victim(pgas::Topology{4, 2}, cfg);
+    EXPECT_THROW((void)victim.run(ds.reads, ds.libraries), pgas::RankKilled);
+  }
+  auto recover_cfg = cfg;
+  recover_cfg.chaos = pgas::ChaosPlan::parse(10, "drop=0.05,dup=0.03");
+  pipeline::Pipeline recovery(pgas::Topology{4, 2}, recover_cfg);
+  const auto resumed = recovery.resume(ds.reads, ds.libraries);
+  expect_same_assembly(expected, resumed, "lossy resume");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hipmer

@@ -128,6 +128,194 @@ TEST_F(SeqdbFixture, RejectsTruncatedFile) {
   EXPECT_THROW(ParallelSeqdbReader reader(path), std::runtime_error);
 }
 
+// Overwrite `len` bytes at `off` in-place (for corruption tests).
+void patch_file(const std::string& path, std::uint64_t off, const void* data,
+                std::size_t len) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(off));
+  f.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  ASSERT_TRUE(f.good());
+}
+
+TEST_F(SeqdbFixture, GarbageRecordCountNeverAllocates) {
+  const auto reads = sample_reads(200, 29);
+  const auto path = file("count.sdb");
+  ASSERT_TRUE(write_seqdb(path, reads));
+  // The record count lives at offset 8. A count the file cannot possibly
+  // hold must be rejected *before* reserve() — a crash or OOM here means
+  // the reader trusted a corrupt length field.
+  const std::uint64_t garbage = ~std::uint64_t{0} / 2;
+  patch_file(path, 8, &garbage, sizeof garbage);
+  try {
+    (void)read_seqdb(path);
+    FAIL() << "garbage record count was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt record count"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SeqdbFixture, GarbageBlockCountIsRejected) {
+  const auto reads = sample_reads(200, 31);
+  const auto path = file("blockcount.sdb");
+  ASSERT_TRUE(write_seqdb(path, reads));
+  // First block's record count lives right after the 16-byte header.
+  const std::uint32_t garbage = 0xFFFFFFFFu;
+  patch_file(path, 16, &garbage, sizeof garbage);
+  try {
+    (void)read_seqdb(path);
+    FAIL() << "garbage block count was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt block record count"),
+              std::string::npos)
+        << e.what();
+  }
+  // The parallel reader hits the same guard when it decodes the block.
+  // Single-rank team: a throwing rank skips read_my_records' trailing
+  // barrier, which would strand any peer still waiting in it.
+  pgas::ThreadTeam team(pgas::Topology{1, 1});
+  ParallelSeqdbReader reader(path);
+  std::atomic<int> caught{0};
+  team.run([&](pgas::Rank& rank) {
+    try {
+      (void)reader.read_my_records(rank);
+    } catch (const std::runtime_error& e) {
+      if (std::string(e.what()).find("corrupt block record count") !=
+          std::string::npos)
+        caught.fetch_add(1);
+    }
+  });
+  EXPECT_GE(caught.load(), 1);
+}
+
+TEST_F(SeqdbFixture, CorruptFooterIsRejectedNotTrusted) {
+  const auto reads = sample_reads(300, 37);
+  const auto path = file("footer.sdb");
+  ASSERT_TRUE(write_seqdb(path, reads));
+  const auto size = fs::file_size(path);
+
+  // A block count that would overflow `num_blocks * 8` must not wrap its
+  // way past the size identity and into a monster allocation.
+  const std::uint64_t huge = ~std::uint64_t{0} / 8 + 2;
+  patch_file(path, size - 16, &huge, sizeof huge);
+  try {
+    ParallelSeqdbReader reader(path);
+    FAIL() << "overflowing block count was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt footer"), std::string::npos)
+        << e.what();
+  }
+
+  // A footer offset pointing before the header is equally corrupt.
+  ASSERT_TRUE(write_seqdb(path, reads));
+  const std::uint64_t before_header = 3;
+  patch_file(path, size - 8, &before_header, sizeof before_header);
+  try {
+    ParallelSeqdbReader reader(path);
+    FAIL() << "footer offset inside the header was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt footer"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SeqdbFixture, CorruptBlockIndexIsRejected) {
+  const auto reads = sample_reads(3000, 41);  // several blocks
+  const auto path = file("index.sdb");
+  ASSERT_TRUE(write_seqdb(path, reads));
+  const auto size = fs::file_size(path);
+  std::uint64_t trailer[2];  // num_blocks, footer_offset
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(size - 16));
+    in.read(reinterpret_cast<char*>(trailer), sizeof trailer);
+    ASSERT_TRUE(in.good());
+  }
+  ASSERT_GT(trailer[0], 1u) << "need at least two blocks for this test";
+  // Swap the first two block offsets: the footer identity still holds, but
+  // the offsets are no longer strictly increasing.
+  std::uint64_t offs[2];
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(trailer[1]));
+    in.read(reinterpret_cast<char*>(offs), sizeof offs);
+    ASSERT_TRUE(in.good());
+  }
+  std::swap(offs[0], offs[1]);
+  patch_file(path, trailer[1], offs, sizeof offs);
+  try {
+    ParallelSeqdbReader reader(path);
+    FAIL() << "non-monotone block index was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt block index"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SeqdbFixture, ByteFlipAndTruncationSweepNeverCrashes) {
+  // Defensive sweep: flip one byte at a time (and truncate to assorted
+  // sizes); every outcome must be either a clean read or a runtime_error —
+  // never a crash, hang, or unbounded allocation. Payload-byte flips may
+  // legitimately decode to different read content (the container has no
+  // record checksums); structural corruption must throw.
+  const auto reads = sample_reads(120, 43);
+  const auto pristine = file("sweep.sdb");
+  ASSERT_TRUE(write_seqdb(pristine, reads));
+  std::string image;
+  {
+    std::ifstream in(pristine, std::ios::binary);
+    image.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto path = file("flipped.sdb");
+  for (std::size_t pos = 0; pos < image.size();
+       pos += 1 + image.size() / 97) {
+    std::string bad = image;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    try {
+      const auto back = read_seqdb(path);
+      EXPECT_LE(back.size(), reads.size()) << "flip at " << pos;
+    } catch (const std::runtime_error&) {
+      // Rejected cleanly: fine.
+    }
+    try {
+      // Single-rank team: a mid-decode throw must not strand a peer at
+      // read_my_records' trailing barrier.
+      ParallelSeqdbReader reader(path);
+      pgas::ThreadTeam team(pgas::Topology{1, 1});
+      team.run([&](pgas::Rank& rank) {
+        try {
+          (void)reader.read_my_records(rank);
+        } catch (const std::runtime_error&) {
+        }
+      });
+    } catch (const std::runtime_error&) {
+    }
+  }
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{7}, std::size_t{17}, image.size() / 3,
+        image.size() / 2, image.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    // A cut anywhere in the record region starves read_seqdb; a cut only
+    // inside the footer (the final bytes) is invisible to it but must
+    // still fail the parallel reader's footer identity.
+    if (cut < image.size() / 2 + 1) {
+      EXPECT_THROW((void)read_seqdb(path), std::runtime_error)
+          << "truncated to " << cut;
+    }
+    EXPECT_THROW(ParallelSeqdbReader reader(path), std::runtime_error)
+        << "truncated to " << cut;
+  }
+}
+
 TEST_F(SeqdbFixture, EmptyContainer) {
   const auto path = file("e.sdb");
   ASSERT_TRUE(write_seqdb(path, {}));

@@ -41,6 +41,9 @@ int usage() {
                "[--diploid] [--min-count auto|N] [--out FILE]\n"
                "                  [--checkpoint-dir DIR [--resume] "
                "[--keep-last N] [--checkpoint-rounds-only]]\n"
+               "                  [--chaos-spec "
+               "'drop=0.05,dup=0.02;store:corrupt=0.01;blackhole=2@merAligner'"
+               " [--chaos-seed N]]\n"
                "  hipmer simulate (human|wheat|metagenome) [--genome N] "
                "[--species N] --out-dir DIR\n"
                "  hipmer convert (--fastq-to-seqdb IN OUT | "
@@ -98,6 +101,11 @@ int cmd_assemble(int argc, char** argv) {
     std::fprintf(stderr, "assemble: --resume requires --checkpoint-dir DIR\n");
     return usage();
   }
+  const std::string chaos_spec = opts.get("chaos-spec", "");
+  if (!chaos_spec.empty()) {
+    cfg.chaos = pgas::ChaosPlan::parse(
+        static_cast<std::uint64_t>(opts.get_int("chaos-seed", 1)), chaos_spec);
+  }
   cfg.sync_k();
 
   if (min_count == "auto") {
@@ -131,6 +139,11 @@ int cmd_assemble(int argc, char** argv) {
   const auto result = resume ? pipe.resume_from_fastq(libraries)
                              : pipe.run_from_fastq(libraries);
   std::printf("%s", result.format_stages().c_str());
+  if (pipe.team().transport().chaos_enabled()) {
+    const std::string retries = pipe.team().transport().format_retry_histograms();
+    std::printf("chaos retry histograms:\n%s",
+                retries.empty() ? "  (no retries)\n" : retries.c_str());
+  }
   std::printf("contigs:   %s\n",
               util::format_assembly_stats(result.contig_stats).c_str());
   std::printf("scaffolds: %s\n",

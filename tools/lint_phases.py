@@ -34,6 +34,15 @@ Functions split a protocol across helpers legitimately (a class may flush
 in one method and barrier in another); the allow-comment documents that at
 the call site, which is exactly the reviewable artifact we want.
 
+When an entire file is a legitimate exception — a chaos/robustness test
+that drives half-protocols on purpose, or a harness whose every function
+would need the same allow — a file-scoped comment anywhere in the file
+
+    // lint-phases: allow-file(<code>)
+
+merges that rule into every function's allows. Prefer the per-line form;
+allow-file is for files where per-line comments would outnumber the code.
+
 Usage: lint_phases.py [--verbose] DIR_OR_FILE...
 Exit status: 0 = clean, 1 = findings, 2 = usage error.
 """
@@ -47,6 +56,7 @@ from pathlib import Path
 SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
 
 ALLOW_RE = re.compile(r"lint-phases:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"lint-phases:\s*allow-file\(([a-z-]+)\)")
 
 # Calls that cross a barrier and therefore publish a flushed write phase.
 BARRIER_RE = re.compile(
@@ -176,8 +186,11 @@ def lint_file(path: Path) -> list[str]:
     text = path.read_text(encoding="utf-8", errors="replace")
     findings: list[str] = []
     in_pgas = PGAS_DIR in str(path).replace("\\", "/")
+    # File-scoped suppressions apply to every function in the file.
+    file_allows = set(ALLOW_FILE_RE.findall(text))
 
     for fn in split_functions(text):
+        fn.allows |= file_allows
         if in_pgas:
             # The PGAS layer defines these entry points; pairing rules are
             # caller-side obligations.
