@@ -60,6 +60,30 @@ inline std::vector<pgas::CommStatsSnapshot> snapshot_delta(
   return delta;
 }
 
+/// Current and peak resident set size of this process in bytes, read from
+/// /proc/self/status (VmRSS / VmHWM). Returns 0 on platforms without
+/// procfs — callers should treat 0 as "unavailable", not "no memory".
+struct ResidentMemory {
+  std::size_t current_bytes = 0;
+  std::size_t peak_bytes = 0;
+};
+
+inline ResidentMemory resident_memory() {
+  ResidentMemory mem;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return mem;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1)
+      mem.current_bytes = static_cast<std::size_t>(kb) * 1024;
+    else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1)
+      mem.peak_bytes = static_cast<std::size_t>(kb) * 1024;
+  }
+  std::fclose(f);
+  return mem;
+}
+
 /// Print the table and write `<name>.csv` beside the binary.
 inline void emit(const std::string& name, const std::string& title,
                  const util::TextTable& table) {

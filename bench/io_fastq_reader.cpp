@@ -17,6 +17,7 @@
 #include "io/parallel_fastq.hpp"
 #include "io/seqdb.hpp"
 #include "pgas/thread_team.hpp"
+#include "seq/read_store.hpp"
 #include "sim/datasets.hpp"
 #include "util/timer.hpp"
 
@@ -48,7 +49,8 @@ int main(int argc, char** argv) {
   pgas::MachineModel machine;
   util::TextTable table({"ranks", "records", "wall_s", "wall_MBps",
                          "seqdb_wall_s", "seqdb_MBps", "modeled_io_s",
-                         "serial_modeled_io_s"});
+                         "serial_modeled_io_s", "plain_read_MB",
+                         "packed_read_MB", "read_mem_ratio"});
   for (const auto& scale : bench::default_scale_axis(opts)) {
     pgas::ThreadTeam team(scale.topology());
     io::ParallelFastqReader reader(path);
@@ -60,6 +62,22 @@ int main(int argc, char** argv) {
           reader.read_my_records(rank).size();
     });
     const double wall = timer.seconds();
+    // Resident read memory, plain vs packed ingest of the same shards
+    // (packed arenas compacted post-ingest, as the pipeline leaves them).
+    std::vector<seq::ReadStore> plain_stores(
+        static_cast<std::size_t>(scale.ranks), seq::ReadStore(false));
+    std::vector<seq::ReadStore> packed_stores(
+        static_cast<std::size_t>(scale.ranks), seq::ReadStore(true));
+    team.run([&](pgas::Rank& rank) {
+      const auto r = static_cast<std::size_t>(rank.id());
+      reader.read_my_records(rank, plain_stores[r]);
+      reader.read_my_records(rank, packed_stores[r]);
+      packed_stores[r].shrink_to_fit();
+    });
+    std::size_t plain_bytes = 0;
+    std::size_t packed_bytes = 0;
+    for (const auto& s : plain_stores) plain_bytes += s.memory_bytes();
+    for (const auto& s : packed_stores) packed_bytes += s.memory_bytes();
     // SeqDB comparison: the block-indexed binary reader on the same data.
     io::ParallelSeqdbReader sdb_reader(sdb_path);
     util::WallTimer sdb_timer;
@@ -83,7 +101,12 @@ int main(int argc, char** argv) {
                    util::TextTable::fmt(sdb_wall, 3),
                    util::TextTable::fmt(static_cast<double>(sdb_size) / 1e6 / sdb_wall, 1),
                    util::TextTable::fmt(modeled, 4),
-                   util::TextTable::fmt(serial, 4)});
+                   util::TextTable::fmt(serial, 4),
+                   util::TextTable::fmt(static_cast<double>(plain_bytes) / 1e6, 2),
+                   util::TextTable::fmt(static_cast<double>(packed_bytes) / 1e6, 2),
+                   util::TextTable::fmt(static_cast<double>(plain_bytes) /
+                                            static_cast<double>(packed_bytes),
+                                        2)});
   }
   hipmer::bench::emit(
       "io_fastq_reader",

@@ -42,12 +42,12 @@ void MerAligner::build_index(pgas::Rank& rank, const ContigStore& store) {
 }
 
 void MerAligner::extend_one(pgas::Rank& rank, const ContigStore& store,
-                            const seq::Read& read,
+                            std::string_view read_seq,
                             const std::vector<SeedSlot>& slots,
                             std::size_t begin, std::size_t end,
                             std::uint64_t pair_id, int mate, int library,
                             std::vector<ReadAlignment>& out) {
-  const auto read_len = static_cast<std::int32_t>(read.seq.size());
+  const auto read_len = static_cast<std::int32_t>(read_seq.size());
 
   // --- Seed results -> candidate (contig, diagonal, strand) placements. ---
   std::vector<Candidate> candidates;
@@ -91,9 +91,10 @@ void MerAligner::extend_one(pgas::Rank& rank, const ContigStore& store,
 
   // --- Extend each candidate against fetched contig sequence. ---
   std::vector<ReadAlignment> found;
-  const std::string rc_read = seq::revcomp(read.seq);
+  const std::string rc_read = seq::revcomp(read_seq);
   for (const auto& cand : merged) {
-    const std::string& query = cand.read_fwd ? read.seq : rc_read;
+    const std::string_view query =
+        cand.read_fwd ? read_seq : std::string_view(rc_read);
 
     // Window on the contig covering the read projection plus slack.
     const std::int32_t pad = config_.sw_band + 4;
@@ -154,9 +155,10 @@ void MerAligner::extend_one(pgas::Rank& rank, const ContigStore& store,
   out.insert(out.end(), found.begin(), found.end());
 }
 
-std::vector<ReadAlignment> MerAligner::align_reads(
-    pgas::Rank& rank, const ContigStore& store,
-    const std::vector<seq::Read>& reads, int library) {
+std::vector<ReadAlignment> MerAligner::align_reads(pgas::Rank& rank,
+                                                   const ContigStore& store,
+                                                   seq::ReadSetView reads,
+                                                   int library) {
   std::vector<ReadAlignment> out;
   out.reserve(reads.size());
 
@@ -167,11 +169,12 @@ std::vector<ReadAlignment> MerAligner::align_reads(
   std::vector<SeedSlot> slots;
   std::vector<std::size_t> slot_begin;  // per chunk read: first slot index
   struct ChunkRead {
-    const seq::Read* read;
+    std::size_t read_idx;
     std::uint64_t pair_id;
     int mate;
   };
   std::vector<ChunkRead> chunk;
+  std::string seq_scratch;
 
   auto resolve = [&slots](const KmerT& /*key*/, const SeedHits* value,
                           std::uint64_t tag) {
@@ -188,27 +191,27 @@ std::vector<ReadAlignment> MerAligner::align_reads(
       const std::size_t begin = slot_begin[i];
       const std::size_t end =
           i + 1 < chunk.size() ? slot_begin[i + 1] : slots.size();
-      extend_one(rank, store, *chunk[i].read, slots, begin, end,
-                 chunk[i].pair_id, chunk[i].mate, library, out);
+      extend_one(rank, store, reads.seq(chunk[i].read_idx, seq_scratch), slots,
+                 begin, end, chunk[i].pair_id, chunk[i].mate, library, out);
     }
     chunk.clear();
     slot_begin.clear();
     slots.clear();
   };
 
-  for (const auto& read : reads) {
+  for (std::size_t r = 0; r < reads.size(); ++r) {
     std::uint64_t pair_id = 0;
     int mate = 0;
-    if (!seq::parse_read_name(read.name, pair_id, mate)) continue;
-    if (static_cast<std::int32_t>(read.seq.size()) < config_.seed_k) continue;
+    if (!seq::parse_read_name(reads.name(r), pair_id, mate)) continue;
+    if (static_cast<std::int32_t>(reads.length(r)) < config_.seed_k) continue;
 
     // Seed pass: sample k-mers and issue batched lookups; the handler may
     // run immediately (local key / cache hit) or at process_lookups.
     slot_begin.push_back(slots.size());
-    chunk.push_back(ChunkRead{&read, pair_id, mate});
+    chunk.push_back(ChunkRead{r, pair_id, mate});
     std::int32_t next_sample = 0;
-    for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.seed_k);
-         !it.done(); it.next()) {
+    for (auto it = reads.scanner<KmerT::kMaxK>(r, config_.seed_k); !it.done();
+         it.next()) {
       const auto pos = static_cast<std::int32_t>(it.position());
       if (pos < next_sample) continue;
       next_sample = pos + config_.seed_stride;

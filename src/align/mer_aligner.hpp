@@ -10,6 +10,7 @@
 #include "pgas/dist_hash_map.hpp"
 #include "pgas/thread_team.hpp"
 #include "seq/read.hpp"
+#include "seq/read_store.hpp"
 #include "seq/types.hpp"
 
 /// merAligner: parallel seed-and-extend read-to-contig alignment (§4.3).
@@ -86,9 +87,14 @@ class MerAligner {
 
   /// Align this rank's reads; `library` tags the records. Returns the
   /// alignments found (all candidates above threshold, best first, capped).
-  [[nodiscard]] std::vector<ReadAlignment> align_reads(
-      pgas::Rank& rank, const ContigStore& store,
-      const std::vector<seq::Read>& reads, int library);
+  /// Accepts a ReadSetView (string or packed store; a bare
+  /// `std::vector<seq::Read>` converts implicitly). Packed reads feed the
+  /// seed scanner from their 2-bit words and decode to chars only for the
+  /// extend phase.
+  [[nodiscard]] std::vector<ReadAlignment> align_reads(pgas::Rank& rank,
+                                                       const ContigStore& store,
+                                                       seq::ReadSetView reads,
+                                                       int library);
 
   [[nodiscard]] const AlignerConfig& config() const noexcept { return config_; }
 
@@ -122,7 +128,7 @@ class MerAligner {
   /// Extend phase for one read whose seed lookups (slots [begin,end)) have
   /// already been resolved by the batched read path.
   void extend_one(pgas::Rank& rank, const ContigStore& store,
-                  const seq::Read& read, const std::vector<SeedSlot>& slots,
+                  std::string_view read_seq, const std::vector<SeedSlot>& slots,
                   std::size_t begin, std::size_t end, std::uint64_t pair_id,
                   int mate, int library, std::vector<ReadAlignment>& out);
 

@@ -38,10 +38,114 @@ std::vector<std::byte> encode_reads_shard(
   return buf;
 }
 
+std::vector<std::byte> encode_reads_shard(
+    const std::vector<seq::ReadStore>& libs) {
+  std::vector<std::byte> buf;
+  Writer w(buf);
+  w.put_u32(kReadsMagic);
+  w.put_u32(static_cast<std::uint32_t>(libs.size()));
+  std::string seq_scratch;
+  std::string qual_scratch;
+  for (const auto& store : libs) {
+    w.put_u64(store.size());
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      w.put_bytes(store.name(i));
+      w.put_bytes(store.seq(i, seq_scratch));
+      w.put_bytes(store.quals(i, qual_scratch));
+    }
+  }
+  return buf;
+}
+
+std::vector<std::byte> encode_packed_reads_shard(
+    const std::vector<seq::ReadStore>& libs) {
+  std::vector<std::byte> buf;
+  Writer w(buf);
+  w.put_u32(kPackedReadsMagic);
+  w.put_u32(static_cast<std::uint32_t>(libs.size()));
+  seq::PackedReads repacked;
+  for (const auto& store : libs) {
+    const seq::PackedReads* arena = &store.arena();
+    if (!store.packed()) {
+      repacked.clear();
+      for (const auto& read : store.plain()) repacked.append(read);
+      arena = &repacked;
+    }
+    w.put_u64(arena->size());
+    for (std::size_t i = 0; i < arena->size(); ++i) {
+      w.put_bytes(arena->name(i));
+      const auto view = arena->view(i);
+      w.put_u32(view.length);
+      for (std::size_t wd = 0; wd < (view.length + 31) / 32; ++wd)
+        w.put_u64(view.words[wd]);
+      w.put_u32(view.except_count);
+      for (std::uint32_t e = 0; e < view.except_count; ++e) {
+        w.put_u32(view.except_pos[e]);
+        w.put_pod(view.except_chr[e]);
+      }
+      const auto [enc, enc_len] = arena->qual_enc(i);
+      w.put_bytes(std::string_view(reinterpret_cast<const char*>(enc),
+                                   enc_len));
+    }
+  }
+  return buf;
+}
+
+namespace {
+
+std::optional<std::vector<std::vector<seq::Read>>> decode_packed_reads_shard(
+    Reader& r) {
+  const std::uint32_t nlibs = r.get_u32();
+  if (r.truncated() || nlibs > (1u << 16)) return std::nullopt;
+  std::vector<std::vector<seq::Read>> libs(nlibs);
+  std::vector<std::uint64_t> words;
+  std::vector<std::uint32_t> exc_pos;
+  std::vector<char> exc_chr;
+  for (auto& reads : libs) {
+    const std::uint64_t n = r.get_u64();
+    // Minimum framed packed read: name len + length + exc count + qual len.
+    if (r.truncated() || !count_fits(r, n, 16)) return std::nullopt;
+    reads.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      seq::Read read;
+      read.name = r.get_bytes();
+      const std::uint32_t len = r.get_u32();
+      if (r.truncated() || (len + 31) / 32 > r.remaining() / 8 + 1)
+        return std::nullopt;
+      words.resize((len + 31) / 32);
+      for (auto& wd : words) wd = r.get_u64();
+      const std::uint32_t nexc = r.get_u32();
+      if (r.truncated() || nexc > len) return std::nullopt;
+      exc_pos.resize(nexc);
+      exc_chr.resize(nexc);
+      for (std::uint32_t e = 0; e < nexc; ++e) {
+        exc_pos[e] = r.get_u32();
+        exc_chr[e] = r.get_pod<char>();
+        if (exc_pos[e] >= len) return std::nullopt;
+      }
+      const std::string enc = r.get_bytes();
+      if (r.truncated()) return std::nullopt;
+      const seq::PackedSeqView view{words.data(), len, exc_pos.data(),
+                                    exc_chr.data(), nexc};
+      seq::decode_packed_seq(view, read.seq);
+      seq::decode_quals(reinterpret_cast<const std::uint8_t*>(enc.data()),
+                        enc.size(), len, read.quals);
+      reads.push_back(std::move(read));
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return libs;
+}
+
+}  // namespace
+
 std::optional<std::vector<std::vector<seq::Read>>> decode_reads_shard(
     const std::vector<std::byte>& bytes) {
   Reader r(bytes);
-  if (r.get_u32() != kReadsMagic || r.truncated()) return std::nullopt;
+  const std::uint32_t magic = r.get_u32();
+  if (r.truncated()) return std::nullopt;
+  if (magic == kPackedReadsMagic) return decode_packed_reads_shard(r);
+  if (magic != kReadsMagic) return std::nullopt;
   const std::uint32_t nlibs = r.get_u32();
   if (r.truncated() || nlibs > (1u << 16)) return std::nullopt;
   std::vector<std::vector<seq::Read>> libs(nlibs);

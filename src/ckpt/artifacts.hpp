@@ -12,6 +12,7 @@
 #include "scaffold/insert_size.hpp"
 #include "scaffold/sequence_builder.hpp"
 #include "seq/read.hpp"
+#include "seq/read_store.hpp"
 
 /// Binary payloads for the five inter-stage artifacts the pipeline
 /// checkpoints: the distributed read set, the k-mer spectrum (UFX), contigs
@@ -29,6 +30,7 @@
 namespace hipmer::ckpt {
 
 inline constexpr std::uint32_t kReadsMagic = 0x31534452;   // "RDS1"
+inline constexpr std::uint32_t kPackedReadsMagic = 0x31504452;  // "RDP1"
 inline constexpr std::uint32_t kUfxMagic = 0x31584655;     // "UFX1"
 inline constexpr std::uint32_t kContigsMagic = 0x31475443;  // "CTG1"
 inline constexpr std::uint32_t kAlignMagic = 0x314e4c41;   // "ALN1"
@@ -38,6 +40,22 @@ inline constexpr std::uint32_t kScaffMagic = 0x31464353;   // "SCF1"
 
 [[nodiscard]] std::vector<std::byte> encode_reads_shard(
     const std::vector<std::vector<seq::Read>>& libs);
+
+/// Same "RDS1" string format, sourced from ReadStores (packed stores are
+/// decoded record by record). The pipeline uses this when --packed-reads
+/// is off; with it on, the packed shard below is written instead.
+[[nodiscard]] std::vector<std::byte> encode_reads_shard(
+    const std::vector<seq::ReadStore>& libs);
+
+/// Packed variant ("RDP1"): 2-bit words + exception list + RLE quals per
+/// read, written when the pipeline runs with --packed-reads. Roughly 4x
+/// smaller on disk than the string shard for typical short-read data. A
+/// plain (string) store is packed on the fly.
+[[nodiscard]] std::vector<std::byte> encode_packed_reads_shard(
+    const std::vector<seq::ReadStore>& libs);
+
+/// Decodes either shard flavor (dispatch on the leading magic), so resume
+/// works across runs that toggled --packed-reads.
 [[nodiscard]] std::optional<std::vector<std::vector<seq::Read>>>
 decode_reads_shard(const std::vector<std::byte>& bytes);
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace hipmer::io {
 
@@ -41,35 +42,34 @@ std::vector<seq::Read> read_fastq(const std::string& path) {
 }
 
 std::vector<seq::Read> parse_fastq(const std::string& buffer) {
+  // Lines are carved out of `buffer` as views; the only allocations are the
+  // three owned strings of each emitted Read (no per-record line-buffer
+  // churn, no copy-then-substr for the header).
   std::vector<seq::Read> reads;
+  const std::string_view bv(buffer);
   std::size_t pos = 0;
-  auto next_line = [&](std::string& line) -> bool {
-    if (pos >= buffer.size()) return false;
-    const std::size_t nl = buffer.find('\n', pos);
-    const std::size_t end = (nl == std::string::npos) ? buffer.size() : nl;
-    line.assign(buffer, pos, end - pos);
-    pos = (nl == std::string::npos) ? buffer.size() : nl + 1;
+  auto next_line = [&](std::string_view& line) -> bool {
+    if (pos >= bv.size()) return false;
+    const std::size_t nl = bv.find('\n', pos);
+    const std::size_t end = (nl == std::string_view::npos) ? bv.size() : nl;
+    line = bv.substr(pos, end - pos);
+    pos = (nl == std::string_view::npos) ? bv.size() : nl + 1;
     return true;
   };
 
-  std::string header, sequence, plus, quals;
+  std::string_view header, sequence, plus, quals;
   while (next_line(header)) {
     if (header.empty()) continue;  // tolerate trailing blank lines
     if (header[0] != '@')
-      throw std::runtime_error("FASTQ parse error: header must start with @, got: " + header);
+      throw std::runtime_error("FASTQ parse error: header must start with @, got: " + std::string(header));
     if (!next_line(sequence) || !next_line(plus) || !next_line(quals))
-      throw std::runtime_error("FASTQ parse error: truncated record: " + header);
+      throw std::runtime_error("FASTQ parse error: truncated record: " + std::string(header));
     if (plus.empty() || plus[0] != '+')
-      throw std::runtime_error("FASTQ parse error: missing + separator for: " + header);
+      throw std::runtime_error("FASTQ parse error: missing + separator for: " + std::string(header));
     if (sequence.size() != quals.size())
-      throw std::runtime_error("FASTQ parse error: seq/qual length mismatch for: " + header);
-    seq::Read read;
-    read.name = header.substr(1);
-    read.seq = std::move(sequence);
-    read.quals = std::move(quals);
-    reads.push_back(std::move(read));
-    sequence.clear();
-    quals.clear();
+      throw std::runtime_error("FASTQ parse error: seq/qual length mismatch for: " + std::string(header));
+    reads.push_back(seq::Read{std::string(header.substr(1)),
+                              std::string(sequence), std::string(quals)});
   }
   return reads;
 }

@@ -112,6 +112,25 @@ double ParallelFastqReader::sample_record_length(std::uint64_t offset,
 }
 
 std::vector<seq::Read> ParallelFastqReader::read_my_records(pgas::Rank& rank) {
+  std::vector<seq::Read> reads;
+  read_records_impl(rank, [&](std::string_view name, std::string_view bases,
+                              std::string_view quals) {
+    reads.push_back(seq::Read{std::string(name), std::string(bases),
+                              std::string(quals)});
+  });
+  return reads;
+}
+
+void ParallelFastqReader::read_my_records(pgas::Rank& rank,
+                                          seq::ReadStore& out) {
+  read_records_impl(rank, [&](std::string_view name, std::string_view bases,
+                              std::string_view quals) {
+    out.append(name, bases, quals);
+  });
+}
+
+void ParallelFastqReader::read_records_impl(pgas::Rank& rank,
+                                            const RecordSink& sink) {
   const int p = rank.nranks();
   const int me = rank.id();
   // Root sizes the per-rank stats table; the barrier publishes it before
@@ -142,11 +161,12 @@ std::vector<seq::Read> ParallelFastqReader::read_my_records(pgas::Rank& rank) {
       nominal * static_cast<std::uint64_t>(me + 1), file_size_);
   const std::uint64_t my_end = next_record_boundary(next_start_nominal);
 
-  // --- Step 4: large buffered preads, parsed in memory. ---
-  std::vector<seq::Read> reads;
+  // --- Step 4: large buffered preads, parsed in memory. Record fields are
+  // handed to the sink as views into `carry` — no per-record allocations in
+  // the reader itself. ---
   if (my_start >= my_end) {
     rank.stats().add_io_read(0);
-    return reads;
+    return;
   }
   std::string carry;
   std::uint64_t offset = my_start;
@@ -158,6 +178,7 @@ std::vector<seq::Read> ParallelFastqReader::read_my_records(pgas::Rank& rank) {
     offset += block.size();
     carry += block;
     // Parse all complete records currently in `carry`.
+    const std::string_view cv(carry);
     std::size_t pos = 0;
     while (true) {
       std::size_t probe = pos;
@@ -175,13 +196,14 @@ std::vector<seq::Read> ParallelFastqReader::read_my_records(pgas::Rank& rank) {
       const std::size_t q_end = carry.find('\n', line_starts[3]);
       if (carry[line_starts[0]] != '@')
         throw std::runtime_error("parallel FASTQ reader desynchronized in: " + path_);
-      seq::Read read;
-      read.name = carry.substr(line_starts[0] + 1, h_end - line_starts[0] - 1);
-      read.seq = carry.substr(line_starts[1], s_end - line_starts[1]);
-      read.quals = carry.substr(line_starts[3], q_end - line_starts[3]);
-      if (read.seq.size() != read.quals.size())
-        throw std::runtime_error("FASTQ seq/qual length mismatch: " + read.name);
-      reads.push_back(std::move(read));
+      const auto name =
+          cv.substr(line_starts[0] + 1, h_end - line_starts[0] - 1);
+      const auto bases = cv.substr(line_starts[1], s_end - line_starts[1]);
+      const auto quals = cv.substr(line_starts[3], q_end - line_starts[3]);
+      if (bases.size() != quals.size())
+        throw std::runtime_error("FASTQ seq/qual length mismatch: " +
+                                 std::string(name));
+      sink(name, bases, quals);
       ++st.records;
       pos = probe;
     }
@@ -194,7 +216,6 @@ std::vector<seq::Read> ParallelFastqReader::read_my_records(pgas::Rank& rank) {
     throw std::runtime_error("parallel FASTQ reader left a partial record in: " + path_);
   }
   rank.stats().add_io_read(st.bytes_read);
-  return reads;
 }
 
 }  // namespace hipmer::io

@@ -28,12 +28,20 @@ std::uint32_t KmerAnalysis::owner_of(const KmerT& km) const {
 }
 
 void KmerAnalysis::run(pgas::Rank& rank, const std::vector<seq::Read>& reads) {
-  run(rank, std::vector<const std::vector<seq::Read>*>{&reads});
+  run(rank, std::vector<seq::ReadSetView>{seq::ReadSetView(reads)});
 }
 
 void KmerAnalysis::run(
     pgas::Rank& rank,
     const std::vector<const std::vector<seq::Read>*>& read_sets) {
+  std::vector<seq::ReadSetView> views;
+  views.reserve(read_sets.size());
+  for (const auto* reads : read_sets) views.emplace_back(*reads);
+  run(rank, views);
+}
+
+void KmerAnalysis::run(pgas::Rank& rank,
+                       const std::vector<seq::ReadSetView>& read_sets) {
   sketch_pass(rank, read_sets);
   allocate(rank);
   if (config_.use_bloom) candidate_pass(rank, read_sets);
@@ -42,15 +50,14 @@ void KmerAnalysis::run(
 }
 
 void KmerAnalysis::sketch_pass(
-    pgas::Rank& rank,
-    const std::vector<const std::vector<seq::Read>*>& read_sets) {
+    pgas::Rank& rank, const std::vector<seq::ReadSetView>& read_sets) {
   HyperLogLog hll;
   MisraGries<KmerT, seq::KmerHashT> mg(config_.mg_capacity);
   std::uint64_t instances = 0;
 
-  for (const auto* reads : read_sets) {
-    for (const auto& read : *reads) {
-      for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.k); !it.done();
+  for (const auto& set : read_sets) {
+    for (std::size_t r = 0; r < set.size(); ++r) {
+      for (auto it = set.scanner<KmerT::kMaxK>(r, config_.k); !it.done();
            it.next()) {
         const KmerT& canon = it.canonical();
         hll.add_hash(canon.hash());
@@ -152,8 +159,7 @@ void KmerAnalysis::allocate(pgas::Rank& rank) {
 }
 
 void KmerAnalysis::candidate_pass(
-    pgas::Rank& rank,
-    const std::vector<const std::vector<seq::Read>*>& read_sets) {
+    pgas::Rank& rank, const std::vector<seq::ReadSetView>& read_sets) {
   BloomFilter& my_bloom = *blooms_[static_cast<std::size_t>(rank.id())];
   std::uint64_t distinct = 0;
 
@@ -164,19 +170,21 @@ void KmerAnalysis::candidate_pass(
   std::size_t read_idx = 0;
   seq::KmerScanner<KmerT::kMaxK> it("", config_.k);
   bool it_active = false;
-  auto next_read = [&]() -> const seq::Read* {
+  auto start_next_read = [&]() -> bool {
     while (set_idx < read_sets.size()) {
-      if (read_idx < read_sets[set_idx]->size())
-        return &(*read_sets[set_idx])[read_idx++];
+      if (read_idx < read_sets[set_idx].size()) {
+        it = read_sets[set_idx].scanner<KmerT::kMaxK>(read_idx++, config_.k);
+        return true;
+      }
       ++set_idx;
       read_idx = 0;
     }
-    return nullptr;
+    return false;
   };
   auto stream_exhausted = [&]() {
     return set_idx >= read_sets.size() ||
            (set_idx + 1 == read_sets.size() &&
-            read_idx >= read_sets[set_idx]->size());
+            read_idx >= read_sets[set_idx].size());
   };
 
   // Chunked exchange: every rank keeps participating in the collective
@@ -185,9 +193,7 @@ void KmerAnalysis::candidate_pass(
     // Fill the chunk from our read stream.
     while (buffered < config_.chunk_kmers) {
       if (!it_active) {
-        const seq::Read* read = next_read();
-        if (read == nullptr) break;
-        it = seq::KmerScanner<KmerT::kMaxK>(read->seq, config_.k);
+        if (!start_next_read()) break;
         it_active = true;
         continue;
       }
@@ -229,17 +235,17 @@ void KmerAnalysis::candidate_pass(
 }
 
 void KmerAnalysis::counting_pass(
-    pgas::Rank& rank,
-    const std::vector<const std::vector<seq::Read>*>& read_sets) {
+    pgas::Rank& rank, const std::vector<seq::ReadSetView>& read_sets) {
   const auto policy = config_.use_bloom ? Map::Policy::kIfPresent
                                         : Map::Policy::kInsert;
   std::unordered_map<KmerT, KmerTally, seq::KmerHashT> local_heavy;
+  std::string qual_scratch;
 
-  for (const auto* reads_ptr : read_sets)
-  for (const auto& read : *reads_ptr) {
-    const std::string& quals = read.quals;
-    const std::size_t len = read.seq.size();
-    for (seq::KmerScanner<KmerT::kMaxK> it(read.seq, config_.k); !it.done();
+  for (const auto& set : read_sets)
+  for (std::size_t r = 0; r < set.size(); ++r) {
+    const std::string_view quals = set.quals(r, qual_scratch);
+    const std::size_t len = set.length(r);
+    for (auto it = set.scanner<KmerT::kMaxK>(r, config_.k); !it.done();
          it.next()) {
       const std::size_t i = it.position();
       KmerTally tally;
@@ -247,16 +253,16 @@ void KmerAnalysis::counting_pass(
 
       // Neighbor bases, quality-filtered ("k-mers ... with high quality
       // extensions").
-      const bool has_left =
-          i > 0 && seq::base_to_code(read.seq[i - 1]) != seq::kBaseInvalid &&
-          seq::phred(quals[i - 1]) >= config_.qual_threshold;
+      const auto code_at = [&](std::size_t pos) {
+        return set.code(r, static_cast<std::uint32_t>(pos));
+      };
+      const bool has_left = i > 0 && code_at(i - 1) != seq::kBaseInvalid &&
+                            seq::phred(quals[i - 1]) >= config_.qual_threshold;
       const std::size_t ri = i + static_cast<std::size_t>(config_.k);
-      const bool has_right =
-          ri < len && seq::base_to_code(read.seq[ri]) != seq::kBaseInvalid &&
-          seq::phred(quals[ri]) >= config_.qual_threshold;
-      const std::uint8_t lcode =
-          has_left ? seq::base_to_code(read.seq[i - 1]) : 0;
-      const std::uint8_t rcode = has_right ? seq::base_to_code(read.seq[ri]) : 0;
+      const bool has_right = ri < len && code_at(ri) != seq::kBaseInvalid &&
+                             seq::phred(quals[ri]) >= config_.qual_threshold;
+      const std::uint8_t lcode = has_left ? code_at(i - 1) : 0;
+      const std::uint8_t rcode = has_right ? code_at(ri) : 0;
 
       // Store extensions in the canonical frame.
       if (!it.is_flipped()) {

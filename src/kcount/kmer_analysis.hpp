@@ -12,6 +12,7 @@
 #include "pgas/dist_hash_map.hpp"
 #include "pgas/thread_team.hpp"
 #include "seq/read.hpp"
+#include "seq/read_store.hpp"
 #include "seq/types.hpp"
 
 /// Stage 1 of the pipeline: parallel k-mer analysis (§2 step 1, §3.1).
@@ -77,7 +78,11 @@ class KmerAnalysis {
   ~KmerAnalysis();
 
   /// Collective: full analysis of this rank's share of the reads. Must be
-  /// called by every rank inside one team.run().
+  /// called by every rank inside one team.run(). The ReadSetView overload
+  /// is the core path — it scans string or packed reads alike (packed
+  /// reads feed the scanner straight from their 2-bit words).
+  void run(pgas::Rank& rank, const std::vector<seq::ReadSetView>& read_sets);
+
   void run(pgas::Rank& rank, const std::vector<seq::Read>& reads);
 
   /// Multi-library variant: analyse the union of several read sets without
@@ -142,14 +147,12 @@ class KmerAnalysis {
   };
 
   void sketch_pass(pgas::Rank& rank,
-                   const std::vector<const std::vector<seq::Read>*>& read_sets);
+                   const std::vector<seq::ReadSetView>& read_sets);
   void allocate(pgas::Rank& rank);
-  void candidate_pass(
-      pgas::Rank& rank,
-      const std::vector<const std::vector<seq::Read>*>& read_sets);
-  void counting_pass(
-      pgas::Rank& rank,
-      const std::vector<const std::vector<seq::Read>*>& read_sets);
+  void candidate_pass(pgas::Rank& rank,
+                      const std::vector<seq::ReadSetView>& read_sets);
+  void counting_pass(pgas::Rank& rank,
+                     const std::vector<seq::ReadSetView>& read_sets);
   void finalize(pgas::Rank& rank);
 
   [[nodiscard]] std::uint32_t owner_of(const seq::KmerT& km) const;

@@ -10,6 +10,7 @@
 #include "io/fastq.hpp"
 #include "io/parallel_fastq.hpp"
 #include "io/wire.hpp"
+#include "pipeline/read_shuffle.hpp"
 #include "scaffold/depths.hpp"
 #include "scaffold/insert_size.hpp"
 #include "scaffold/splints_spans.hpp"
@@ -206,18 +207,25 @@ void Pipeline::snapshot_stage(std::vector<StageReport>& stages,
   }
 }
 
+Pipeline::RankReads Pipeline::make_rank_reads(std::size_t nlibs) const {
+  const auto p = static_cast<std::size_t>(team_.nranks());
+  return RankReads(
+      p, std::vector<seq::ReadStore>(nlibs,
+                                     seq::ReadStore(config_.packed_reads)));
+}
+
 PipelineResult Pipeline::run(
     const std::vector<std::vector<seq::Read>>& library_reads,
     const std::vector<seq::ReadLibrary>& libraries) {
   init_checkpointer(libraries);
   // Distribute pairs round robin so mates stay together on a rank.
   const auto p = static_cast<std::size_t>(team_.nranks());
-  RankReads rank_reads(p, std::vector<std::vector<seq::Read>>(libraries.size()));
+  RankReads rank_reads = make_rank_reads(libraries.size());
   for (std::size_t lib = 0; lib < library_reads.size(); ++lib) {
     const auto& reads = library_reads[lib];
     for (std::size_t i = 0; i < reads.size(); ++i) {
       const std::size_t pair = i / 2;
-      rank_reads[pair % p][lib].push_back(reads[i]);
+      rank_reads[pair % p][lib].append(reads[i]);
     }
   }
   return assemble(std::move(rank_reads), libraries, {}, {});
@@ -227,7 +235,7 @@ PipelineResult Pipeline::run_from_fastq(
     const std::vector<seq::ReadLibrary>& libraries) {
   init_checkpointer(libraries);
   const auto p = static_cast<std::size_t>(team_.nranks());
-  RankReads rank_reads(p, std::vector<std::vector<seq::Read>>(libraries.size()));
+  RankReads rank_reads = make_rank_reads(libraries.size());
 
   std::vector<StageReport> stages;
 
@@ -249,8 +257,13 @@ PipelineResult Pipeline::run_from_fastq(
           rank.stats().add_io_read(bytes);
         }
         const auto mine = rank.alltoallv(outgoing);
-        io::wire::get_reads(mine,
-                            rank_reads[static_cast<std::size_t>(rank.id())][lib]);
+        auto& dest = rank_reads[static_cast<std::size_t>(rank.id())][lib];
+        io::wire::Reader rd(mine);
+        while (!rd.done()) {
+          auto read = io::wire::get_read(rd);
+          if (rd.truncated()) break;
+          dest.append(std::move(read));
+        }
         rank.barrier();
       }
     });
@@ -264,8 +277,8 @@ PipelineResult Pipeline::run_from_fastq(
 
   run_stage(stages, kStageIo, [&](pgas::Rank& rank) {
     for (std::size_t lib = 0; lib < readers.size(); ++lib) {
-      rank_reads[static_cast<std::size_t>(rank.id())][lib] =
-          readers[lib]->read_my_records(rank);
+      readers[lib]->read_my_records(
+          rank, rank_reads[static_cast<std::size_t>(rank.id())][lib]);
       rank.barrier();
     }
   });
@@ -281,12 +294,11 @@ PipelineResult Pipeline::resume(
   if (rs.empty()) {
     util::log_info("resume: no usable checkpoint, assembling from scratch");
     const auto p = static_cast<std::size_t>(team_.nranks());
-    RankReads rank_reads(p,
-                         std::vector<std::vector<seq::Read>>(libraries.size()));
+    RankReads rank_reads = make_rank_reads(libraries.size());
     for (std::size_t lib = 0; lib < library_reads.size(); ++lib) {
       const auto& reads = library_reads[lib];
       for (std::size_t i = 0; i < reads.size(); ++i)
-        rank_reads[(i / 2) % p][lib].push_back(reads[i]);
+        rank_reads[(i / 2) % p][lib].append(reads[i]);
     }
     return assemble(std::move(rank_reads), libraries, std::move(stages), {});
   }
@@ -314,11 +326,28 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
   auto stages = std::move(initial_stages);
 
   const int progress = resume_state.progress;
-  if (!resume_state.reads.empty()) rank_reads = std::move(resume_state.reads);
-  if (rank_reads.size() != p)
-    rank_reads.assign(p, std::vector<std::vector<seq::Read>>(libraries.size()));
-  for (auto& per_rank : rank_reads)
-    if (per_rank.size() < libraries.size()) per_rank.resize(libraries.size());
+  if (!resume_state.reads.empty()) {
+    // Snapshot reads come back as plain records regardless of which shard
+    // flavor was on disk; repack into this run's representation.
+    rank_reads = make_rank_reads(libraries.size());
+    for (std::size_t r = 0; r < resume_state.reads.size() && r < p; ++r) {
+      auto& per_rank = resume_state.reads[r];
+      for (std::size_t lib = 0; lib < per_rank.size() && lib < libraries.size();
+           ++lib)
+        for (auto& read : per_rank[lib])
+          rank_reads[r][lib].append(std::move(read));
+    }
+  }
+  if (rank_reads.size() != p) rank_reads = make_rank_reads(libraries.size());
+  for (auto& per_rank : rank_reads) {
+    if (per_rank.size() < libraries.size())
+      per_rank.resize(libraries.size(), seq::ReadStore(config_.packed_reads));
+    // Ingest is over: drop the arenas' growth slack (no-op for plain
+    // stores) so resident read memory is what the bench reports.
+    for (auto& store : per_rank) store.shrink_to_fit();
+  }
+
+  const bool shuffle_on = config_.shuffle_reads && !config_.serial_scaffolding;
 
   // Bookkeeping stats ride with every snapshot so a resumed run reports
   // them without redoing the stages that computed them.
@@ -326,8 +355,9 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
 
   if (progress < ckpt::kProgressReads) {
     snapshot_stage(stages, ckpt::kStageReads, aux, [&](pgas::Rank& rank) {
-      return ckpt::encode_reads_shard(
-          rank_reads[static_cast<std::size_t>(rank.id())]);
+      const auto& mine = rank_reads[static_cast<std::size_t>(rank.id())];
+      return config_.packed_reads ? ckpt::encode_packed_reads_shard(mine)
+                                  : ckpt::encode_reads_shard(mine);
     });
   }
 
@@ -340,10 +370,10 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
   } else {
     kmer_analysis.emplace(team_, config_.kmer);
     run_stage(stages, kStageKmerAnalysis, [&](pgas::Rank& rank) {
-      std::vector<const std::vector<seq::Read>*> sets;
+      std::vector<seq::ReadSetView> sets;
       for (std::size_t lib = 0; lib < libraries.size(); ++lib)
         if (libraries[lib].for_contigging)
-          sets.push_back(&rank_reads[static_cast<std::size_t>(rank.id())][lib]);
+          sets.emplace_back(rank_reads[static_cast<std::size_t>(rank.id())][lib]);
       kmer_analysis->run(rank, sets);
     });
     aux.distinct_kmers = kmer_analysis->distinct_kmers();
@@ -452,16 +482,27 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
   // work lands on rank 0 (the paper's "single shared memory node").
   if (config_.serial_scaffolding) {
     run_stage(stages, kStageScaffoldRest, [&](pgas::Rank& rank) {
+      std::string seq_scratch;
+      std::string qual_scratch;
       for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
         auto& mine = rank_reads[static_cast<std::size_t>(rank.id())][lib];
         std::vector<std::vector<std::byte>> outgoing(p);
         io::wire::Writer to_root(outgoing[0]);
-        for (const auto& r : mine) io::wire::put_read(to_root, r);
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          to_root.put_bytes(mine.name(i));
+          to_root.put_bytes(mine.seq(i, seq_scratch));
+          to_root.put_bytes(mine.quals(i, qual_scratch));
+        }
         if (!rank.is_root()) mine.clear();
         const auto gathered = rank.alltoallv(outgoing);
         if (rank.is_root()) {
-          std::vector<seq::Read> all;
-          io::wire::get_reads(gathered, all);
+          seq::ReadStore all(config_.packed_reads);
+          io::wire::Reader rd(gathered);
+          while (!rd.done()) {
+            auto read = io::wire::get_read(rd);
+            if (rd.truncated()) break;
+            all.append(std::move(read));
+          }
           mine = std::move(all);
         }
         rank.barrier();
@@ -572,14 +613,40 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
       rank.barrier();
     });
 
+    // Locality shuffle (--shuffle-reads): re-deal read pairs (and their
+    // alignments) to the owners of their best-aligned contigs, so the read
+    // projections of gap closing become mostly self-sends. Output is
+    // unchanged — only message counts move.
+    if (shuffle_on) {
+      pgas::ShuffleExchange exchange(
+          team_, "pipeline.read_shuffle.r" + std::to_string(round));
+      std::vector<ReadShuffleStats> shuffle_stats(p);
+      run_stage(stages, kStageShuffle, [&](pgas::Rank& rank) {
+        const auto r = static_cast<std::size_t>(rank.id());
+        shuffle_reads_by_alignment(rank, exchange, rank_reads[r],
+                                   alignments[r], &shuffle_stats[r]);
+      });
+      std::uint64_t moved = 0;
+      std::uint64_t total = 0;
+      for (const auto& s : shuffle_stats) {
+        moved += s.pairs_moved;
+        total += s.pairs_total;
+      }
+      util::log_info("shuffle_reads: round " + std::to_string(round) +
+                     " moved " + std::to_string(moved) + "/" +
+                     std::to_string(total) + " pairs to their contig owners");
+    }
+
     // Gap closing (§4.8).
     const auto gaps = scaffold::enumerate_gaps(scaffolds);
-    scaffold::GapCloser closer(team_, config_.gaps);
+    scaffold::GapClosingConfig gap_cfg = config_.gaps;
+    gap_cfg.locality_aware_owners = shuffle_on;
+    scaffold::GapCloser closer(team_, gap_cfg);
     std::vector<std::vector<scaffold::Closure>> closures(p);
     run_stage(stages, kStageGapClosing, [&](pgas::Rank& rank) {
-      std::vector<const std::vector<seq::Read>*> my_reads;
+      std::vector<seq::ReadSetView> my_reads;
       for (std::size_t lib = 0; lib < libraries.size(); ++lib)
-        my_reads.push_back(&rank_reads[static_cast<std::size_t>(rank.id())][lib]);
+        my_reads.emplace_back(rank_reads[static_cast<std::size_t>(rank.id())][lib]);
       closures[static_cast<std::size_t>(rank.id())] = closer.run(
           rank, gaps, *store, my_reads,
           alignments[static_cast<std::size_t>(rank.id())], inserts);

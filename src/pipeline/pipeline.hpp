@@ -20,6 +20,7 @@
 #include "scaffold/ordering.hpp"
 #include "scaffold/sequence_builder.hpp"
 #include "seq/read.hpp"
+#include "seq/read_store.hpp"
 #include "util/stats.hpp"
 
 /// End-to-end HipMer pipeline driver.
@@ -61,6 +62,18 @@ struct PipelineConfig {
   /// scaffolding, which then runs effectively single-rank ("the subsequent
   /// scaffolding steps must be performed on a single shared memory node").
   bool serial_scaffolding = false;
+
+  /// Keep resident reads in the 2-bit PackedReads arena instead of
+  /// std::vector<seq::Read> (--packed-reads). Perf/memory-only: every stage
+  /// reads through ReadSetView, so output is byte-identical either way —
+  /// which is why this knob stays out of the config fingerprint.
+  bool packed_reads = false;
+  /// After each round's alignment, redistribute read pairs so each rank
+  /// owns the reads that align to its contigs (--shuffle-reads); gap
+  /// closing's read projections then become mostly local. Perf-only and
+  /// fingerprint-excluded for the same reason. Ignored under
+  /// serial_scaffolding (rank 0 already holds everything).
+  bool shuffle_reads = false;
 
   /// Machine model used for the modeled-seconds column of reports.
   pgas::MachineModel machine;
@@ -127,6 +140,8 @@ inline constexpr const char* kStageContigGen = "contig_generation";
 inline constexpr const char* kStageAligner = "merAligner";
 inline constexpr const char* kStageScaffoldRest = "rest_scaffolding";
 inline constexpr const char* kStageGapClosing = "gap_closing";
+/// Locality shuffle between alignment and gap closing (--shuffle-reads).
+inline constexpr const char* kStageShuffle = "shuffle_reads";
 /// Checkpoint snapshot writes (one report per snapshotted artifact).
 inline constexpr const char* kStageCheckpoint = "checkpoint";
 /// Checkpoint reads on resume (also the fault-injection stage name for
@@ -172,8 +187,12 @@ class Pipeline {
       const std::vector<seq::ReadLibrary>& libraries) const;
 
  private:
-  /// Per-rank, per-library read shares.
-  using RankReads = std::vector<std::vector<std::vector<seq::Read>>>;
+  /// Per-rank, per-library read shares (plain or packed per
+  /// config_.packed_reads).
+  using RankReads = std::vector<std::vector<seq::ReadStore>>;
+
+  /// RankReads sized for this team with every store's representation set.
+  [[nodiscard]] RankReads make_rank_reads(std::size_t nlibs) const;
 
   [[nodiscard]] PipelineResult assemble(
       RankReads rank_reads, const std::vector<seq::ReadLibrary>& libraries,

@@ -66,7 +66,29 @@ std::vector<Closure> GapCloser::run(
     const std::vector<const std::vector<seq::Read>*>& my_reads_by_library,
     const std::vector<align::ReadAlignment>& my_alignments,
     const std::vector<InsertSizeEstimate>& inserts) {
+  std::vector<seq::ReadSetView> views;
+  views.reserve(my_reads_by_library.size());
+  for (const auto* reads : my_reads_by_library) views.emplace_back(*reads);
+  return run(rank, gaps, store, views, my_alignments, inserts);
+}
+
+std::vector<Closure> GapCloser::run(
+    pgas::Rank& rank, const std::vector<GapSpec>& gaps,
+    const align::ContigStore& store,
+    const std::vector<seq::ReadSetView>& my_reads_by_library,
+    const std::vector<align::ReadAlignment>& my_alignments,
+    const std::vector<InsertSizeEstimate>& inserts) {
   const auto p = static_cast<std::uint64_t>(rank.nranks());
+  // Gap ownership: round-robin by id, or the left contig's owner when the
+  // shuffle has co-located aligned reads with their contigs.
+  auto gap_owner = [&](const GapSpec& gap) {
+    return config_.locality_aware_owners
+               ? static_cast<std::uint64_t>(gap.left_contig) % p
+               : gap.gap_id % p;
+  };
+  std::unordered_map<std::uint64_t, std::uint64_t> owner_of_gap;
+  owner_of_gap.reserve(gaps.size());
+  for (const auto& gap : gaps) owner_of_gap[gap.gap_id] = gap_owner(gap);
 
   // Gap-facing contig ends -> gap id (replicated, built from replicated
   // scaffolds).
@@ -87,30 +109,41 @@ std::vector<Closure> GapCloser::run(
            ((pair_id & ((std::uint64_t{1} << 47) - 1)) << 1) |
            static_cast<std::uint64_t>(mate);
   };
-  std::unordered_map<std::uint64_t, const seq::Read*> read_by_key;
+  struct ReadRef {
+    std::uint32_t lib;
+    std::uint32_t idx;
+  };
+  std::unordered_map<std::uint64_t, ReadRef> read_by_key;
   for (std::size_t lib = 0; lib < my_reads_by_library.size(); ++lib) {
-    for (const auto& read : *my_reads_by_library[lib]) {
+    const auto& set = my_reads_by_library[lib];
+    for (std::size_t i = 0; i < set.size(); ++i) {
       std::uint64_t pair_id = 0;
       int mate = 0;
-      if (seq::parse_read_name(read.name, pair_id, mate))
-        read_by_key[read_key(static_cast<int>(lib), pair_id, mate)] = &read;
+      if (seq::parse_read_name(set.name(i), pair_id, mate))
+        read_by_key[read_key(static_cast<int>(lib), pair_id, mate)] =
+            ReadRef{static_cast<std::uint32_t>(lib),
+                    static_cast<std::uint32_t>(i)};
     }
   }
+  std::string seq_scratch;
+  auto seq_of = [&](const ReadRef& ref) {
+    return my_reads_by_library[ref.lib].seq(ref.idx, seq_scratch);
+  };
 
   // --- Project reads into gaps ("the alignments are processed in parallel
   // and projected into the gaps"). ---
   std::vector<std::vector<std::byte>> outgoing(static_cast<std::size_t>(p));
   auto send_read = [&](std::uint64_t gap_id, std::string_view read_seq) {
-    serialize_read(outgoing[static_cast<std::size_t>(gap_id % p)], gap_id,
-                   read_seq);
+    serialize_read(
+        outgoing[static_cast<std::size_t>(owner_of_gap.at(gap_id))], gap_id,
+        read_seq);
   };
   for (const auto& a : my_alignments) {
     rank.stats().add_work();
     const auto kit = read_by_key.find(read_key(a.library, a.pair_id, a.mate));
-    const auto* read = kit == read_by_key.end() ? nullptr : kit->second;
 
     // (1) Overhang: the read extends past a gap-facing contig end.
-    if (read != nullptr) {
+    if (kit != read_by_key.end()) {
       const bool hangs_right = a.read_fwd
                                    ? (a.read_end < a.read_len &&
                                       a.touches_contig_end(config_.end_slack))
@@ -123,11 +156,11 @@ std::vector<Closure> GapCloser::run(
                                      a.touches_contig_start(config_.end_slack));
       if (hangs_right) {
         auto it = gap_of_end.find(end_key(a.contig_id, 1));
-        if (it != gap_of_end.end()) send_read(it->second, read->seq);
+        if (it != gap_of_end.end()) send_read(it->second, seq_of(kit->second));
       }
       if (hangs_left) {
         auto it = gap_of_end.find(end_key(a.contig_id, 0));
-        if (it != gap_of_end.end()) send_read(it->second, read->seq);
+        if (it != gap_of_end.end()) send_read(it->second, seq_of(kit->second));
       }
     }
 
@@ -146,7 +179,8 @@ std::vector<Closure> GapCloser::run(
         if (it != gap_of_end.end()) {
           auto rit =
               read_by_key.find(read_key(a.library, a.pair_id, 1 - a.mate));
-          if (rit != read_by_key.end()) send_read(it->second, rit->second->seq);
+          if (rit != read_by_key.end())
+            send_read(it->second, seq_of(rit->second));
         }
       }
     }
@@ -160,26 +194,28 @@ std::vector<Closure> GapCloser::run(
     WireRead header;
     std::memcpy(&header, incoming.data() + pos, sizeof header);
     pos += sizeof header;
-    auto& bucket = gap_reads[header.gap_id];
-    if (bucket.size() < config_.max_reads_per_gap) {
-      bucket.emplace_back(reinterpret_cast<const char*>(incoming.data() + pos),
-                          header.len);
-    }
+    gap_reads[header.gap_id].emplace_back(
+        reinterpret_cast<const char*>(incoming.data() + pos), header.len);
     pos += header.len;
   }
 
   // Canonical read order per gap: closure methods scan reads linearly
   // (spanning takes the first hit), so sorting + deduping makes the result
-  // a function of the read *set*, independent of arrival order.
+  // a function of the read *set*, independent of arrival order. The memory
+  // cap truncates only after that, so what survives it is equally
+  // order-independent (read redistribution must not change closures).
   for (auto& [gap_id, bucket] : gap_reads) {
     std::sort(bucket.begin(), bucket.end());
     bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+    if (bucket.size() > config_.max_reads_per_gap)
+      bucket.resize(config_.max_reads_per_gap);
   }
 
-  // --- Close owned gaps (embarrassingly parallel; round-robin by id). ---
+  // --- Close owned gaps (embarrassingly parallel). ---
   std::vector<Closure> closures;
   for (const auto& gap : gaps) {
-    if (gap.gap_id % p != static_cast<std::uint64_t>(rank.id())) continue;
+    if (owner_of_gap.at(gap.gap_id) != static_cast<std::uint64_t>(rank.id()))
+      continue;
     static const std::vector<std::string> kNone;
     auto it = gap_reads.find(gap.gap_id);
     closures.push_back(

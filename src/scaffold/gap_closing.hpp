@@ -10,6 +10,7 @@
 #include "scaffold/insert_size.hpp"
 #include "scaffold/types.hpp"
 #include "seq/read.hpp"
+#include "seq/read_store.hpp"
 
 /// §4.8 — gap closing.
 ///
@@ -41,8 +42,16 @@ struct GapClosingConfig {
   double reach_sigma = 3.0;
   /// Slack for "alignment touches the contig end".
   int end_slack = 5;
-  /// Cap on reads collected per gap (memory guard).
+  /// Cap on reads collected per gap (memory guard). Applied after
+  /// sort+dedup so the retained set is a pure function of the projected
+  /// read set, independent of arrival order / read distribution.
   std::size_t max_reads_per_gap = 512;
+  /// Own gaps by the left contig's owner (contig_id % P) instead of
+  /// round-robin by gap id. With `--shuffle-reads` the reads aligned to a
+  /// contig live on its owner, so projections become self-sends and the
+  /// left-flank fetch is local. Perf-only: closures are replicated before
+  /// scaffold sequence construction, so ownership cannot change output.
+  bool locality_aware_owners = false;
 };
 
 /// Replicated description of one gap.
@@ -78,9 +87,18 @@ class GapCloser {
   GapCloser(pgas::ThreadTeam& team, GapClosingConfig config);
 
   /// Collective: project reads into gaps, exchange them, close. Returns the
-  /// closures for gaps owned by this rank (gap_id % P == rank).
+  /// closures for gaps owned by this rank (gap_id % P, or the left
+  /// contig's owner under locality_aware_owners).
   /// `my_reads_by_library[l]` holds this rank's reads of library l — pair
   /// ids are only unique *within* a library.
+  [[nodiscard]] std::vector<Closure> run(
+      pgas::Rank& rank, const std::vector<GapSpec>& gaps,
+      const align::ContigStore& store,
+      const std::vector<seq::ReadSetView>& my_reads_by_library,
+      const std::vector<align::ReadAlignment>& my_alignments,
+      const std::vector<InsertSizeEstimate>& inserts);
+
+  /// Legacy adapter for bare read vectors.
   [[nodiscard]] std::vector<Closure> run(
       pgas::Rank& rank, const std::vector<GapSpec>& gaps,
       const align::ContigStore& store,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "seq/kmer.hpp"
+#include "seq/packed_reads.hpp"
 
 /// Zero-allocation rolling canonical k-mer scanner.
 ///
@@ -14,6 +15,12 @@
 /// fresh O(k) revcomp. A non-ACGT character resets the run counter and the
 /// scan restarts at the next base, so a single 'N' costs exactly the k-1
 /// windows that overlap it (the seed implementation rejected whole reads).
+///
+/// Accepts either a character sequence or a `PackedSeqView`: the packed
+/// source pulls 2-bit codes straight out of the arena words (same MSB-first
+/// layout as `Kmer`) and consults the exception list through a cursor that
+/// advances in lockstep with the scan, so packed reads feed k-mer
+/// extraction without ever decoding to chars.
 ///
 /// The inner loop touches only the scanner's own value members: no heap
 /// allocation anywhere (enforced by a counting-allocator test in
@@ -29,6 +36,15 @@ class KmerScanner {
   KmerScanner(std::string_view sequence, int k) noexcept
       : seq_(sequence),
         k_(k),
+        fwd_(Kmer<MAX_K>::of_length(k)),
+        rc_(Kmer<MAX_K>::of_length(k)) {
+    advance();
+  }
+
+  KmerScanner(const PackedSeqView& view, int k) noexcept
+      : k_(k),
+        packed_(view),
+        is_packed_(true),
         fwd_(Kmer<MAX_K>::of_length(k)),
         rc_(Kmer<MAX_K>::of_length(k)) {
     advance();
@@ -61,8 +77,20 @@ class KmerScanner {
     // Push bases until k consecutive valid ones have been seen; the rolling
     // pair then holds exactly the window ending at next_. During warm-up the
     // shifts run over stale content, which the k-th push fully displaces.
-    while (next_ < seq_.size()) {
-      const std::uint8_t code = base_to_code(seq_[next_++]);
+    const std::size_t n = is_packed_ ? packed_.length : seq_.size();
+    while (next_ < n) {
+      std::uint8_t code;
+      if (is_packed_) {
+        const auto i = static_cast<std::uint32_t>(next_);
+        if (exc_next_ < packed_.except_count &&
+            packed_.except_pos[exc_next_] == i)
+          code = base_to_code(packed_.except_chr[exc_next_++]);
+        else
+          code = packed_.word_code(i);
+      } else {
+        code = base_to_code(seq_[next_]);
+      }
+      ++next_;
       if (code == kBaseInvalid) {
         run_ = 0;
         continue;
@@ -76,6 +104,9 @@ class KmerScanner {
 
   std::string_view seq_;
   int k_;
+  PackedSeqView packed_{};
+  bool is_packed_ = false;
+  std::uint32_t exc_next_ = 0;
   std::size_t run_ = 0;
   std::size_t next_ = 0;
   Kmer<MAX_K> fwd_;

@@ -1,0 +1,422 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/dna.hpp"
+#include "seq/read.hpp"
+
+/// Packed resident read storage (MetaHipMer-style, §2 of the follow-on
+/// papers): bases live 2-bit-packed in a shared u64 arena, qualities take
+/// the smallest of three lossless encodings (run-length, 4-bit band,
+/// verbatim; see `encode_quals`), and names sit in one char arena behind offset
+/// arrays. Compared to `std::vector<seq::Read>` — three heap strings per
+/// record — this removes per-record allocations entirely and cuts resident
+/// bytes severalfold (measured in bench/reads_memory).
+///
+/// Bit layout matches `Kmer<MAX_K>` exactly: base i of a sequence lives in
+/// word i/32 at bit offset 62 - 2*(i%32) (MSB-first), so `KmerScanner` and
+/// the word kernels can consume the packed words directly without decoding
+/// to chars. Each read's words start word-aligned in the arena.
+///
+/// Characters outside uppercase ACGT (Ns, lowercase, anything else) are
+/// carried in a per-read sorted exception list of (position, original
+/// char); the packed word holds a placeholder 2-bit code there. Decode is
+/// therefore byte-exact for arbitrary input, which the assembly-output
+/// byte-identity guarantee between the string and packed paths relies on.
+namespace hipmer::seq {
+
+/// Non-owning view of one packed sequence: the word slice plus the
+/// exception list. POD pointers only — cheap to copy into scanners.
+struct PackedSeqView {
+  const std::uint64_t* words = nullptr;
+  std::uint32_t length = 0;
+  /// Sorted positions whose true character is not an uppercase ACGT base.
+  const std::uint32_t* except_pos = nullptr;
+  const char* except_chr = nullptr;
+  std::uint32_t except_count = 0;
+
+  /// 2-bit code stored in the packed words at position i (a placeholder at
+  /// exception positions). Same bit layout as Kmer<MAX_K>::base().
+  [[nodiscard]] std::uint8_t word_code(std::uint32_t i) const noexcept {
+    return static_cast<std::uint8_t>(
+        (words[i >> 5] >> (62 - 2 * (i & 31))) & 3);
+  }
+
+  /// Index into the exception list for position i, or except_count.
+  [[nodiscard]] std::uint32_t find_exception(std::uint32_t i) const noexcept {
+    const auto* end = except_pos + except_count;
+    const auto* it = std::lower_bound(except_pos, end, i);
+    if (it != end && *it == i)
+      return static_cast<std::uint32_t>(it - except_pos);
+    return except_count;
+  }
+
+  /// Base-code of position i as `base_to_code` would report it on the
+  /// original string (kBaseInvalid for Ns and other non-DNA characters).
+  [[nodiscard]] std::uint8_t code(std::uint32_t i) const noexcept {
+    const auto e = find_exception(i);
+    return e == except_count ? word_code(i) : base_to_code(except_chr[e]);
+  }
+
+  /// Exact original character at position i.
+  [[nodiscard]] char base(std::uint32_t i) const noexcept {
+    const auto e = find_exception(i);
+    return e == except_count ? code_to_base(word_code(i)) : except_chr[e];
+  }
+};
+
+/// Decode a packed sequence into `out` (assigned), byte-exact.
+inline void decode_packed_seq(const PackedSeqView& v, std::string& out) {
+  out.resize(v.length);
+  for (std::uint32_t i = 0; i < v.length; ++i)
+    out[i] = code_to_base(v.word_code(i));
+  for (std::uint32_t e = 0; e < v.except_count; ++e)
+    out[v.except_pos[e]] = v.except_chr[e];
+}
+
+/// Quality codec modes: the first byte of each read's encoding picks how
+/// the rest decodes. An empty quality string encodes to zero bytes.
+enum : std::uint8_t {
+  /// (char, run) byte pairs, runs capped at 255. Wins on bursty /
+  /// quantized qualities (platforms that bin scores into a few values).
+  kQualModeRle = 1,
+  /// [min char][4-bit offsets packed two per byte, high nibble first].
+  /// Valid whenever max-min <= 15; wins on high-entropy qualities whose
+  /// values sit in a narrow band, where RLE would *expand* the string.
+  kQualModeBand = 2,
+  /// Raw characters; the fallback that bounds worst-case size at n+1.
+  kQualModeVerbatim = 3,
+};
+
+/// Append the smallest of the three lossless encodings of `quals` to
+/// `arena`, prefixed with its mode byte.
+inline void encode_quals(std::string_view quals,
+                         std::vector<std::uint8_t>& arena) {
+  if (quals.empty()) return;
+  // Cost the candidates in one scan.
+  std::size_t runs = 0;
+  unsigned char lo = static_cast<unsigned char>(quals[0]);
+  unsigned char hi = lo;
+  for (std::size_t i = 0; i < quals.size();) {
+    const char c = quals[i];
+    const auto u = static_cast<unsigned char>(c);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    std::size_t run = 1;
+    while (i + run < quals.size() && run < 255 && quals[i + run] == c) ++run;
+    ++runs;
+    i += run;
+  }
+  const std::size_t rle_cost = 2 * runs;
+  const std::size_t band_cost = static_cast<std::size_t>(hi - lo) <= 15
+                                    ? 1 + (quals.size() + 1) / 2
+                                    : std::numeric_limits<std::size_t>::max();
+  const std::size_t verbatim_cost = quals.size();
+
+  if (rle_cost <= band_cost && rle_cost <= verbatim_cost) {
+    arena.push_back(kQualModeRle);
+    for (std::size_t i = 0; i < quals.size();) {
+      const char c = quals[i];
+      std::size_t run = 1;
+      while (i + run < quals.size() && run < 255 && quals[i + run] == c) ++run;
+      arena.push_back(static_cast<std::uint8_t>(c));
+      arena.push_back(static_cast<std::uint8_t>(run));
+      i += run;
+    }
+  } else if (band_cost <= verbatim_cost) {
+    arena.push_back(kQualModeBand);
+    arena.push_back(lo);
+    std::uint8_t pending = 0;
+    for (std::size_t i = 0; i < quals.size(); ++i) {
+      const auto nib =
+          static_cast<std::uint8_t>(static_cast<unsigned char>(quals[i]) - lo);
+      if (i % 2 == 0) {
+        pending = static_cast<std::uint8_t>(nib << 4);
+      } else {
+        arena.push_back(static_cast<std::uint8_t>(pending | nib));
+      }
+    }
+    if (quals.size() % 2 != 0) arena.push_back(pending);
+  } else {
+    arena.push_back(kQualModeVerbatim);
+    arena.insert(arena.end(), quals.begin(), quals.end());
+  }
+}
+
+/// Decode `enc_len` bytes produced by `encode_quals` into `out`
+/// (assigned). `n` is the read length (the band mode's nibble stream does
+/// not self-describe whether the final nibble is padding).
+inline void decode_quals(const std::uint8_t* enc, std::size_t enc_len,
+                         std::size_t n, std::string& out) {
+  out.clear();
+  if (enc_len == 0) return;
+  const std::uint8_t* p = enc + 1;
+  const std::size_t len = enc_len - 1;
+  switch (enc[0]) {
+    case kQualModeRle:
+      for (std::size_t i = 0; i + 1 < len; i += 2)
+        out.append(p[i + 1], static_cast<char>(p[i]));
+      break;
+    case kQualModeBand: {
+      if (len == 0) return;
+      const auto base = p[0];
+      // Clamp to what the payload can actually hold so a corrupt header
+      // cannot walk off the arena.
+      const std::size_t m = std::min(n, 2 * (len - 1));
+      out.resize(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint8_t byte = p[1 + i / 2];
+        const std::uint8_t nib = i % 2 == 0 ? byte >> 4 : byte & 0xF;
+        out[i] = static_cast<char>(base + nib);
+      }
+      break;
+    }
+    case kQualModeVerbatim:
+      out.assign(reinterpret_cast<const char*>(p), len);
+      break;
+    default:
+      break;
+  }
+}
+
+class PackedReads;
+
+/// Lazily-decoding handle to one read inside a PackedReads arena. Name and
+/// packed words are zero-copy; `seq()`/`quals()` decode into a
+/// caller-provided scratch string only when the characters are needed.
+class ReadView {
+ public:
+  ReadView(const PackedReads& store, std::size_t index) noexcept
+      : store_(&store), index_(index) {}
+
+  [[nodiscard]] std::string_view name() const noexcept;
+  [[nodiscard]] std::uint32_t length() const noexcept;
+  [[nodiscard]] PackedSeqView packed() const noexcept;
+  [[nodiscard]] std::string_view seq(std::string& scratch) const;
+  [[nodiscard]] std::string_view quals(std::string& scratch) const;
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  const PackedReads* store_;
+  std::size_t index_;
+};
+
+class PackedReads {
+ public:
+  void reserve(std::size_t reads, std::size_t bases) {
+    length_.reserve(reads);
+    word_off_.reserve(reads);
+    exc_off_.reserve(reads);
+    qual_off_.reserve(reads);
+    name_off_.reserve(reads);
+    words_.reserve(bases / 32 + reads);
+    qual_enc_.reserve(reads * 4);
+    names_.reserve(reads * 12);
+  }
+
+  void append(std::string_view name, std::string_view seq,
+              std::string_view quals) {
+    const auto len = static_cast<std::uint32_t>(seq.size());
+    length_.push_back(len);
+    word_off_.push_back(static_cast<std::uint32_t>(words_.size()));
+    exc_off_.push_back(static_cast<std::uint32_t>(exc_pos_.size()));
+    qual_off_.push_back(static_cast<std::uint32_t>(qual_enc_.size()));
+    name_off_.push_back(static_cast<std::uint32_t>(names_.size()));
+    words_.resize(words_.size() + (seq.size() + 31) / 32, 0);
+    auto* words = words_.data() + word_off_.back();
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const char c = seq[i];
+      std::uint8_t code;
+      if (c == 'A') {
+        code = kBaseA;
+      } else if (c == 'C') {
+        code = kBaseC;
+      } else if (c == 'G') {
+        code = kBaseG;
+      } else if (c == 'T') {
+        code = kBaseT;
+      } else {
+        // Lowercase acgt still packs its real code (scanners keep seeing a
+        // valid base); N and friends pack a placeholder A.
+        const auto lc = base_to_code(c);
+        code = lc == kBaseInvalid ? kBaseA : lc;
+        exc_pos_.push_back(i);
+        exc_chr_.push_back(c);
+      }
+      words[i >> 5] |= static_cast<std::uint64_t>(code) << (62 - 2 * (i & 31));
+    }
+    encode_quals(quals, qual_enc_);
+    names_.insert(names_.end(), name.begin(), name.end());
+  }
+
+  void append(const Read& r) { append(r.name, r.seq, r.quals); }
+
+  /// Append from already-packed parts (checkpoint decode / wire transfer).
+  /// `words` must hold ceil(length/32) MSB-first words; exceptions sorted.
+  void append_packed(std::string_view name, std::uint32_t length,
+                     const std::uint64_t* words,
+                     const std::uint32_t* except_pos, const char* except_chr,
+                     std::uint32_t except_count, const std::uint8_t* qual_enc,
+                     std::uint32_t qual_enc_len) {
+    length_.push_back(length);
+    word_off_.push_back(static_cast<std::uint32_t>(words_.size()));
+    exc_off_.push_back(static_cast<std::uint32_t>(exc_pos_.size()));
+    qual_off_.push_back(static_cast<std::uint32_t>(qual_enc_.size()));
+    name_off_.push_back(static_cast<std::uint32_t>(names_.size()));
+    words_.insert(words_.end(), words, words + (length + 31) / 32);
+    exc_pos_.insert(exc_pos_.end(), except_pos, except_pos + except_count);
+    exc_chr_.insert(exc_chr_.end(), except_chr, except_chr + except_count);
+    qual_enc_.insert(qual_enc_.end(), qual_enc, qual_enc + qual_enc_len);
+    names_.insert(names_.end(), name.begin(), name.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return length_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return length_.empty(); }
+
+  [[nodiscard]] std::uint32_t length(std::size_t i) const noexcept {
+    return length_[i];
+  }
+
+  [[nodiscard]] std::string_view name(std::size_t i) const noexcept {
+    const auto b = name_off_[i];
+    const auto e =
+        i + 1 < name_off_.size() ? name_off_[i + 1] : names_.size();
+    return {names_.data() + b, e - b};
+  }
+
+  [[nodiscard]] PackedSeqView view(std::size_t i) const noexcept {
+    const auto eb = exc_off_[i];
+    const auto ee =
+        i + 1 < exc_off_.size() ? exc_off_[i + 1] : exc_pos_.size();
+    return PackedSeqView{words_.data() + word_off_[i], length_[i],
+                         exc_pos_.data() + eb, exc_chr_.data() + eb,
+                         static_cast<std::uint32_t>(ee - eb)};
+  }
+
+  /// The encoded quality bytes of read i (mode byte + payload).
+  [[nodiscard]] std::pair<const std::uint8_t*, std::uint32_t> qual_enc(
+      std::size_t i) const noexcept {
+    const auto b = qual_off_[i];
+    const auto e =
+        i + 1 < qual_off_.size() ? qual_off_[i + 1] : qual_enc_.size();
+    return {qual_enc_.data() + b, static_cast<std::uint32_t>(e - b)};
+  }
+
+  void decode_seq(std::size_t i, std::string& out) const {
+    decode_packed_seq(view(i), out);
+  }
+
+  void decode_quals(std::size_t i, std::string& out) const {
+    const auto [enc, n] = qual_enc(i);
+    seq::decode_quals(enc, n, length_[i], out);
+  }
+
+  [[nodiscard]] ReadView operator[](std::size_t i) const noexcept {
+    return ReadView(*this, i);
+  }
+
+  void clear() {
+    words_.clear();
+    length_.clear();
+    word_off_.clear();
+    exc_pos_.clear();
+    exc_chr_.clear();
+    exc_off_.clear();
+    qual_enc_.clear();
+    qual_off_.clear();
+    names_.clear();
+    name_off_.clear();
+  }
+
+  /// Drop growth slack in every arena. Cheap — ten flat buffers to
+  /// reallocate regardless of read count — and worth calling once ingest
+  /// is done, since exponential growth can leave the arenas holding up to
+  /// 2x the bytes they use.
+  void shrink_to_fit() {
+    words_.shrink_to_fit();
+    length_.shrink_to_fit();
+    word_off_.shrink_to_fit();
+    exc_pos_.shrink_to_fit();
+    exc_chr_.shrink_to_fit();
+    exc_off_.shrink_to_fit();
+    qual_enc_.shrink_to_fit();
+    qual_off_.shrink_to_fit();
+    names_.shrink_to_fit();
+    name_off_.shrink_to_fit();
+  }
+
+  /// Resident bytes across all arenas (capacity-based, matching what the
+  /// allocator actually holds).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return sizeof(*this) + words_.capacity() * sizeof(std::uint64_t) +
+           (length_.capacity() + word_off_.capacity() + exc_off_.capacity() +
+            qual_off_.capacity() + name_off_.capacity() +
+            exc_pos_.capacity()) *
+               sizeof(std::uint32_t) +
+           exc_chr_.capacity() + qual_enc_.capacity() + names_.capacity();
+  }
+
+  /// Index-based forward iteration over ReadViews.
+  class const_iterator {
+   public:
+    const_iterator(const PackedReads& store, std::size_t i) noexcept
+        : store_(&store), i_(i) {}
+    ReadView operator*() const noexcept { return (*store_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    friend bool operator!=(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const PackedReads* store_;
+    std::size_t i_;
+  };
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return {*this, 0};
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return {*this, size()};
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> length_;
+  std::vector<std::uint32_t> word_off_;
+  std::vector<std::uint32_t> exc_pos_;
+  std::vector<char> exc_chr_;
+  std::vector<std::uint32_t> exc_off_;
+  std::vector<std::uint8_t> qual_enc_;
+  std::vector<std::uint32_t> qual_off_;
+  std::vector<char> names_;
+  std::vector<std::uint32_t> name_off_;
+};
+
+inline std::string_view ReadView::name() const noexcept {
+  return store_->name(index_);
+}
+inline std::uint32_t ReadView::length() const noexcept {
+  return store_->length(index_);
+}
+inline PackedSeqView ReadView::packed() const noexcept {
+  return store_->view(index_);
+}
+inline std::string_view ReadView::seq(std::string& scratch) const {
+  store_->decode_seq(index_, scratch);
+  return scratch;
+}
+inline std::string_view ReadView::quals(std::string& scratch) const {
+  store_->decode_quals(index_, scratch);
+  return scratch;
+}
+
+}  // namespace hipmer::seq

@@ -18,6 +18,8 @@ struct Read {
   std::string quals;
 
   [[nodiscard]] std::size_t size() const noexcept { return seq.size(); }
+
+  friend bool operator==(const Read&, const Read&) = default;
 };
 
 /// Phred score of a quality character.

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 /// Read-name convention: "<library>:<pair_index>/<mate>".
 ///
@@ -14,11 +15,11 @@ namespace hipmer::seq {
 
 /// Parse "<lib>:<pair>/<mate>" names. Returns false if the name does not
 /// follow the convention.
-inline bool parse_read_name(const std::string& name, std::uint64_t& pair_index,
+inline bool parse_read_name(std::string_view name, std::uint64_t& pair_index,
                             int& mate) {
   const std::size_t colon = name.rfind(':');
   const std::size_t slash = name.rfind('/');
-  if (colon == std::string::npos || slash == std::string::npos ||
+  if (colon == std::string_view::npos || slash == std::string_view::npos ||
       slash <= colon + 1 || slash + 1 >= name.size())
     return false;
   const char* first = name.data() + colon + 1;

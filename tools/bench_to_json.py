@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Convert bench CSVs into a BENCH_<name>.json perf-trajectory record.
+
+The bench binaries (bench/*.cpp) each mirror their printed table to a CSV.
+This helper turns one or more of those CSVs into a single JSON document so
+per-PR perf numbers can be committed and diffed across PRs (ROADMAP's
+cross-cutting ask). Numbers are parsed where possible; everything else is
+kept as strings.
+
+Usage:
+  tools/bench_to_json.py --name reads --out BENCH_reads.json \
+      reads_memory.csv io_fastq_reader.csv \
+      --metric "read_mem_ratio=reads_memory.csv:binned_quals:ratio"
+
+Each CSV becomes {"file": ..., "columns": [...], "rows": [{col: val}]}.
+--metric KEY=FILE:ROWKEY:COL pulls one headline scalar out of a table (the
+row whose first column equals ROWKEY) into the top-level "metrics" map.
+"""
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+
+def parse_value(text):
+    """Numbers become numbers; '12.3x' and '45.6%' keep their meaning."""
+    t = text.strip()
+    for suffix, scale in (("x", 1.0), ("%", 0.01)):
+        if t.endswith(suffix):
+            try:
+                return float(t[: -len(suffix)]) * scale
+            except ValueError:
+                return t
+    for cast in (int, float):
+        try:
+            return cast(t)
+        except ValueError:
+            continue
+    return t
+
+
+def load_csv(path):
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        rows = list(reader)
+    if not rows:
+        raise SystemExit(f"{path}: empty CSV")
+    columns = rows[0]
+    return {
+        "file": os.path.basename(path),
+        "columns": columns,
+        "rows": [
+            {c: parse_value(v) for c, v in zip(columns, row)}
+            for row in rows[1:]
+        ],
+    }
+
+
+def extract_metric(tables, spec):
+    name, _, locator = spec.partition("=")
+    try:
+        fname, rowkey, col = locator.split(":")
+    except ValueError:
+        raise SystemExit(f"bad --metric '{spec}', want KEY=FILE:ROWKEY:COL")
+    for table in tables:
+        if table["file"] != os.path.basename(fname):
+            continue
+        first_col = table["columns"][0]
+        for row in table["rows"]:
+            if str(row.get(first_col)) == rowkey:
+                if col not in row:
+                    raise SystemExit(f"{fname}: no column '{col}'")
+                return name, row[col]
+        raise SystemExit(f"{fname}: no row with {first_col}={rowkey}")
+    raise SystemExit(f"--metric '{spec}': {fname} not among the inputs")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csvs", nargs="+", help="bench CSV files")
+    ap.add_argument("--name", required=True, help="bench group name")
+    ap.add_argument("--out", help="output path (default BENCH_<name>.json)")
+    ap.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        help="KEY=FILE:ROWKEY:COL headline scalar to lift to top level",
+    )
+    args = ap.parse_args(argv)
+
+    tables = [load_csv(p) for p in args.csvs]
+    doc = {
+        "bench": args.name,
+        "metrics": dict(extract_metric(tables, m) for m in args.metric),
+        "tables": tables,
+    }
+    out = args.out or f"BENCH_{args.name}.json"
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out} ({len(tables)} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -39,6 +39,7 @@ int usage() {
                "--insert N --scaffold-only]...\n"
                "                  [--k 31] [--ranks 16] [--rounds 1] "
                "[--diploid] [--min-count auto|N] [--out FILE]\n"
+               "                  [--packed-reads] [--shuffle-reads]\n"
                "                  [--checkpoint-dir DIR [--resume] "
                "[--keep-last N] [--checkpoint-rounds-only]]\n"
                "                  [--chaos-spec "
@@ -89,6 +90,10 @@ int cmd_assemble(int argc, char** argv) {
   cfg.k = k;
   cfg.scaffolding_rounds = static_cast<int>(opts.get_int("rounds", 1));
   cfg.merge_bubbles = opts.get_bool("diploid", false);
+  // Perf knobs: 2-bit resident reads, and the post-alignment locality
+  // shuffle. Neither changes the assembly output.
+  cfg.packed_reads = opts.get_bool("packed-reads", false);
+  cfg.shuffle_reads = opts.get_bool("shuffle-reads", false);
   if (min_count != "auto")
     cfg.kmer.min_count =
         static_cast<std::uint32_t>(std::strtoul(min_count.c_str(), nullptr, 10));
