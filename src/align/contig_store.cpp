@@ -17,6 +17,68 @@ ContigStore::ContigStore(pgas::ThreadTeam& team)
       checked_(team.checker(), "align.contig_store", nullptr, nullptr)
 #endif
 {
+  if (team.multiprocess()) {
+    rpc_ = team.fabric().register_rpc(
+        [this](int, const std::byte* data, std::size_t size) {
+          return serve_fetch(data, size);
+        });
+  }
+}
+
+bool ContigStore::remote(int owner) const {
+  return team_->multiprocess() && !team_->is_local(owner);
+}
+
+namespace {
+// Fetch sub-ops carried in the request's first byte.
+constexpr std::uint8_t kOpMeta = 1;
+constexpr std::uint8_t kOpSeq = 2;
+constexpr std::uint8_t kOpRecord = 3;
+}  // namespace
+
+std::vector<std::byte> ContigStore::remote_call(std::uint8_t op,
+                                                std::uint64_t id,
+                                                int owner) const {
+  std::vector<std::byte> req;
+  io::wire::Writer w(req);
+  w.put_pod(op);
+  w.put_u64(id);
+  return team_->fabric().rpc(rpc_, owner, std::move(req));
+}
+
+std::vector<std::byte> ContigStore::serve_fetch(const std::byte* data,
+                                                std::size_t size) const {
+  io::wire::Reader r(data, size);
+  const auto op = r.get_pod_checked<std::uint8_t>("contig op");
+  const auto id = r.get_pod_checked<std::uint64_t>("contig id");
+  const dbg::Contig* contig = local_lookup(id);
+  std::vector<std::byte> resp;
+  io::wire::Writer w(resp);
+  switch (op) {
+    case kOpMeta: {
+      Meta m;
+      if (contig != nullptr) {
+        m.length = static_cast<std::uint32_t>(contig->seq.size());
+        m.avg_depth = static_cast<float>(contig->avg_depth);
+        m.left_term = contig->left.code;
+        m.right_term = contig->right.code;
+      }
+      w.put_pod(m);
+      break;
+    }
+    case kOpSeq:
+      w.put_bytes(contig != nullptr ? std::string_view(contig->seq)
+                                    : std::string_view{});
+      break;
+    case kOpRecord:
+      // An absent contig serializes to nothing; the caller's decode then
+      // yields the same default record the threads path returns.
+      if (contig != nullptr) dbg::serialize_contig(resp, *contig);
+      break;
+    default:
+      throw io::wire::CorruptError("wire: corrupt: unknown contig fetch op");
+  }
+  return resp;
 }
 
 void ContigStore::build(pgas::Rank& rank,
@@ -75,12 +137,18 @@ ContigStore::Meta ContigStore::meta(pgas::Rank& rank,
 #endif
   const int owner = owner_of(id);
   Meta m;
-  const dbg::Contig* contig = local_lookup(id);
-  if (contig != nullptr) {
-    m.length = static_cast<std::uint32_t>(contig->seq.size());
-    m.avg_depth = static_cast<float>(contig->avg_depth);
-    m.left_term = contig->left.code;
-    m.right_term = contig->right.code;
+  if (remote(owner)) {
+    const auto resp = remote_call(kOpMeta, id, owner);
+    io::wire::Reader r(resp.data(), resp.size());
+    m = r.get_pod_checked<Meta>("contig meta");
+  } else {
+    const dbg::Contig* contig = local_lookup(id);
+    if (contig != nullptr) {
+      m.length = static_cast<std::uint32_t>(contig->seq.size());
+      m.avg_depth = static_cast<float>(contig->avg_depth);
+      m.left_term = contig->left.code;
+      m.right_term = contig->right.code;
+    }
   }
   if (owner == rank.id()) {
     rank.stats().add_local_access();
@@ -119,8 +187,15 @@ std::string ContigStore::fetch(pgas::Rank& rank, std::uint64_t id,
     if (cache[slot].id == id) seq = &cache[slot].seq;
   }
   if (seq == nullptr) {
-    const dbg::Contig* contig = local_lookup(id);
-    const std::string fetched = contig ? contig->seq : std::string{};
+    std::string fetched;
+    if (remote(owner)) {
+      const auto resp = remote_call(kOpSeq, id, owner);
+      io::wire::Reader r(resp.data(), resp.size());
+      fetched = r.get_bytes();
+    } else {
+      const dbg::Contig* contig = local_lookup(id);
+      if (contig != nullptr) fetched = contig->seq;
+    }
     if (rank.topology().same_node(owner, rank.id())) {
       rank.stats().add_onnode_msg(fetched.size());
     } else {
@@ -176,8 +251,14 @@ dbg::Contig ContigStore::fetch_record(pgas::Rank& rank,
                      pgas::to_site(hipmer_site));
 #endif
   const int owner = owner_of(id);
-  const dbg::Contig* contig = local_lookup(id);
-  dbg::Contig copy = contig ? *contig : dbg::Contig{};
+  dbg::Contig copy;
+  if (remote(owner)) {
+    auto records = dbg::deserialize_contigs(remote_call(kOpRecord, id, owner));
+    if (!records.empty()) copy = std::move(records.front());
+  } else {
+    const dbg::Contig* contig = local_lookup(id);
+    if (contig != nullptr) copy = *contig;
+  }
   if (owner == rank.id()) {
     rank.stats().add_local_access();
   } else {

@@ -98,6 +98,17 @@ class ContigStore {
 
   [[nodiscard]] const dbg::Contig* local_lookup(std::uint64_t id) const;
 
+  // Multi-process fabric: the owner's shard is in another address space,
+  // so one-sided reads become a request/response round trip. Charging is
+  // unchanged and stays initiator-side (mirror counters sum to the same
+  // global totals as the threads fabric).
+  [[nodiscard]] std::vector<std::byte> serve_fetch(const std::byte* data,
+                                                   std::size_t size) const;
+  [[nodiscard]] std::vector<std::byte> remote_call(std::uint8_t op,
+                                                   std::uint64_t id,
+                                                   int owner) const;
+  [[nodiscard]] bool remote(int owner) const;
+
   pgas::ThreadTeam* team_;
   int nranks_;
   std::atomic<std::uint64_t> total_{0};
@@ -106,6 +117,8 @@ class ContigStore {
   /// Direct-mapped per-rank caches (mutable: fetch is logically const).
   mutable std::vector<std::vector<CacheEntry>> caches_;
   std::size_t cache_capacity_ = 64;
+  /// Fabric RPC service id for remote fetches (multi-process teams only).
+  std::uint32_t rpc_ = 0;
 #if defined(HIPMER_CHECKED)
   // ContigStore is not a DistHashMap but obeys the same phase contract:
   // build/set_local_depth are its write phase, one-sided meta/fetch reads

@@ -83,6 +83,10 @@ bool Checkpointer::commit(StageEntry entry) {
   return true;
 }
 
+void Checkpointer::commit_local(StageEntry entry) {
+  manifest_.entries.push_back(std::move(entry));
+}
+
 const StageEntry* Checkpointer::usable(const std::string& stage) const {
   const StageEntry* best = nullptr;
   for (const auto& entry : manifest_.entries) {
@@ -98,22 +102,32 @@ std::optional<std::vector<std::vector<std::byte>>> Checkpointer::read_entry(
   const int p = team.nranks();
   std::vector<std::vector<std::byte>> shards(entry.shard_count);
   std::atomic<bool> ok{true};
+  // Threads: deal shards round robin over the rank threads. Multi-process:
+  // every process needs the full artifact in its own address space, so each
+  // one reads all shards (charging I/O only for the shards it "owns" to
+  // keep the global counters matching the threads fabric).
+  const bool multi = team.multiprocess();
   team.begin_stage(kRestoreFaultStage);
   team.run([&](pgas::Rank& rank) {
     team.faults().on_fault_point(rank.id());
-    for (std::uint32_t s = static_cast<std::uint32_t>(rank.id());
-         s < entry.shard_count; s += static_cast<std::uint32_t>(p)) {
+    const auto start = multi ? 0u : static_cast<std::uint32_t>(rank.id());
+    const auto step = multi ? 1u : static_cast<std::uint32_t>(p);
+    for (std::uint32_t s = start; s < entry.shard_count; s += step) {
       auto bytes = store_.read_shard(entry, s);
       if (!bytes) {
         ok.store(false, std::memory_order_relaxed);
         continue;
       }
-      rank.stats().add_io_read(bytes->size());
+      if (s % static_cast<std::uint32_t>(p) ==
+          static_cast<std::uint32_t>(rank.id()))
+        rank.stats().add_io_read(bytes->size());
       shards[s] = std::move(*bytes);
     }
     rank.barrier();
   });
-  if (!ok.load(std::memory_order_relaxed)) return std::nullopt;
+  // All processes must agree on failure, or their resume states diverge.
+  const int failed = team.serial_sum(ok.load(std::memory_order_relaxed) ? 0 : 1);
+  if (failed != 0) return std::nullopt;
   return shards;
 }
 

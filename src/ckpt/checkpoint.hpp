@@ -101,6 +101,11 @@ class Checkpointer {
   /// manifest file, prune. False (and no manifest change) on I/O failure.
   bool commit(StageEntry entry);
 
+  /// Multi-process worker side of a commit: append the entry to this
+  /// process's in-memory manifest only (no disk write, no prune), keeping
+  /// seq numbering aligned with the primary, which owns manifest.bin.
+  void commit_local(StageEntry entry);
+
   /// Find and load the best resume point at or below `max_progress`
   /// (pass progress_scaffolds(rounds - 1) for no cap). Reads shards in
   /// parallel on `team`; returns an empty state when nothing usable

@@ -27,6 +27,44 @@ ContigGenerator::ContigGenerator(pgas::ThreadTeam& team, ContigGenConfig config,
   mc.flush_threshold = config_.flush_threshold;
   map_ = std::make_unique<Map>(team, mc);
   map_->set_name("dbg.graph");
+  claim_rmw_ = map_->register_rmw<ClaimArgs, ClaimResult>(
+      [](Node& node, const ClaimArgs& a) -> ClaimResult {
+        // Mutual-extension check *before* claiming: stepping into a k-mer
+        // is only legal if it extends back to us with a unique high-quality
+        // base; otherwise we are standing in front of a fork and the contig
+        // ends here (without disturbing the neighbor's state).
+        if (a.expect_back != '\0') {
+          auto pair = node.summary.ext();
+          if (a.flipped != 0) pair = seq::flip(pair);
+          const char back = a.back_is_left != 0 ? pair.left : pair.right;
+          if (back != a.expect_back)
+            return ClaimResult{ClaimOutcome::kMismatch, {}};
+        }
+        if (node.state == 2) return ClaimResult{ClaimOutcome::kComplete, {}};
+        if (node.state == 1) {
+          if (node.ticket == a.ticket)
+            return ClaimResult{ClaimOutcome::kSelf, {}};
+          return ClaimResult{node.ticket < a.ticket ? ClaimOutcome::kBusyLower
+                                                    : ClaimOutcome::kBusyHigher,
+                             {}};
+        }
+        node.state = 1;
+        node.ticket = a.ticket;
+        return ClaimResult{ClaimOutcome::kClaimed, node.summary};
+      });
+  set_state_rmw_ = map_->register_rmw<SetStateArgs, std::uint8_t>(
+      [](Node& node, const SetStateArgs& a) -> std::uint8_t {
+        // Only touch k-mers still held by the expected ticket: during an
+        // abort, a spinning winner may already have re-claimed released
+        // k-mers, and clobbering its claim would corrupt both traversals.
+        if (node.state == 1 && node.ticket == a.owner_ticket) {
+          node.state = a.state;
+          node.ticket = a.ticket;
+        }
+        return 0;
+      });
+  read_summary_rmw_ = map_->register_rmw<std::uint8_t, kcount::KmerSummary>(
+      [](Node& node, const std::uint8_t&) { return node.summary; });
 }
 
 ContigGenerator::~ContigGenerator() = default;
@@ -71,28 +109,12 @@ ContigGenerator::ClaimResult ContigGenerator::try_claim(pgas::Rank& rank,
                                                         bool back_is_left) {
   const bool flipped = !fwd.is_canonical();
   const KmerT canon = flipped ? fwd.revcomp() : fwd;
-  auto result = map_->modify(rank, canon, [&](Node& node) -> ClaimResult {
-    // Mutual-extension check *before* claiming: stepping into a k-mer is
-    // only legal if it extends back to us with a unique high-quality base;
-    // otherwise we are standing in front of a fork and the contig ends
-    // here (without disturbing the neighbor's state).
-    if (expect_back != '\0') {
-      auto pair = node.summary.ext();
-      if (flipped) pair = seq::flip(pair);
-      const char back = back_is_left ? pair.left : pair.right;
-      if (back != expect_back) return ClaimResult{ClaimOutcome::kMismatch, {}};
-    }
-    if (node.state == 2) return ClaimResult{ClaimOutcome::kComplete, {}};
-    if (node.state == 1) {
-      if (node.ticket == ticket) return ClaimResult{ClaimOutcome::kSelf, {}};
-      return ClaimResult{node.ticket < ticket ? ClaimOutcome::kBusyLower
-                                              : ClaimOutcome::kBusyHigher,
-                         {}};
-    }
-    node.state = 1;
-    node.ticket = ticket;
-    return ClaimResult{ClaimOutcome::kClaimed, node.summary};
-  });
+  ClaimArgs args;
+  args.ticket = ticket;
+  args.expect_back = expect_back;
+  args.flipped = flipped ? 1 : 0;
+  args.back_is_left = back_is_left ? 1 : 0;
+  auto result = map_->rmw<ClaimResult>(rank, canon, claim_rmw_, args);
   if (!result.has_value()) return ClaimResult{ClaimOutcome::kAbsent, {}};
   return *result;
 }
@@ -100,18 +122,13 @@ ContigGenerator::ClaimResult ContigGenerator::try_claim(pgas::Rank& rank,
 void ContigGenerator::set_states(pgas::Rank& rank, const std::string& subcontig,
                                  std::uint8_t state, std::uint64_t ticket,
                                  std::uint64_t owner_ticket) {
+  SetStateArgs args;
+  args.state = state;
+  args.ticket = ticket;
+  args.owner_ticket = owner_ticket;
   for (seq::KmerScanner<KmerT::kMaxK> it(subcontig, config_.k); !it.done();
        it.next()) {
-    map_->modify(rank, it.canonical(), [&](Node& node) {
-      // Only touch k-mers still held by the expected ticket: during an
-      // abort, a spinning winner may already have re-claimed released
-      // k-mers, and clobbering its claim would corrupt both traversals.
-      if (node.state == 1 && node.ticket == owner_ticket) {
-        node.state = state;
-        node.ticket = ticket;
-      }
-      return 0;
-    });
+    map_->rmw<std::uint8_t>(rank, it.canonical(), set_state_rmw_, args);
   }
 }
 
@@ -125,8 +142,8 @@ ContigGenerator::GrowResult ContigGenerator::grow_right(
   const bool cur_flipped = !cur.is_canonical();
   const KmerT cur_canon = cur_flipped ? cur.revcomp() : cur;
   count_lookup(rank, cur_canon, scratch);
-  auto cur_summary_opt = map_->modify(
-      rank, cur_canon, [](Node& node) { return node.summary; });
+  auto cur_summary_opt = map_->rmw<kcount::KmerSummary>(
+      rank, cur_canon, read_summary_rmw_, std::uint8_t{0});
   assert(cur_summary_opt.has_value() && "frontier k-mer must be claimed");
   kcount::KmerSummary cur_summary = *cur_summary_opt;
 
@@ -189,6 +206,7 @@ ContigGenerator::GrowResult ContigGenerator::grow_right(
         case ClaimOutcome::kBusyHigher:
           // The higher ticket will abort when it meets us (ticket order);
           // yield until the k-mer frees up.
+          rank.progress();
           std::this_thread::yield();
           continue;
       }
@@ -312,6 +330,7 @@ void ContigGenerator::traverse(pgas::Rank& rank) {
     }
     if (sres.outcome != ClaimOutcome::kClaimed) {
       pending.push_back(seed_entry);  // someone is actively working here
+      rank.progress();
       std::this_thread::yield();
       continue;
     }
@@ -325,6 +344,7 @@ void ContigGenerator::traverse(pgas::Rank& rank) {
                    scratch) == GrowResult::kAbort) {
       set_states(rank, sub, 0, 0, ticket);
       pending.push_back(seed_entry);
+      rank.progress();
       std::this_thread::yield();
       continue;
     }
@@ -336,6 +356,7 @@ void ContigGenerator::traverse(pgas::Rank& rank) {
                    scratch) == GrowResult::kAbort) {
       set_states(rank, sub, 0, 0, ticket);
       pending.push_back(seed_entry);
+      rank.progress();
       std::this_thread::yield();
       continue;
     }

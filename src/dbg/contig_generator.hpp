@@ -137,6 +137,21 @@ class ContigGenerator {
     kcount::KmerSummary summary;  // valid when kClaimed
   };
 
+  /// POD argument blocks for the registered RMWs (the claim protocol must
+  /// execute on the k-mer's owner, which on a multi-process fabric is in
+  /// another address space — closures cannot ship, PODs can).
+  struct ClaimArgs {
+    std::uint64_t ticket = 0;
+    char expect_back = '\0';
+    std::uint8_t flipped = 0;
+    std::uint8_t back_is_left = 0;
+  };
+  struct SetStateArgs {
+    std::uint8_t state = 0;
+    std::uint64_t ticket = 0;
+    std::uint64_t owner_ticket = 0;
+  };
+
   /// Atomically (under the bucket lock) verify the mutual-extension
   /// condition and claim the k-mer for `ticket`. `expect_back` is the base
   /// the neighbor must extend back with ('\0' skips the check, used for
@@ -170,6 +185,9 @@ class ContigGenerator {
   pgas::ThreadTeam& team_;
   ContigGenConfig config_;
   std::unique_ptr<Map> map_;
+  Map::RmwId claim_rmw_ = 0;
+  Map::RmwId set_state_rmw_ = 0;
+  Map::RmwId read_summary_rmw_ = 0;
   const OraclePartition* oracle_ = nullptr;
   std::vector<std::vector<Contig>> contigs_;
   std::vector<LookupStats> lookups_;

@@ -135,8 +135,10 @@ void ParallelFastqReader::read_records_impl(pgas::Rank& rank,
   const int me = rank.id();
   // Root sizes the per-rank stats table; the barrier publishes it before
   // any rank takes a reference into it (a lazy any-rank resize would race
-  // with slot writers).
-  if (rank.is_root() && stats_.size() != static_cast<std::size_t>(p))
+  // with slot writers). Under the multi-process fabric every process holds
+  // its own reader, so each sizes its own copy.
+  if ((rank.is_root() || rank.team().multiprocess()) &&
+      stats_.size() != static_cast<std::size_t>(p))
     stats_.assign(static_cast<std::size_t>(p), ParallelFastqStats{});
   rank.barrier();
   ParallelFastqStats& st = stats_[static_cast<std::size_t>(me)];

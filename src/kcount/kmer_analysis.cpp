@@ -84,7 +84,10 @@ void KmerAnalysis::sketch_pass(
   const double cardinality = merged.estimate();
   const std::uint64_t global_n = rank.allreduce_sum(instances);
 
-  if (rank.is_root()) {
+  // Single-writer on the threads fabric; on a multi-process fabric every
+  // process holds its own copy of the analysis object, so each one stores
+  // the (replicated) reduction results.
+  if (rank.is_root() || team_.multiprocess()) {
     cardinality_estimate_ = cardinality;
     total_instances_ = global_n;
   }
@@ -123,8 +126,10 @@ void KmerAnalysis::sketch_pass(
 
   // Every rank needs the replicated set; build shared state on root, then
   // let everyone read it after the barrier (allgatherv already ends with
-  // one, but the set construction itself must be single-writer).
-  if (rank.is_root()) {
+  // one, but the set construction itself must be single-writer). Each
+  // process of a multi-process team builds its own copy from the same
+  // allgatherv result.
+  if (rank.is_root() || team_.multiprocess()) {
     hh_set_.clear();
     heavy_hitters_.clear();
     for (const auto& item : global_heavy) {
@@ -138,7 +143,12 @@ void KmerAnalysis::sketch_pass(
 }
 
 void KmerAnalysis::allocate(pgas::Rank& rank) {
-  if (rank.is_root()) {
+  // Root allocates on behalf of the whole team (threads fabric: shared
+  // memory, the barrier publishes); every process of a multi-process team
+  // constructs its own instance — cardinality_estimate_ is a replicated
+  // reduction result, so the table geometry and the fabric service ids it
+  // registers come out identical in every process.
+  if (rank.is_root() || team_.multiprocess()) {
     const auto est = static_cast<std::size_t>(
         std::max(1024.0, cardinality_estimate_));
     Map::Config mc;
@@ -151,8 +161,9 @@ void KmerAnalysis::allocate(pgas::Rank& rank) {
     if (config_.use_bloom) {
       const std::size_t per_rank =
           est / static_cast<std::size_t>(team_.nranks()) + 1024;
-      for (auto& bloom : blooms_)
-        bloom = std::make_unique<BloomFilter>(per_rank);
+      for (std::size_t b = 0; b < blooms_.size(); ++b)
+        if (!team_.multiprocess() || team_.is_local(static_cast<int>(b)))
+          blooms_[b] = std::make_unique<BloomFilter>(per_rank);
     }
   }
   rank.barrier();
@@ -312,7 +323,13 @@ void KmerAnalysis::counting_pass(
 }
 
 void KmerAnalysis::finalize(pgas::Rank& rank) {
-  if (rank.is_root()) peak_table_entries_ = table_->size_unsafe();
+  if (team_.multiprocess()) {
+    // Shards live in separate address spaces: sum them collectively.
+    peak_table_entries_ = rank.allreduce_sum<std::uint64_t>(
+        table_->local_size(rank.id()));
+  } else if (rank.is_root()) {
+    peak_table_entries_ = table_->size_unsafe();
+  }
   rank.barrier();
   // Discard below-threshold (erroneous) k-mers.
   const std::uint32_t min_count = std::max<std::uint32_t>(
@@ -338,13 +355,23 @@ void KmerAnalysis::finalize(pgas::Rank& rank) {
       rank.allreduce_sum(distinct_per_rank_[static_cast<std::size_t>(rank.id())]);
   const std::uint64_t global_kept =
       rank.allreduce_sum<std::uint64_t>(out.size());
-  if (rank.is_root()) {
+  if (rank.is_root() || team_.multiprocess()) {
     distinct_kmers_ = global_distinct;
     singleton_fraction_ =
         global_distinct == 0
             ? 0.0
             : 1.0 - static_cast<double>(global_kept) /
                         static_cast<double>(global_distinct);
+  }
+  if (team_.multiprocess()) {
+    // Only the local row of histogram_per_rank_ is filled in this process;
+    // gather the fixed-width rows and fold (every rank contributes exactly
+    // 256 buckets, so the concatenation folds by index modulo 256).
+    const auto all_hist = rank.allgatherv(hist);
+    histogram_.assign(256, 0);
+    for (std::size_t idx = 0; idx < all_hist.size(); ++idx)
+      histogram_[idx % 256] += all_hist[idx];
+  } else if (rank.is_root()) {
     histogram_.assign(256, 0);
     for (const auto& h : histogram_per_rank_)
       for (std::size_t c = 0; c < h.size(); ++c) histogram_[c] += h[c];

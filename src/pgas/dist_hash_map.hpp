@@ -1,11 +1,15 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string_view>
 #include <type_traits>
 #include <vector>
@@ -94,6 +98,41 @@ class DistHashMap {
     // off these names; set_name refines them).
     store_channel_ = team.transport().open_channel("DistHashMap/store");
     lookup_channel_ = team.transport().open_channel("DistHashMap/lookup");
+    if (team.multiprocess()) {
+      if constexpr (kWireStores && kWireLookups) {
+        // Inbound store batches: apply to the local shard, charging this
+        // process's mirror of the initiator's counters (global sums then
+        // match the threads fabric, where the initiator applied directly).
+        team.transport().set_handler(
+            store_channel_,
+            [this](int src, int dst, const std::byte* data, std::size_t size) {
+              Rank initiator(*team_, src);
+              auto ops = decode_batch<PendingOp>(data, size);
+              apply_store_batch(initiator, static_cast<std::uint32_t>(dst),
+                                ops);
+            });
+        // Inbound lookup batches: answer from the local shard via a
+        // fire-and-forget reply to the requesting process.
+        team.transport().set_handler(
+            lookup_channel_,
+            [this](int src, int, const std::byte* data, std::size_t size) {
+              auto reqs = decode_batch<LookupReq>(data, size);
+              answer_remote_lookups(src, reqs);
+            });
+        reply_oneway_ = team.fabric().register_oneway(
+            [this](int, const std::byte* data, std::size_t size) {
+              deliver_remote_replies(data, size);
+            });
+        rmw_rpc_ = team.fabric().register_rpc(
+            [this](int, const std::byte* data, std::size_t size) {
+              return serve_rmw(data, size);
+            });
+      } else {
+        throw std::logic_error(
+            "DistHashMap: instantiation is not wire-serializable and cannot "
+            "run on a multi-process fabric");
+      }
+    }
     const std::size_t per_shard =
         (cfg.global_capacity + nranks_ - 1) / nranks_;
     // Aim for ~2 entries per bucket at the estimated cardinality.
@@ -169,6 +208,10 @@ class DistHashMap {
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    // The pipeline's fine-grained reads are owner-local (the batched path
+    // handles remote reads); a remote fine-grained find on a multi-process
+    // fabric would read an empty local mirror of the owner's shard.
+    assert(team_->is_local(static_cast<int>(owner)));
     const Shard& shard = shards_[owner];
     const std::size_t b = bucket_index(shard, h);
     std::optional<V> result;
@@ -197,6 +240,9 @@ class DistHashMap {
     const std::uint64_t h = Hash{}(key);
     const std::uint32_t owner =
         mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    // A closure cannot cross an address-space boundary; on a multi-process
+    // fabric use the registered-RMW path (register_rmw/rmw) instead.
+    assert(team_->is_local(static_cast<int>(owner)));
     rank.charge_message(static_cast<int>(owner), sizeof(K) + sizeof(V), 1);
     Shard& shard = shards_[owner];
     const std::size_t b = bucket_index(shard, h);
@@ -209,6 +255,92 @@ class DistHashMap {
     }
     bump_version();
     return result;
+  }
+
+  // ---- registered read-modify-write (the shippable form of modify) ----
+  //
+  // modify() takes an arbitrary closure, which cannot cross an address
+  // space. A *registered* RMW names the operation up front — its captures
+  // become a POD argument block — so the owner process can execute it on a
+  // multi-process fabric from a [rmw-id, key, args] request. Registration
+  // runs in serial context during SPMD structure construction; every
+  // process constructs the same structures in the same order, so ids agree
+  // across the team without negotiation.
+
+  using RmwId = std::uint32_t;
+
+  /// Register `fn(V& value, const Args& args) -> Result`, executed under
+  /// the owner's bucket lock when the key is present (an absent key yields
+  /// nullopt at the call site, exactly like modify()).
+  template <typename Args, typename Result, typename Fn>
+  RmwId register_rmw(Fn fn) {
+    static_assert(std::is_trivially_copyable_v<Args> &&
+                      std::is_trivially_copyable_v<Result>,
+                  "rmw argument/result blocks must be trivially copyable");
+    rmws_.push_back([this, fn](std::uint32_t owner, std::uint64_t h,
+                               const K& key, const std::byte* args,
+                               std::size_t args_size,
+                               std::vector<std::byte>& out) -> bool {
+      Args a{};
+      if (args_size >= sizeof(Args)) std::memcpy(&a, args, sizeof(Args));
+      Shard& shard = shards_[owner];
+      const std::size_t b = bucket_index(shard, h);
+      std::lock_guard<SpinMutex> lock(shard.locks[b]);
+      Entry* e = find_in_bucket_mut(shard.buckets[b], key);
+      if (e == nullptr) return false;
+      Result res = fn(e->value, a);
+      out.resize(sizeof(Result));
+      std::memcpy(out.data(), &res, sizeof(Result));
+      return true;
+    });
+    return static_cast<RmwId>(rmws_.size() - 1);
+  }
+
+  /// Execute a registered RMW against `key`'s owner: in place when the
+  /// owner shard lives in this address space (modify()'s exact semantics,
+  /// locking and accounting), over the fabric's request/response path
+  /// otherwise. Charging is identical on both paths and both fabrics.
+  template <typename Result, typename Args>
+  std::optional<Result> rmw(Rank& rank, const K& key, RmwId id,
+                            const Args& args HIPMER_SITE_DEFAULT) {
+#if defined(HIPMER_CHECKED)
+    checked_.on_store(rank.id(), CheckedTable::Path::kFine,
+                      to_site(hipmer_site));
+#endif
+    static_assert(std::is_trivially_copyable_v<Args> &&
+                      std::is_trivially_copyable_v<Result>,
+                  "rmw argument/result blocks must be trivially copyable");
+    const std::uint64_t h = Hash{}(key);
+    const std::uint32_t owner =
+        mapper_ ? mapper_(h) : static_cast<std::uint32_t>(h % nranks_);
+    rank.charge_message(static_cast<int>(owner), sizeof(K) + sizeof(V), 1);
+    if (team_->is_local(static_cast<int>(owner))) {
+      std::vector<std::byte> out;
+      const bool present =
+          rmws_[id](owner, h, key,
+                    reinterpret_cast<const std::byte*>(&args), sizeof(Args),
+                    out);
+      if (!present) return std::nullopt;
+      bump_version();
+      Result res{};
+      std::memcpy(&res, out.data(), sizeof(Result));
+      return res;
+    }
+    std::vector<std::byte> payload;
+    io::wire::Writer w(payload);
+    w.put_u32(id);
+    w.put_u64(h);
+    w.put_pod(key);
+    w.put_pod(args);
+    const auto resp =
+        team_->fabric().rpc(rmw_rpc_, static_cast<int>(owner),
+                            std::move(payload));
+    io::wire::Reader r(resp.data(), resp.size());
+    if (r.get_pod_checked<std::uint8_t>("rmw present") == 0)
+      return std::nullopt;
+    Result res{};
+    r.get_raw(&res, sizeof(Result), "rmw result");
+    return res;
   }
 
   // ---- aggregating-stores path ----
@@ -336,6 +468,13 @@ class DistHashMap {
     if constexpr (kWireLookups) {
       team_->transport().drain(rank.id(), lookup_channel_, rank.stats(),
                                lookup_deliver(rank, handler));
+      if (team_->multiprocess() && outstanding_ > 0) {
+        // Remote owners still owe reply messages; serve inbound traffic
+        // (including their lookup requests against our shard) until every
+        // outstanding reply has been delivered through `handler`.
+        arm_reply_trampoline(handler);
+        team_->fabric().poll_until([this] { return outstanding_ == 0; });
+      }
     }
   }
 
@@ -345,6 +484,10 @@ class DistHashMap {
     std::size_t n = lookup_engine_.pending(rank);
     if constexpr (kWireLookups)
       n += team_->transport().pending(rank, lookup_channel_);
+    // A shipped batch whose reply has not arrived is still an unanswered
+    // lookup (multi-process fabrics only; the threads fabric replies
+    // synchronously).
+    if (team_->multiprocess()) n += outstanding_;
     return n;
   }
 
@@ -352,6 +495,10 @@ class DistHashMap {
   /// rank manages only its own cache slot, so this is callable from inside
   /// team.run() without synchronization.
   void enable_read_cache(Rank& rank, std::size_t capacity) {
+    // On a multi-process fabric, version bumps from writes in other
+    // processes are not observable here, so the self-invalidation contract
+    // cannot hold; run uncached (correct, just unaccelerated).
+    if (team_->multiprocess()) return;
     auto& slot = caches_[static_cast<std::size_t>(rank.id())];
     slot = std::make_unique<Cache>(capacity);
     active_caches_.fetch_add(1, std::memory_order_relaxed);
@@ -574,6 +721,16 @@ class DistHashMap {
   void ship_lookup_batch(Rank& rank, std::uint32_t dest,
                          std::vector<LookupReq>& reqs, Handler& handler) {
     if constexpr (kWireLookups) {
+      if (!team_->is_local(static_cast<int>(dest))) {
+        // The owner answers with one oneway reply message per request
+        // batch (the transport dedups retransmits, so exactly one per
+        // send). Replies are dispatched only inside fabric awaits; the
+        // armed handler must stay alive until process_lookups drains the
+        // count, which the phase discipline (pending_lookups == 0 at
+        // barriers) guarantees.
+        arm_reply_trampoline(handler);
+        ++outstanding_;
+      }
       try {
         team_->transport().send(rank.id(), static_cast<int>(dest),
                                 lookup_channel_, encode_batch(reqs),
@@ -596,6 +753,97 @@ class DistHashMap {
     disable_read_cache(rank);
     store_engine_.clear(rank.id());
     lookup_engine_.clear(rank.id());
+    outstanding_ = 0;
+  }
+
+  // ---- multi-process fabric plumbing ----
+
+  /// Point the reply dispatcher at the caller's current handler object.
+  /// The capture-free lambda decays to a plain function pointer, so one
+  /// (ctx, fn) pair serves every Handler type without virtual dispatch.
+  template <typename Handler>
+  void arm_reply_trampoline(Handler& handler) {
+    using H = std::remove_reference_t<Handler>;
+    reply_ctx_ = const_cast<void*>(static_cast<const void*>(&handler));
+    reply_fn_ = [](void* ctx, const K& key, const V* val, std::uint64_t tag) {
+      (*static_cast<H*>(ctx))(key, val, tag);
+    };
+  }
+
+  /// Owner side of a remote lookup batch: probe the local shard and ship
+  /// one reply message. Charging mirrors answer_lookup_batch — the request
+  /// ships the keys, the reply ships values for the hits only — but lands
+  /// in this process's mirror of the initiator's counters.
+  void answer_remote_lookups(int src, std::vector<LookupReq>& reqs) {
+    const auto me = static_cast<std::uint32_t>(team_->my_rank());
+    const Shard& shard = shards_[me];
+    std::vector<std::byte> out;
+    io::wire::Writer w(out);
+    w.put_u32(static_cast<std::uint32_t>(reqs.size()));
+    std::size_t hits = 0;
+    for (const auto& req : reqs) {
+      const std::size_t b = bucket_index(shard, req.hash);
+      bool found = false;
+      V copy{};
+      {
+        std::lock_guard<SpinMutex> lock(shard.locks[b]);
+        if (const Entry* e = find_in_bucket(shard.buckets[b], req.key)) {
+          copy = e->value;
+          found = true;
+        }
+      }
+      if (found) ++hits;
+      w.put_u64(req.tag);
+      w.put_pod(static_cast<std::uint8_t>(found ? 1 : 0));
+      w.put_pod(req.key);
+      if (found) w.put_pod(copy);
+    }
+    Rank initiator(*team_, src);
+    initiator.charge_message(static_cast<int>(me),
+                             reqs.size() * sizeof(K) + hits * sizeof(V),
+                             reqs.size());
+    team_->fabric().send_oneway(reply_oneway_, src, std::move(out));
+  }
+
+  /// Initiator side: decode one reply message, deliver each entry through
+  /// the armed handler, and retire the batch it answers.
+  void deliver_remote_replies(const std::byte* data, std::size_t size) {
+    io::wire::Reader r(data, size);
+    const auto count = r.get_pod_checked<std::uint32_t>("reply count");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto tag = r.get_pod_checked<std::uint64_t>("reply tag");
+      const auto found = r.get_pod_checked<std::uint8_t>("reply found");
+      K key{};
+      r.get_raw(&key, sizeof(K), "reply key");
+      V val{};
+      if (found != 0) r.get_raw(&val, sizeof(V), "reply value");
+      reply_fn_(reply_ctx_, key, found != 0 ? &val : nullptr, tag);
+    }
+    assert(outstanding_ > 0);
+    if (outstanding_ > 0) --outstanding_;
+  }
+
+  /// Owner side of a remote registered-RMW request.
+  std::vector<std::byte> serve_rmw(const std::byte* data, std::size_t size) {
+    io::wire::Reader r(data, size);
+    const auto id = r.get_pod_checked<std::uint32_t>("rmw id");
+    const auto h = r.get_pod_checked<std::uint64_t>("rmw hash");
+    K key{};
+    r.get_raw(&key, sizeof(K), "rmw key");
+    std::vector<std::byte> args(r.remaining());
+    if (!args.empty()) r.get_raw(args.data(), args.size(), "rmw args");
+    if (id >= rmws_.size())
+      throw io::wire::CorruptError("wire: corrupt: unknown rmw id");
+    std::vector<std::byte> out;
+    const bool present =
+        rmws_[id](static_cast<std::uint32_t>(team_->my_rank()), h, key,
+                  args.data(), args.size(), out);
+    if (present) bump_version();
+    std::vector<std::byte> resp;
+    io::wire::Writer w(resp);
+    w.put_pod(static_cast<std::uint8_t>(present ? 1 : 0));
+    resp.insert(resp.end(), out.begin(), out.end());
+    return resp;
   }
 
   static std::size_t bucket_index(const Shard& shard, std::uint64_t h) {
@@ -700,6 +948,19 @@ class DistHashMap {
   // caches_[r] — rank r's software read cache (null = not opted in). Each
   // rank touches only its own slot.
   std::vector<std::unique_ptr<Cache>> caches_;
+  // Multi-process fabric state (this process's single rank owns it all):
+  // fabric service ids, reply batches still in flight, the armed reply
+  // dispatch target, and the registered-RMW table in registration order.
+  std::uint32_t reply_oneway_ = 0;
+  std::uint32_t rmw_rpc_ = 0;
+  std::size_t outstanding_ = 0;
+  void* reply_ctx_ = nullptr;
+  void (*reply_fn_)(void*, const K&, const V*, std::uint64_t) = nullptr;
+  std::vector<std::function<bool(std::uint32_t owner, std::uint64_t h,
+                                 const K& key, const std::byte* args,
+                                 std::size_t args_size,
+                                 std::vector<std::byte>& out)>>
+      rmws_;
 #if defined(HIPMER_CHECKED)
   // mutable: lookups are logically const but must record read events.
   mutable CheckedTable checked_;

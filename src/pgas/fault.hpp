@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <csignal>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -36,6 +37,12 @@ struct FaultPlan {
   /// Which fault point within the stage on that rank (0 = stage entry,
   /// k > 0 = the k-th barrier the rank enters inside the stage).
   int step = 0;
+  /// SIGKILL the hosting process at the fault point instead of throwing —
+  /// a real `kill -9` of a worker on the multi-process fabric (peers learn
+  /// of it from the router's EOF -> RANKDOWN broadcast, not the in-process
+  /// fired flag). Never set this on the threads fabric: it would kill the
+  /// whole simulation.
+  bool hard = false;
 
   [[nodiscard]] bool armed() const noexcept {
     return rank >= 0 && !stage.empty();
@@ -100,6 +107,7 @@ class FaultInjector {
     if (!matched_ || rank != plan_.rank) return;
     const int step = steps_.fetch_add(1, std::memory_order_relaxed);
     if (step == plan_.step) {
+      if (plan_.hard) std::raise(SIGKILL);  // no cleanup, like a real kill -9
       fired_.store(true, std::memory_order_release);
       throw RankKilled(rank, "fault plan at stage '" + plan_.stage +
                                  "' occurrence " +

@@ -132,6 +132,15 @@ void PhaseChecker::compare_barrier_records(int rank) {
   }
 }
 
+void PhaseChecker::install_record(int rank, int kind, const std::string& file,
+                                  unsigned line, const std::string& func) {
+  auto& slot = *slots_[static_cast<std::size_t>(rank)];
+  slot.record_kind = kind;
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  slot.record_site = SiteInfo{interned_.insert(file).first->c_str(), line,
+                              interned_.insert(func).first->c_str()};
+}
+
 void PhaseChecker::push_collective(int rank, int kind, SiteInfo site) noexcept {
   auto& slot = *slots_[static_cast<std::size_t>(rank)];
   if (slot.scope_depth == 0) {

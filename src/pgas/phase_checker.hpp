@@ -47,6 +47,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -149,6 +150,22 @@ class PhaseChecker {
         1, std::memory_order_relaxed);
   }
 
+  // ---- multi-process record exchange (SocketFabric barrier protocol) ----
+  /// This rank's record as published by pre_barrier, for shipping to peers
+  /// over the fabric.
+  [[nodiscard]] int record_kind(int rank) const noexcept {
+    return slots_[static_cast<std::size_t>(rank)]->record_kind;
+  }
+  [[nodiscard]] SiteInfo record_site(int rank) const noexcept {
+    return slots_[static_cast<std::size_t>(rank)]->record_site;
+  }
+  /// Install a remote rank's record into its local mirror slot so the
+  /// compare_barrier_records all-pairs check runs unmodified across
+  /// processes. Strings are interned (SiteInfo borrows const char*);
+  /// idempotent within a barrier round.
+  void install_record(int rank, int kind, const std::string& file,
+                      unsigned line, const std::string& func);
+
   // ---- collective scope (outermost collective tags its barriers) ----
   void push_collective(int rank, int kind, SiteInfo site) noexcept;
   void pop_collective(int rank) noexcept;
@@ -185,6 +202,10 @@ class PhaseChecker {
   std::mutex registry_mu_;
   std::vector<CheckedTable*> tables_;
   std::atomic<bool> tripped_{false};
+  /// Interned copies of remote call-site strings (stable addresses for the
+  /// borrowed const char* in SiteInfo).
+  std::mutex intern_mu_;
+  std::set<std::string> interned_;
 };
 
 /// RAII tag for a barrier-bracketed collective: the outermost scope names

@@ -51,6 +51,18 @@ class ShuffleExchange {
     channel_ = team.transport().open_channel(name + "/records");
     for (auto& row : inbox_)
       row.resize(static_cast<std::size_t>(team.nranks()));
+    if (team.multiprocess()) {
+      // Inbound batches that crossed the fabric land in the same
+      // inbox_[dst][src] cell the threads fabric writes, so collect()'s
+      // grouping and ordering are identical on both backends.
+      team.transport().set_handler(
+          channel_,
+          [this](int src, int dst, const std::byte* data, std::size_t size) {
+            auto& stream = inbox_[static_cast<std::size_t>(dst)]
+                                 [static_cast<std::size_t>(src)];
+            stream.insert(stream.end(), data, data + size);
+          });
+    }
   }
 
   /// Queue one record from `rank` toward `dest`. May flush a full batch

@@ -5,9 +5,26 @@
 
 namespace hipmer::pgas {
 
-ThreadTeam::ThreadTeam(Topology topo)
+namespace {
+
+std::unique_ptr<Fabric> make_fabric(int nranks, const FabricConfig& cfg) {
+  switch (cfg.mode) {
+    case FabricConfig::Mode::kProcCoordinator:
+      return SocketFabric::coordinator(nranks, cfg.socket_path,
+                                       cfg.worker_argv);
+    case FabricConfig::Mode::kProcWorker:
+      return SocketFabric::worker(nranks, cfg.my_rank, cfg.socket_path);
+    case FabricConfig::Mode::kThreads:
+      break;
+  }
+  return std::make_unique<InProcessFabric>(nranks);
+}
+
+}  // namespace
+
+ThreadTeam::ThreadTeam(Topology topo, FabricConfig fabric)
     : topo_(topo),
-      barrier_(topo.nranks),
+      fabric_(make_fabric(topo.nranks, fabric)),
       transport_(topo.nranks, faults_),
 #if defined(HIPMER_CHECKED)
       checker_(*this, topo.nranks),
@@ -17,6 +34,35 @@ ThreadTeam::ThreadTeam(Topology topo)
   stats_.reserve(static_cast<std::size_t>(topo_.nranks));
   for (int r = 0; r < topo_.nranks; ++r)
     stats_.push_back(std::make_unique<CommStats>());
+
+  transport_.attach_fabric(*fabric_);
+  // Inbound envelopes run the receiver state machine against this
+  // process's link half, charging receiver-observed events (dup, corrupt,
+  // reorder) to this process's mirror of the *sender's* counters so
+  // global sums match the threads fabric.
+  fabric_->set_data_sink([this](std::uint32_t ch, int src, int dst,
+                                const std::byte* data, std::size_t size) {
+    transport_.on_wire(ch, src, dst, data, size, stats(src));
+  });
+  // Remote ranks' collective slots arrive at barrier release.
+  fabric_->set_slot_writer([this](int rank, std::vector<std::byte> slot) {
+    slots_[static_cast<std::size_t>(rank)] = std::move(slot);
+  });
+  // A RANKDOWN trips the shared kill flag before the fabric's await throws
+  // RankKilled, so degrade paths (DistHashMap, caches) observe a fired
+  // injector exactly like a local kill.
+  fabric_->set_down_hook([this](int rank) {
+    (void)rank;
+    faults_.trip();
+  });
+#if defined(HIPMER_CHECKED)
+  fabric_->set_record_installer(
+      [this](int rank, std::uint32_t kind, const std::string& file,
+             std::uint32_t line, const std::string& func) {
+        checker_.install_record(rank, static_cast<int>(kind), file, line,
+                                func);
+      });
+#endif
 }
 
 void ThreadTeam::run(const std::function<void(Rank&)>& fn) {
@@ -28,6 +74,20 @@ void ThreadTeam::run(const std::function<void(Rank&)>& fn) {
   // barrier.
   for (int r = 0; r < topo_.nranks; ++r) checker_.advance_epoch(r);
 #endif
+  if (multiprocess()) {
+    // One rank per process: the SPMD body runs directly on this thread. A
+    // throw announces this rank down so peers unwind through RankKilled at
+    // their next fabric await instead of hanging.
+    Rank rank(*this, my_rank());
+    try {
+      fn(rank);
+    } catch (...) {
+      fabric_->announce_down(my_rank());
+      throw;
+    }
+    return;
+  }
+
   std::exception_ptr first_error;
   std::mutex error_mu;
 
@@ -47,7 +107,7 @@ void ThreadTeam::run(const std::function<void(Rank&)>& fn) {
       // that SPMD bodies must not throw between collectives except at
       // top-level; tests enforce this by construction. Here we simply
       // arrive-and-drop so remaining ranks are released once.
-      barrier_.arrive_and_drop();
+      fabric_->abandon(rank_id);
     }
   };
 
@@ -64,6 +124,26 @@ std::vector<CommStatsSnapshot> ThreadTeam::snapshot_all() const {
   out.reserve(stats_.size());
   for (const auto& s : stats_) out.push_back(s->snapshot());
   return out;
+}
+
+std::vector<CommStatsSnapshot> ThreadTeam::snapshot_all_global() {
+  auto local = snapshot_all();
+  if (!multiprocess()) return local;
+  const std::size_t bytes = local.size() * sizeof(CommStatsSnapshot);
+  std::vector<std::byte> mine(bytes);
+  std::memcpy(mine.data(), local.data(), bytes);
+  auto parts = fabric_->serial_exchange(std::move(mine));
+  std::vector<CommStatsSnapshot> global(local.size());
+  for (const auto& part : parts) {
+    if (part.size() < bytes) continue;
+    for (std::size_t r = 0; r < global.size(); ++r) {
+      CommStatsSnapshot snap;
+      std::memcpy(&snap, part.data() + r * sizeof(CommStatsSnapshot),
+                  sizeof(CommStatsSnapshot));
+      global[r] += snap;
+    }
+  }
+  return global;
 }
 
 void ThreadTeam::reset_stats() {

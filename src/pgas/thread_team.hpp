@@ -1,6 +1,5 @@
 #pragma once
 
-#include <barrier>
 #include <cstddef>
 #include <cstring>
 #include <exception>
@@ -13,6 +12,7 @@
 
 #include "pgas/checked.hpp"
 #include "pgas/comm_stats.hpp"
+#include "pgas/fabric.hpp"
 #include "pgas/fault.hpp"
 #include "pgas/topology.hpp"
 #include "pgas/transport.hpp"
@@ -58,6 +58,13 @@ class Rank {
   [[nodiscard]] CommStats& stats_of(int rank) noexcept;
 
   ThreadTeam& team() noexcept { return *team_; }
+
+  /// Serve already-arrived fabric traffic without blocking. Any spin-wait
+  /// on locally-visible state that a *peer* mutates (claim words, chain
+  /// states) must call this each iteration: on the multiprocess fabric the
+  /// peer's mutation is an RPC that lands only when this rank serves its
+  /// inbox. No-op on the in-process fabric.
+  void progress();
 
   /// Charge one message of `bytes` payload carrying `ops` logical
   /// operations against `owner`'s shard: the initiator's counters are
@@ -129,10 +136,26 @@ class Rank {
   int rank_;
 };
 
+/// Which delivery backend a team runs on, and this process's place in it.
+struct FabricConfig {
+  enum class Mode {
+    kThreads,          ///< all ranks are std::threads here (InProcessFabric)
+    kProcCoordinator,  ///< this process hosts rank 0 + router, spawns workers
+    kProcWorker,       ///< this process hosts rank `my_rank`, connects back
+  };
+  Mode mode = Mode::kThreads;
+  int my_rank = 0;          ///< worker only
+  std::string socket_path;  ///< proc modes: the Unix-domain rendezvous
+  /// Coordinator only: argv prefix for spawning workers (the binary plus
+  /// every flag needed to reconstruct this configuration; the fabric
+  /// appends ["--worker-rank", R]).
+  std::vector<std::string> worker_argv;
+};
+
 /// Owns the threads, the collective scratch space and per-rank stats.
 class ThreadTeam {
  public:
-  explicit ThreadTeam(Topology topo);
+  explicit ThreadTeam(Topology topo, FabricConfig fabric = {});
 
   ThreadTeam(const ThreadTeam&) = delete;
   ThreadTeam& operator=(const ThreadTeam&) = delete;
@@ -144,6 +167,25 @@ class ThreadTeam {
 
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] int nranks() const noexcept { return topo_.nranks; }
+
+  /// The delivery backend (see pgas/fabric.hpp).
+  [[nodiscard]] Fabric& fabric() noexcept { return *fabric_; }
+  /// True when each rank is a separate OS process (SocketFabric).
+  [[nodiscard]] bool multiprocess() const noexcept {
+    return fabric_->multiprocess();
+  }
+  /// The one rank hosted by this process (-1 when all ranks are local).
+  [[nodiscard]] int my_rank() const noexcept { return fabric_->my_rank(); }
+  /// Whether this process performs team-wide side effects (final output,
+  /// checkpoint commits): the only process in threads mode, rank 0's in
+  /// proc mode.
+  [[nodiscard]] bool is_primary() const noexcept {
+    return !multiprocess() || my_rank() == 0;
+  }
+  /// Whether `rank`'s shards/memory live in this process.
+  [[nodiscard]] bool is_local(int rank) const noexcept {
+    return fabric_->is_local(rank);
+  }
 
   [[nodiscard]] CommStats& stats(int rank) noexcept { return *stats_[rank]; }
 
@@ -169,19 +211,79 @@ class ThreadTeam {
   [[nodiscard]] PhaseChecker& checker() noexcept { return checker_; }
 #endif
 
-  /// Snapshot of every rank's counters (callable between/after runs, or by
-  /// rank 0 after a barrier).
+  /// Snapshot of every rank's counters as charged in *this process*
+  /// (callable between/after runs, or by rank 0 after a barrier). On a
+  /// multi-process fabric these are partial: handler-side charges land in
+  /// the observing process's mirror of the initiator's counters.
   [[nodiscard]] std::vector<CommStatsSnapshot> snapshot_all() const;
+
+  /// Global counters: elementwise sum of every process's mirrors over the
+  /// fabric (serial context). Identical to snapshot_all() in threads mode.
+  [[nodiscard]] std::vector<CommStatsSnapshot> snapshot_all_global();
 
   void reset_stats();
 
+  // ---- serial-context exchange (multi-process SPMD setup/teardown) ----
+  /// Every process contributes `mine`; every process receives all P
+  /// contributions rank-indexed. On the threads fabric returns just
+  /// {mine} — serial code there already sees every rank's data.
+  std::vector<std::vector<std::byte>> serial_exchange(
+      std::vector<std::byte> mine) {
+    return fabric_->serial_exchange(std::move(mine));
+  }
+
+  /// Serial-context sum of a trivially copyable accumulator across
+  /// processes. Identity on the threads fabric.
+  template <typename T>
+  [[nodiscard]] T serial_sum(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "serial_sum requires a trivially copyable type");
+    if (!multiprocess()) return value;
+    std::vector<std::byte> mine(sizeof(T));
+    std::memcpy(mine.data(), &value, sizeof(T));
+    auto parts = fabric_->serial_exchange(std::move(mine));
+    T acc{};
+    for (const auto& p : parts) {
+      T x{};
+      if (p.size() >= sizeof(T)) std::memcpy(&x, p.data(), sizeof(T));
+      acc = acc + x;
+    }
+    return acc;
+  }
+
+  /// Serial-context concatenation of per-process byte payloads in rank
+  /// order. Identity ({mine} semantics) on the threads fabric.
+  [[nodiscard]] std::vector<std::byte> serial_concat(
+      std::vector<std::byte> mine) {
+    if (!multiprocess()) return mine;
+    auto parts = fabric_->serial_exchange(std::move(mine));
+    std::vector<std::byte> out;
+    for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
   // ---- internals used by Rank's collectives ----
-  void arrive_barrier() { barrier_.arrive_and_wait(); }
+  void arrive_barrier(int rank) {
+    Fabric::BarrierPoint pt;
+    pt.rank = rank;
+    pt.slot = &slots_[static_cast<std::size_t>(rank)];
+#if defined(HIPMER_CHECKED)
+    // Ship the record published by pre_barrier so the mismatch comparison
+    // sees every process's collective kind and call site.
+    pt.has_record = true;
+    pt.record_kind = static_cast<std::uint32_t>(checker_.record_kind(rank));
+    const SiteInfo site = checker_.record_site(rank);
+    pt.record_file = site.file;
+    pt.record_line = site.line;
+    pt.record_func = site.function;
+#endif
+    fabric_->barrier(pt);
+  }
   std::vector<std::byte>& slot(int rank) { return slots_[rank]; }
 
  private:
   Topology topo_;
-  std::barrier<> barrier_;
+  std::unique_ptr<Fabric> fabric_;
   FaultInjector faults_;
   Transport transport_;
 #if defined(HIPMER_CHECKED)
@@ -200,6 +302,7 @@ inline const Topology& Rank::topology() const noexcept {
   return team_->topology();
 }
 inline CommStats& Rank::stats() noexcept { return team_->stats(rank_); }
+inline void Rank::progress() { team_->fabric().progress(); }
 inline CommStats& Rank::stats_of(int rank) noexcept {
   return team_->stats(rank);
 }
@@ -238,12 +341,12 @@ inline void Rank::barrier(HIPMER_SITE_PARAM0) {
   const SiteInfo site =
       chk.in_collective(rank_) ? chk.scope_site(rank_) : to_site(hipmer_site);
   chk.pre_barrier(rank_, kind, site);
-  team_->arrive_barrier();
+  team_->arrive_barrier(rank_);
   chk.compare_barrier_records(rank_);
-  team_->arrive_barrier();
+  team_->arrive_barrier(rank_);
   chk.advance_epoch(rank_);
 #else
-  team_->arrive_barrier();
+  team_->arrive_barrier(rank_);
 #endif
 }
 

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +53,8 @@
 /// constructors between team.run calls); per-channel chaos counters are
 /// relaxed atomics because all ranks bump them.
 namespace hipmer::pgas {
+
+class Fabric;
 
 /// Thrown by the sender whose peer exceeded the retry deadline. Derives
 /// RankKilled so ThreadTeam::run's unwind machinery (arrive_and_drop, the
@@ -106,6 +109,37 @@ class Transport {
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
+
+  /// Attach the delivery fabric (called once by ThreadTeam before any
+  /// traffic). On a multi-process fabric, sends to remote ranks ship the
+  /// framed envelope over it instead of running the receiver state machine
+  /// locally; the protocol above (seq/dedup/reorder/retry/chaos fates) is
+  /// unchanged — the sender computes chaos fates deterministically, so it
+  /// knows the outcome of every attempt without an ack round-trip.
+  void attach_fabric(Fabric& fabric);
+
+  /// Whether `rank`'s receive state machine lives in another process.
+  [[nodiscard]] bool remote(int rank) const noexcept {
+    return multiproc_ && rank != my_rank_;
+  }
+
+  /// Receiver-side apply function for envelopes arriving over a
+  /// multi-process fabric, registered per channel (serial context). The
+  /// threads fabric never uses it — local delivery stays the inline
+  /// `deliver` callable handed to send()/drain().
+  using WireHandler = std::function<void(int src, int dst,
+                                         const std::byte* data,
+                                         std::size_t size)>;
+  void set_handler(ChannelId ch, WireHandler fn);
+
+  /// Entry point for an envelope that crossed the fabric: runs the
+  /// receiver state machine (CRC check, dedup, reorder buffering) against
+  /// this process's half of the (channel, src, dst) link and applies via
+  /// the channel's registered handler. `stats` is this process's mirror of
+  /// the *sender's* counters, so dup/corrupt/reorder counts land where the
+  /// threads fabric puts them and global sums agree across backends.
+  void on_wire(ChannelId ch, int src, int dst, const std::byte* data,
+               std::size_t size, CommStats& stats);
 
   /// Register a named channel (serial context: structure constructors run
   /// between team.run calls). The name keys per-channel chaos overrides
@@ -194,8 +228,14 @@ class Transport {
     std::string name;
     ChaosProbs probs;  // resolved against the plan at open/rename/set_plan
     /// rows[src] — lazily allocated vector of P links, touched only by
-    /// src's thread (the AggregatingEngine row idiom).
+    /// src's thread (the AggregatingEngine row idiom). On a multi-process
+    /// fabric the halves of a link are disjoint: process r touches
+    /// rows[r][*] as a sender (send seq, limbo) and rows[*][r] as a
+    /// receiver (recv seq, reorder buffer), so the same layout serves
+    /// both backends without locks.
     std::vector<std::unique_ptr<std::vector<Link>>> rows;
+    /// Receiver-side apply for fabric-delivered envelopes (proc only).
+    WireHandler handler;
     std::array<std::atomic<std::uint64_t>, kHistBuckets> hist{};
     std::atomic<std::uint64_t> backoff_ticks{0};
   };
@@ -306,8 +346,20 @@ class Transport {
   [[noreturn]] void declare_suspect(int src, int dst, Channel& chan,
                                     Link& link, int attempts);
 
+  /// Remote-destination counterpart of send()'s fate loop: identical
+  /// chaos decisions and retry/histogram accounting, but attempts ship
+  /// envelopes over the fabric instead of running receive() locally.
+  void send_remote(ChannelId ch, Channel& chan, Link& link, int src, int dst,
+                   std::vector<std::byte>&& wire, std::uint64_t seq,
+                   CommStats& stats);
+  void ship_remote(ChannelId ch, int dst, const std::vector<std::byte>& wire);
+  void release_limbo_remote(ChannelId ch, Link& link, int dst);
+
   int nranks_;
   FaultInjector* faults_;
+  Fabric* fabric_ = nullptr;
+  bool multiproc_ = false;
+  int my_rank_ = -1;
   ChaosPlan plan_;
   bool chaos_on_ = false;
   /// Stage occurrence counts + armed blackhole (serial-context writes,
@@ -342,6 +394,13 @@ void Transport::send(int src, int dst, ChannelId ch,
   env.seq = link.next_send_seq++;
   env.payload = std::move(payload);
   std::vector<std::byte> wire = frame_envelope(env);
+
+  if (remote(dst)) {
+    // The receiver's state machine lives in dst's process; `deliver` is
+    // unused there (the channel's registered handler applies instead).
+    send_remote(ch, chan, link, src, dst, std::move(wire), env.seq, stats);
+    return;
+  }
 
   // Loopback (self-send) and chaos-off traffic still runs the full
   // seq/CRC/dedup protocol, but the fabric never misbehaves: a self-send
@@ -423,7 +482,19 @@ void Transport::drain(int src, ChannelId ch, CommStats& stats,
   Channel& chan = channel(ch);
   auto* row = chan.rows[static_cast<std::size_t>(src)].get();
   if (row == nullptr) return;
-  for (auto& link : *row) {
+  for (int dst = 0; dst < nranks_; ++dst) {
+    Link& link = (*row)[static_cast<std::size_t>(dst)];
+    if (remote(dst)) {
+      // Ship everything still in the simulated network; the receiver's
+      // reorder buffer empties once the late envelopes land (guaranteed
+      // applied before the next barrier release by router FIFO order).
+      while (!link.limbo.empty()) {
+        auto env = std::move(link.limbo.front().env);
+        link.limbo.pop_front();
+        ship_remote(ch, dst, env);
+      }
+      continue;
+    }
     while (!link.limbo.empty()) {
       auto env = std::move(link.limbo.front().env);
       link.limbo.pop_front();

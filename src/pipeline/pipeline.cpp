@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <optional>
 #include <sstream>
@@ -61,7 +62,7 @@ std::string PipelineResult::format_stages() const {
 }
 
 Pipeline::Pipeline(pgas::Topology topo, PipelineConfig config)
-    : team_(topo), config_(config) {
+    : team_(topo, config.fabric), config_(config) {
   config_.sync_k();
   team_.transport().set_plan(config_.chaos);
 }
@@ -152,13 +153,16 @@ ckpt::ResumeState Pipeline::load_resume_state(
 template <typename Body>
 void Pipeline::run_reported(std::vector<StageReport>& stages,
                             const std::string& name, Body&& body) {
-  const auto before = team_.snapshot_all();
+  // Global counters: on a multi-process fabric every process holds partial
+  // mirrors; snapshot_all_global sums them so the report (and the machine
+  // model) sees the same totals the threads fabric would.
+  const auto before = team_.snapshot_all_global();
   util::WallTimer timer;
   body();
   StageReport report;
   report.name = name;
   report.wall_seconds = timer.seconds();
-  const auto after = team_.snapshot_all();
+  const auto after = team_.snapshot_all_global();
   std::vector<pgas::CommStatsSnapshot> delta(after.size());
   for (std::size_t r = 0; r < after.size(); ++r) {
     delta[r] = after[r] - before[r];
@@ -199,8 +203,38 @@ void Pipeline::snapshot_stage(std::vector<StageReport>& stages,
       ok.store(false, std::memory_order_relaxed);
     rank.barrier();
   });
-  if (ok.load(std::memory_order_relaxed)) {
-    (void)ckpt_->commit(std::move(entry));
+  bool all_ok = ok.load(std::memory_order_relaxed);
+  if (team_.multiprocess()) {
+    // Each process wrote only its own rank's shard into its copy of the
+    // entry; exchange (shard, bytes, crc, failed) so every process's
+    // manifest entry describes all shards and everyone agrees on success.
+    const auto me = static_cast<std::size_t>(team_.my_rank());
+    std::vector<std::byte> mine;
+    io::wire::Writer w(mine);
+    w.put_u32(static_cast<std::uint32_t>(me));
+    w.put_u64(entry.shard_bytes[me]);
+    w.put_u32(entry.shard_crcs[me]);
+    w.put_u32(all_ok ? 0 : 1);
+    for (auto& part : team_.serial_exchange(std::move(mine))) {
+      io::wire::Reader rd(part);
+      const auto shard = rd.get_pod_checked<std::uint32_t>("ckpt shard");
+      const auto bytes = rd.get_pod_checked<std::uint64_t>("ckpt bytes");
+      const auto crc = rd.get_pod_checked<std::uint32_t>("ckpt crc");
+      const auto failed = rd.get_pod_checked<std::uint32_t>("ckpt failed");
+      if (shard < entry.shard_count) {
+        entry.shard_bytes[shard] = bytes;
+        entry.shard_crcs[shard] = crc;
+      }
+      if (failed != 0) all_ok = false;
+    }
+  }
+  if (all_ok) {
+    // Workers mirror the entry into their in-memory manifest (keeping seq
+    // numbers aligned with the primary's); only the primary writes disk.
+    if (team_.is_primary())
+      (void)ckpt_->commit(std::move(entry));
+    else
+      ckpt_->commit_local(std::move(entry));
   } else {
     util::log_warn("checkpoint: shard write failed for " + artifact +
                    "; snapshot not committed");
@@ -397,8 +431,12 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
   auto store = std::make_unique<align::ContigStore>(team_);
   if (progress < ckpt::kProgressContigs) {
     std::size_t total_ufx = 0;
-    for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t r = 0; r < p; ++r) {
+      if (team_.multiprocess() && !team_.is_local(static_cast<int>(r)))
+        continue;
       total_ufx += ufx_of(static_cast<int>(r)).size();
+    }
+    total_ufx = team_.serial_sum(total_ufx);
 
     dbg::ContigGenerator contig_gen(team_, config_.contig, total_ufx);
     if (config_.oracle != nullptr) contig_gen.set_oracle(config_.oracle);
@@ -443,6 +481,19 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
       });
       for (const auto& v : per_rank)
         lengths.insert(lengths.end(), v.begin(), v.end());
+      if (team_.multiprocess()) {
+        // Each process saw only its local shards; concatenate in rank
+        // order so the stats (and num_contigs, which sizes the link table)
+        // are global and identical everywhere.
+        std::vector<std::byte> mine(lengths.size() * sizeof(std::uint64_t));
+        if (!mine.empty())
+          std::memcpy(mine.data(), lengths.data(), mine.size());
+        const auto all = team_.serial_concat(std::move(mine));
+        lengths.assign(all.size() / sizeof(std::uint64_t), 0);
+        if (!lengths.empty())
+          std::memcpy(lengths.data(), all.data(),
+                      lengths.size() * sizeof(std::uint64_t));
+      }
       result.num_contigs = lengths.size();
       result.contig_stats = util::compute_assembly_stats(std::move(lengths));
     }
@@ -545,8 +596,12 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
     }
 
     std::uint64_t contig_bases = 0;
-    for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t r = 0; r < p; ++r) {
+      if (team_.multiprocess() && !team_.is_local(static_cast<int>(r)))
+        continue;
       contig_bases += store->local_bases(static_cast<int>(r));
+    }
+    contig_bases = team_.serial_sum(contig_bases);
 
     // merAligner (§4.3) — skipped when this round's alignments were loaded
     // from a snapshot.
@@ -591,7 +646,9 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
       for (std::size_t lib = 0; lib < libraries.size(); ++lib) {
         const auto est =
             scaffold::estimate_insert_size(rank, mine, static_cast<int>(lib));
-        if (rank.is_root()) inserts[lib] = est;
+        // The estimate is a replicated allreduce result; worker processes
+        // keep their own copy (their rank is never root).
+        if (rank.is_root() || team_.multiprocess()) inserts[lib] = est;
       }
       rank.barrier();
 
@@ -609,7 +666,9 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
       });
       auto records = scaffold::order_and_orient(rank, ties, lens,
                                                 config_.ordering);
-      if (rank.is_root()) scaffolds = std::move(records);
+      // Replicated (built from allgathered ties/lengths on every rank).
+      if (rank.is_root() || team_.multiprocess())
+        scaffolds = std::move(records);
       rank.barrier();
     });
 
@@ -632,6 +691,8 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
         moved += s.pairs_moved;
         total += s.pairs_total;
       }
+      moved = team_.serial_sum(moved);
+      total = team_.serial_sum(total);
       util::log_info("shuffle_reads: round " + std::to_string(round) +
                      " moved " + std::to_string(moved) + "/" +
                      std::to_string(total) + " pairs to their contig owners");
@@ -659,7 +720,10 @@ PipelineResult Pipeline::assemble(RankReads rank_reads,
           rank, scaffolds, *store, gaps,
           closures[static_cast<std::size_t>(rank.id())],
           rank.is_root() ? &closure_stats : nullptr);
-      if (rank.is_root()) scaffold_records = std::move(records);
+      // Replicated (allgathered record blobs); workers need the records to
+      // feed the next round's store rebuild.
+      if (rank.is_root() || team_.multiprocess())
+        scaffold_records = std::move(records);
       rank.barrier();
     });
     result.closure_stats = closure_stats;

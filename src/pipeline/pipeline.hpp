@@ -91,6 +91,12 @@ struct PipelineConfig {
   /// chaos tests assert.
   pgas::ChaosPlan chaos;
 
+  /// Delivery backend selection (--fabric): threads (default) or one OS
+  /// process per rank over Unix-domain sockets. Excluded from the config
+  /// fingerprint — the backends are byte-identical by construction, which
+  /// the cross-fabric tests assert.
+  pgas::FabricConfig fabric;
+
   /// Propagate k into the sub-configs (call after setting `k`).
   void sync_k() {
     kmer.k = k;

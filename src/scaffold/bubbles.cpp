@@ -54,6 +54,28 @@ BubbleMerger::BubbleMerger(pgas::ThreadTeam& team, BubbleConfig config,
   cc.flush_threshold = config.flush_threshold;
   claims_ = std::make_unique<ClaimMap>(team, cc);
   claims_->set_name("scaffold.bubble_claims");
+  claim_rmw_ = claims_->register_rmw<ClaimTicket, ClaimCode>(
+      [](VState& v, const ClaimTicket& a) -> ClaimCode {
+        if (v.state == 2) return ClaimCode::kComplete;
+        if (v.state == 1) {
+          if (v.ticket == a.ticket) return ClaimCode::kSelf;
+          return v.ticket < a.ticket ? ClaimCode::kBusyLower
+                                     : ClaimCode::kBusyHigher;
+        }
+        v.state = 1;
+        v.ticket = a.ticket;
+        return ClaimCode::kOk;
+      });
+  release_rmw_ = claims_->register_rmw<ReleaseArgs, std::uint8_t>(
+      [](VState& v, const ReleaseArgs& a) -> std::uint8_t {
+        // Only touch vertices still held by the expected ticket (a spinning
+        // winner may already have re-claimed released ones).
+        if (v.state == 1 && v.ticket == a.ticket) {
+          v.state = a.state;
+          v.ticket = a.new_ticket;
+        }
+        return 0;
+      });
 }
 
 BubbleMerger::~BubbleMerger() = default;
@@ -157,29 +179,29 @@ std::vector<dbg::Contig> BubbleMerger::run(pgas::Rank& rank,
            static_cast<std::uint64_t>(rank.id()) + 1;
   };
   auto try_claim = [&](std::uint64_t contig, std::uint64_t ticket) -> Claim {
-    auto result = claims_->modify(rank, contig, [&](VState& v) -> Claim {
-      if (v.state == 2) return Claim::kComplete;
-      if (v.state == 1) {
-        if (v.ticket == ticket) return Claim::kSelf;
-        return v.ticket < ticket ? Claim::kBusyLower : Claim::kBusyHigher;
-      }
-      v.state = 1;
-      v.ticket = ticket;
-      return Claim::kOk;
-    });
-    return result.value_or(Claim::kDead);
+    auto result =
+        claims_->rmw<ClaimCode>(rank, contig, claim_rmw_, ClaimTicket{ticket});
+    if (!result.has_value()) return Claim::kDead;
+    switch (*result) {
+      case ClaimCode::kBusyLower:
+        return Claim::kBusyLower;
+      case ClaimCode::kBusyHigher:
+        return Claim::kBusyHigher;
+      case ClaimCode::kSelf:
+        return Claim::kSelf;
+      case ClaimCode::kComplete:
+        return Claim::kComplete;
+      case ClaimCode::kOk:
+        break;
+    }
+    return Claim::kOk;
   };
   auto release = [&](const std::vector<ChainLink>& chain, std::uint8_t state,
                      std::uint64_t ticket, std::uint64_t new_ticket) {
     for (const auto& link : chain) {
-      claims_->modify(rank, static_cast<std::uint64_t>(link.contig),
-                      [&](VState& v) {
-                        if (v.state == 1 && v.ticket == ticket) {
-                          v.state = state;
-                          v.ticket = new_ticket;
-                        }
-                        return 0;
-                      });
+      claims_->rmw<std::uint8_t>(rank, static_cast<std::uint64_t>(link.contig),
+                                 release_rmw_,
+                                 ReleaseArgs{state, ticket, new_ticket});
     }
   };
   // Extend the chain rightward through merge edges. Returns false on
@@ -198,6 +220,7 @@ std::vector<dbg::Contig> BubbleMerger::run(pgas::Rank& rank,
         const Claim claim = try_claim(peer_contig, ticket);
         if (claim == Claim::kOk) break;
         if (claim == Claim::kBusyHigher) {
+          rank.progress();
           std::this_thread::yield();
           continue;
         }
@@ -219,6 +242,7 @@ std::vector<dbg::Contig> BubbleMerger::run(pgas::Rank& rank,
     if (sc == Claim::kComplete || sc == Claim::kDead) continue;
     if (sc != Claim::kOk) {
       pending.push_back(seed);
+      rank.progress();
       std::this_thread::yield();
       continue;
     }
@@ -227,6 +251,7 @@ std::vector<dbg::Contig> BubbleMerger::run(pgas::Rank& rank,
     if (!grow_right(chain, ticket)) {
       release(chain, 0, ticket, 0);
       pending.push_back(seed);
+      rank.progress();
       std::this_thread::yield();
       continue;
     }
@@ -236,6 +261,7 @@ std::vector<dbg::Contig> BubbleMerger::run(pgas::Rank& rank,
     if (!grow_right(chain, ticket)) {
       release(chain, 0, ticket, 0);
       pending.push_back(seed);
+      rank.progress();
       std::this_thread::yield();
       continue;
     }

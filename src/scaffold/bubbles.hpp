@@ -94,10 +94,30 @@ class BubbleMerger {
       pgas::DistHashMap<std::uint64_t, VState, std::hash<std::uint64_t>,
                         pgas::OverwriteMerge<VState>>;
 
+  /// Verdict of the registered claim RMW (registered operations ship to
+  /// the owner on multi-process fabrics, so the outcome travels as a POD).
+  enum class ClaimCode : std::uint8_t {
+    kOk,
+    kBusyLower,
+    kBusyHigher,
+    kSelf,
+    kComplete,
+  };
+  struct ClaimTicket {
+    std::uint64_t ticket = 0;
+  };
+  struct ReleaseArgs {
+    std::uint8_t state = 0;
+    std::uint64_t ticket = 0;
+    std::uint64_t new_ticket = 0;
+  };
+
   pgas::ThreadTeam& team_;
   BubbleConfig config_;
   std::unique_ptr<JunctionMap> junctions_;
   std::unique_ptr<ClaimMap> claims_;
+  ClaimMap::RmwId claim_rmw_ = 0;
+  ClaimMap::RmwId release_rmw_ = 0;
   std::uint64_t bubbles_merged_ = 0;
 };
 

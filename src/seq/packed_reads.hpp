@@ -13,8 +13,8 @@
 
 /// Packed resident read storage (MetaHipMer-style, §2 of the follow-on
 /// papers): bases live 2-bit-packed in a shared u64 arena, qualities take
-/// the smallest of three lossless encodings (run-length, 4-bit band,
-/// verbatim; see `encode_quals`), and names sit in one char arena behind offset
+/// the smallest of four lossless encodings (run-length, 4-bit band, band
+/// plus sparse outliers, verbatim; see `encode_quals`), and names sit in one char arena behind offset
 /// arrays. Compared to `std::vector<seq::Read>` — three heap strings per
 /// record — this removes per-record allocations entirely and cuts resident
 /// bytes severalfold (measured in bench/reads_memory).
@@ -92,17 +92,27 @@ enum : std::uint8_t {
   kQualModeBand = 2,
   /// Raw characters; the fallback that bounds worst-case size at n+1.
   kQualModeVerbatim = 3,
+  /// [min char][u16 outlier count, LE][outliers: (u16 pos LE, char)...]
+  /// [4-bit offsets packed two per byte, high nibble first]. The band is
+  /// the 16-value window covering the most positions; characters outside
+  /// it ride in the sparse outlier table and their nibble is a
+  /// placeholder. Wins on Illumina-like profiles where a handful of '#'
+  /// floor scores (N positions) would otherwise push max-min past 15 and
+  /// force verbatim. Only eligible for reads shorter than 64Ki.
+  kQualModeBandOutlier = 4,
 };
 
-/// Append the smallest of the three lossless encodings of `quals` to
+/// Append the smallest of the four lossless encodings of `quals` to
 /// `arena`, prefixed with its mode byte.
 inline void encode_quals(std::string_view quals,
                          std::vector<std::uint8_t>& arena) {
   if (quals.empty()) return;
-  // Cost the candidates in one scan.
+  // Cost the candidates in one scan (plus a 256-bin histogram for the
+  // band-plus-outlier window search).
   std::size_t runs = 0;
   unsigned char lo = static_cast<unsigned char>(quals[0]);
   unsigned char hi = lo;
+  std::uint32_t hist[256] = {};
   for (std::size_t i = 0; i < quals.size();) {
     const char c = quals[i];
     const auto u = static_cast<unsigned char>(c);
@@ -110,6 +120,7 @@ inline void encode_quals(std::string_view quals,
     hi = std::max(hi, u);
     std::size_t run = 1;
     while (i + run < quals.size() && run < 255 && quals[i + run] == c) ++run;
+    hist[u] += static_cast<std::uint32_t>(run);
     ++runs;
     i += run;
   }
@@ -119,7 +130,65 @@ inline void encode_quals(std::string_view quals,
                                     : std::numeric_limits<std::size_t>::max();
   const std::size_t verbatim_cost = quals.size();
 
-  if (rle_cost <= band_cost && rle_cost <= verbatim_cost) {
+  // Best 16-value window: slide over the occupied range, maximizing
+  // covered positions; everything outside becomes an outlier entry.
+  std::size_t outlier_cost = std::numeric_limits<std::size_t>::max();
+  unsigned char outlier_base = lo;
+  if (quals.size() <= 0xFFFF && static_cast<std::size_t>(hi - lo) > 15) {
+    std::uint32_t window = 0;
+    std::uint32_t best = 0;
+    unsigned char best_base = lo;
+    for (unsigned b = lo; b <= hi; ++b) {
+      window += hist[b];
+      if (b >= static_cast<unsigned>(lo) + 16) window -= hist[b - 16];
+      const unsigned base = b >= 15 ? b - 15 : 0;
+      if (window > best) {
+        best = window;
+        best_base = static_cast<unsigned char>(std::max<unsigned>(base, lo));
+      }
+    }
+    const std::size_t k = quals.size() - best;
+    outlier_cost = 3 + 3 * k + (quals.size() + 1) / 2;
+    outlier_base = best_base;
+  }
+
+  // Band-plus-outlier only on a strict win, so inputs the three original
+  // modes already handled keep their exact historical encodings.
+  if (outlier_cost < rle_cost && outlier_cost < band_cost &&
+      outlier_cost < verbatim_cost) {
+    arena.push_back(kQualModeBandOutlier);
+    arena.push_back(outlier_base);
+    // Count first, entries after: decode needs the table length before the
+    // nibble stream starts.
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < quals.size(); ++i) {
+      const auto u = static_cast<unsigned char>(quals[i]);
+      if (u < outlier_base || u > outlier_base + 15) ++k;
+    }
+    arena.push_back(static_cast<std::uint8_t>(k & 0xFF));
+    arena.push_back(static_cast<std::uint8_t>(k >> 8));
+    for (std::size_t i = 0; i < quals.size(); ++i) {
+      const auto u = static_cast<unsigned char>(quals[i]);
+      if (u < outlier_base || u > outlier_base + 15) {
+        arena.push_back(static_cast<std::uint8_t>(i & 0xFF));
+        arena.push_back(static_cast<std::uint8_t>(i >> 8));
+        arena.push_back(u);
+      }
+    }
+    std::uint8_t pending = 0;
+    for (std::size_t i = 0; i < quals.size(); ++i) {
+      const auto u = static_cast<unsigned char>(quals[i]);
+      const bool in_band = u >= outlier_base && u <= outlier_base + 15;
+      const auto nib =
+          in_band ? static_cast<std::uint8_t>(u - outlier_base) : std::uint8_t{0};
+      if (i % 2 == 0) {
+        pending = static_cast<std::uint8_t>(nib << 4);
+      } else {
+        arena.push_back(static_cast<std::uint8_t>(pending | nib));
+      }
+    }
+    if (quals.size() % 2 != 0) arena.push_back(pending);
+  } else if (rle_cost <= band_cost && rle_cost <= verbatim_cost) {
     arena.push_back(kQualModeRle);
     for (std::size_t i = 0; i < quals.size();) {
       const char c = quals[i];
@@ -180,6 +249,29 @@ inline void decode_quals(const std::uint8_t* enc, std::size_t enc_len,
     case kQualModeVerbatim:
       out.assign(reinterpret_cast<const char*>(p), len);
       break;
+    case kQualModeBandOutlier: {
+      if (len < 3) return;
+      const auto base = p[0];
+      const std::size_t k =
+          static_cast<std::size_t>(p[1]) | (static_cast<std::size_t>(p[2]) << 8);
+      const std::size_t table = 3 * k;
+      if (len < 3 + table) return;  // corrupt header: table past the arena
+      const std::uint8_t* nibbles = p + 3 + table;
+      const std::size_t m = std::min(n, 2 * (len - 3 - table));
+      out.resize(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint8_t byte = nibbles[i / 2];
+        const std::uint8_t nib = i % 2 == 0 ? byte >> 4 : byte & 0xF;
+        out[i] = static_cast<char>(base + nib);
+      }
+      const std::uint8_t* entry = p + 3;
+      for (std::size_t e = 0; e < k; ++e, entry += 3) {
+        const std::size_t pos = static_cast<std::size_t>(entry[0]) |
+                                (static_cast<std::size_t>(entry[1]) << 8);
+        if (pos < m) out[pos] = static_cast<char>(entry[2]);
+      }
+      break;
+    }
     default:
       break;
   }

@@ -154,6 +154,92 @@ TEST(PackedReads, QualCodecIdentity) {
   expect_qual_round_trip("!]");
 }
 
+// Illumina-like profile: high-entropy scores in a ~12-value band plus a
+// few '#' floor scores at N positions. The floor chars push max-min past
+// 15 (no plain band) and the entropy defeats RLE, so before the outlier
+// mode existed these reads paid full verbatim price.
+std::string illumina_quals(std::mt19937& rng, std::size_t len,
+                           double floor_rate) {
+  std::uniform_int_distribution<int> good(30, 41);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::string s(len, '!');
+  for (auto& c : s)
+    c = coin(rng) < floor_rate ? '#' : phred_to_char(good(rng));
+  return s;
+}
+
+TEST(PackedReads, QualCodecBandOutlier) {
+  std::mt19937 rng(17);
+  auto q = illumina_quals(rng, 400, 0.02);
+  q[37] = '#';  // guarantee at least one outlier regardless of seed
+  expect_qual_round_trip(q);
+
+  std::vector<std::uint8_t> enc;
+  encode_quals(q, enc);
+  ASSERT_EQ(enc[0], kQualModeBandOutlier);
+  // Size is exact: mode + base + u16 count + 3 bytes per outlier + packed
+  // nibbles. Every '#' sits outside the chosen window here.
+  const auto k = static_cast<std::size_t>(std::count(q.begin(), q.end(), '#'));
+  EXPECT_EQ(enc.size(), 4 + 3 * k + (q.size() + 1) / 2);
+  EXPECT_LT(enc.size(), q.size());  // strictly beats the old verbatim path
+
+  // Sweep outlier densities, both tails, and boundary lengths.
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> good(30, 41);
+  std::uniform_int_distribution<std::size_t> len(0, 700);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double rate = static_cast<double>(trial % 6) * 0.02;
+    std::string s(len(rng), '!');
+    for (auto& c : s)
+      c = coin(rng) < rate ? (coin(rng) < 0.5 ? '#' : ']')
+                           : phred_to_char(good(rng));
+    expect_qual_round_trip(s);
+  }
+}
+
+TEST(PackedReads, QualCodecOutlierEligibility) {
+  std::mt19937 rng(19);
+  // Within a 16-value range the plain band always costs 2 bytes less than
+  // the outlier header, so narrow-band inputs keep their historical
+  // encoding byte for byte.
+  const auto narrow = illumina_quals(rng, 256, 0.0);
+  std::vector<std::uint8_t> enc;
+  encode_quals(narrow, enc);
+  EXPECT_EQ(enc[0], kQualModeBand);
+
+  // Reads of 64Ki and beyond cannot address outlier positions in u16: the
+  // codec must fall back to the original modes and still round-trip.
+  auto huge = illumina_quals(rng, 0x10000 + 3, 0.0);
+  huge[100] = '#';  // would make the outlier mode win if it were eligible
+  enc.clear();
+  encode_quals(huge, enc);
+  EXPECT_EQ(enc[0], kQualModeVerbatim);
+  expect_qual_round_trip(huge);
+}
+
+TEST(PackedReads, QualCodecDecodeIsRobustToCorruption) {
+  std::mt19937 rng(23);
+  auto q = illumina_quals(rng, 200, 0.03);
+  q[0] = '#';
+  std::vector<std::uint8_t> enc;
+  encode_quals(q, enc);
+  ASSERT_EQ(enc[0], kQualModeBandOutlier);
+
+  // Every truncation decodes without walking off the buffer and never
+  // fabricates more than n characters.
+  std::string out;
+  for (std::size_t cut = 0; cut <= enc.size(); ++cut) {
+    decode_quals(enc.data(), cut, q.size(), out);
+    EXPECT_LE(out.size(), q.size()) << "cut " << cut;
+  }
+  // An outlier count pointing past the payload is rejected outright.
+  auto bad = enc;
+  bad[2] = 0xFF;
+  bad[3] = 0xFF;
+  decode_quals(bad.data(), bad.size(), q.size(), out);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(PackedReads, CodeMatchesBaseToCode) {
   std::mt19937 rng(21);
   PackedReads arena;

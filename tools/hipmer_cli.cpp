@@ -14,8 +14,14 @@
 // `--min-count auto` derives the erroneous-k-mer cutoff from the k-mer
 // count histogram valley (see kcount/histogram.hpp).
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +29,7 @@
 #include "io/parallel_fastq.hpp"
 #include "io/seqdb.hpp"
 #include "kcount/histogram.hpp"
+#include "pgas/fabric.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/datasets.hpp"
 #include "sim/metagenome_sim.hpp"
@@ -31,6 +38,9 @@
 namespace {
 
 using namespace hipmer;
+
+/// argv[0] of this invocation — workers are spawned by re-exec'ing it.
+std::string g_binary = "hipmer";
 
 int usage() {
   std::fprintf(stderr,
@@ -45,6 +55,8 @@ int usage() {
                "                  [--chaos-spec "
                "'drop=0.05,dup=0.02;store:corrupt=0.01;blackhole=2@merAligner'"
                " [--chaos-seed N]]\n"
+               "                  [--fabric threads|proc] [--fabric-socket "
+               "PATH] [--kill RANK@STAGE[:OCC[:STEP]][,hard]]\n"
                "  hipmer simulate (human|wheat|metagenome) [--genome N] "
                "[--species N] --out-dir DIR\n"
                "  hipmer convert (--fastq-to-seqdb IN OUT | "
@@ -72,6 +84,82 @@ std::vector<seq::ReadLibrary> parse_libraries(int argc, char** argv) {
     }
   }
   return libraries;
+}
+
+/// `--kill RANK@STAGE[:OCC[:STEP]][,hard]` — arm a fault plan
+/// (pgas/fault.hpp). `,hard` SIGKILLs the hosting process instead of
+/// throwing, i.e. a real `kill -9` of a worker on the proc fabric.
+pgas::FaultPlan parse_kill_spec(const std::string& spec) {
+  pgas::FaultPlan plan;
+  std::string s = spec;
+  const auto comma = s.find(',');
+  if (comma != std::string::npos) {
+    plan.hard = s.substr(comma + 1) == "hard";
+    s = s.substr(0, comma);
+  }
+  const auto at = s.find('@');
+  if (at == std::string::npos)
+    throw std::runtime_error(
+        "bad --kill spec (want RANK@STAGE[:OCC[:STEP]][,hard]): " + spec);
+  plan.rank = std::atoi(s.substr(0, at).c_str());
+  std::string rest = s.substr(at + 1);
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    const std::string tail = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+    const auto colon2 = tail.find(':');
+    if (colon2 != std::string::npos) {
+      plan.occurrence = std::atoi(tail.substr(0, colon2).c_str());
+      plan.step = std::atoi(tail.substr(colon2 + 1).c_str());
+    } else {
+      plan.occurrence = std::atoi(tail.c_str());
+    }
+  }
+  plan.stage = rest;
+  return plan;
+}
+
+/// SIGKILL + reap every worker the coordinator spawned (the restart path
+/// must not leave half-dead workers holding the old sockets).
+void reap_workers(pipeline::Pipeline* pipe) {
+  if (pipe == nullptr) return;
+  auto* fab = dynamic_cast<pgas::SocketFabric*>(&pipe->team().fabric());
+  if (fab == nullptr) return;
+  for (const long pid : fab->worker_pids()) {
+    ::kill(static_cast<pid_t>(pid), SIGKILL);
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(pid), &status, 0);
+    if (getenv("HIPMER_FABRIC_DEBUG")) {
+      if (WIFEXITED(status))
+        std::fprintf(stderr, "[fabdbg] worker pid %ld exited %d\n", pid, WEXITSTATUS(status));
+      else if (WIFSIGNALED(status))
+        std::fprintf(stderr, "[fabdbg] worker pid %ld signal %d\n", pid, WTERMSIG(status));
+    }
+  }
+}
+
+/// Final report + FASTA output — the primary process's job on every fabric.
+int report_and_write(pipeline::Pipeline& pipe,
+                     const pipeline::PipelineResult& result,
+                     const std::string& out) {
+  std::printf("%s", result.format_stages().c_str());
+  if (pipe.team().transport().chaos_enabled()) {
+    const std::string retries =
+        pipe.team().transport().format_retry_histograms();
+    std::printf("chaos retry histograms:\n%s",
+                retries.empty() ? "  (no retries)\n" : retries.c_str());
+  }
+  std::printf("contigs:   %s\n",
+              util::format_assembly_stats(result.contig_stats).c_str());
+  std::printf("scaffolds: %s\n",
+              util::format_assembly_stats(result.scaffold_stats).c_str());
+  if (!io::write_fasta(out, result.scaffolds)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu scaffolds to %s\n", result.scaffolds.size(),
+              out.c_str());
+  return 0;
 }
 
 int cmd_assemble(int argc, char** argv) {
@@ -113,6 +201,44 @@ int cmd_assemble(int argc, char** argv) {
   }
   cfg.sync_k();
 
+  const std::string fabric = opts.get("fabric", "threads");
+  const int worker_rank = static_cast<int>(opts.get_int("worker-rank", -1));
+  std::string socket_path = opts.get("fabric-socket", "");
+  const std::string kill_spec = opts.get("kill", "");
+  if (fabric != "threads" && fabric != "proc") {
+    std::fprintf(stderr, "assemble: --fabric must be threads or proc\n");
+    return usage();
+  }
+
+  if (worker_rank > 0) {
+    // ---- worker mode: host one rank, connect back, run the same SPMD
+    // program. The coordinator resolved any auto min-count before spawning
+    // and pinned it numerically into our argv.
+    if (socket_path.empty() || min_count == "auto") {
+      std::fprintf(stderr,
+                   "assemble: --worker-rank requires --fabric-socket and a "
+                   "numeric --min-count\n");
+      return 2;
+    }
+    cfg.fabric.mode = pgas::FabricConfig::Mode::kProcWorker;
+    cfg.fabric.my_rank = worker_rank;
+    cfg.fabric.socket_path = socket_path;
+    try {
+      pipeline::Pipeline pipe(pgas::Topology{ranks, 4}, cfg);
+      if (!kill_spec.empty())
+        pipe.team().faults().set_plan(parse_kill_spec(kill_spec));
+      const auto result = resume ? pipe.resume_from_fastq(libraries)
+                                 : pipe.run_from_fastq(libraries);
+      (void)result;  // rank 0's process reports and writes the output
+      return 0;
+    } catch (const pgas::RankKilled& e) {
+      if (getenv("HIPMER_FABRIC_DEBUG"))
+        std::fprintf(stderr, "[fabdbg %d] worker %d RankKilled: %s\n",
+                     (int)getpid(), worker_rank, e.what());
+      return 75;  // "teammate died" — the coordinator respawns us
+    }
+  }
+
   if (min_count == "auto") {
     // Probe pass: run k-mer analysis cheaply at low rank count to get the
     // histogram, pick the valley, then run the real pipeline.
@@ -137,29 +263,94 @@ int cmd_assemble(int argc, char** argv) {
     std::printf("auto min-count: %u (histogram valley)\n", cfg.kmer.min_count);
   }
 
+  if (fabric == "proc") {
+    // ---- coordinator: rank 0 + router here, one spawned process per
+    // remaining rank. A RankKilled unwind (suspect peer, kill -9'd worker)
+    // reaps the team and respawns it in --resume mode against the
+    // checkpoint directory, a bounded number of times.
+    if (socket_path.empty())
+      socket_path =
+          "/tmp/hipmer-fabric-" + std::to_string(getpid()) + ".sock";
+    const auto make_worker_argv = [&](const std::string& sock, bool with_kill,
+                                      bool force_resume) {
+      // This binary + the original arguments, with the fabric flags and any
+      // auto-resolved min-count pinned down (workers never probe or spawn).
+      std::vector<std::string> wargv;
+      wargv.push_back(g_binary);
+      bool has_resume = false;
+      for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--min-count" || a == "--fabric" || a == "--fabric-socket") {
+          ++i;
+          continue;
+        }
+        if (a == "--kill") {
+          ++i;
+          if (with_kill && i < argc) {
+            wargv.emplace_back("--kill");
+            wargv.emplace_back(argv[i]);
+          }
+          continue;
+        }
+        if (a == "--resume") has_resume = true;
+        wargv.push_back(a);
+      }
+      wargv.insert(wargv.end(),
+                   {"--fabric", "proc", "--fabric-socket", sock, "--min-count",
+                    std::to_string(cfg.kmer.min_count)});
+      if (force_resume && !has_resume) wargv.emplace_back("--resume");
+      return wargv;
+    };
+
+    bool do_resume = resume;
+    for (int attempt = 0;; ++attempt) {
+      const std::string sock =
+          attempt == 0 ? socket_path
+                       : socket_path + ".r" + std::to_string(attempt);
+      cfg.fabric.mode = pgas::FabricConfig::Mode::kProcCoordinator;
+      cfg.fabric.socket_path = sock;
+      cfg.fabric.worker_argv = make_worker_argv(sock, attempt == 0, do_resume);
+      std::unique_ptr<pipeline::Pipeline> pipe;
+      try {
+        pipe = std::make_unique<pipeline::Pipeline>(pgas::Topology{ranks, 4},
+                                                    cfg);
+        if (!kill_spec.empty() && attempt == 0)
+          pipe->team().faults().set_plan(parse_kill_spec(kill_spec));
+        std::printf(
+            "assembling %zu librar%s on %d ranks (%d processes), k=%d, "
+            "min_count=%u...\n",
+            libraries.size(), libraries.size() == 1 ? "y" : "ies", ranks,
+            ranks, k, cfg.kmer.min_count);
+        const auto result = do_resume ? pipe->resume_from_fastq(libraries)
+                                      : pipe->run_from_fastq(libraries);
+        return report_and_write(*pipe, result, out);
+      } catch (const pgas::RankKilled& e) {
+        reap_workers(pipe.get());
+        if (attempt >= 2 || cfg.checkpoint.dir.empty()) {
+          std::fprintf(stderr, "assemble: team died (%s)%s\n", e.what(),
+                       cfg.checkpoint.dir.empty()
+                           ? "; no --checkpoint-dir to resume from"
+                           : "; giving up");
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "assemble: %s; respawning workers and resuming from "
+                     "checkpoint\n",
+                     e.what());
+        do_resume = true;
+      }
+    }
+  }
+
   pipeline::Pipeline pipe(pgas::Topology{ranks, 4}, cfg);
+  if (!kill_spec.empty())
+    pipe.team().faults().set_plan(parse_kill_spec(kill_spec));
   std::printf("assembling %zu librar%s on %d ranks, k=%d, min_count=%u...\n",
               libraries.size(), libraries.size() == 1 ? "y" : "ies", ranks, k,
               cfg.kmer.min_count);
   const auto result = resume ? pipe.resume_from_fastq(libraries)
                              : pipe.run_from_fastq(libraries);
-  std::printf("%s", result.format_stages().c_str());
-  if (pipe.team().transport().chaos_enabled()) {
-    const std::string retries = pipe.team().transport().format_retry_histograms();
-    std::printf("chaos retry histograms:\n%s",
-                retries.empty() ? "  (no retries)\n" : retries.c_str());
-  }
-  std::printf("contigs:   %s\n",
-              util::format_assembly_stats(result.contig_stats).c_str());
-  std::printf("scaffolds: %s\n",
-              util::format_assembly_stats(result.scaffold_stats).c_str());
-  if (!io::write_fasta(out, result.scaffolds)) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
-  }
-  std::printf("wrote %zu scaffolds to %s\n", result.scaffolds.size(),
-              out.c_str());
-  return 0;
+  return report_and_write(pipe, result, out);
 }
 
 int cmd_simulate(const std::string& kind, int argc, char** argv) {
@@ -218,6 +409,16 @@ int cmd_convert(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  // Workers are spawned by execv of this binary; resolve the stable path
+  // (argv[0] may be relative to a cwd a worker no longer shares).
+  char exe[4096];
+  const ssize_t n = readlink("/proc/self/exe", exe, sizeof exe - 1);
+  if (n > 0) {
+    exe[n] = '\0';
+    g_binary = exe;
+  } else {
+    g_binary = argv[0];
+  }
   const std::string cmd = argv[1];
   try {
     if (cmd == "assemble") return cmd_assemble(argc - 1, argv + 1);
