@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <climits>
+#include <map>
 #include <numeric>
 
 #include "util/hash.hpp"
@@ -288,23 +289,46 @@ void Checkpointer::prune() {
   const std::size_t n = manifest_.entries.size();
   if (n <= static_cast<std::size_t>(config_.keep_last)) return;
 
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return manifest_.entries[a].seq > manifest_.entries[b].seq;
-  });
+  // A shared checkpoint dir may interleave entries from several jobs
+  // (server tenants resubmitting with changed configs, hence different
+  // fingerprints). keep_last and the dependency closure apply within each
+  // fingerprint's group, so one job's snapshots never evict another's.
+  std::map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < n; ++i)
+    groups[manifest_.entries[i].fingerprint].push_back(i);
+
+  // usable() is pinned to this Checkpointer's own fingerprint; the closure
+  // of a foreign group needs the same lookup under that group's print.
+  const auto newest_usable = [&](std::uint64_t fp, const std::string& stage)
+      -> const StageEntry* {
+    const StageEntry* best = nullptr;
+    for (const auto& entry : manifest_.entries) {
+      if (entry.stage != stage || entry.fingerprint != fp) continue;
+      if (blacklist_.count({entry.stage, entry.seq}) != 0) continue;
+      if (best == nullptr || entry.seq > best->seq) best = &entry;
+    }
+    return best;
+  };
 
   std::set<EntryKey> keep;
-  for (std::size_t i = 0;
-       i < std::min(n, static_cast<std::size_t>(config_.keep_last)); ++i) {
-    const auto& entry = manifest_.entries[order[i]];
-    keep.insert({entry.stage, entry.seq});
-  }
-  // Keep the newest entry's dependency closure so the best resume point
-  // stays loadable (conservative round-agnostic closure).
-  const auto& newest = manifest_.entries[order[0]];
-  for (const auto& dep : load_dependencies(newest.stage, INT_MAX)) {
-    if (const auto* e = usable(dep)) keep.insert({e->stage, e->seq});
+  for (auto& [fp, order] : groups) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return manifest_.entries[a].seq > manifest_.entries[b].seq;
+    });
+    for (std::size_t i = 0;
+         i <
+         std::min(order.size(), static_cast<std::size_t>(config_.keep_last));
+         ++i) {
+      const auto& entry = manifest_.entries[order[i]];
+      keep.insert({entry.stage, entry.seq});
+    }
+    // Keep the group's newest entry's dependency closure so its best
+    // resume point stays loadable (conservative round-agnostic closure).
+    const auto& newest = manifest_.entries[order[0]];
+    for (const auto& dep : load_dependencies(newest.stage, INT_MAX)) {
+      if (const auto* e = newest_usable(fp, dep))
+        keep.insert({e->stage, e->seq});
+    }
   }
 
   Manifest pruned;

@@ -145,6 +145,15 @@ class Fabric {
   /// directly.
   virtual void progress() {}
 
+  /// Serial context, between jobs on a long-lived team: rebuild whatever
+  /// synchronization state a previous job's fault unwind consumed. The
+  /// in-process barrier shrinks permanently when a killed rank
+  /// arrive_and_drops, so a server reusing the team across jobs must
+  /// restore the full arrival count before the next SPMD body runs.
+  /// Backends with no reusable sync state (one process per rank dies with
+  /// its job) leave this a no-op.
+  virtual void reset_sync() {}
+
   // ---- synchronization ----
   struct BarrierPoint {
     int rank = 0;
@@ -206,8 +215,9 @@ class Fabric {
 /// delivery entry points are unreachable by construction.
 class InProcessFabric final : public Fabric {
  public:
-  explicit InProcessFabric(int nranks)
-      : Fabric(nranks), barrier_(nranks) {}
+  explicit InProcessFabric(int nranks) : Fabric(nranks) {
+    barrier_.emplace(nranks);
+  }
 
   [[nodiscard]] bool multiprocess() const noexcept override { return false; }
 
@@ -227,8 +237,8 @@ class InProcessFabric final : public Fabric {
     (void)done;
   }
 
-  void barrier(const BarrierPoint&) override { barrier_.arrive_and_wait(); }
-  void abandon(int) override { barrier_.arrive_and_drop(); }
+  void barrier(const BarrierPoint&) override { barrier_->arrive_and_wait(); }
+  void abandon(int) override { barrier_->arrive_and_drop(); }
   std::vector<std::vector<std::byte>> serial_exchange(
       std::vector<std::byte> mine) override {
     std::vector<std::vector<std::byte>> out;
@@ -236,8 +246,14 @@ class InProcessFabric final : public Fabric {
     return out;
   }
 
+  /// Rebuild the barrier at full strength: arrive_and_drop from a
+  /// RankKilled unwind shrank the expected count for good, and
+  /// std::barrier is neither movable nor resettable — re-emplace it.
+  void reset_sync() override { barrier_.emplace(nranks_); }
+
  private:
-  std::barrier<> barrier_;
+  // optional<>: see reset_sync.
+  std::optional<std::barrier<>> barrier_;
 };
 
 /// One rank per OS process over Unix-domain sockets through a router

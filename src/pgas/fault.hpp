@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -22,9 +23,11 @@
 /// teammate. Fault points sit at barrier *entry*, after the rank has
 /// published any collective payload, so peers released by the dying rank's
 /// `arrive_and_drop` never read a half-written slot. A ThreadTeam that took
-/// a fault is dead for good — `std::barrier::arrive_and_drop` shrinks the
-/// barrier permanently — exactly like a killed SPMD job: restart means a
-/// fresh team, which is what `pipeline::Pipeline::resume` builds.
+/// a fault is dead for the rest of that run — `std::barrier::arrive_and_drop`
+/// shrinks the barrier — exactly like a killed SPMD job: restart means a
+/// fresh team (`pipeline::Pipeline::resume`), or, for a long-lived server,
+/// `ThreadTeam::reset_for_job`, which rebuilds the sync state at full
+/// strength before the next job.
 namespace hipmer::pgas {
 
 struct FaultPlan {
@@ -47,6 +50,11 @@ struct FaultPlan {
   [[nodiscard]] bool armed() const noexcept {
     return rank >= 0 && !stage.empty();
   }
+
+  /// Parse "RANK@STAGE[:OCC[:STEP]][,hard]" (the CLI's --kill and the
+  /// server's SUBMIT kill= rider). Throws std::runtime_error on a spec
+  /// with no '@'.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
 };
 
 /// Thrown on the killed rank, and on every other rank at its next fault
@@ -126,5 +134,35 @@ class FaultInjector {
   std::atomic<int> steps_{0};
   std::atomic<bool> fired_{false};
 };
+
+inline FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::string s = spec;
+  const auto comma = s.find(',');
+  if (comma != std::string::npos) {
+    plan.hard = s.substr(comma + 1) == "hard";
+    s = s.substr(0, comma);
+  }
+  const auto at = s.find('@');
+  if (at == std::string::npos)
+    throw std::runtime_error(
+        "bad kill spec (want RANK@STAGE[:OCC[:STEP]][,hard]): " + spec);
+  plan.rank = std::atoi(s.substr(0, at).c_str());
+  std::string rest = s.substr(at + 1);
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    const std::string tail = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+    const auto colon2 = tail.find(':');
+    if (colon2 != std::string::npos) {
+      plan.occurrence = std::atoi(tail.substr(0, colon2).c_str());
+      plan.step = std::atoi(tail.substr(colon2 + 1).c_str());
+    } else {
+      plan.occurrence = std::atoi(tail.c_str());
+    }
+  }
+  plan.stage = rest;
+  return plan;
+}
 
 }  // namespace hipmer::pgas

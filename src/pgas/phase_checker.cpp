@@ -92,6 +92,22 @@ void PhaseChecker::unregister_table(CheckedTable* table) {
                 tables_.end());
 }
 
+void PhaseChecker::reset_for_job() {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    tables_.clear();
+  }
+  for (auto& slot : slots_) {
+    slot->epoch.store(0, std::memory_order_relaxed);
+    slot->scope_kind = kBarrier;
+    slot->scope_depth = 0;
+    slot->scope_site = SiteInfo{};
+    slot->record_kind = kBarrier;
+    slot->record_site = SiteInfo{};
+  }
+  tripped_.store(false, std::memory_order_release);
+}
+
 void PhaseChecker::pre_barrier(int rank, int kind, SiteInfo site) {
   if (!suppressed()) {
     // Snapshot the registry so a table check (which takes the table's own

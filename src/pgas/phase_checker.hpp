@@ -182,6 +182,13 @@ class PhaseChecker {
   /// Deliver `v` to the installed handler (sets the suppression flag first).
   void report(const Violation& v);
 
+  /// Serial context, between jobs on a long-lived team: zero every rank's
+  /// epoch and scope/record slots and un-trip the suppression flag so the
+  /// next job starts from the same state a fresh team would. The table
+  /// registry is cleared defensively — all checked structures are per-job
+  /// and must already be destroyed.
+  void reset_for_job();
+
  private:
   struct alignas(64) RankSlot {
     std::atomic<std::uint64_t> epoch{0};

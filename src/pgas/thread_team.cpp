@@ -150,4 +150,14 @@ void ThreadTeam::reset_stats() {
   for (auto& s : stats_) s->reset();
 }
 
+void ThreadTeam::reset_for_job() {
+  faults_.clear();
+  transport_.reset_for_job();
+  fabric_->reset_sync();
+  reset_stats();
+#if defined(HIPMER_CHECKED)
+  checker_.reset_for_job();
+#endif
+}
+
 }  // namespace hipmer::pgas

@@ -223,6 +223,14 @@ class ThreadTeam {
 
   void reset_stats();
 
+  /// Serial context, between jobs on a long-lived team: clear fault plans,
+  /// drop every transport channel, rebuild the fabric's sync state (a
+  /// RankKilled unwind shrinks the in-process barrier for good), zero the
+  /// comm counters, and (checked builds) reset the phase checker. After
+  /// this the team is indistinguishable from a freshly constructed one.
+  /// Must not be called while any run is in flight.
+  void reset_for_job();
+
   // ---- serial-context exchange (multi-process SPMD setup/teardown) ----
   /// Every process contributes `mine`; every process receives all P
   /// contributions rank-indexed. On the threads fabric returns just

@@ -200,6 +200,15 @@ void Transport::set_plan(ChaosPlan plan) {
   for (auto& chan : channels_) chan->probs = plan_.resolve(chan->name);
 }
 
+void Transport::reset_for_job() {
+  std::lock_guard<std::mutex> lock(open_mu_);
+  channels_.clear();
+  count_.store(0, std::memory_order_release);
+  stage_seen_.clear();
+  blackhole_rank_ = -1;
+  suspect_peer_.store(-1, std::memory_order_relaxed);
+}
+
 void Transport::begin_stage(const std::string& name) {
   if (!chaos_on_) return;
   const int occurrence = stage_seen_[name]++;

@@ -154,6 +154,14 @@ class Transport {
   /// context only.
   void set_plan(ChaosPlan plan);
 
+  /// Serial context, between jobs on a long-lived team: drop every
+  /// channel (each job constructs its comm structures — and therefore its
+  /// channels — afresh, and the registry cap would otherwise exhaust
+  /// after ~100 jobs), clear stage/blackhole/suspect state, and start
+  /// link sequencing over. Must not be called while any registered
+  /// structure is alive.
+  void reset_for_job();
+
   [[nodiscard]] const ChaosPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] bool chaos_enabled() const noexcept { return chaos_on_; }
 

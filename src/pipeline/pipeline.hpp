@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,14 @@
 /// pgas/machine_model.hpp for why). The per-stage reports are exactly the
 /// series Figures 7 and 8 of the paper plot.
 namespace hipmer::pipeline {
+
+/// Thrown from serial context (between timed phases) when
+/// PipelineConfig::cancel_poll reports a cancellation request. No rank
+/// unwinds and no barrier shrinks, so the team stays healthy — the next
+/// job needs only the usual Pipeline::reset.
+struct JobCancelled : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct PipelineConfig {
   int k = 31;
@@ -96,6 +106,12 @@ struct PipelineConfig {
   /// fingerprint — the backends are byte-identical by construction, which
   /// the cross-fabric tests assert.
   pgas::FabricConfig fabric;
+
+  /// Polled in serial context before every timed phase (the server's
+  /// cancel path). Returning true aborts the job with JobCancelled from
+  /// between stages, so the team stays healthy for the next job. A control
+  /// knob, not a result knob — excluded from the fingerprint.
+  std::function<bool()> cancel_poll;
 
   /// Propagate k into the sub-configs (call after setting `k`).
   void sync_k() {
@@ -181,6 +197,40 @@ class Pipeline {
   [[nodiscard]] PipelineResult resume_from_fastq(
       const std::vector<seq::ReadLibrary>& libraries);
 
+  /// The one FASTQ entry point shared by the CLI drivers and the server's
+  /// job executor: `resume` selects resume_from_fastq (checkpoint restart
+  /// with fallback) over a fresh run_from_fastq.
+  [[nodiscard]] PipelineResult execute_from_fastq(
+      const std::vector<seq::ReadLibrary>& libraries, bool resume);
+
+  /// Re-arm this pipeline for another job on the same team (serial
+  /// context, no run in flight). The delivery backend is a construction
+  /// property of the team, so `config.fabric` is ignored in favor of the
+  /// original; everything else — including the chaos plan and checkpoint
+  /// dir — is replaced. Clears any artifact-cache hooks from the previous
+  /// job.
+  void reset(PipelineConfig config);
+
+  /// Artifact-cache hook (src/server): the next run starts from these
+  /// decoded UFX shards and skips the k-mer analysis stage entirely.
+  /// Shards may come from any team size — contig generation re-owns every
+  /// k-mer by hash, so they are dealt round robin exactly like a resume.
+  /// `aux` carries the k-mer bookkeeping stats captured when the shards
+  /// were produced. One-shot: consumed by the next run, cleared by reset.
+  void set_preloaded_ufx(std::vector<std::vector<kcount::UfxRecord>> shards,
+                         ckpt::AuxStats aux);
+
+  /// Artifact-cache hook (src/server): invoked once after a run computes
+  /// UFX from scratch, with every rank's shard encoded in the checkpoint
+  /// wire format (ckpt::encode/decode_ufx_shard) plus the k-mer aux stats.
+  /// Threads fabric only — on a multi-process fabric each process holds
+  /// only its own shard, so the hook is skipped. One-shot like the
+  /// preload.
+  using UfxExportFn = std::function<void(
+      std::vector<std::vector<std::byte>> encoded_shards,
+      const ckpt::AuxStats& aux)>;
+  void set_ufx_export(UfxExportFn fn) { ufx_export_ = std::move(fn); }
+
   [[nodiscard]] pgas::ThreadTeam& team() { return team_; }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
@@ -231,6 +281,12 @@ class Pipeline {
   pgas::ThreadTeam team_;
   PipelineConfig config_;
   std::unique_ptr<ckpt::Checkpointer> ckpt_;
+
+  // Artifact-cache hooks (see set_preloaded_ufx / set_ufx_export).
+  std::vector<std::vector<kcount::UfxRecord>> preloaded_ufx_;
+  ckpt::AuxStats preloaded_aux_;
+  bool has_preloaded_ufx_ = false;
+  UfxExportFn ufx_export_;
 };
 
 }  // namespace hipmer::pipeline

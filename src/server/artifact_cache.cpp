@@ -1,0 +1,170 @@
+#include "server/artifact_cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#include "io/wire.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace hipmer::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMetaMagic = 0x43584655;  // "UFXC"
+constexpr std::uint32_t kMetaVersion = 1;
+
+/// tmp+rename, same idiom as the checkpoint store: the final name never
+/// holds a partial file.
+bool write_file_atomic(const fs::path& final_path, const std::byte* data,
+                       std::size_t size) {
+  const fs::path tmp = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    if (size > 0)
+      out.write(reinterpret_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::byte> bytes(size);
+  in.seekg(0);
+  if (size > 0)
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+  if (!in) return std::nullopt;
+  return bytes;
+}
+
+std::string key_name(std::uint64_t key) {
+  char name[24];
+  std::snprintf(name, sizeof name, "%016llx",
+                static_cast<unsigned long long>(key));
+  return name;
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(fs::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    util::log_warn("artifact cache: cannot create " + dir_.string() + ": " +
+                   ec.message());
+}
+
+fs::path ArtifactCache::entry_dir(std::uint64_t key) const {
+  return dir_ / key_name(key);
+}
+
+std::optional<ArtifactCache::UfxArtifact> ArtifactCache::lookup_ufx(
+    std::uint64_t key) {
+  const fs::path entry = entry_dir(key);
+  const auto miss = [&](const char* why) -> std::optional<UfxArtifact> {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (why != nullptr) {
+      // A validation failure (as opposed to a plain absence) leaves a
+      // poisoned entry behind; drop it so the next producer repopulates.
+      util::log_warn("artifact cache: dropping " + entry.string() + ": " +
+                     why);
+      std::error_code ec;
+      fs::remove_all(entry, ec);
+    }
+    return std::nullopt;
+  };
+
+  const auto meta_bytes = read_file(entry / "meta.bin");
+  if (!meta_bytes) return miss(nullptr);
+
+  UfxArtifact artifact;
+  std::vector<std::uint64_t> shard_bytes;
+  std::vector<std::uint32_t> shard_crcs;
+  try {
+    io::wire::Reader r(*meta_bytes);
+    if (r.get_pod_checked<std::uint32_t>("cache magic") != kMetaMagic)
+      return miss("bad magic");
+    if (r.get_pod_checked<std::uint32_t>("cache version") != kMetaVersion)
+      return miss("bad version");
+    if (r.get_pod_checked<std::uint64_t>("cache key") != key)
+      return miss("key mismatch");
+    artifact.aux.distinct_kmers =
+        r.get_pod_checked<std::uint64_t>("cache distinct");
+    artifact.aux.singleton_fraction =
+        r.get_pod_checked<double>("cache singletons");
+    artifact.aux.heavy_hitters = r.get_pod_checked<std::uint64_t>("cache hh");
+    const auto count = r.get_pod_checked<std::uint32_t>("cache shards");
+    if (count > 4096) return miss("absurd shard count");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      shard_bytes.push_back(r.get_pod_checked<std::uint64_t>("cache bytes"));
+      shard_crcs.push_back(r.get_pod_checked<std::uint32_t>("cache crc"));
+    }
+  } catch (const io::wire::Error&) {
+    return miss("truncated meta");
+  }
+
+  artifact.shards.reserve(shard_bytes.size());
+  for (std::size_t i = 0; i < shard_bytes.size(); ++i) {
+    auto bytes = read_file(entry / ("ufx." + std::to_string(i)));
+    if (!bytes || bytes->size() != shard_bytes[i] ||
+        util::crc32c(bytes->data(), bytes->size()) != shard_crcs[i])
+      return miss("shard corrupt");
+    artifact.shards.push_back(std::move(*bytes));
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return artifact;
+}
+
+bool ArtifactCache::store_ufx(std::uint64_t key,
+                              const std::vector<std::vector<std::byte>>& shards,
+                              const ckpt::AuxStats& aux) {
+  const fs::path entry = entry_dir(key);
+  std::error_code ec;
+  fs::create_directories(entry, ec);
+  if (ec) return false;
+
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!write_file_atomic(entry / ("ufx." + std::to_string(i)),
+                           shards[i].data(), shards[i].size()))
+      return false;
+  }
+
+  std::vector<std::byte> meta;
+  io::wire::Writer w(meta);
+  w.put_u32(kMetaMagic);
+  w.put_u32(kMetaVersion);
+  w.put_u64(key);
+  w.put_u64(aux.distinct_kmers);
+  w.put_pod(aux.singleton_fraction);
+  w.put_u64(aux.heavy_hitters);
+  w.put_u32(static_cast<std::uint32_t>(shards.size()));
+  for (const auto& shard : shards) {
+    w.put_u64(shard.size());
+    w.put_u32(util::crc32c(shard.data(), shard.size()));
+  }
+  // Commit point: lookups only believe entries whose meta landed whole.
+  return write_file_atomic(entry / "meta.bin", meta.data(), meta.size());
+}
+
+}  // namespace hipmer::server

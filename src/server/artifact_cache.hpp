@@ -1,0 +1,66 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "ckpt/manifest.hpp"
+
+/// Content-addressed shared artifact cache.
+///
+/// Keyed by the job's artifact key — Pipeline::config_fingerprint combined
+/// with the identity of the input files (path + size per library; the
+/// fingerprint deliberately treats paths as mere locators, so the input
+/// identity has to be folded in here for two tenants' different datasets
+/// not to collide). One entry holds the UFX shards exactly as the
+/// checkpoint subsystem encodes them (ckpt::encode/decode_ufx_shard) plus
+/// the k-mer bookkeeping stats, so a cache hit can skip the whole k-mer
+/// analysis stage of a resubmitted job.
+///
+/// Layout: `<dir>/<key as 16 hex digits>/ufx.<i>` + `meta.bin`. Writes go
+/// shards-first, meta last via tmp+rename — meta.bin is the commit point,
+/// so a torn store is an ordinary miss, never a corrupt hit. Every shard
+/// is CRC-32C'd in meta and re-verified on lookup.
+namespace hipmer::server {
+
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(std::filesystem::path dir);
+
+  struct UfxArtifact {
+    /// Encoded shards in the ckpt wire format; any shard count is usable
+    /// by any team size (the consumer re-deals round robin).
+    std::vector<std::vector<std::byte>> shards;
+    ckpt::AuxStats aux;
+  };
+
+  /// nullopt on miss; any CRC/shape mismatch is also a miss (and the
+  /// offending entry is removed so the next store can repopulate it).
+  [[nodiscard]] std::optional<UfxArtifact> lookup_ufx(std::uint64_t key);
+
+  /// Idempotent store. Returns false on I/O failure (the cache then
+  /// simply misses next time — callers never depend on a store landing).
+  bool store_ufx(std::uint64_t key,
+                 const std::vector<std::vector<std::byte>>& shards,
+                 const ckpt::AuxStats& aux);
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path entry_dir(std::uint64_t key) const;
+
+  std::filesystem::path dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace hipmer::server

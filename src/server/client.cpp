@@ -1,0 +1,85 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "server/protocol.hpp"
+
+namespace hipmer::server {
+
+std::optional<Response> request(const std::string& socket_path,
+                                const std::string& command) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) return std::nullopt;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (!send_line(fd, command)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  // Half-close so a server looping on the connection sees EOF after this
+  // one command.
+  ::shutdown(fd, SHUT_WR);
+
+  Response response;
+  LineReader reader(fd);
+  bool saw_end = false;
+  while (auto raw = reader.next()) {
+    const auto text = unframe_line(*raw);
+    if (!text) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (*text == kEnd) {
+      saw_end = true;
+      break;
+    }
+    response.lines.push_back(*text);
+  }
+  ::close(fd);
+  if (!saw_end || response.lines.empty()) return std::nullopt;
+  return response;
+}
+
+std::optional<Response> request_with_retry(const std::string& socket_path,
+                                           const std::string& command,
+                                           int attempts, int delay_ms) {
+  for (int i = 0; i < attempts; ++i) {
+    if (auto r = request(socket_path, command)) return r;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return std::nullopt;
+}
+
+std::string response_field(const std::string& line, const std::string& key,
+                           const std::string& fallback) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const auto start = line.find(needle, pos);
+    if (start == std::string::npos) return fallback;
+    if (start == 0 || line[start - 1] == ' ') {
+      const auto vstart = start + needle.size();
+      const auto vend = line.find(' ', vstart);
+      return line.substr(vstart, vend == std::string::npos ? std::string::npos
+                                                           : vend - vstart);
+    }
+    pos = start + 1;
+  }
+  return fallback;
+}
+
+}  // namespace hipmer::server

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Client side of the control protocol: one framed request line, one
+/// END-terminated framed response. Used by the CLI's submit/status modes
+/// and the tests.
+namespace hipmer::server {
+
+struct Response {
+  /// Unframed response lines, END excluded. The first line starts with
+  /// OK, ERR, JOB, or STATS.
+  std::vector<std::string> lines;
+
+  [[nodiscard]] bool ok() const {
+    return !lines.empty() && lines.front().rfind("ERR", 0) != 0;
+  }
+  [[nodiscard]] const std::string& first() const { return lines.front(); }
+};
+
+/// Connect to the server socket, send `command`, read until END. nullopt
+/// on connect failure, CRC-corrupt response, or EOF before END.
+[[nodiscard]] std::optional<Response> request(const std::string& socket_path,
+                                              const std::string& command);
+
+/// Retry `request` until the socket accepts connections (server startup
+/// race) or `attempts * delay_ms` elapses.
+[[nodiscard]] std::optional<Response> request_with_retry(
+    const std::string& socket_path, const std::string& command, int attempts,
+    int delay_ms);
+
+/// Pull "key=value" out of a response line; fallback when absent.
+[[nodiscard]] std::string response_field(const std::string& line,
+                                         const std::string& key,
+                                         const std::string& fallback = "");
+
+}  // namespace hipmer::server

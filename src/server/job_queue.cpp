@@ -1,0 +1,163 @@
+#include "server/job_queue.hpp"
+
+#include <algorithm>
+
+namespace hipmer::server {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint64_t> JobQueue::queued_order_locked() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, job] : jobs_)
+    if (job->state == JobState::kQueued) ids.push_back(id);
+  // Higher priority first; map iteration already gave submit order, and
+  // stable_sort preserves it within a priority.
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return jobs_.at(a)->spec.priority >
+                            jobs_.at(b)->spec.priority;
+                   });
+  return ids;
+}
+
+std::uint64_t JobQueue::submit(JobSpec spec, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    if (error != nullptr) *error = "shutting-down";
+    return 0;
+  }
+  std::size_t queued = 0;
+  std::uint64_t resident = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kQueued) {
+      ++queued;
+      resident += job->spec.estimated_bytes;
+    } else if (job->state == JobState::kRunning) {
+      resident += job->spec.estimated_bytes;
+    }
+  }
+  if (queued >= admission_.max_queued) {
+    if (error != nullptr) *error = "queue-full";
+    return 0;
+  }
+  if (resident + spec.estimated_bytes > admission_.max_resident_bytes) {
+    if (error != nullptr) *error = "memory-budget";
+    return 0;
+  }
+  const std::uint64_t id = next_id_++;
+  spec.id = id;
+  auto job = std::make_unique<JobRecord>();
+  job->spec = std::move(spec);
+  jobs_.emplace(id, std::move(job));
+  cv_.notify_all();
+  return id;
+}
+
+JobRecord* JobQueue::pop_next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Shutdown wins over remaining queued work: SHUTDOWN means "finish
+    // the running job and stop", not "drain the backlog".
+    if (shutdown_) return nullptr;
+    const auto order = queued_order_locked();
+    if (!order.empty()) {
+      JobRecord* job = jobs_.at(order.front()).get();
+      job->state = JobState::kRunning;
+      return job;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  JobRecord* job = it->second.get();
+  if (job_state_terminal(job->state)) return false;
+  if (job->state == JobState::kQueued) {
+    job->state = JobState::kCancelled;
+    ++totals_.cancelled;
+    return true;
+  }
+  // Running: the executor observes the flag at the next stage boundary
+  // and lands kCancelled through finish().
+  job->cancel_requested.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void JobQueue::finish(JobRecord* job, JobState state, JobOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  job->state = state;
+  job->outcome = std::move(outcome);
+  switch (state) {
+    case JobState::kDone:
+      ++totals_.completed;
+      break;
+    case JobState::kFailed:
+      ++totals_.failed;
+      break;
+    case JobState::kCancelled:
+      ++totals_.cancelled;
+      break;
+    default:
+      break;
+  }
+}
+
+std::optional<JobQueue::Snapshot> JobQueue::status(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const JobRecord& job = *it->second;
+  Snapshot snap;
+  snap.id = id;
+  snap.state = job.state;
+  snap.outcome = job.outcome;
+  snap.tenant = job.spec.tenant;
+  snap.output_path = job.spec.output_path;
+  if (job.state == JobState::kQueued) {
+    const auto order = queued_order_locked();
+    const auto pos = std::find(order.begin(), order.end(), id);
+    if (pos != order.end())
+      snap.queue_position = static_cast<int>(pos - order.begin());
+  }
+  return snap;
+}
+
+JobQueue::Counters JobQueue::counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters c = totals_;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kQueued) {
+      ++c.queued;
+      c.resident_estimate += job->spec.estimated_bytes;
+    } else if (job->state == JobState::kRunning) {
+      ++c.running;
+      c.resident_estimate += job->spec.estimated_bytes;
+    }
+  }
+  return c;
+}
+
+void JobQueue::shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace hipmer::server

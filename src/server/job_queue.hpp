@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "seq/read.hpp"
+
+/// Job queue with admission control for the assembly server.
+///
+/// Submissions are admitted against two budgets — a queue-depth cap and a
+/// resident-memory estimate summed over every queued+running job (the
+/// estimate is the total input FASTQ size, a good proxy for the resident
+/// read store that dominates a job's footprint). Admitted jobs are
+/// scheduled highest priority first, FIFO within a priority. One executor
+/// drains the queue; any number of control connections submit, poll and
+/// cancel concurrently.
+namespace hipmer::server {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] const char* job_state_name(JobState state);
+
+/// True for states a job can never leave.
+[[nodiscard]] inline bool job_state_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+/// Everything the executor needs to run one job, parsed from SUBMIT.
+struct JobSpec {
+  std::uint64_t id = 0;
+  std::string tenant = "default";
+  int priority = 0;
+
+  std::vector<seq::ReadLibrary> libraries;
+  std::string output_path;
+
+  int k = 31;
+  /// 0 = keep the pipeline default.
+  std::uint32_t min_count = 0;
+  int rounds = 1;
+  /// Merge diploid bubbles before scaffolding (the CLI's --diploid). Off by
+  /// default so a served job matches a one-shot `assemble` byte for byte.
+  bool diploid = false;
+  bool resume = false;
+  bool use_cache = true;
+
+  /// Fault injection riders (tests / chaos drills): same specs the CLI's
+  /// --kill and --chaos-spec take. A job carrying these can only hurt
+  /// itself — containment is the server's job.
+  std::string kill_spec;
+  std::string chaos_spec;
+  std::uint64_t chaos_seed = 1;
+
+  /// Admission estimate: total input bytes (filled at submit).
+  std::uint64_t estimated_bytes = 0;
+};
+
+/// Filled in by the executor as the job finishes (any terminal state).
+struct JobOutcome {
+  std::uint64_t scaffolds = 0;
+  std::uint64_t scaffold_bases = 0;
+  bool cache_hit = false;
+  std::string error;
+  std::vector<pipeline::StageReport> stages;
+};
+
+struct JobRecord {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  JobOutcome outcome;
+  /// Set by CANCEL on a running job; the pipeline's cancel_poll reads it
+  /// between stages.
+  std::atomic<bool> cancel_requested{false};
+};
+
+struct AdmissionConfig {
+  std::size_t max_queued = 16;
+  /// Sum of estimated_bytes over queued+running jobs may not exceed this.
+  std::uint64_t max_resident_bytes = 4ull << 30;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(AdmissionConfig admission) : admission_(admission) {}
+
+  /// Admission-checked enqueue. On success assigns spec.id and returns
+  /// the id; on rejection returns 0 and sets `error` to a one-word reason
+  /// (queue-full / memory-budget).
+  std::uint64_t submit(JobSpec spec, std::string* error);
+
+  /// Block until a job is runnable (marked kRunning before return) or the
+  /// queue shuts down (nullptr). The returned record stays owned by the
+  /// queue and outlives the job.
+  JobRecord* pop_next();
+
+  /// Queued jobs cancel immediately; running jobs get the flag (the
+  /// executor lands the terminal state). False for unknown/terminal jobs.
+  bool cancel(std::uint64_t id);
+
+  /// Executor hand-back: record the terminal state + outcome.
+  void finish(JobRecord* job, JobState state, JobOutcome outcome);
+
+  struct Snapshot {
+    std::uint64_t id = 0;
+    JobState state = JobState::kQueued;
+    /// 0-based position among queued jobs in dispatch order; -1 once off
+    /// the queue.
+    int queue_position = -1;
+    JobOutcome outcome;
+    std::string tenant;
+    std::string output_path;
+  };
+  [[nodiscard]] std::optional<Snapshot> status(std::uint64_t id);
+
+  struct Counters {
+    std::size_t queued = 0;
+    std::size_t running = 0;
+    std::uint64_t resident_estimate = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+  };
+  [[nodiscard]] Counters counters();
+
+  /// Wake the executor with nullptr; subsequent submits are rejected.
+  void shutdown();
+
+ private:
+  /// Queued ids in dispatch order (priority desc, then submit order).
+  [[nodiscard]] std::vector<std::uint64_t> queued_order_locked() const;
+
+  AdmissionConfig admission_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::uint64_t next_id_ = 1;
+  /// unique_ptr: records hold an atomic and must stay address-stable for
+  /// the executor while the map grows.
+  std::map<std::uint64_t, std::unique_ptr<JobRecord>> jobs_;
+  Counters totals_;
+};
+
+}  // namespace hipmer::server

@@ -1,0 +1,376 @@
+#include "server/job_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#include "ckpt/artifacts.hpp"
+#include "io/fasta.hpp"
+#include "pgas/chaos.hpp"
+#include "pgas/fault.hpp"
+#include "io/wire.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace hipmer::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The shared-cache key: the pipeline's config fingerprint folded with
+/// the identity of the input files (path + size). The fingerprint alone
+/// treats paths as locators — two tenants' different datasets under the
+/// same config must not collide.
+std::uint64_t artifact_key(pipeline::Pipeline& pipe, const JobSpec& spec) {
+  std::vector<std::byte> buf;
+  io::wire::Writer w(buf);
+  w.put_u64(pipe.config_fingerprint(spec.libraries));
+  for (const auto& lib : spec.libraries) {
+    w.put_bytes(lib.fastq_path);
+    std::error_code ec;
+    const auto size = fs::file_size(lib.fastq_path, ec);
+    w.put_u64(ec ? 0 : static_cast<std::uint64_t>(size));
+  }
+  return util::hash_bytes(buf.data(), buf.size());
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool JobServer::parse_submit(const Command& cmd, JobSpec* spec,
+                             std::string* error) {
+  const std::string reads = cmd.get("reads");
+  if (reads.empty()) {
+    *error = "missing-reads";
+    return false;
+  }
+  // reads=path[:insert[:s]],...  (":s" marks a scaffold-only library).
+  // Library names are assigned lib0, lib1, ... — the same scheme the CLI
+  // uses, so fingerprints agree between served and one-shot runs.
+  std::istringstream is(reads);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    seq::ReadLibrary lib;
+    lib.name = "lib" + std::to_string(spec->libraries.size());
+    lib.mean_insert = 400.0;
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      lib.fastq_path = item;
+    } else {
+      lib.fastq_path = item.substr(0, colon);
+      std::string rest = item.substr(colon + 1);
+      const auto colon2 = rest.find(':');
+      if (colon2 != std::string::npos) {
+        if (rest.substr(colon2 + 1) == "s") lib.for_contigging = false;
+        rest = rest.substr(0, colon2);
+      }
+      if (!rest.empty()) lib.mean_insert = std::atof(rest.c_str());
+    }
+    std::error_code ec;
+    const auto size = fs::file_size(lib.fastq_path, ec);
+    if (ec) {
+      *error = "input-missing";
+      return false;
+    }
+    spec->estimated_bytes += static_cast<std::uint64_t>(size);
+    spec->libraries.push_back(std::move(lib));
+  }
+  if (spec->libraries.empty()) {
+    *error = "missing-reads";
+    return false;
+  }
+
+  spec->output_path = cmd.get("out");
+  if (spec->output_path.empty()) {
+    *error = "missing-out";
+    return false;
+  }
+  spec->tenant = cmd.get("tenant", "default");
+  if (spec->tenant.find('/') != std::string::npos ||
+      spec->tenant.find("..") != std::string::npos) {
+    *error = "bad-tenant";
+    return false;
+  }
+  spec->priority = std::atoi(cmd.get("priority", "0").c_str());
+  spec->k = std::atoi(cmd.get("k", "31").c_str());
+  spec->min_count = static_cast<std::uint32_t>(
+      std::strtoul(cmd.get("min_count", "0").c_str(), nullptr, 10));
+  spec->rounds = std::atoi(cmd.get("rounds", "1").c_str());
+  spec->diploid = cmd.get("diploid", "0") == "1";
+  spec->resume = cmd.get("resume", "0") == "1";
+  spec->use_cache = cmd.get("cache", "1") != "0";
+  spec->kill_spec = cmd.get("kill");
+  spec->chaos_spec = cmd.get("chaos");
+  spec->chaos_seed = static_cast<std::uint64_t>(
+      std::strtoull(cmd.get("chaos_seed", "1").c_str(), nullptr, 10));
+  if (spec->k < 5 || spec->rounds < 1) {
+    *error = "bad-config";
+    return false;
+  }
+  return true;
+}
+
+JobServer::JobServer(ServerConfig config)
+    : config_(std::move(config)), queue_(config_.admission) {
+  if (config_.enable_cache)
+    cache_ = std::make_unique<ArtifactCache>(fs::path(config_.state_dir) /
+                                             "cache");
+}
+
+JobServer::~JobServer() {
+  queue_.shutdown();
+  stop_.store(true, std::memory_order_relaxed);
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+std::string JobServer::tenant_dir(const std::string& tenant) const {
+  return (fs::path(config_.state_dir) / "tenants" / tenant).string();
+}
+
+int JobServer::serve() {
+  std::error_code ec;
+  fs::create_directories(fs::path(config_.state_dir) / "tenants", ec);
+  if (ec) {
+    util::log_warn("server: cannot create " + config_.state_dir + ": " +
+                   ec.message());
+    return 1;
+  }
+
+  // One persistent team for the server's whole life; jobs re-arm it via
+  // Pipeline::reset.
+  pipeline::PipelineConfig boot;
+  boot.sync_k();
+  pipe_ = std::make_unique<pipeline::Pipeline>(
+      pgas::Topology{config_.ranks, config_.cores}, boot);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.listen_path.size() >= sizeof addr.sun_path) {
+    util::log_warn("server: socket path too long: " + config_.listen_path);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, config_.listen_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ::unlink(config_.listen_path.c_str());
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0 ||
+      ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    util::log_warn("server: cannot listen on " + config_.listen_path + ": " +
+                   std::strerror(errno));
+    if (listen_fd >= 0) ::close(listen_fd);
+    return 1;
+  }
+  util::log_info("server: listening on " + config_.listen_path + " with " +
+                 std::to_string(config_.ranks) + " ranks");
+
+  io_thread_ = std::thread([this, listen_fd] { io_loop(listen_fd); });
+
+  // Executor: one job at a time over the shared team.
+  while (JobRecord* job = queue_.pop_next()) execute(job);
+
+  stop_.store(true, std::memory_order_relaxed);
+  io_thread_.join();
+  ::close(listen_fd);
+  ::unlink(config_.listen_path.c_str());
+  util::log_info("server: shut down cleanly");
+  return 0;
+}
+
+void JobServer::io_loop(int listen_fd) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Control exchanges are tiny (a line in, a few lines out); handling
+    // them serially keeps the queue's lock discipline trivial while many
+    // clients connect concurrently.
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void JobServer::handle_connection(int fd) {
+  LineReader reader(fd);
+  while (auto raw = reader.next()) {
+    const auto text = unframe_line(*raw);
+    if (!text) {
+      send_line(fd, "ERR bad-frame");
+      send_line(fd, kEnd);
+      continue;
+    }
+    const Command cmd = parse_command(*text);
+
+    if (cmd.verb == "PING") {
+      send_line(fd, "OK pong");
+    } else if (cmd.verb == "SUBMIT") {
+      JobSpec spec;
+      std::string error;
+      if (!parse_submit(cmd, &spec, &error)) {
+        send_line(fd, "ERR " + error);
+      } else {
+        const std::uint64_t id = queue_.submit(std::move(spec), &error);
+        if (id == 0)
+          send_line(fd, "ERR " + error);
+        else
+          send_line(fd, "OK id=" + std::to_string(id));
+      }
+    } else if (cmd.verb == "STATUS" || cmd.verb == "RESULT") {
+      const std::uint64_t id = static_cast<std::uint64_t>(
+          std::strtoull(cmd.get("id", "0").c_str(), nullptr, 10));
+      const auto snap = queue_.status(id);
+      if (!snap) {
+        send_line(fd, "ERR unknown-job");
+      } else {
+        std::string line = "JOB id=" + std::to_string(snap->id) + " state=" +
+                           job_state_name(snap->state);
+        if (snap->queue_position >= 0)
+          line += " pos=" + std::to_string(snap->queue_position);
+        if (job_state_terminal(snap->state)) {
+          line += " scaffolds=" + std::to_string(snap->outcome.scaffolds) +
+                  " bases=" + std::to_string(snap->outcome.scaffold_bases) +
+                  " cache_hit=" + (snap->outcome.cache_hit ? "1" : "0");
+          if (!snap->output_path.empty()) line += " out=" + snap->output_path;
+          if (!snap->outcome.error.empty()) {
+            std::string err = snap->outcome.error;
+            // One-line protocol: the reason must not smuggle in framing.
+            for (auto& c : err)
+              if (c == ' ' || c == '\n') c = '_';
+            line += " error=" + err;
+          }
+        }
+        send_line(fd, line);
+        if (cmd.verb == "RESULT" && job_state_terminal(snap->state)) {
+          for (const auto& stage : snap->outcome.stages)
+            send_line(fd, "STAGE " + stage.name + " " +
+                              format_double(stage.wall_seconds) + " " +
+                              format_double(stage.modeled_seconds));
+        }
+      }
+    } else if (cmd.verb == "CANCEL") {
+      const std::uint64_t id = static_cast<std::uint64_t>(
+          std::strtoull(cmd.get("id", "0").c_str(), nullptr, 10));
+      send_line(fd, queue_.cancel(id) ? "OK cancelled" : "ERR unknown-job");
+    } else if (cmd.verb == "STATS") {
+      const auto c = queue_.counters();
+      std::string line =
+          "STATS queued=" + std::to_string(c.queued) +
+          " running=" + std::to_string(c.running) +
+          " completed=" + std::to_string(c.completed) +
+          " failed=" + std::to_string(c.failed) +
+          " cancelled=" + std::to_string(c.cancelled) +
+          " resident_estimate=" + std::to_string(c.resident_estimate);
+      if (cache_ != nullptr)
+        line += " cache_hits=" + std::to_string(cache_->hits()) +
+                " cache_misses=" + std::to_string(cache_->misses());
+      send_line(fd, line);
+    } else if (cmd.verb == "SHUTDOWN") {
+      send_line(fd, "OK shutting-down");
+      send_line(fd, kEnd);
+      queue_.shutdown();
+      return;
+    } else {
+      send_line(fd, "ERR unknown-verb");
+    }
+    send_line(fd, kEnd);
+  }
+}
+
+void JobServer::execute(JobRecord* job) {
+  const JobSpec& spec = job->spec;
+  util::log_info("server: job " + std::to_string(spec.id) + " (tenant " +
+                 spec.tenant + ") starting");
+
+  JobOutcome outcome;
+  try {
+    pipeline::PipelineConfig cfg;
+    cfg.k = spec.k;
+    if (spec.min_count > 0) cfg.kmer.min_count = spec.min_count;
+    cfg.scaffolding_rounds = spec.rounds;
+    cfg.merge_bubbles = spec.diploid;
+    cfg.checkpoint.dir = tenant_dir(spec.tenant);
+    cfg.checkpoint.keep_last = config_.keep_last;
+    if (!spec.chaos_spec.empty())
+      cfg.chaos = pgas::ChaosPlan::parse(spec.chaos_seed, spec.chaos_spec);
+    cfg.cancel_poll = [job] {
+      return job->cancel_requested.load(std::memory_order_relaxed);
+    };
+    cfg.sync_k();
+
+    // Re-arm the persistent team: clears fault plans, drops the previous
+    // job's channels, rebuilds the barrier a faulted job may have shrunk.
+    pipe_->reset(std::move(cfg));
+    if (!spec.kill_spec.empty())
+      pipe_->team().faults().set_plan(pgas::FaultPlan::parse(spec.kill_spec));
+
+    if (cache_ != nullptr && spec.use_cache) {
+      const std::uint64_t key = artifact_key(*pipe_, spec);
+      if (auto hit = cache_->lookup_ufx(key)) {
+        std::vector<std::vector<kcount::UfxRecord>> decoded;
+        bool ok = true;
+        for (const auto& shard : hit->shards) {
+          auto records = ckpt::decode_ufx_shard(shard);
+          if (!records) {
+            ok = false;
+            break;
+          }
+          decoded.push_back(std::move(*records));
+        }
+        if (ok) {
+          pipe_->set_preloaded_ufx(std::move(decoded), hit->aux);
+          outcome.cache_hit = true;
+        }
+      }
+      if (!outcome.cache_hit) {
+        ArtifactCache* cache = cache_.get();
+        pipe_->set_ufx_export(
+            [cache, key](std::vector<std::vector<std::byte>> shards,
+                         const ckpt::AuxStats& aux) {
+              cache->store_ufx(key, shards, aux);
+            });
+      }
+    }
+
+    auto result = pipe_->execute_from_fastq(spec.libraries, spec.resume);
+
+    if (!io::write_fasta(spec.output_path, result.scaffolds))
+      throw std::runtime_error("cannot write " + spec.output_path);
+    outcome.scaffolds = result.scaffolds.size();
+    for (const auto& rec : result.scaffolds)
+      outcome.scaffold_bases += rec.seq.size();
+    outcome.stages = std::move(result.stages);
+    queue_.finish(job, JobState::kDone, std::move(outcome));
+    util::log_info("server: job " + std::to_string(spec.id) + " done");
+  } catch (const pipeline::JobCancelled& e) {
+    outcome.error = e.what();
+    queue_.finish(job, JobState::kCancelled, std::move(outcome));
+    util::log_info("server: job " + std::to_string(spec.id) + " cancelled");
+  } catch (const std::exception& e) {
+    // RankKilled / PeerSuspect land here too: the job dies, the server
+    // does not — the next job's reset rebuilds the team's sync state.
+    outcome.error = e.what();
+    queue_.finish(job, JobState::kFailed, std::move(outcome));
+    util::log_warn("server: job " + std::to_string(spec.id) + " failed: " +
+                   e.what());
+  }
+}
+
+}  // namespace hipmer::server

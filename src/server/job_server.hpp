@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "pipeline/pipeline.hpp"
+#include "server/artifact_cache.hpp"
+#include "server/job_queue.hpp"
+#include "server/protocol.hpp"
+
+/// Assembly-as-a-service: a long-lived job server owning one persistent
+/// rank team.
+///
+/// `serve()` binds a Unix control socket, answers the line protocol
+/// (server/protocol.hpp) on an IO thread, and drains the job queue on the
+/// calling thread: one assembly at a time over the shared team, with
+/// `Pipeline::reset` re-arming the pipeline between jobs. Failure is
+/// contained per job — a rank killed by an injected fault or a suspect
+/// peer fails that job, the team's sync state is rebuilt, and the next
+/// job runs as if nothing happened.
+///
+/// Per-tenant state lives under `<state_dir>/tenants/<tenant>` (each
+/// tenant's checkpoint dir, quota-bounded by keep-last pruning) and the
+/// shared artifact cache under `<state_dir>/cache` — a cache hit on a
+/// resubmitted (input, config) skips the k-mer analysis stage outright.
+namespace hipmer::server {
+
+struct ServerConfig {
+  /// Unix socket path to listen on.
+  std::string listen_path;
+  int ranks = 4;
+  /// Cores-per-node knob of the Topology (matches the CLI's default).
+  int cores = 4;
+  /// Root for tenant checkpoint dirs and the artifact cache.
+  std::string state_dir = "hipmer-server-state";
+  AdmissionConfig admission;
+  /// Per-tenant checkpoint quota: snapshots kept per job fingerprint.
+  int keep_last = 2;
+  bool enable_cache = true;
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerConfig config);
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Bind, serve until SHUTDOWN, tear down. Returns a process exit code.
+  int serve();
+
+  [[nodiscard]] JobQueue& queue() { return queue_; }
+  [[nodiscard]] ArtifactCache* cache() { return cache_.get(); }
+
+  /// Parse a SUBMIT command into a JobSpec (shared with tests). Returns
+  /// false with `error` set on a malformed or inadmissible spec.
+  static bool parse_submit(const Command& cmd, JobSpec* spec,
+                           std::string* error);
+
+ private:
+  void io_loop(int listen_fd);
+  void handle_connection(int fd);
+  void execute(JobRecord* job);
+  [[nodiscard]] std::string tenant_dir(const std::string& tenant) const;
+
+  ServerConfig config_;
+  JobQueue queue_;
+  std::unique_ptr<ArtifactCache> cache_;
+  std::unique_ptr<pipeline::Pipeline> pipe_;
+  std::atomic<bool> stop_{false};
+  std::thread io_thread_;
+};
+
+}  // namespace hipmer::server

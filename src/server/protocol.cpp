@@ -1,0 +1,97 @@
+#include "server/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace hipmer::server {
+
+std::string frame_line(const std::string& text) {
+  const std::uint32_t crc = util::crc32c(text.data(), text.size());
+  char prefix[16];
+  std::snprintf(prefix, sizeof prefix, "%08x ", crc);
+  return std::string(prefix) + text + "\n";
+}
+
+std::optional<std::string> unframe_line(const std::string& line) {
+  // "xxxxxxxx " + text: exactly 8 hex digits and one space.
+  if (line.size() < 9 || line[8] != ' ') return std::nullopt;
+  std::uint32_t claimed = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = line[static_cast<std::size_t>(i)];
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = c - 'a' + 10;
+    else
+      return std::nullopt;
+    claimed = (claimed << 4) | static_cast<std::uint32_t>(digit);
+  }
+  std::string text = line.substr(9);
+  if (util::crc32c(text.data(), text.size()) != claimed) return std::nullopt;
+  return text;
+}
+
+Command parse_command(const std::string& text) {
+  Command cmd;
+  std::istringstream is(text);
+  std::string token;
+  if (is >> token) cmd.verb = token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+      cmd.kv[token] = "";
+    else
+      cmd.kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return cmd;
+}
+
+bool send_line(int fd, const std::string& text) {
+  const std::string framed = frame_line(text);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> LineReader::next() {
+  for (;;) {
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    if (eof_) return std::nullopt;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) {
+      // EOF: an unterminated trailing fragment is dropped — a line is
+      // only a line once its '\n' arrives.
+      eof_ = true;
+      continue;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace hipmer::server

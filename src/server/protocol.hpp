@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Line-based control protocol for the job server.
+///
+/// Every line on the wire — request or response — is framed as
+///
+///   <8-hex-crc32c> <text>\n
+///
+/// mirroring the fabric's CRC'd envelopes: a corrupted line is detected
+/// and rejected instead of mis-parsed. A request is one framed line; a
+/// response is a sequence of framed lines terminated by an `END` line, so
+/// clients read every reply the same way regardless of verb.
+///
+/// Verbs: SUBMIT, STATUS, RESULT, CANCEL, STATS, PING, SHUTDOWN.
+/// Arguments are space-separated `key=value` tokens (values must not
+/// contain spaces; paths with spaces are not supported by the protocol).
+namespace hipmer::server {
+
+/// CRC-frame one line of text (`text` has no trailing newline).
+[[nodiscard]] std::string frame_line(const std::string& text);
+
+/// Unframe one line (without its trailing newline). nullopt when the CRC
+/// prefix is missing, malformed, or does not match the text.
+[[nodiscard]] std::optional<std::string> unframe_line(const std::string& line);
+
+/// A parsed command line: leading verb plus `key=value` arguments. Tokens
+/// without '=' land in `kv` with an empty value.
+struct Command {
+  std::string verb;
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv.count(key) != 0;
+  }
+};
+
+[[nodiscard]] Command parse_command(const std::string& text);
+
+/// Write one framed line to `fd` (blocking, handles short writes).
+bool send_line(int fd, const std::string& text);
+
+/// Incremental reader of newline-terminated lines from a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next raw line without its '\n' (still framed; pass to unframe_line).
+  /// nullopt on EOF or read error.
+  [[nodiscard]] std::optional<std::string> next();
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+/// Terminator text for every response.
+inline constexpr const char* kEnd = "END";
+
+}  // namespace hipmer::server

@@ -628,6 +628,79 @@ TEST(Checkpoint, KeepLastPrunesButResumeStillWorks) {
   fs::remove_all(dir);
 }
 
+TEST(Checkpoint, KeepLastIsPerFingerprintGroup) {
+  // Two configs with different fingerprints share one checkpoint
+  // directory — the served-job pattern when two jobs land in the same
+  // tenant dir. keep-last pruning must apply per fingerprint group: a
+  // global newest-N sweep would let each job's snapshots evict the
+  // other's.
+  auto ds = sim::make_human_like(20000, 4242, 15.0);
+  const auto dir = fresh_dir("prune_groups");
+  auto cfg_a = ckpt_config(dir);
+  cfg_a.checkpoint.keep_last = 1;
+  auto cfg_b = cfg_a;
+  cfg_b.kmer.min_count = 2;  // different fingerprint
+  cfg_b.sync_k();
+
+  // Interleave the two jobs twice; every snapshot commit re-runs prune.
+  pipeline::Pipeline job_a(pgas::Topology{4, 2}, cfg_a);
+  const auto expected_a = job_a.run(ds.reads, ds.libraries);
+  pipeline::Pipeline job_b(pgas::Topology{4, 2}, cfg_b);
+  const auto expected_b = job_b.run(ds.reads, ds.libraries);
+  pipeline::Pipeline again_a(pgas::Topology{4, 2}, cfg_a);
+  (void)again_a.run(ds.reads, ds.libraries);
+  pipeline::Pipeline again_b(pgas::Topology{4, 2}, cfg_b);
+  (void)again_b.run(ds.reads, ds.libraries);
+
+  // Both groups survived the interleaved pruning: each config resumes
+  // from its own snapshots without recomputing k-mer analysis.
+  pipeline::Pipeline resume_a(pgas::Topology{4, 2}, cfg_a);
+  const auto resumed_a = resume_a.resume(ds.reads, ds.libraries);
+  expect_same_scaffolds(expected_a.scaffolds, resumed_a.scaffolds, "group a");
+  EXPECT_EQ(resumed_a.wall_for(pipeline::kStageKmerAnalysis), 0.0);
+  pipeline::Pipeline resume_b(pgas::Topology{4, 2}, cfg_b);
+  const auto resumed_b = resume_b.resume(ds.reads, ds.libraries);
+  expect_same_scaffolds(expected_b.scaffolds, resumed_b.scaffolds, "group b");
+  EXPECT_EQ(resumed_b.wall_for(pipeline::kStageKmerAnalysis), 0.0);
+
+  // The quota still bites within each group: far fewer entry dirs than
+  // the 20 snapshots the four runs committed.
+  std::size_t entry_dirs = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    entry_dirs += e.is_directory();
+  EXPECT_LE(entry_dirs, 8u);
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, SeparateDirsNeverCrossPrune) {
+  // Two interleaved jobs with distinct checkpoint dirs (distinct tenants
+  // in server terms): aggressive keep-last in one dir must not disturb
+  // the other's ability to resume.
+  auto ds = sim::make_human_like(20000, 4242, 15.0);
+  const auto dir_a = fresh_dir("tenant_a");
+  const auto dir_b = fresh_dir("tenant_b");
+  auto cfg_a = ckpt_config(dir_a);
+  cfg_a.checkpoint.keep_last = 1;
+  auto cfg_b = ckpt_config(dir_b);
+  cfg_b.checkpoint.keep_last = 1;
+
+  pipeline::Pipeline job_a(pgas::Topology{4, 2}, cfg_a);
+  const auto expected_a = job_a.run(ds.reads, ds.libraries);
+  pipeline::Pipeline job_b(pgas::Topology{4, 2}, cfg_b);
+  const auto expected_b = job_b.run(ds.reads, ds.libraries);
+
+  pipeline::Pipeline resume_a(pgas::Topology{4, 2}, cfg_a);
+  expect_same_scaffolds(expected_a.scaffolds,
+                        resume_a.resume(ds.reads, ds.libraries).scaffolds,
+                        "tenant a");
+  pipeline::Pipeline resume_b(pgas::Topology{4, 2}, cfg_b);
+  expect_same_scaffolds(expected_b.scaffolds,
+                        resume_b.resume(ds.reads, ds.libraries).scaffolds,
+                        "tenant b");
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
 TEST(Checkpoint, ResumeWithoutAnyCheckpointRunsFromScratch) {
   auto ds = sim::make_human_like(20000, 4242, 15.0);
   const auto dir = fresh_dir("empty");

@@ -8,6 +8,12 @@
 //           [--checkpoint-rounds-only]]
 //   hipmer simulate (human|wheat|metagenome) --genome N --out-dir DIR
 //   hipmer convert --fastq in.fastq --seqdb out.sdb     (either direction)
+//   hipmer serve --listen /run/hipmer.sock [--ranks N] [--state-dir DIR]
+//   hipmer submit --listen /run/hipmer.sock --reads lib.fastq --out f.fasta
+//   hipmer status|cancel|stats|shutdown --listen /run/hipmer.sock [--job N]
+//
+// (`--serve`, `--submit` and `--status` are accepted as aliases for the
+// corresponding subcommands.)
 //
 // `assemble` accepts interleaved paired-end FASTQ files (read names must
 // carry pairing as "<lib>:<pair>/<mate>"; `simulate` writes that format).
@@ -31,6 +37,8 @@
 #include "kcount/histogram.hpp"
 #include "pgas/fabric.hpp"
 #include "pipeline/pipeline.hpp"
+#include "server/client.hpp"
+#include "server/job_server.hpp"
 #include "sim/datasets.hpp"
 #include "sim/metagenome_sim.hpp"
 #include "util/options.hpp"
@@ -60,7 +68,21 @@ int usage() {
                "  hipmer simulate (human|wheat|metagenome) [--genome N] "
                "[--species N] --out-dir DIR\n"
                "  hipmer convert (--fastq-to-seqdb IN OUT | "
-               "--seqdb-to-fastq IN OUT)\n");
+               "--seqdb-to-fastq IN OUT)\n"
+               "  hipmer serve --listen SOCK [--ranks N] [--state-dir DIR] "
+               "[--max-queued N]\n"
+               "               [--max-resident-bytes N] [--keep-last N] "
+               "[--no-cache]\n"
+               "  hipmer submit --listen SOCK --reads FILE [--insert N] "
+               "[--scaffold-only]... --out FILE\n"
+               "               [--tenant T] [--priority N] [--k N] "
+               "[--min-count N] [--rounds N] [--diploid] [--resume]\n"
+               "               [--no-cache] [--kill SPEC] [--chaos-spec S "
+               "--chaos-seed N] [--wait]\n"
+               "  hipmer status --listen SOCK --job ID [--result]\n"
+               "  hipmer cancel --listen SOCK --job ID\n"
+               "  hipmer stats --listen SOCK\n"
+               "  hipmer shutdown --listen SOCK\n");
   return 2;
 }
 
@@ -86,38 +108,8 @@ std::vector<seq::ReadLibrary> parse_libraries(int argc, char** argv) {
   return libraries;
 }
 
-/// `--kill RANK@STAGE[:OCC[:STEP]][,hard]` — arm a fault plan
-/// (pgas/fault.hpp). `,hard` SIGKILLs the hosting process instead of
-/// throwing, i.e. a real `kill -9` of a worker on the proc fabric.
-pgas::FaultPlan parse_kill_spec(const std::string& spec) {
-  pgas::FaultPlan plan;
-  std::string s = spec;
-  const auto comma = s.find(',');
-  if (comma != std::string::npos) {
-    plan.hard = s.substr(comma + 1) == "hard";
-    s = s.substr(0, comma);
-  }
-  const auto at = s.find('@');
-  if (at == std::string::npos)
-    throw std::runtime_error(
-        "bad --kill spec (want RANK@STAGE[:OCC[:STEP]][,hard]): " + spec);
-  plan.rank = std::atoi(s.substr(0, at).c_str());
-  std::string rest = s.substr(at + 1);
-  const auto colon = rest.find(':');
-  if (colon != std::string::npos) {
-    const std::string tail = rest.substr(colon + 1);
-    rest = rest.substr(0, colon);
-    const auto colon2 = tail.find(':');
-    if (colon2 != std::string::npos) {
-      plan.occurrence = std::atoi(tail.substr(0, colon2).c_str());
-      plan.step = std::atoi(tail.substr(colon2 + 1).c_str());
-    } else {
-      plan.occurrence = std::atoi(tail.c_str());
-    }
-  }
-  plan.stage = rest;
-  return plan;
-}
+// `--kill RANK@STAGE[:OCC[:STEP]][,hard]` specs are parsed by
+// pgas::FaultPlan::parse (shared with the server's SUBMIT kill= rider).
 
 /// SIGKILL + reap every worker the coordinator spawned (the restart path
 /// must not leave half-dead workers holding the old sockets).
@@ -226,9 +218,8 @@ int cmd_assemble(int argc, char** argv) {
     try {
       pipeline::Pipeline pipe(pgas::Topology{ranks, 4}, cfg);
       if (!kill_spec.empty())
-        pipe.team().faults().set_plan(parse_kill_spec(kill_spec));
-      const auto result = resume ? pipe.resume_from_fastq(libraries)
-                                 : pipe.run_from_fastq(libraries);
+        pipe.team().faults().set_plan(pgas::FaultPlan::parse(kill_spec));
+      const auto result = pipe.execute_from_fastq(libraries, resume);
       (void)result;  // rank 0's process reports and writes the output
       return 0;
     } catch (const pgas::RankKilled& e) {
@@ -315,14 +306,13 @@ int cmd_assemble(int argc, char** argv) {
         pipe = std::make_unique<pipeline::Pipeline>(pgas::Topology{ranks, 4},
                                                     cfg);
         if (!kill_spec.empty() && attempt == 0)
-          pipe->team().faults().set_plan(parse_kill_spec(kill_spec));
+          pipe->team().faults().set_plan(pgas::FaultPlan::parse(kill_spec));
         std::printf(
             "assembling %zu librar%s on %d ranks (%d processes), k=%d, "
             "min_count=%u...\n",
             libraries.size(), libraries.size() == 1 ? "y" : "ies", ranks,
             ranks, k, cfg.kmer.min_count);
-        const auto result = do_resume ? pipe->resume_from_fastq(libraries)
-                                      : pipe->run_from_fastq(libraries);
+        const auto result = pipe->execute_from_fastq(libraries, do_resume);
         return report_and_write(*pipe, result, out);
       } catch (const pgas::RankKilled& e) {
         reap_workers(pipe.get());
@@ -344,12 +334,11 @@ int cmd_assemble(int argc, char** argv) {
 
   pipeline::Pipeline pipe(pgas::Topology{ranks, 4}, cfg);
   if (!kill_spec.empty())
-    pipe.team().faults().set_plan(parse_kill_spec(kill_spec));
+    pipe.team().faults().set_plan(pgas::FaultPlan::parse(kill_spec));
   std::printf("assembling %zu librar%s on %d ranks, k=%d, min_count=%u...\n",
               libraries.size(), libraries.size() == 1 ? "y" : "ies", ranks, k,
               cfg.kmer.min_count);
-  const auto result = resume ? pipe.resume_from_fastq(libraries)
-                             : pipe.run_from_fastq(libraries);
+  const auto result = pipe.execute_from_fastq(libraries, resume);
   return report_and_write(pipe, result, out);
 }
 
@@ -384,6 +373,126 @@ int cmd_simulate(const std::string& kind, int argc, char** argv) {
     std::printf("wrote %s (insert %.0f)\n", lib.fastq_path.c_str(),
                 lib.mean_insert);
   return 0;
+}
+
+// ---- server mode (src/server): long-lived job server + thin clients ----
+
+int cmd_serve(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  server::ServerConfig cfg;
+  cfg.listen_path = opts.get("listen", "");
+  if (cfg.listen_path.empty()) {
+    std::fprintf(stderr, "serve: --listen SOCK required\n");
+    return usage();
+  }
+  cfg.ranks = static_cast<int>(opts.get_int("ranks", 4));
+  cfg.state_dir = opts.get("state-dir", "hipmer-server-state");
+  cfg.admission.max_queued =
+      static_cast<std::size_t>(opts.get_int("max-queued", 16));
+  cfg.admission.max_resident_bytes = static_cast<std::uint64_t>(
+      opts.get_int("max-resident-bytes", 4ll << 30));
+  cfg.keep_last = static_cast<int>(opts.get_int("keep-last", 2));
+  cfg.enable_cache = !opts.get_bool("no-cache", false);
+  server::JobServer srv(cfg);
+  return srv.serve();
+}
+
+/// One request/response against --listen; prints the response lines.
+int run_control_command(const std::string& sock, const std::string& command) {
+  const auto resp = server::request(sock, command);
+  if (!resp) {
+    std::fprintf(stderr, "cannot reach server at %s\n", sock.c_str());
+    return 1;
+  }
+  for (const auto& line : resp->lines) std::printf("%s\n", line.c_str());
+  return resp->ok() ? 0 : 1;
+}
+
+int cmd_submit(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const std::string sock = opts.get("listen", "");
+  const auto libraries = parse_libraries(argc, argv);
+  const std::string out = opts.get("out", "");
+  if (sock.empty() || libraries.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "submit: --listen SOCK, --reads FILE and --out FILE "
+                 "required\n");
+    return usage();
+  }
+  std::string reads;
+  for (const auto& lib : libraries) {
+    if (!reads.empty()) reads += ",";
+    char insert[32];
+    std::snprintf(insert, sizeof insert, "%g", lib.mean_insert);
+    reads += lib.fastq_path + ":" + insert;
+    if (!lib.for_contigging) reads += ":s";
+  }
+  std::string command = "SUBMIT reads=" + reads + " out=" + out +
+                        " tenant=" + opts.get("tenant", "default") +
+                        " priority=" + std::to_string(opts.get_int("priority", 0)) +
+                        " k=" + std::to_string(opts.get_int("k", 31)) +
+                        " rounds=" + std::to_string(opts.get_int("rounds", 1));
+  if (opts.has("min-count"))
+    command += " min_count=" + opts.get("min-count", "0");
+  if (opts.get_bool("diploid", false)) command += " diploid=1";
+  if (opts.get_bool("resume", false)) command += " resume=1";
+  if (opts.get_bool("no-cache", false)) command += " cache=0";
+  if (opts.has("kill")) command += " kill=" + opts.get("kill", "");
+  if (opts.has("chaos-spec")) {
+    command += " chaos=" + opts.get("chaos-spec", "") +
+               " chaos_seed=" + std::to_string(opts.get_int("chaos-seed", 1));
+  }
+
+  const auto resp = server::request_with_retry(sock, command, 50, 100);
+  if (!resp) {
+    std::fprintf(stderr, "cannot reach server at %s\n", sock.c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp->first().c_str());
+  if (!resp->ok()) return 1;
+  const std::string id = server::response_field(resp->first(), "id");
+  if (!opts.get_bool("wait", false)) return 0;
+
+  // --wait: poll until the job lands in a terminal state, then print the
+  // full RESULT (including per-stage timings).
+  for (;;) {
+    const auto status = server::request(sock, "STATUS id=" + id);
+    if (!status || !status->ok()) {
+      std::fprintf(stderr, "lost server while waiting for job %s\n",
+                   id.c_str());
+      return 1;
+    }
+    const std::string state =
+        server::response_field(status->first(), "state", "?");
+    if (state == "done" || state == "failed" || state == "cancelled") {
+      const auto result = server::request(sock, "RESULT id=" + id);
+      if (result)
+        for (const auto& line : result->lines)
+          std::printf("%s\n", line.c_str());
+      return state == "done" ? 0 : 1;
+    }
+    usleep(100 * 1000);
+  }
+}
+
+int cmd_control(const std::string& verb, int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const std::string sock = opts.get("listen", "");
+  if (sock.empty()) {
+    std::fprintf(stderr, "%s: --listen SOCK required\n", verb.c_str());
+    return usage();
+  }
+  if (verb == "stats") return run_control_command(sock, "STATS");
+  if (verb == "shutdown") return run_control_command(sock, "SHUTDOWN");
+  const std::string id = opts.get("job", "");
+  if (id.empty()) {
+    std::fprintf(stderr, "%s: --job ID required\n", verb.c_str());
+    return usage();
+  }
+  if (verb == "cancel") return run_control_command(sock, "CANCEL id=" + id);
+  const bool full = opts.get_bool("result", false);
+  return run_control_command(sock,
+                             (full ? "RESULT id=" : "STATUS id=") + id);
 }
 
 int cmd_convert(int argc, char** argv) {
@@ -425,6 +534,16 @@ int main(int argc, char** argv) {
     if (cmd == "simulate" && argc >= 3)
       return cmd_simulate(argv[2], argc - 2, argv + 2);
     if (cmd == "convert") return cmd_convert(argc - 1, argv + 1);
+    if (cmd == "serve" || cmd == "--serve")
+      return cmd_serve(argc - 1, argv + 1);
+    if (cmd == "submit" || cmd == "--submit")
+      return cmd_submit(argc - 1, argv + 1);
+    if (cmd == "status" || cmd == "--status")
+      return cmd_control("status", argc - 1, argv + 1);
+    if (cmd == "cancel") return cmd_control("cancel", argc - 1, argv + 1);
+    if (cmd == "stats") return cmd_control("stats", argc - 1, argv + 1);
+    if (cmd == "shutdown")
+      return cmd_control("shutdown", argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hipmer: %s\n", e.what());
     return 1;
