@@ -92,6 +92,7 @@ bool JobQueue::cancel(std::uint64_t id) {
   if (job->state == JobState::kQueued) {
     job->state = JobState::kCancelled;
     ++totals_.cancelled;
+    evict_terminal_locked(job->spec.tenant);
     return true;
   }
   // Running: the executor observes the flag at the next stage boundary
@@ -117,6 +118,22 @@ void JobQueue::finish(JobRecord* job, JobState state, JobOutcome outcome) {
     default:
       break;
   }
+  evict_terminal_locked(job->spec.tenant);
+}
+
+// `tenant` is taken by value: the caller's record may itself be evicted,
+// which would invalidate a reference into it mid-scan.
+void JobQueue::evict_terminal_locked(std::string tenant) {
+  // Map order is id order = submission order, so the front of `terminal`
+  // is the tenant's oldest history. Only terminal records are evicted —
+  // the executor's pointer to the running job stays valid.
+  std::vector<std::uint64_t> terminal;
+  for (const auto& [id, rec] : jobs_)
+    if (job_state_terminal(rec->state) && rec->spec.tenant == tenant)
+      terminal.push_back(id);
+  if (terminal.size() <= admission_.max_retained_terminal) return;
+  const std::size_t excess = terminal.size() - admission_.max_retained_terminal;
+  for (std::size_t i = 0; i < excess; ++i) jobs_.erase(terminal[i]);
 }
 
 std::optional<JobQueue::Snapshot> JobQueue::status(std::uint64_t id) {

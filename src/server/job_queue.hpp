@@ -86,6 +86,10 @@ struct AdmissionConfig {
   std::size_t max_queued = 16;
   /// Sum of estimated_bytes over queued+running jobs may not exceed this.
   std::uint64_t max_resident_bytes = 4ull << 30;
+  /// Terminal job records retained per tenant for STATUS/RESULT queries;
+  /// older ones are evicted so a long-lived server's history (and the
+  /// map every submit/status scans) stays bounded.
+  std::size_t max_retained_terminal = 32;
 };
 
 class JobQueue {
@@ -137,6 +141,11 @@ class JobQueue {
  private:
   /// Queued ids in dispatch order (priority desc, then submit order).
   [[nodiscard]] std::vector<std::uint64_t> queued_order_locked() const;
+
+  /// Drop the tenant's oldest terminal records beyond
+  /// admission_.max_retained_terminal (by value: the caller's record may
+  /// itself be evicted).
+  void evict_terminal_locked(std::string tenant);
 
   AdmissionConfig admission_;
   std::mutex mu_;

@@ -6,11 +6,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <system_error>
+#include <thread>
 
 #include "ckpt/artifacts.hpp"
 #include "io/fasta.hpp"
@@ -27,9 +29,10 @@ namespace fs = std::filesystem;
 namespace {
 
 /// The shared-cache key: the pipeline's config fingerprint folded with
-/// the identity of the input files (path + size). The fingerprint alone
-/// treats paths as locators — two tenants' different datasets under the
-/// same config must not collide.
+/// the identity of the input files (path + size + mtime). The fingerprint
+/// alone treats paths as locators — two tenants' different datasets under
+/// the same config must not collide — and size alone misses a file
+/// rewritten in place, which must not hit on the old data's artifacts.
 std::uint64_t artifact_key(pipeline::Pipeline& pipe, const JobSpec& spec) {
   std::vector<std::byte> buf;
   io::wire::Writer w(buf);
@@ -39,6 +42,10 @@ std::uint64_t artifact_key(pipeline::Pipeline& pipe, const JobSpec& spec) {
     std::error_code ec;
     const auto size = fs::file_size(lib.fastq_path, ec);
     w.put_u64(ec ? 0 : static_cast<std::uint64_t>(size));
+    const auto mtime = fs::last_write_time(lib.fastq_path, ec);
+    w.put_u64(ec ? 0
+                 : static_cast<std::uint64_t>(
+                       mtime.time_since_epoch().count()));
   }
   return util::hash_bytes(buf.data(), buf.size());
 }
@@ -115,6 +122,20 @@ bool JobServer::parse_submit(const Command& cmd, JobSpec* spec,
   spec->resume = cmd.get("resume", "0") == "1";
   spec->use_cache = cmd.get("cache", "1") != "0";
   spec->kill_spec = cmd.get("kill");
+  if (!spec->kill_spec.empty()) {
+    try {
+      // A hard kill SIGKILLs the hosting process at the fault point. On
+      // the server's in-process team that is the whole multi-tenant
+      // server, not the submitting job — containment demands rejection.
+      if (pgas::FaultPlan::parse(spec->kill_spec).hard) {
+        *error = "bad-kill";
+        return false;
+      }
+    } catch (const std::exception&) {
+      *error = "bad-kill";
+      return false;
+    }
+  }
   spec->chaos_spec = cmd.get("chaos");
   spec->chaos_seed = static_cast<std::uint64_t>(
       std::strtoull(cmd.get("chaos_seed", "1").c_str(), nullptr, 10));
@@ -200,16 +221,25 @@ void JobServer::io_loop(int listen_fd) {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
-    // Control exchanges are tiny (a line in, a few lines out); handling
-    // them serially keeps the queue's lock discipline trivial while many
-    // clients connect concurrently.
-    handle_connection(fd);
-    ::close(fd);
+    // One thread per control connection: an idle or slow client must not
+    // wedge STATUS/CANCEL/SHUTDOWN for every other tenant. The queue is
+    // mutex-protected for concurrent handlers, and the reader's idle
+    // timeout plus the stop flag bound each thread's life.
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::thread([this, fd] {
+      handle_connection(fd);
+      ::close(fd);
+      active_connections_.fetch_sub(1, std::memory_order_release);
+    }).detach();
   }
+  // Handlers borrow `this`; do not return (and let the server die) until
+  // the last one is gone. Each exits within one poll slice of stop_.
+  while (active_connections_.load(std::memory_order_acquire) > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
 }
 
 void JobServer::handle_connection(int fd) {
-  LineReader reader(fd);
+  LineReader reader(fd, config_.client_idle_timeout_ms, &stop_);
   while (auto raw = reader.next()) {
     const auto text = unframe_line(*raw);
     if (!text) {
@@ -296,7 +326,10 @@ void JobServer::handle_connection(int fd) {
 
 void JobServer::execute(JobRecord* job) {
   const JobSpec& spec = job->spec;
-  util::log_info("server: job " + std::to_string(spec.id) + " (tenant " +
+  // finish() may evict the record under the retention cap; anything
+  // logged afterwards must not reach back through `job`.
+  const std::uint64_t job_id = spec.id;
+  util::log_info("server: job " + std::to_string(job_id) + " (tenant " +
                  spec.tenant + ") starting");
 
   JobOutcome outcome;
@@ -358,18 +391,19 @@ void JobServer::execute(JobRecord* job) {
       outcome.scaffold_bases += rec.seq.size();
     outcome.stages = std::move(result.stages);
     queue_.finish(job, JobState::kDone, std::move(outcome));
-    util::log_info("server: job " + std::to_string(spec.id) + " done");
+    util::log_info("server: job " + std::to_string(job_id) + " done");
   } catch (const pipeline::JobCancelled& e) {
     outcome.error = e.what();
     queue_.finish(job, JobState::kCancelled, std::move(outcome));
-    util::log_info("server: job " + std::to_string(spec.id) + " cancelled");
+    util::log_info("server: job " + std::to_string(job_id) + " cancelled");
   } catch (const std::exception& e) {
     // RankKilled / PeerSuspect land here too: the job dies, the server
     // does not — the next job's reset rebuilds the team's sync state.
-    outcome.error = e.what();
+    const std::string reason = e.what();
+    outcome.error = reason;
     queue_.finish(job, JobState::kFailed, std::move(outcome));
-    util::log_warn("server: job " + std::to_string(spec.id) + " failed: " +
-                   e.what());
+    util::log_warn("server: job " + std::to_string(job_id) + " failed: " +
+                   reason);
   }
 }
 

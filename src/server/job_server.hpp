@@ -40,6 +40,10 @@ struct ServerConfig {
   /// Per-tenant checkpoint quota: snapshots kept per job fingerprint.
   int keep_last = 2;
   bool enable_cache = true;
+  /// Drop a control connection that sends no byte for this long; -1
+  /// disables the timeout. Bounds how long an idle client can hold a
+  /// connection handler.
+  int client_idle_timeout_ms = 10'000;
 };
 
 class JobServer {
@@ -73,6 +77,9 @@ class JobServer {
   std::unique_ptr<pipeline::Pipeline> pipe_;
   std::atomic<bool> stop_{false};
   std::thread io_thread_;
+  /// Detached connection-handler threads still running; io_loop drains
+  /// this to zero before returning, so handlers never outlive the server.
+  std::atomic<int> active_connections_{0};
 };
 
 }  // namespace hipmer::server

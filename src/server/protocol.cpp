@@ -1,5 +1,6 @@
 #include "server/protocol.hpp"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -71,13 +72,38 @@ bool send_line(int fd, const std::string& text) {
 
 std::optional<std::string> LineReader::next() {
   for (;;) {
-    const auto nl = buf_.find('\n');
+    const auto nl = buf_.find('\n', pos_);
     if (nl != std::string::npos) {
-      std::string line = buf_.substr(0, nl);
-      buf_.erase(0, nl + 1);
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
       return line;
     }
+    // No complete line buffered: discard the consumed prefix in one move
+    // before reading more.
+    buf_.erase(0, pos_);
+    pos_ = 0;
     if (eof_) return std::nullopt;
+    if (buf_.size() >= kMaxLineBytes) return std::nullopt;
+
+    // Wait for readability in short slices so the stop flag and the idle
+    // budget are both honoured while blocked.
+    int waited_ms = 0;
+    for (;;) {
+      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed))
+        return std::nullopt;
+      const bool sliced = stop_ != nullptr || idle_timeout_ms_ >= 0;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, sliced ? 100 : -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if (ready > 0) break;
+      waited_ms += 100;
+      if (idle_timeout_ms_ >= 0 && waited_ms >= idle_timeout_ms_)
+        return std::nullopt;
+    }
+
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
     if (n < 0) {

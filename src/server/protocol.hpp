@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
@@ -49,18 +51,37 @@ struct Command {
 /// Write one framed line to `fd` (blocking, handles short writes).
 bool send_line(int fd, const std::string& text);
 
+/// Longest line the reader will buffer while waiting for its '\n'. A peer
+/// streaming bytes with no newline is dropped at this bound instead of
+/// growing server memory without limit; real protocol lines are tiny.
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
 /// Incremental reader of newline-terminated lines from a socket.
+///
+/// `idle_timeout_ms >= 0` bounds how long next() waits for bytes to
+/// arrive (nullopt on expiry, dropping the connection); -1 blocks
+/// indefinitely. A non-null `stop` flag is polled while waiting so a
+/// shutting-down server reclaims its connection handlers promptly.
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  explicit LineReader(int fd, int idle_timeout_ms = -1,
+                      const std::atomic<bool>* stop = nullptr)
+      : fd_(fd), idle_timeout_ms_(idle_timeout_ms), stop_(stop) {}
 
   /// Next raw line without its '\n' (still framed; pass to unframe_line).
-  /// nullopt on EOF or read error.
+  /// nullopt on EOF, read error, idle timeout, stop flag, or a line
+  /// exceeding kMaxLineBytes.
   [[nodiscard]] std::optional<std::string> next();
 
  private:
   int fd_;
+  int idle_timeout_ms_;
+  const std::atomic<bool>* stop_;
   std::string buf_;
+  /// Start of unconsumed bytes in buf_; already-returned lines are kept
+  /// until the next read so many buffered lines cost one compaction, not
+  /// one erase each.
+  std::size_t pos_ = 0;
   bool eof_ = false;
 };
 

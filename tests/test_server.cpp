@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -93,6 +98,69 @@ TEST(Protocol, ResponseField) {
   EXPECT_EQ(server::response_field(line, "missing", "none"), "none");
 }
 
+TEST(Protocol, LineReaderSplitsBufferedLines) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string wire = "aaa\nbbb\n\nccc\n";
+  ASSERT_EQ(::write(fds[1], wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fds[1]);
+  server::LineReader reader(fds[0]);
+  const char* expected[] = {"aaa", "bbb", "", "ccc"};
+  for (const auto* want : expected) {
+    const auto line = reader.next();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, want);
+  }
+  // EOF; the stream held no further complete line.
+  EXPECT_FALSE(reader.next().has_value());
+  ::close(fds[0]);
+}
+
+TEST(Protocol, LineReaderDropsRunawayUnterminatedLine) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // kMaxLineBytes of data with no newline: the reader must give up
+  // rather than buffer without bound. (Exactly one pipe capacity, so the
+  // write cannot block.)
+  const std::string flood(server::kMaxLineBytes, 'x');
+  ASSERT_EQ(::write(fds[1], flood.data(), flood.size()),
+            static_cast<ssize_t>(flood.size()));
+  server::LineReader reader(fds[0]);
+  EXPECT_FALSE(reader.next().has_value());
+  ::close(fds[1]);
+  ::close(fds[0]);
+}
+
+TEST(Protocol, LineReaderIdleTimeout) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Writer stays open but sends nothing: without the timeout this would
+  // block forever.
+  server::LineReader reader(fds[0], /*idle_timeout_ms=*/150);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(reader.next().has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ::close(fds[1]);
+  ::close(fds[0]);
+}
+
+TEST(Protocol, LineReaderStopFlag) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<bool> stop{false};
+  server::LineReader reader(fds[0], /*idle_timeout_ms=*/-1, &stop);
+  std::thread trip([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true);
+  });
+  EXPECT_FALSE(reader.next().has_value());
+  trip.join();
+  ::close(fds[1]);
+  ::close(fds[0]);
+}
+
 // ---- SUBMIT parsing ----
 
 server::Command submit_cmd(const std::string& args) {
@@ -131,6 +199,35 @@ TEST(ParseSubmit, ValidationErrors) {
       submit_cmd("reads=" + fastq + " out=x.fasta k=3"), &spec, &error));
   EXPECT_EQ(error, "bad-config");
 
+  fs::remove_all(dir);
+}
+
+TEST(ParseSubmit, KillSpecValidation) {
+  const auto dir = fresh_dir("submitkill");
+  const auto fastq = (dir / "reads.fastq").string();
+  std::ofstream(fastq) << "@r/1\nACGT\n+\nIIII\n";
+  const std::string base = "reads=" + fastq + " out=x.fasta ";
+
+  // A soft (throwing) kill is a legitimate per-job chaos rider.
+  server::JobSpec spec;
+  std::string error;
+  EXPECT_TRUE(server::JobServer::parse_submit(
+      submit_cmd(base + "kill=1@contig_generation"), &spec, &error))
+      << error;
+  EXPECT_EQ(spec.kill_spec, "1@contig_generation");
+
+  // A hard kill would SIGKILL the whole server process, not the job:
+  // reject it at the door.
+  spec = {};
+  EXPECT_FALSE(server::JobServer::parse_submit(
+      submit_cmd(base + "kill=1@contig_generation,hard"), &spec, &error));
+  EXPECT_EQ(error, "bad-kill");
+
+  // A malformed spec is rejected at submit, not at execute.
+  spec = {};
+  EXPECT_FALSE(server::JobServer::parse_submit(
+      submit_cmd(base + "kill=nonsense"), &spec, &error));
+  EXPECT_EQ(error, "bad-kill");
   fs::remove_all(dir);
 }
 
@@ -332,6 +429,40 @@ TEST(JobQueue, CancelSemantics) {
 
   const auto counters = queue.counters();
   EXPECT_EQ(counters.cancelled, 2u);
+  queue.shutdown();
+}
+
+TEST(JobQueue, TerminalHistoryIsCappedPerTenant) {
+  server::AdmissionConfig admission;
+  admission.max_retained_terminal = 2;
+  server::JobQueue queue(admission);
+  std::string error;
+
+  auto run_one = [&](const std::string& tenant) {
+    auto spec = spec_bytes(1);
+    spec.tenant = tenant;
+    const auto id = queue.submit(std::move(spec), &error);
+    EXPECT_NE(id, 0u) << error;
+    auto* job = queue.pop_next();
+    EXPECT_EQ(job->spec.id, id);
+    queue.finish(job, server::JobState::kDone, {});
+    return id;
+  };
+
+  std::vector<std::uint64_t> alice;
+  for (int i = 0; i < 4; ++i) alice.push_back(run_one("alice"));
+  const auto bob = run_one("bob");
+
+  // Alice keeps only her newest two records; bob's history is untouched
+  // by her eviction.
+  EXPECT_FALSE(queue.status(alice[0]).has_value());
+  EXPECT_FALSE(queue.status(alice[1]).has_value());
+  EXPECT_TRUE(queue.status(alice[2]).has_value());
+  EXPECT_TRUE(queue.status(alice[3]).has_value());
+  EXPECT_TRUE(queue.status(bob).has_value());
+
+  // Totals survive eviction — counters are accumulated, not rescanned.
+  EXPECT_EQ(queue.counters().completed, 5u);
   queue.shutdown();
 }
 
@@ -597,11 +728,69 @@ TEST_F(ServedAssembly, TenantCheckpointsStayIsolated) {
   EXPECT_FALSE(has_stage(stages(b2), pipeline::kStageKmerAnalysis));
 }
 
+TEST_F(ServedAssembly, InPlaceRewriteSameSizeMissesCache) {
+  // A dataset rewritten in place with unchanged size must not hit the
+  // cache: serving the old data's artifacts would be silent corruption.
+  const auto mut = (state_->dir / "mut.fastq").string();
+  fs::copy_file(state_->fastq, mut, fs::copy_options::overwrite_existing);
+  const std::string args = "reads=" + mut + " out=" +
+                           (state_->dir / "mut1.fasta").string() +
+                           " k=25 min_count=3";
+  const auto cold = submit(args);
+  ASSERT_NE(cold, 0u);
+  ASSERT_EQ(await(cold), "done");
+  EXPECT_TRUE(has_stage(stages(cold), pipeline::kStageKmerAnalysis));
+
+  // Same path, same size, new mtime — only the write time distinguishes
+  // the "rewritten" file from the cached generation.
+  fs::last_write_time(mut, fs::last_write_time(mut) + std::chrono::seconds(2));
+  const auto resub = submit("reads=" + mut + " out=" +
+                            (state_->dir / "mut2.fasta").string() +
+                            " k=25 min_count=3");
+  ASSERT_NE(resub, 0u);
+  ASSERT_EQ(await(resub), "done");
+  const auto result = request("RESULT id=" + std::to_string(resub));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(server::response_field(result->first(), "cache_hit"), "0");
+  EXPECT_TRUE(has_stage(stages(resub), pipeline::kStageKmerAnalysis));
+}
+
+TEST_F(ServedAssembly, IdleClientDoesNotBlockControlPlane) {
+  // A client that connects and sends nothing must not wedge the control
+  // plane for everyone else.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const auto sock_path = (state_->dir / "ctl.sock").string();
+  ASSERT_LT(sock_path.size(), sizeof addr.sun_path);
+  std::strncpy(addr.sun_path, sock_path.c_str(), sizeof addr.sun_path - 1);
+  const int idle_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(idle_fd, 0);
+  ASSERT_EQ(::connect(idle_fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+
+  // With the idler parked mid-connection, a second connection still gets
+  // answered (well before the idler's 10s server-side timeout).
+  const auto ping = request("PING");
+  ASSERT_TRUE(ping.has_value());
+  EXPECT_TRUE(ping->ok());
+  ::close(idle_fd);
+}
+
 TEST_F(ServedAssembly, ProtocolErrorsOverTheWire) {
   const auto bad = request("SUBMIT out=x.fasta");
   ASSERT_TRUE(bad.has_value());
   EXPECT_FALSE(bad->ok());
   EXPECT_EQ(bad->first(), "ERR missing-reads");
+
+  // Hard kills are refused at the door — on the in-process team they
+  // would take down the whole server, not the job.
+  const auto hard =
+      request("SUBMIT " +
+              submit_args("hard.fasta", "kill=1@contig_generation,hard"));
+  ASSERT_TRUE(hard.has_value());
+  EXPECT_FALSE(hard->ok());
+  EXPECT_EQ(hard->first(), "ERR bad-kill");
 
   const auto unknown = request("FROBNICATE x=1");
   ASSERT_TRUE(unknown.has_value());
