@@ -36,16 +36,36 @@ constexpr std::uint8_t kOpSeq = 2;
 constexpr std::uint8_t kOpRecord = 3;
 }  // namespace
 
+// wire-schema: contig_meta writer
+void put_contig_meta(io::wire::Writer& w, const ContigStore::Meta& m) {
+  w.put_u32(m.length);
+  w.put_pod(m.avg_depth);  // wire: pod f32
+  w.put_pod(m.left_term);  // wire: pod char
+  w.put_pod(m.right_term);  // wire: pod char
+}
+
+// wire-schema: contig_meta reader
+ContigStore::Meta get_contig_meta_checked(io::wire::Reader& r) {
+  ContigStore::Meta m;
+  m.length = r.get_u32_checked("meta length");
+  m.avg_depth = r.get_pod_checked<float>("meta avg_depth");
+  m.left_term = r.get_pod_checked<char>("meta left_term");
+  m.right_term = r.get_pod_checked<char>("meta right_term");
+  return m;
+}
+
+// wire-schema: contig_req writer
 std::vector<std::byte> ContigStore::remote_call(std::uint8_t op,
                                                 std::uint64_t id,
                                                 int owner) const {
   std::vector<std::byte> req;
   io::wire::Writer w(req);
-  w.put_pod(op);
+  w.put_pod(op);  // wire: pod u8
   w.put_u64(id);
   return team_->fabric().rpc(rpc_, owner, std::move(req));
 }
 
+// wire-schema: contig_req reader
 std::vector<std::byte> ContigStore::serve_fetch(const std::byte* data,
                                                 std::size_t size) const {
   io::wire::Reader r(data, size);
@@ -63,7 +83,7 @@ std::vector<std::byte> ContigStore::serve_fetch(const std::byte* data,
         m.left_term = contig->left.code;
         m.right_term = contig->right.code;
       }
-      w.put_pod(m);
+      put_contig_meta(w, m);
       break;
     }
     case kOpSeq:
@@ -140,7 +160,7 @@ ContigStore::Meta ContigStore::meta(pgas::Rank& rank,
   if (remote(owner)) {
     const auto resp = remote_call(kOpMeta, id, owner);
     io::wire::Reader r(resp.data(), resp.size());
-    m = r.get_pod_checked<Meta>("contig meta");
+    m = get_contig_meta_checked(r);
   } else {
     const dbg::Contig* contig = local_lookup(id);
     if (contig != nullptr) {
@@ -191,7 +211,7 @@ std::string ContigStore::fetch(pgas::Rank& rank, std::uint64_t id,
     if (remote(owner)) {
       const auto resp = remote_call(kOpSeq, id, owner);
       io::wire::Reader r(resp.data(), resp.size());
-      fetched = r.get_bytes();
+      fetched = r.get_bytes_checked("contig seq");
     } else {
       const dbg::Contig* contig = local_lookup(id);
       if (contig != nullptr) fetched = contig->seq;

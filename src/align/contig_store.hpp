@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dbg/contig.hpp"
+#include "io/wire.hpp"
 #include "pgas/checked.hpp"
 #include "pgas/thread_team.hpp"
 
@@ -126,5 +127,13 @@ class ContigStore {
   mutable pgas::CheckedTable checked_;
 #endif
 };
+
+/// Field-wise Meta codec (schema `contig_meta`). Meta used to cross the
+/// fabric as a whole-struct put_pod, which shipped its two padding bytes
+/// (u32 + float + 2 char = 10 live bytes, sizeof == 12): dead wire bytes
+/// that decoded identically under any corruption. Writing the four fields
+/// explicitly keeps every wire byte live and the format layout-independent.
+void put_contig_meta(io::wire::Writer& w, const ContigStore::Meta& m);
+[[nodiscard]] ContigStore::Meta get_contig_meta_checked(io::wire::Reader& r);
 
 }  // namespace hipmer::align

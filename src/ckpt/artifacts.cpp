@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "align/alignment_wire.hpp"
 #include "dbg/contig_wire.hpp"
 #include "io/wire.hpp"
 #include "seq/read_name.hpp"
@@ -25,6 +26,7 @@ bool count_fits(const Reader& r, std::uint64_t n, std::size_t min_record) {
 
 // ---- reads ----
 
+// wire-schema: ckpt_reads_shard writer
 std::vector<std::byte> encode_reads_shard(
     const std::vector<std::vector<seq::Read>>& libs) {
   std::vector<std::byte> buf;
@@ -38,6 +40,7 @@ std::vector<std::byte> encode_reads_shard(
   return buf;
 }
 
+// wire-schema: ckpt_reads_shard writer
 std::vector<std::byte> encode_reads_shard(
     const std::vector<seq::ReadStore>& libs) {
   std::vector<std::byte> buf;
@@ -57,6 +60,7 @@ std::vector<std::byte> encode_reads_shard(
   return buf;
 }
 
+// wire-schema: ckpt_packed_reads_shard writer
 std::vector<std::byte> encode_packed_reads_shard(
     const std::vector<seq::ReadStore>& libs) {
   std::vector<std::byte> buf;
@@ -81,7 +85,7 @@ std::vector<std::byte> encode_packed_reads_shard(
       w.put_u32(view.except_count);
       for (std::uint32_t e = 0; e < view.except_count; ++e) {
         w.put_u32(view.except_pos[e]);
-        w.put_pod(view.except_chr[e]);
+        w.put_pod(view.except_chr[e]);  // wire: pod char
       }
       const auto [enc, enc_len] = arena->qual_enc(i);
       w.put_bytes(std::string_view(reinterpret_cast<const char*>(enc),
@@ -93,38 +97,38 @@ std::vector<std::byte> encode_packed_reads_shard(
 
 namespace {
 
+// wire-schema: ckpt_packed_reads_shard reader
 std::optional<std::vector<std::vector<seq::Read>>> decode_packed_reads_shard(
     Reader& r) {
-  const std::uint32_t nlibs = r.get_u32();
-  if (r.truncated() || nlibs > (1u << 16)) return std::nullopt;
+  // wire: magic kPackedReadsMagic (verified by the decode_reads_shard dispatch)
+  const std::uint32_t nlibs = r.get_u32_checked("packed nlibs");
+  if (nlibs > (1u << 16)) return std::nullopt;
   std::vector<std::vector<seq::Read>> libs(nlibs);
   std::vector<std::uint64_t> words;
   std::vector<std::uint32_t> exc_pos;
   std::vector<char> exc_chr;
   for (auto& reads : libs) {
-    const std::uint64_t n = r.get_u64();
+    const std::uint64_t n = r.get_u64_checked("packed read count");
     // Minimum framed packed read: name len + length + exc count + qual len.
-    if (r.truncated() || !count_fits(r, n, 16)) return std::nullopt;
+    if (!count_fits(r, n, 16)) return std::nullopt;
     reads.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) {
       seq::Read read;
-      read.name = r.get_bytes();
-      const std::uint32_t len = r.get_u32();
-      if (r.truncated() || (len + 31) / 32 > r.remaining() / 8 + 1)
-        return std::nullopt;
+      read.name = r.get_bytes_checked("packed read name");
+      const std::uint32_t len = r.get_u32_checked("packed seq length");
+      if ((len + 31) / 32 > r.remaining() / 8 + 1) return std::nullopt;
       words.resize((len + 31) / 32);
-      for (auto& wd : words) wd = r.get_u64();
-      const std::uint32_t nexc = r.get_u32();
-      if (r.truncated() || nexc > len) return std::nullopt;
+      for (auto& wd : words) wd = r.get_u64_checked("packed seq word");
+      const std::uint32_t nexc = r.get_u32_checked("packed exception count");
+      if (nexc > len) return std::nullopt;
       exc_pos.resize(nexc);
       exc_chr.resize(nexc);
       for (std::uint32_t e = 0; e < nexc; ++e) {
-        exc_pos[e] = r.get_u32();
-        exc_chr[e] = r.get_pod<char>();
+        exc_pos[e] = r.get_u32_checked("packed exception pos");
+        exc_chr[e] = r.get_pod_checked<char>("packed exception chr");
         if (exc_pos[e] >= len) return std::nullopt;
       }
-      const std::string enc = r.get_bytes();
-      if (r.truncated()) return std::nullopt;
+      const std::string enc = r.get_bytes_checked("packed quals");
       const seq::PackedSeqView view{words.data(), len, exc_pos.data(),
                                     exc_chr.data(), nexc};
       seq::decode_packed_seq(view, read.seq);
@@ -137,31 +141,39 @@ std::optional<std::vector<std::vector<seq::Read>>> decode_packed_reads_shard(
   return libs;
 }
 
+// wire-schema: ckpt_reads_shard reader
+std::optional<std::vector<std::vector<seq::Read>>> decode_plain_reads_shard(
+    Reader& r) {
+  // wire: magic kReadsMagic (verified by the decode_reads_shard dispatch)
+  const std::uint32_t nlibs = r.get_u32_checked("reads nlibs");
+  if (nlibs > (1u << 16)) return std::nullopt;
+  std::vector<std::vector<seq::Read>> libs(nlibs);
+  for (auto& reads : libs) {
+    const std::uint64_t n = r.get_u64_checked("reads count");
+    // A framed read is three length-prefixed fields, 12 bytes minimum.
+    if (!count_fits(r, n, 12)) return std::nullopt;
+    reads.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      reads.push_back(io::wire::get_read_checked(r));
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return libs;
+}
+
 }  // namespace
 
 std::optional<std::vector<std::vector<seq::Read>>> decode_reads_shard(
     const std::vector<std::byte>& bytes) {
   Reader r(bytes);
-  const std::uint32_t magic = r.get_u32();
-  if (r.truncated()) return std::nullopt;
-  if (magic == kPackedReadsMagic) return decode_packed_reads_shard(r);
-  if (magic != kReadsMagic) return std::nullopt;
-  const std::uint32_t nlibs = r.get_u32();
-  if (r.truncated() || nlibs > (1u << 16)) return std::nullopt;
-  std::vector<std::vector<seq::Read>> libs(nlibs);
-  for (auto& reads : libs) {
-    const std::uint64_t n = r.get_u64();
-    // A framed read is three length-prefixed fields, 12 bytes minimum.
-    if (r.truncated() || !count_fits(r, n, 12)) return std::nullopt;
-    reads.reserve(static_cast<std::size_t>(n));
-    for (std::uint64_t i = 0; i < n; ++i) {
-      auto read = io::wire::get_read(r);
-      if (r.truncated()) return std::nullopt;
-      reads.push_back(std::move(read));
-    }
+  try {
+    const std::uint32_t magic = r.get_u32_checked("reads magic");
+    if (magic == kPackedReadsMagic) return decode_packed_reads_shard(r);
+    if (magic != kReadsMagic) return std::nullopt;
+    return decode_plain_reads_shard(r);
+  } catch (const io::wire::Error&) {
+    return std::nullopt;
   }
-  if (!r.done()) return std::nullopt;
-  return libs;
 }
 
 std::vector<std::vector<std::vector<seq::Read>>> reshard_reads(
@@ -231,6 +243,7 @@ std::vector<std::vector<std::vector<seq::Read>>> reshard_reads(
 
 // ---- ufx ----
 
+// wire-schema: ckpt_ufx_shard writer
 std::vector<std::byte> encode_ufx_shard(
     const std::vector<kcount::UfxRecord>& records) {
   std::vector<std::byte> buf;
@@ -238,38 +251,43 @@ std::vector<std::byte> encode_ufx_shard(
   w.put_u32(kUfxMagic);
   w.put_u64(records.size());
   for (const auto& [kmer, summary] : records) {
-    w.put_pod(kmer);
+    w.put_pod(kmer);  // wire: pod seq::KmerT
     w.put_u32(summary.depth);
-    w.put_pod(summary.left_ext);
-    w.put_pod(summary.right_ext);
+    w.put_pod(summary.left_ext);   // wire: pod char
+    w.put_pod(summary.right_ext);  // wire: pod char
   }
   return buf;
 }
 
+// wire-schema: ckpt_ufx_shard reader
 std::optional<std::vector<kcount::UfxRecord>> decode_ufx_shard(
     const std::vector<std::byte>& bytes) {
   Reader r(bytes);
-  if (r.get_u32() != kUfxMagic || r.truncated()) return std::nullopt;
-  const std::uint64_t n = r.get_u64();
-  constexpr std::size_t kRecordBytes = sizeof(seq::KmerT) + 4 + 2;
-  if (r.truncated() || !count_fits(r, n, kRecordBytes)) return std::nullopt;
-  std::vector<kcount::UfxRecord> records;
-  records.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) {
-    kcount::UfxRecord record;
-    record.first = r.get_pod<seq::KmerT>();
-    record.second.depth = r.get_u32();
-    record.second.left_ext = r.get_pod<char>();
-    record.second.right_ext = r.get_pod<char>();
-    if (r.truncated()) return std::nullopt;
-    records.push_back(record);
+  try {
+    if (r.get_u32_checked("ufx magic") != kUfxMagic) return std::nullopt;
+    const std::uint64_t n = r.get_u64_checked("ufx count");
+    constexpr std::size_t kRecordBytes = sizeof(seq::KmerT) + 4 + 2;
+    if (!count_fits(r, n, kRecordBytes)) return std::nullopt;
+    std::vector<kcount::UfxRecord> records;
+    records.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      kcount::UfxRecord record;
+      record.first = r.get_pod_checked<seq::KmerT>("ufx kmer");
+      record.second.depth = r.get_u32_checked("ufx depth");
+      record.second.left_ext = r.get_pod_checked<char>("ufx left ext");
+      record.second.right_ext = r.get_pod_checked<char>("ufx right ext");
+      records.push_back(record);
+    }
+    if (!r.done()) return std::nullopt;
+    return records;
+  } catch (const io::wire::Error&) {
+    return std::nullopt;
   }
-  if (!r.done()) return std::nullopt;
-  return records;
 }
 
 // ---- contigs ----
 
+// wire-schema: ckpt_contigs_shard writer
 std::vector<std::byte> encode_contigs_shard(
     const std::vector<const dbg::Contig*>& contigs) {
   std::vector<std::byte> buf;
@@ -280,64 +298,64 @@ std::vector<std::byte> encode_contigs_shard(
   return buf;
 }
 
+// wire-schema: ckpt_contigs_shard reader
 std::optional<std::vector<dbg::Contig>> decode_contigs_shard(
     const std::vector<std::byte>& bytes) {
   Reader r(bytes);
-  if (r.get_u32() != kContigsMagic || r.truncated()) return std::nullopt;
-  const std::uint64_t n = r.get_u64();
-  if (r.truncated() ||
-      !count_fits(r, n, sizeof(dbg::ContigWireHeader) + sizeof(std::uint32_t)))
+  try {
+    if (r.get_u32_checked("contigs magic") != kContigsMagic)
+      return std::nullopt;
+    const std::uint64_t n = r.get_u64_checked("contigs count");
+    if (!count_fits(r, n,
+                    sizeof(dbg::ContigWireHeader) + sizeof(std::uint32_t)))
+      return std::nullopt;
+    std::vector<dbg::Contig> contigs;
+    contigs.reserve(static_cast<std::size_t>(n));
+    // Count-driven loop (not dbg::deserialize_contigs, which stops silently
+    // on a partial trailing record): a record shortfall is corruption here.
+    for (std::uint64_t i = 0; i < n; ++i) {
+      contigs.push_back(dbg::get_contig_checked(r));
+    }
+    if (!r.done()) return std::nullopt;
+    return contigs;
+  } catch (const io::wire::Error&) {
     return std::nullopt;
-  std::vector<dbg::Contig> contigs;
-  contigs.reserve(static_cast<std::size_t>(n));
-  // Count-driven loop (not dbg::deserialize_contigs, which stops silently
-  // on a partial trailing record): a record shortfall is corruption here.
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const auto header = r.get_pod<dbg::ContigWireHeader>();
-    dbg::Contig contig;
-    contig.id = header.id;
-    contig.avg_depth = header.avg_depth;
-    contig.left.code = header.left_term;
-    contig.right.code = header.right_term;
-    contig.left.has_junction = header.left_has_junction != 0;
-    contig.right.has_junction = header.right_has_junction != 0;
-    contig.left.junction = header.left_junction;
-    contig.right.junction = header.right_junction;
-    contig.seq = r.get_bytes();
-    if (r.truncated()) return std::nullopt;
-    contigs.push_back(std::move(contig));
   }
-  if (!r.done()) return std::nullopt;
-  return contigs;
 }
 
 // ---- alignments ----
 
+// wire-schema: ckpt_alignments_shard writer
 std::vector<std::byte> encode_alignments_shard(
     const std::vector<align::ReadAlignment>& alignments) {
   std::vector<std::byte> buf;
   Writer w(buf);
   w.put_u32(kAlignMagic);
   w.put_u64(alignments.size());
-  for (const auto& a : alignments) w.put_pod(a);
+  for (const auto& a : alignments) align::put_alignment(w, a);
   return buf;
 }
 
+// wire-schema: ckpt_alignments_shard reader
 std::optional<std::vector<align::ReadAlignment>> decode_alignments_shard(
     const std::vector<std::byte>& bytes) {
   Reader r(bytes);
-  if (r.get_u32() != kAlignMagic || r.truncated()) return std::nullopt;
-  const std::uint64_t n = r.get_u64();
-  if (r.truncated() || !count_fits(r, n, sizeof(align::ReadAlignment)))
+  try {
+    if (r.get_u32_checked("alignments magic") != kAlignMagic)
+      return std::nullopt;
+    const std::uint64_t n = r.get_u64_checked("alignments count");
+    // Field-wise ReadAlignment: 9 x i32/u32 + u64 + u8 = 45 bytes.
+    if (!count_fits(r, n, 45)) return std::nullopt;
+    std::vector<align::ReadAlignment> alignments;
+    alignments.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      alignments.push_back(align::get_alignment_checked(r));
+    }
+    if (!r.done()) return std::nullopt;
+    return alignments;
+  } catch (const io::wire::Error&) {
     return std::nullopt;
-  std::vector<align::ReadAlignment> alignments;
-  alignments.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) {
-    alignments.push_back(r.get_pod<align::ReadAlignment>());
-    if (r.truncated()) return std::nullopt;
   }
-  if (!r.done()) return std::nullopt;
-  return alignments;
 }
 
 std::vector<std::vector<align::ReadAlignment>> reshard_alignments(
@@ -368,6 +386,7 @@ std::vector<std::vector<align::ReadAlignment>> reshard_alignments(
 
 // ---- scaffolds ----
 
+// wire-schema: ckpt_scaffolds_shard writer
 std::vector<std::byte> encode_scaffolds_shard(
     const std::vector<io::FastaRecord>& records, int shard, int nshards,
     const ScaffoldExtras* extras) {
@@ -376,9 +395,10 @@ std::vector<std::byte> encode_scaffolds_shard(
   w.put_u32(kScaffMagic);
   w.put_pod<std::uint8_t>(extras != nullptr ? 1 : 0);
   if (extras != nullptr) {
-    w.put_pod(extras->closure_stats);
+    w.put_pod(extras->closure_stats);  // wire: pod scaffold::ScaffoldStats
     w.put_u32(static_cast<std::uint32_t>(extras->inserts.size()));
-    for (const auto& est : extras->inserts) w.put_pod(est);
+    for (const auto& est : extras->inserts)
+      w.put_pod(est);  // wire: pod scaffold::InsertSizeEstimate
   }
   std::uint64_t mine = 0;
   for (std::size_t i = static_cast<std::size_t>(shard); i < records.size();
@@ -394,41 +414,46 @@ std::vector<std::byte> encode_scaffolds_shard(
   return buf;
 }
 
+// wire-schema: ckpt_scaffolds_shard reader
 std::optional<ScaffoldShard> decode_scaffolds_shard(
     const std::vector<std::byte>& bytes) {
   Reader r(bytes);
-  if (r.get_u32() != kScaffMagic || r.truncated()) return std::nullopt;
-  ScaffoldShard shard;
-  const auto has_extras = r.get_pod<std::uint8_t>();
-  if (r.truncated() || has_extras > 1) return std::nullopt;
-  if (has_extras != 0) {
-    ScaffoldExtras extras;
-    extras.closure_stats = r.get_pod<scaffold::ScaffoldStats>();
-    const std::uint32_t n_inserts = r.get_u32();
-    if (r.truncated() ||
-        !count_fits(r, n_inserts, sizeof(scaffold::InsertSizeEstimate)))
+  try {
+    if (r.get_u32_checked("scaffolds magic") != kScaffMagic)
       return std::nullopt;
-    extras.inserts.reserve(n_inserts);
-    for (std::uint32_t i = 0; i < n_inserts; ++i) {
-      extras.inserts.push_back(r.get_pod<scaffold::InsertSizeEstimate>());
-      if (r.truncated()) return std::nullopt;
+    ScaffoldShard shard;
+    const auto has_extras = r.get_pod_checked<std::uint8_t>("extras flag");
+    if (has_extras > 1) return std::nullopt;
+    if (has_extras != 0) {
+      ScaffoldExtras extras;
+      extras.closure_stats =
+          r.get_pod_checked<scaffold::ScaffoldStats>("closure stats");
+      const std::uint32_t n_inserts = r.get_u32_checked("insert count");
+      if (!count_fits(r, n_inserts, sizeof(scaffold::InsertSizeEstimate)))
+        return std::nullopt;
+      extras.inserts.reserve(n_inserts);
+      for (std::uint32_t i = 0; i < n_inserts; ++i) {
+        extras.inserts.push_back(
+            r.get_pod_checked<scaffold::InsertSizeEstimate>("insert estimate"));
+      }
+      shard.extras = std::move(extras);
     }
-    shard.extras = std::move(extras);
+    const std::uint64_t n = r.get_u64_checked("scaffold count");
+    // Record minimum: u64 index + two length prefixes.
+    if (!count_fits(r, n, 16)) return std::nullopt;
+    shard.records.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t index = r.get_u64_checked("scaffold index");
+      io::FastaRecord record;
+      record.name = r.get_bytes_checked("scaffold name");
+      record.seq = r.get_bytes_checked("scaffold seq");
+      shard.records.emplace_back(index, std::move(record));
+    }
+    if (!r.done()) return std::nullopt;
+    return shard;
+  } catch (const io::wire::Error&) {
+    return std::nullopt;
   }
-  const std::uint64_t n = r.get_u64();
-  // Record minimum: u64 index + two length prefixes.
-  if (r.truncated() || !count_fits(r, n, 16)) return std::nullopt;
-  shard.records.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const std::uint64_t index = r.get_u64();
-    io::FastaRecord record;
-    record.name = r.get_bytes();
-    record.seq = r.get_bytes();
-    if (r.truncated()) return std::nullopt;
-    shard.records.emplace_back(index, std::move(record));
-  }
-  if (!r.done()) return std::nullopt;
-  return shard;
 }
 
 std::vector<io::FastaRecord> merge_scaffold_shards(

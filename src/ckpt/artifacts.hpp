@@ -33,7 +33,9 @@ inline constexpr std::uint32_t kReadsMagic = 0x31534452;   // "RDS1"
 inline constexpr std::uint32_t kPackedReadsMagic = 0x31504452;  // "RDP1"
 inline constexpr std::uint32_t kUfxMagic = 0x31584655;     // "UFX1"
 inline constexpr std::uint32_t kContigsMagic = 0x31475443;  // "CTG1"
-inline constexpr std::uint32_t kAlignMagic = 0x314e4c41;   // "ALN1"
+// "ALN2": v2 writes ReadAlignment field-wise (align/alignment_wire.hpp)
+// instead of a whole-struct put_pod that shipped 7 padding bytes per record.
+inline constexpr std::uint32_t kAlignMagic = 0x324e4c41;   // "ALN2"
 inline constexpr std::uint32_t kScaffMagic = 0x31464353;   // "SCF1"
 
 // ---- reads: one rank's share of every library ----

@@ -10,9 +10,10 @@ namespace hipmer::ckpt {
 
 namespace {
 
+// wire-schema: ckpt_aux_stats writer
 void put_aux(io::wire::Writer& w, const AuxStats& aux) {
   w.put_u64(aux.distinct_kmers);
-  w.put_pod(aux.singleton_fraction);
+  w.put_pod(aux.singleton_fraction);  // wire: pod double
   w.put_u64(aux.heavy_hitters);
   w.put_u64(aux.num_contigs);
   const auto& cs = aux.contig_stats;
@@ -20,27 +21,29 @@ void put_aux(io::wire::Writer& w, const AuxStats& aux) {
   w.put_u64(cs.total_length);
   w.put_u64(cs.min_length);
   w.put_u64(cs.max_length);
-  w.put_pod(cs.mean_length);
+  w.put_pod(cs.mean_length);  // wire: pod double
   w.put_u64(cs.n50);
   w.put_u64(cs.l50);
   w.put_u64(cs.n90);
 }
 
+// wire-schema: ckpt_aux_stats reader
 AuxStats get_aux(io::wire::Reader& r) {
   AuxStats aux;
-  aux.distinct_kmers = r.get_u64();
-  aux.singleton_fraction = r.get_pod<double>();
-  aux.heavy_hitters = r.get_u64();
-  aux.num_contigs = r.get_u64();
+  aux.distinct_kmers = r.get_u64_checked("aux distinct_kmers");
+  aux.singleton_fraction = r.get_pod_checked<double>("aux singleton_fraction");
+  aux.heavy_hitters = r.get_u64_checked("aux heavy_hitters");
+  aux.num_contigs = r.get_u64_checked("aux num_contigs");
   auto& cs = aux.contig_stats;
-  cs.num_sequences = static_cast<std::size_t>(r.get_u64());
-  cs.total_length = r.get_u64();
-  cs.min_length = r.get_u64();
-  cs.max_length = r.get_u64();
-  cs.mean_length = r.get_pod<double>();
-  cs.n50 = r.get_u64();
-  cs.l50 = static_cast<std::size_t>(r.get_u64());
-  cs.n90 = r.get_u64();
+  cs.num_sequences =
+      static_cast<std::size_t>(r.get_u64_checked("aux num_sequences"));
+  cs.total_length = r.get_u64_checked("aux total_length");
+  cs.min_length = r.get_u64_checked("aux min_length");
+  cs.max_length = r.get_u64_checked("aux max_length");
+  cs.mean_length = r.get_pod_checked<double>("aux mean_length");
+  cs.n50 = r.get_u64_checked("aux n50");
+  cs.l50 = static_cast<std::size_t>(r.get_u64_checked("aux l50"));
+  cs.n90 = r.get_u64_checked("aux n90");
   return aux;
 }
 
@@ -95,10 +98,11 @@ std::uint64_t Manifest::next_seq() const {
   return next;
 }
 
+// wire-schema: ckpt_manifest writer
 std::vector<std::byte> encode_manifest(const Manifest& manifest) {
   std::vector<std::byte> buf;
   io::wire::Writer w(buf);
-  w.put_u32(kManifestMagic);
+  w.put_u32(kManifestMagic);  // wire: magic kManifestMagic
   w.put_u32(kManifestVersion);
   w.put_u32(static_cast<std::uint32_t>(manifest.entries.size()));
   for (const auto& entry : manifest.entries) {
@@ -112,44 +116,52 @@ std::vector<std::byte> encode_manifest(const Manifest& manifest) {
     }
     put_aux(w, entry.aux);
   }
-  w.put_u32(util::crc32c(buf.data(), buf.size()));
+  w.put_u32(util::crc32c(buf.data(), buf.size()));  // wire: crc32
   return buf;
 }
 
+// wire-schema: ckpt_manifest reader
 std::optional<Manifest> decode_manifest(const std::vector<std::byte>& bytes) {
   if (bytes.size() < sizeof(std::uint32_t)) return std::nullopt;
   // Verify the trailing CRC over everything before it, first: no field of a
   // corrupt manifest is worth interpreting.
+  // wire: crc32
   const std::size_t body = bytes.size() - sizeof(std::uint32_t);
   std::uint32_t stored = 0;
   std::memcpy(&stored, bytes.data() + body, sizeof stored);
   if (util::crc32c(bytes.data(), body) != stored) return std::nullopt;
 
   io::wire::Reader r(bytes.data(), body);
-  if (r.get_u32() != kManifestMagic) return std::nullopt;
-  if (r.get_u32() != kManifestVersion) return std::nullopt;
-  const std::uint32_t count = r.get_u32();
-  Manifest manifest;
-  manifest.entries.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    StageEntry entry;
-    entry.stage = r.get_bytes();
-    entry.seq = r.get_u64();
-    entry.fingerprint = r.get_u64();
-    entry.shard_count = r.get_u32();
-    if (r.truncated() || entry.shard_count > (1u << 24)) return std::nullopt;
-    entry.shard_bytes.resize(entry.shard_count);
-    entry.shard_crcs.resize(entry.shard_count);
-    for (std::uint32_t s = 0; s < entry.shard_count; ++s) {
-      entry.shard_bytes[s] = r.get_u64();
-      entry.shard_crcs[s] = r.get_u32();
+  try {
+    const auto magic =
+        r.get_u32_checked("manifest magic");  // wire: magic kManifestMagic
+    if (magic != kManifestMagic) return std::nullopt;
+    if (r.get_u32_checked("manifest version") != kManifestVersion)
+      return std::nullopt;
+    const std::uint32_t count = r.get_u32_checked("entry count");
+    Manifest manifest;
+    manifest.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      StageEntry entry;
+      entry.stage = r.get_bytes_checked("entry stage");
+      entry.seq = r.get_u64_checked("entry seq");
+      entry.fingerprint = r.get_u64_checked("entry fingerprint");
+      entry.shard_count = r.get_u32_checked("entry shard count");
+      if (entry.shard_count > (1u << 24)) return std::nullopt;
+      entry.shard_bytes.resize(entry.shard_count);
+      entry.shard_crcs.resize(entry.shard_count);
+      for (std::uint32_t s = 0; s < entry.shard_count; ++s) {
+        entry.shard_bytes[s] = r.get_u64_checked("shard bytes");
+        entry.shard_crcs[s] = r.get_u32_checked("shard crc");
+      }
+      entry.aux = get_aux(r);
+      manifest.entries.push_back(std::move(entry));
     }
-    entry.aux = get_aux(r);
-    if (r.truncated()) return std::nullopt;
-    manifest.entries.push_back(std::move(entry));
+    if (!r.done()) return std::nullopt;  // trailing garbage
+    return manifest;
+  } catch (const io::wire::Error&) {
+    return std::nullopt;
   }
-  if (!r.done()) return std::nullopt;  // trailing garbage
-  return manifest;
 }
 
 }  // namespace hipmer::ckpt

@@ -31,14 +31,29 @@ T get(const std::string& buf, std::size_t& pos) {
   return v;
 }
 
-void serialize_record(std::string& out, const seq::Read& read) {
+}  // namespace
+
+// wire-schema: seqdb_record writer
+// wire-decl: u32 name_len
+// wire-decl: u32 seq_len
+// wire-decl: u8 flags
+// wire-decl: blob name[name_len]
+// wire-decl: blob seq[packed(seq_len)|seq_len]
+// wire-decl: opt blob quals[seq_len]
+void seqdb_serialize_record(std::string& out, const seq::Read& read) {
   const bool packable = seq::is_valid_dna(read.seq);
+  // Per-base quals are exactly seq-length when present. v1 appended
+  // `read.quals` verbatim with no framing while the reader always consumed
+  // seq_len bytes, so a FASTA-sourced read (empty quals) desynced every
+  // record after it.
+  const bool has_quals = !read.quals.empty();
   put_u32(out, static_cast<std::uint32_t>(read.name.size()));
   put_u32(out, static_cast<std::uint32_t>(read.seq.size()));
-  out.push_back(packable ? 1 : 0);
+  out.push_back(static_cast<char>((packable ? 1 : 0) | (has_quals ? 2 : 0)));
   out += read.name;
   if (packable) {
-    // 2-bit packing, 4 bases per byte.
+    // 2-bit packing, 4 bases per byte. Unused high bits of the tail byte
+    // stay zero — the canonical form the reader enforces.
     std::uint8_t acc = 0;
     int filled = 0;
     for (char c : read.seq) {
@@ -53,19 +68,39 @@ void serialize_record(std::string& out, const seq::Read& read) {
   } else {
     out += read.seq;
   }
-  out += read.quals;
+  if (has_quals) {
+    if (read.quals.size() == read.seq.size()) {
+      out += read.quals;
+    } else {
+      // Defensive: pad/truncate malformed quals rather than desync.
+      std::string q = read.quals;
+      q.resize(read.seq.size(), '#');
+      out += q;
+    }
+  }
 }
 
-seq::Read deserialize_record(const std::string& buf, std::size_t& pos) {
+// wire-schema: seqdb_record reader
+// wire-decl: u32 name_len
+// wire-decl: u32 seq_len
+// wire-decl: u8 flags
+// wire-decl: blob name[name_len]
+// wire-decl: blob seq[packed(seq_len)|seq_len]
+// wire-decl: opt blob quals[seq_len]
+seq::Read seqdb_deserialize_record(const std::string& buf, std::size_t& pos) {
   const auto name_len = get<std::uint32_t>(buf, pos);
   const auto seq_len = get<std::uint32_t>(buf, pos);
-  const auto packed = get<std::uint8_t>(buf, pos);
+  const auto flags = get<std::uint8_t>(buf, pos);
+  if ((flags & ~std::uint8_t{3}) != 0)
+    throw std::runtime_error("seqdb: corrupt record flags");
+  const bool packed = (flags & 1) != 0;
+  const bool has_quals = (flags & 2) != 0;
   seq::Read read;
   if (pos + name_len > buf.size())
     throw std::runtime_error("seqdb: truncated record name");
   read.name.assign(buf, pos, name_len);
   pos += name_len;
-  if (packed != 0) {
+  if (packed) {
     const std::size_t bytes = (seq_len + 3) / 4;
     if (pos + bytes > buf.size())
       throw std::runtime_error("seqdb: truncated packed sequence");
@@ -74,6 +109,13 @@ seq::Read deserialize_record(const std::string& buf, std::size_t& pos) {
       const auto byte = static_cast<std::uint8_t>(buf[pos + i / 4]);
       read.seq[i] = seq::code_to_base((byte >> (2 * (i % 4))) & 3);
     }
+    // Reject non-canonical dead bits in the tail byte: the writer zeroes
+    // them, so anything else is corruption a round-trip would mask.
+    if (seq_len % 4 != 0) {
+      const auto tail = static_cast<std::uint8_t>(buf[pos + bytes - 1]);
+      if ((tail >> (2 * (seq_len % 4))) != 0)
+        throw std::runtime_error("seqdb: non-canonical packed tail");
+    }
     pos += bytes;
   } else {
     if (pos + seq_len > buf.size())
@@ -81,14 +123,14 @@ seq::Read deserialize_record(const std::string& buf, std::size_t& pos) {
     read.seq.assign(buf, pos, seq_len);
     pos += seq_len;
   }
-  if (pos + seq_len > buf.size())
-    throw std::runtime_error("seqdb: truncated qualities");
-  read.quals.assign(buf, pos, seq_len);
-  pos += seq_len;
+  if (has_quals) {
+    if (pos + seq_len > buf.size())
+      throw std::runtime_error("seqdb: truncated qualities");
+    read.quals.assign(buf, pos, seq_len);
+    pos += seq_len;
+  }
   return read;
 }
-
-}  // namespace
 
 bool write_seqdb(const std::string& path, const std::vector<seq::Read>& reads) {
   std::string out;
@@ -102,7 +144,7 @@ bool write_seqdb(const std::string& path, const std::vector<seq::Read>& reads) {
     const std::size_t n = std::min<std::size_t>(kSeqdbBlockRecords,
                                                 reads.size() - i);
     put_u32(out, static_cast<std::uint32_t>(n));
-    for (std::size_t j = 0; j < n; ++j) serialize_record(out, reads[i + j]);
+    for (std::size_t j = 0; j < n; ++j) seqdb_serialize_record(out, reads[i + j]);
   }
   const std::uint64_t footer_offset = out.size();
   for (auto off : block_offsets) put_u64(out, off);
@@ -138,7 +180,7 @@ std::vector<seq::Read> read_seqdb(const std::string& path) {
     if (count > n - reads.size())
       throw std::runtime_error("seqdb: corrupt block record count in " + path);
     for (std::uint32_t i = 0; i < count; ++i)
-      reads.push_back(deserialize_record(buf, pos));
+      reads.push_back(seqdb_deserialize_record(buf, pos));
   }
   return reads;
 }
@@ -168,6 +210,10 @@ ParallelSeqdbReader::ParallelSeqdbReader(std::string path)
   pread_exact(&magic, sizeof magic, 0);
   if (magic != kSeqdbMagic)
     throw std::runtime_error("seqdb: bad magic in " + path_);
+  std::uint32_t version = 0;
+  pread_exact(&version, sizeof version, 4);
+  if (version != kSeqdbVersion)
+    throw std::runtime_error("seqdb: unsupported version in " + path_);
   pread_exact(&num_records_, sizeof num_records_, 8);
 
   std::uint64_t trailer[2];  // num_blocks, footer_offset
@@ -234,7 +280,7 @@ std::vector<seq::Read> ParallelSeqdbReader::read_my_records(pgas::Rank& rank) {
     if (count > (buf.size() - pos) / 9)
       throw std::runtime_error("seqdb: corrupt block record count in " + path_);
     for (std::uint32_t i = 0; i < count; ++i)
-      reads.push_back(deserialize_record(buf, pos));
+      reads.push_back(seqdb_deserialize_record(buf, pos));
   }
   rank.stats().add_io_read(bytes);
   rank.barrier();

@@ -27,11 +27,29 @@
 /// Layout:  [magic u32][version u32][num_records u64]
 ///          block*     (each: [count u32] record*)
 ///          footer:    [block_offset u64]*  [num_blocks u64][footer_off u64]
+///
+/// Record:  [name_len u32][seq_len u32][flags u8]
+///          [name name_len][seq packed(seq_len) | raw seq_len]
+///          [quals seq_len iff flags bit1]
+/// flags: bit0 = 2-bit packed sequence, bit1 = per-base quals present.
+///
+/// v2 framed quals behind the bit1 flag: v1 appended `read.quals` verbatim
+/// while the reader always consumed seq_len bytes, so one FASTA-sourced
+/// read (no quals) desynced every record after it in the block.
 namespace hipmer::io {
 
 inline constexpr std::uint32_t kSeqdbMagic = 0x48534442;  // "HSDB"
-inline constexpr std::uint32_t kSeqdbVersion = 1;
+inline constexpr std::uint32_t kSeqdbVersion = 2;
 inline constexpr std::uint32_t kSeqdbBlockRecords = 1024;
+
+/// Single-record codec (the Record layout above). Public so the
+/// wire-schema corruption sweeps can drive it directly;
+/// seqdb_deserialize_record advances `pos` past the record and throws
+/// std::runtime_error on any malformed framing (truncation, unknown flag
+/// bits, non-canonical packed tail).
+void seqdb_serialize_record(std::string& out, const seq::Read& read);
+[[nodiscard]] seq::Read seqdb_deserialize_record(const std::string& buf,
+                                                 std::size_t& pos);
 
 /// Write all reads; returns false on I/O failure.
 bool write_seqdb(const std::string& path, const std::vector<seq::Read>& reads);

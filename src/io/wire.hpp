@@ -140,6 +140,25 @@ class Reader {
     return value;
   }
 
+  [[nodiscard]] std::uint32_t get_u32_checked(const char* field) {
+    return get_pod_checked<std::uint32_t>(field);
+  }
+  [[nodiscard]] std::uint64_t get_u64_checked(const char* field) {
+    return get_pod_checked<std::uint64_t>(field);
+  }
+
+  /// Checked [u32 length][bytes]: throws TruncatedError naming `field` if
+  /// either the prefix or the payload runs off the end. The length is
+  /// validated *before* any allocation, so a corrupt prefix cannot drive a
+  /// huge resize.
+  [[nodiscard]] std::string get_bytes_checked(const char* field) {
+    const std::uint32_t n = get_u32_checked(field);
+    require(n, field);
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
   [[nodiscard]] std::string get_bytes() {
     const std::uint32_t n = get_u32();
     std::string out;
@@ -174,17 +193,31 @@ class Reader {
 // ---- record framings shared across stages ----
 
 /// Sequencing read: three length-prefixed fields (name, bases, quals).
+// wire-schema: read_record writer
 inline void put_read(Writer& w, const seq::Read& read) {
   w.put_bytes(read.name);
   w.put_bytes(read.seq);
   w.put_bytes(read.quals);
 }
 
+/// Streaming (non-throwing) decoder: only for buffers produced in-process
+/// by put_read — untrusted bytes go through get_read_checked.
+// wire-schema: read_record reader trusted
 inline seq::Read get_read(Reader& r) {
   seq::Read read;
   read.name = r.get_bytes();
   read.seq = r.get_bytes();
   read.quals = r.get_bytes();
+  return read;
+}
+
+/// Throwing decoder for reads arriving from disk or socket bytes.
+// wire-schema: read_record reader
+inline seq::Read get_read_checked(Reader& r) {
+  seq::Read read;
+  read.name = r.get_bytes_checked("read name");
+  read.seq = r.get_bytes_checked("read seq");
+  read.quals = r.get_bytes_checked("read quals");
   return read;
 }
 

@@ -17,6 +17,7 @@
 #include "io/wire.hpp"
 #include "pgas/aggregating_engine.hpp"
 #include "pgas/checked.hpp"
+#include "pgas/map_wire.hpp"
 #include "pgas/read_cache.hpp"
 #include "pgas/spin_mutex.hpp"
 #include "pgas/thread_team.hpp"
@@ -107,7 +108,7 @@ class DistHashMap {
             store_channel_,
             [this](int src, int dst, const std::byte* data, std::size_t size) {
               Rank initiator(*team_, src);
-              auto ops = decode_batch<PendingOp>(data, size);
+              auto ops = map_wire::decode_batch<PendingOp>(data, size);
               apply_store_batch(initiator, static_cast<std::uint32_t>(dst),
                                 ops);
             });
@@ -116,7 +117,7 @@ class DistHashMap {
         team.transport().set_handler(
             lookup_channel_,
             [this](int src, int, const std::byte* data, std::size_t size) {
-              auto reqs = decode_batch<LookupReq>(data, size);
+              auto reqs = map_wire::decode_batch<LookupReq>(data, size);
               answer_remote_lookups(src, reqs);
             });
         reply_oneway_ = team.fabric().register_oneway(
@@ -326,20 +327,18 @@ class DistHashMap {
       std::memcpy(&res, out.data(), sizeof(Result));
       return res;
     }
-    std::vector<std::byte> payload;
-    io::wire::Writer w(payload);
-    w.put_u32(id);
-    w.put_u64(h);
-    w.put_pod(key);
-    w.put_pod(args);
+    auto payload = map_wire::encode_rmw_request(
+        id, h, key, reinterpret_cast<const std::byte*>(&args), sizeof(Args));
     const auto resp =
         team_->fabric().rpc(rmw_rpc_, static_cast<int>(owner),
                             std::move(payload));
-    io::wire::Reader r(resp.data(), resp.size());
-    if (r.get_pod_checked<std::uint8_t>("rmw present") == 0)
-      return std::nullopt;
+    const auto result = map_wire::decode_rmw_response(resp.data(), resp.size());
+    if (!result) return std::nullopt;
+    if (result->size() != sizeof(Result))
+      throw io::wire::CorruptError(
+          "wire: corrupt: rmw result size disagrees with Result type");
     Result res{};
-    r.get_raw(&res, sizeof(Result), "rmw result");
+    std::memcpy(&res, result->data(), sizeof(Result));
     return res;
   }
 
@@ -648,45 +647,13 @@ class DistHashMap {
   static constexpr bool kWireStores = std::is_trivially_copyable_v<PendingOp>;
   static constexpr bool kWireLookups = std::is_trivially_copyable_v<LookupReq>;
 
-  template <typename Op>
-  static std::vector<std::byte> encode_batch(const std::vector<Op>& ops) {
-    static_assert(std::is_trivially_copyable_v<Op>);
-    std::vector<std::byte> out;
-    io::wire::Writer w(out);
-    w.put_u32(static_cast<std::uint32_t>(ops.size()));
-    w.put_bytes(std::string_view(reinterpret_cast<const char*>(ops.data()),
-                                 ops.size() * sizeof(Op)));
-    return out;
-  }
-
-  /// Inverse of encode_batch. The payload arrived through a CRC-checked
-  /// envelope, so a mismatch here means a framing bug, not line noise —
-  /// but it is still validated (and the bytes are memcpy'd into a fresh
-  /// vector, never reinterpreted in place: the envelope buffer carries no
-  /// alignment guarantee for Op).
-  template <typename Op>
-  static std::vector<Op> decode_batch(const std::byte* data,
-                                      std::size_t size) {
-    static_assert(std::is_trivially_copyable_v<Op>);
-    io::wire::Reader r(data, size);
-    const auto count = r.get_pod_checked<std::uint32_t>("batch count");
-    const auto len = r.get_pod_checked<std::uint32_t>("batch byte length");
-    if (static_cast<std::size_t>(len) != count * sizeof(Op) ||
-        static_cast<std::size_t>(len) != r.remaining())
-      throw io::wire::CorruptError(
-          "wire: corrupt: batch length disagrees with op count");
-    std::vector<Op> ops(count);
-    if (len > 0) r.get_raw(ops.data(), len, "batch ops");
-    return ops;
-  }
-
   /// Receiver-side apply for one store envelope (run on the initiator's
   /// thread — synchronous simulated delivery). Runs exactly once per
   /// distinct envelope: the transport dedups retransmits, so CommStats
   /// charging stays inside, identical to the pre-transport accounting.
   auto store_deliver(Rank& rank) {
     return [this, &rank](int dst, const std::byte* data, std::size_t size) {
-      auto ops = decode_batch<PendingOp>(data, size);
+      auto ops = map_wire::decode_batch<PendingOp>(data, size);
       apply_store_batch(rank, static_cast<std::uint32_t>(dst), ops);
     };
   }
@@ -695,7 +662,7 @@ class DistHashMap {
   auto lookup_deliver(Rank& rank, Handler& handler) {
     return [this, &rank, &handler](int dst, const std::byte* data,
                                    std::size_t size) {
-      auto reqs = decode_batch<LookupReq>(data, size);
+      auto reqs = map_wire::decode_batch<LookupReq>(data, size);
       answer_lookup_batch(rank, static_cast<std::uint32_t>(dst), reqs,
                           handler);
     };
@@ -706,7 +673,7 @@ class DistHashMap {
     if constexpr (kWireStores) {
       try {
         team_->transport().send(rank.id(), static_cast<int>(dest),
-                                store_channel_, encode_batch(ops),
+                                store_channel_, map_wire::encode_batch(ops),
                                 rank.stats(), store_deliver(rank));
       } catch (const PeerSuspect&) {
         degrade(rank);
@@ -733,7 +700,7 @@ class DistHashMap {
       }
       try {
         team_->transport().send(rank.id(), static_cast<int>(dest),
-                                lookup_channel_, encode_batch(reqs),
+                                lookup_channel_, map_wire::encode_batch(reqs),
                                 rank.stats(), lookup_deliver(rank, handler));
       } catch (const PeerSuspect&) {
         degrade(rank);
@@ -777,47 +744,39 @@ class DistHashMap {
   void answer_remote_lookups(int src, std::vector<LookupReq>& reqs) {
     const auto me = static_cast<std::uint32_t>(team_->my_rank());
     const Shard& shard = shards_[me];
-    std::vector<std::byte> out;
-    io::wire::Writer w(out);
-    w.put_u32(static_cast<std::uint32_t>(reqs.size()));
+    std::vector<map_wire::LookupReply<K, V>> replies;
+    replies.reserve(reqs.size());
     std::size_t hits = 0;
     for (const auto& req : reqs) {
       const std::size_t b = bucket_index(shard, req.hash);
-      bool found = false;
-      V copy{};
+      map_wire::LookupReply<K, V> reply;
+      reply.tag = req.tag;
+      reply.key = req.key;
       {
         std::lock_guard<SpinMutex> lock(shard.locks[b]);
         if (const Entry* e = find_in_bucket(shard.buckets[b], req.key)) {
-          copy = e->value;
-          found = true;
+          reply.value = e->value;
+          reply.found = true;
         }
       }
-      if (found) ++hits;
-      w.put_u64(req.tag);
-      w.put_pod(static_cast<std::uint8_t>(found ? 1 : 0));
-      w.put_pod(req.key);
-      if (found) w.put_pod(copy);
+      if (reply.found) ++hits;
+      replies.push_back(reply);
     }
     Rank initiator(*team_, src);
     initiator.charge_message(static_cast<int>(me),
                              reqs.size() * sizeof(K) + hits * sizeof(V),
                              reqs.size());
-    team_->fabric().send_oneway(reply_oneway_, src, std::move(out));
+    team_->fabric().send_oneway(reply_oneway_, src,
+                                map_wire::encode_lookup_replies(replies));
   }
 
   /// Initiator side: decode one reply message, deliver each entry through
   /// the armed handler, and retire the batch it answers.
   void deliver_remote_replies(const std::byte* data, std::size_t size) {
-    io::wire::Reader r(data, size);
-    const auto count = r.get_pod_checked<std::uint32_t>("reply count");
-    for (std::uint32_t i = 0; i < count; ++i) {
-      const auto tag = r.get_pod_checked<std::uint64_t>("reply tag");
-      const auto found = r.get_pod_checked<std::uint8_t>("reply found");
-      K key{};
-      r.get_raw(&key, sizeof(K), "reply key");
-      V val{};
-      if (found != 0) r.get_raw(&val, sizeof(V), "reply value");
-      reply_fn_(reply_ctx_, key, found != 0 ? &val : nullptr, tag);
+    const auto replies = map_wire::decode_lookup_replies<K, V>(data, size);
+    for (const auto& reply : replies) {
+      reply_fn_(reply_ctx_, reply.key, reply.found ? &reply.value : nullptr,
+                reply.tag);
     }
     assert(outstanding_ > 0);
     if (outstanding_ > 0) --outstanding_;
@@ -825,25 +784,15 @@ class DistHashMap {
 
   /// Owner side of a remote registered-RMW request.
   std::vector<std::byte> serve_rmw(const std::byte* data, std::size_t size) {
-    io::wire::Reader r(data, size);
-    const auto id = r.get_pod_checked<std::uint32_t>("rmw id");
-    const auto h = r.get_pod_checked<std::uint64_t>("rmw hash");
-    K key{};
-    r.get_raw(&key, sizeof(K), "rmw key");
-    std::vector<std::byte> args(r.remaining());
-    if (!args.empty()) r.get_raw(args.data(), args.size(), "rmw args");
-    if (id >= rmws_.size())
+    auto req = map_wire::decode_rmw_request<K>(data, size);
+    if (req.id >= rmws_.size())
       throw io::wire::CorruptError("wire: corrupt: unknown rmw id");
     std::vector<std::byte> out;
     const bool present =
-        rmws_[id](static_cast<std::uint32_t>(team_->my_rank()), h, key,
-                  args.data(), args.size(), out);
+        rmws_[req.id](static_cast<std::uint32_t>(team_->my_rank()), req.hash,
+                      req.key, req.args.data(), req.args.size(), out);
     if (present) bump_version();
-    std::vector<std::byte> resp;
-    io::wire::Writer w(resp);
-    w.put_pod(static_cast<std::uint8_t>(present ? 1 : 0));
-    resp.insert(resp.end(), out.begin(), out.end());
-    return resp;
+    return map_wire::encode_rmw_response(present, out);
   }
 
   static std::size_t bucket_index(const Shard& shard, std::uint64_t h) {

@@ -41,7 +41,7 @@ void set_cloexec(int fd) {
 }
 
 /// Fixed-size prefix of every frame: magic, kind, channel, src, dst, len.
-constexpr std::size_t kHeaderBytes = 6 * sizeof(std::uint32_t);
+constexpr std::size_t kHeaderBytes = kFrameHeaderBytes;
 
 /// Try to pop one complete frame off the front of `buf`. On success the
 /// consumed bytes are erased and `raw` (when non-null) receives the exact
@@ -107,52 +107,6 @@ void write_fully(int fd, const std::vector<std::byte>& bytes) {
 }
 
 }  // namespace
-
-std::vector<std::byte> encode_frame(const Frame& f) {
-  std::vector<std::byte> out;
-  out.reserve(kHeaderBytes + f.payload.size() + 4);
-  io::wire::Writer w(out);
-  w.put_u32(kFrameMagic);
-  w.put_u32(static_cast<std::uint32_t>(f.kind));
-  w.put_u32(f.channel);
-  w.put_u32(f.src);
-  w.put_u32(f.dst);
-  w.put_bytes(std::string_view(reinterpret_cast<const char*>(f.payload.data()),
-                               f.payload.size()));
-  w.put_u32(util::crc32c(out.data(), out.size()));
-  return out;
-}
-
-Frame decode_frame(const std::byte* data, std::size_t size) {
-  io::wire::Reader r(data, size);
-  const auto magic = r.get_pod_checked<std::uint32_t>("frame magic");
-  if (magic != kFrameMagic)
-    throw io::wire::CorruptError("wire: corrupt: fabric frame magic mismatch");
-  Frame f;
-  const auto kind = r.get_pod_checked<std::uint32_t>("frame kind");
-  if (kind < static_cast<std::uint32_t>(FrameKind::kHello) ||
-      kind > static_cast<std::uint32_t>(FrameKind::kBye))
-    throw io::wire::CorruptError("wire: corrupt: unknown fabric frame kind");
-  f.kind = static_cast<FrameKind>(kind);
-  f.channel = r.get_pod_checked<std::uint32_t>("frame channel");
-  f.src = r.get_pod_checked<std::uint32_t>("frame src");
-  f.dst = r.get_pod_checked<std::uint32_t>("frame dst");
-  const auto len = r.get_pod_checked<std::uint32_t>("frame payload length");
-  f.payload.resize(len);
-  if (len > 0) r.get_raw(f.payload.data(), len, "frame payload");
-  const std::size_t covered = size - r.remaining();
-  const auto stored = r.get_pod_checked<std::uint32_t>("frame crc");
-  const std::uint32_t computed = util::crc32c(data, covered);
-  if (stored != computed) {
-    std::ostringstream os;
-    os << "wire: corrupt: fabric frame crc mismatch (stored 0x" << std::hex
-       << stored << ", computed 0x" << computed << ")";
-    throw io::wire::CorruptError(os.str());
-  }
-  if (!r.done())
-    throw io::wire::CorruptError("wire: corrupt: trailing bytes after frame");
-  return f;
-}
 
 // ---- router (coordinator process) -----------------------------------------
 
@@ -220,21 +174,13 @@ struct SocketFabric::Router {
   }
 
   void on_barrier(int src, const Frame& f) {
-    io::wire::Reader r(f.payload.data(), f.payload.size());
-    const auto changed = r.get_pod_checked<std::uint8_t>("barrier slot flag");
-    if (changed != 0) {
-      const auto len = r.get_pod_checked<std::uint32_t>("barrier slot length");
-      auto& cache = slot_cache[static_cast<std::size_t>(src)];
-      cache.resize(len);
-      if (len > 0) r.get_raw(cache.data(), len, "barrier slot");
+    auto msg = decode_barrier_collect(f.payload.data(), f.payload.size());
+    if (msg.slot_changed) {
+      slot_cache[static_cast<std::size_t>(src)] = std::move(msg.slot);
       slot_dirty[static_cast<std::size_t>(src)] = true;
     }
-    const auto has_rec = r.get_pod_checked<std::uint8_t>("barrier record flag");
-    if (has_rec != 0) {
-      auto& rec = record_cache[static_cast<std::size_t>(src)];
-      rec.assign(f.payload.begin() +
-                     static_cast<std::ptrdiff_t>(f.payload.size() - r.remaining()),
-                 f.payload.end());
+    if (msg.has_record) {
+      record_cache[static_cast<std::size_t>(src)] = std::move(msg.record);
     } else {
       records_all = false;
     }
@@ -245,29 +191,18 @@ struct SocketFabric::Router {
     if (arrived < nranks) return;
     // Round complete: release with every slot that changed since the last
     // release plus (when all endpoints provided one) the full record set.
-    Frame rel;
-    rel.kind = FrameKind::kRelease;
-    io::wire::Writer w(rel.payload);
-    std::uint32_t nchanged = 0;
-    for (int rank = 0; rank < nranks; ++rank)
-      if (slot_dirty[static_cast<std::size_t>(rank)]) ++nchanged;
-    w.put_u32(nchanged);
+    ReleaseMsg rel_msg;
+    rel_msg.records_all = records_all;
     for (int rank = 0; rank < nranks; ++rank) {
       if (!slot_dirty[static_cast<std::size_t>(rank)]) continue;
-      const auto& cache = slot_cache[static_cast<std::size_t>(rank)];
-      w.put_u32(static_cast<std::uint32_t>(rank));
-      w.put_bytes(std::string_view(reinterpret_cast<const char*>(cache.data()),
-                                   cache.size()));
+      rel_msg.slots.emplace_back(static_cast<std::uint32_t>(rank),
+                                 slot_cache[static_cast<std::size_t>(rank)]);
       slot_dirty[static_cast<std::size_t>(rank)] = false;
     }
-    w.put_pod<std::uint8_t>(records_all ? 1 : 0);
-    if (records_all) {
-      for (int rank = 0; rank < nranks; ++rank) {
-        const auto& rec = record_cache[static_cast<std::size_t>(rank)];
-        w.put_bytes(std::string_view(
-            reinterpret_cast<const char*>(rec.data()), rec.size()));
-      }
-    }
+    if (records_all) rel_msg.records = record_cache;
+    Frame rel;
+    rel.kind = FrameKind::kRelease;
+    rel.payload = encode_release(rel_msg);
     arrived = 0;
     std::fill(rank_arrived.begin(), rank_arrived.end(), false);
     records_all = true;
@@ -283,12 +218,8 @@ struct SocketFabric::Router {
     if (serial_arrived < nranks) return;
     Frame rel;
     rel.kind = FrameKind::kSerialRelease;
-    io::wire::Writer w(rel.payload);
-    w.put_u32(static_cast<std::uint32_t>(nranks));
-    for (int rank = 0; rank < nranks; ++rank) {
-      auto& part = serial_parts[static_cast<std::size_t>(rank)];
-      w.put_bytes(std::string_view(reinterpret_cast<const char*>(part.data()),
-                                   part.size()));
+    rel.payload = encode_serial_release(serial_parts);
+    for (auto& part : serial_parts) {
       part.clear();
       part.shrink_to_fit();
     }
@@ -503,8 +434,7 @@ std::unique_ptr<SocketFabric> SocketFabric::coordinator(
   // Confirm the roster, then go nonblocking and start routing.
   Frame roster;
   roster.kind = FrameKind::kRoster;
-  io::wire::Writer w(roster.payload);
-  w.put_u32(static_cast<std::uint32_t>(nranks));
+  roster.payload = encode_roster(static_cast<std::uint32_t>(nranks));
   const auto roster_bytes = encode_frame(roster);
   for (int r = 1; r < nranks; ++r)
     write_fully(fab->router_->conns[static_cast<std::size_t>(r)].fd,
@@ -548,8 +478,7 @@ std::unique_ptr<SocketFabric> SocketFabric::worker(
   const Frame roster = read_frame_blocking(fd, buf, 60 * 1000);
   if (roster.kind != FrameKind::kRoster)
     throw std::runtime_error("fabric: expected ROSTER");
-  io::wire::Reader r(roster.payload.data(), roster.payload.size());
-  const auto p = r.get_pod_checked<std::uint32_t>("roster nranks");
+  const auto p = decode_roster(roster.payload.data(), roster.payload.size());
   if (static_cast<int>(p) != nranks)
     throw std::runtime_error("fabric: roster team-size mismatch");
   fab->fd_ = fd;
@@ -669,53 +598,26 @@ bool SocketFabric::dispatch_one() {
       rpc_resp_ = std::move(f.payload);
       break;
     case FrameKind::kRelease: {
-      io::wire::Reader r(f.payload.data(), f.payload.size());
-      const auto nchanged = r.get_pod_checked<std::uint32_t>("release count");
-      for (std::uint32_t i = 0; i < nchanged; ++i) {
-        const auto rank = r.get_pod_checked<std::uint32_t>("release rank");
-        const auto len = r.get_pod_checked<std::uint32_t>("release slot len");
-        std::vector<std::byte> slot(len);
-        if (len > 0) r.get_raw(slot.data(), len, "release slot");
+      auto msg = decode_release(f.payload.data(), f.payload.size(), nranks_);
+      for (auto& [rank, slot] : msg.slots) {
         if (static_cast<int>(rank) != my_rank_ && slot_writer_)
           slot_writer_(static_cast<int>(rank), std::move(slot));
       }
-      const auto has_records =
-          r.get_pod_checked<std::uint8_t>("release record flag");
-      if (has_records != 0) {
+      if (msg.records_all) {
         for (int rank = 0; rank < nranks_; ++rank) {
-          const auto len = r.get_pod_checked<std::uint32_t>("record len");
-          std::vector<std::byte> rec(len);
-          if (len > 0) r.get_raw(rec.data(), len, "record");
           if (rank == my_rank_ || !record_installer_) continue;
-          io::wire::Reader rr(rec.data(), rec.size());
-          const auto kind = rr.get_pod_checked<std::uint32_t>("record kind");
-          const auto file_len = rr.get_pod_checked<std::uint32_t>("record file len");
-          std::string file(file_len, '\0');
-          if (file_len > 0) rr.get_raw(file.data(), file_len, "record file");
-          const auto line = rr.get_pod_checked<std::uint32_t>("record line");
-          const auto func_len = rr.get_pod_checked<std::uint32_t>("record func len");
-          std::string func(func_len, '\0');
-          if (func_len > 0) rr.get_raw(func.data(), func_len, "record func");
-          record_installer_(rank, kind, file, line, func);
+          const auto& rec = msg.records[static_cast<std::size_t>(rank)];
+          const auto record = decode_barrier_record(rec.data(), rec.size());
+          record_installer_(rank, record.kind, record.file, record.line,
+                            record.func);
         }
       }
       released_ = true;
       break;
     }
-    case FrameKind::kSerialRelease: {
-      io::wire::Reader r(f.payload.data(), f.payload.size());
-      const auto p = r.get_pod_checked<std::uint32_t>("serial count");
-      std::vector<std::vector<std::byte>> parts;
-      parts.reserve(p);
-      for (std::uint32_t i = 0; i < p; ++i) {
-        const auto len = r.get_pod_checked<std::uint32_t>("serial part len");
-        std::vector<std::byte> part(len);
-        if (len > 0) r.get_raw(part.data(), len, "serial part");
-        parts.push_back(std::move(part));
-      }
-      serial_resp_ = std::move(parts);
+    case FrameKind::kSerialRelease:
+      serial_resp_ = decode_serial_release(f.payload.data(), f.payload.size());
       break;
-    }
     case FrameKind::kRankDown:
       if (getenv("HIPMER_FABRIC_DEBUG")) fprintf(stderr, "[fabdbg %d] endpoint rank=%d got RANKDOWN src=%u\n", (int)getpid(), my_rank_, f.src);
       if (down_rank_ < 0) down_rank_ = static_cast<int>(f.src);
@@ -817,26 +719,24 @@ void SocketFabric::barrier(const BarrierPoint& pt) {
   Frame f;
   f.kind = FrameKind::kBarrier;
   f.src = static_cast<std::uint32_t>(my_rank_);
-  io::wire::Writer w(f.payload);
   const auto& slot = *pt.slot;
-  const bool changed = !have_pub_ || slot != last_pub_;
-  w.put_pod<std::uint8_t>(changed ? 1 : 0);
-  if (changed) {
-    if (!slot.empty())
-      w.put_bytes(std::string_view(reinterpret_cast<const char*>(slot.data()),
-                                   slot.size()));
-    else
-      w.put_u32(0);
+  BarrierCollectMsg msg;
+  msg.slot_changed = !have_pub_ || slot != last_pub_;
+  if (msg.slot_changed) {
+    msg.slot = slot;
     last_pub_ = slot;
     have_pub_ = true;
   }
-  w.put_pod<std::uint8_t>(pt.has_record ? 1 : 0);
+  msg.has_record = pt.has_record;
   if (pt.has_record) {
-    w.put_u32(pt.record_kind);
-    w.put_bytes(pt.record_file);
-    w.put_u32(pt.record_line);
-    w.put_bytes(pt.record_func);
+    BarrierRecordMsg record;
+    record.kind = pt.record_kind;
+    record.file = pt.record_file;
+    record.line = pt.record_line;
+    record.func = pt.record_func;
+    msg.record = encode_barrier_record(record);
   }
+  f.payload = encode_barrier_collect(msg);
   released_ = false;
   send_frame(f);
   await([this] { return released_; });

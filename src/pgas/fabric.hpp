@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "pgas/fabric_wire.hpp"
+
 /// Pluggable communication fabric: the *delivery* half of the comm stack.
 ///
 /// The transport (pgas/transport.hpp) owns the protocol — sequencing,
@@ -51,40 +53,9 @@
 /// a retry-deadline expiry, so Pipeline::resume restarts from checkpoint.
 namespace hipmer::pgas {
 
-/// One fabric frame. Wire layout (io::wire framing, crc32c like the
-/// transport envelope):
-///   [u32 magic][u32 kind][u32 channel][u32 src][u32 dst]
-///   [u32 payload_len][payload][u32 crc32c]
-/// `channel` is the transport channel for kData and the service id for
-/// kOneway / kRpcReq / kRpcResp; 0 otherwise.
-enum class FrameKind : std::uint32_t {
-  kHello = 1,       ///< worker -> coordinator: "rank src is connected"
-  kRoster,          ///< coordinator -> worker: team size confirmation
-  kData,            ///< a framed transport envelope (channel = ChannelId)
-  kBarrier,         ///< endpoint -> router: slot publication + arrival
-  kRelease,         ///< router -> endpoints: barrier complete, slot updates
-  kSerial,          ///< endpoint -> router: serial-context contribution
-  kSerialRelease,   ///< router -> endpoints: all P contributions
-  kOneway,          ///< fire-and-forget service message (lookup replies)
-  kRpcReq,          ///< request to a registered RPC service (RMW, fetch)
-  kRpcResp,         ///< response to the single outstanding RPC
-  kRankDown,        ///< src is dead; everyone unwinds via RankKilled
-  kBye,             ///< clean shutdown of src's endpoint
-};
-
-struct Frame {
-  FrameKind kind = FrameKind::kData;
-  std::uint32_t channel = 0;
-  std::uint32_t src = 0;
-  std::uint32_t dst = 0;
-  std::vector<std::byte> payload;
-};
-
-inline constexpr std::uint32_t kFrameMagic = 0x48424146u;  // "FABH"
-
-[[nodiscard]] std::vector<std::byte> encode_frame(const Frame& f);
-/// Throws io::wire::TruncatedError / CorruptError like decode_envelope.
-[[nodiscard]] Frame decode_frame(const std::byte* data, std::size_t size);
+// Frame, FrameKind, kFrameMagic and every fabric codec live in
+// pgas/fabric_wire.hpp — the wire formats are separated from the delivery
+// machinery so wirecheck and the schema sweeps see plain free functions.
 
 class Fabric {
  public:

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "io/wire.hpp"
+
+/// Wire formats of the DistHashMap remote paths — batched stores/lookups,
+/// the lookup reply oneway, and the registered-RMW request/response —
+/// extracted from the map template so each codec is a plain annotated free
+/// function wirecheck can diff and the schema sweeps can corrupt. All of
+/// these payloads ride inside CRC-checked transport envelopes or fabric
+/// frames, but still decode through the throwing Reader API: a framing bug
+/// upstream surfaces as a clean CorruptError instead of a misparse.
+namespace hipmer::pgas::map_wire {
+
+/// One entry of a lookup reply batch: the echoed request tag and key, plus
+/// the value when the owner's shard held it.
+template <typename K, typename V>
+struct LookupReply {
+  std::uint64_t tag = 0;
+  bool found = false;
+  K key{};
+  V value{};
+};
+
+/// One decoded registered-RMW request: the handler id, the key's hash and
+/// bytes, and the opaque argument block (interpreted by the handler).
+template <typename K>
+struct RmwRequest {
+  std::uint32_t id = 0;
+  std::uint64_t hash = 0;
+  K key{};
+  std::vector<std::byte> args;
+};
+
+/// [u32 count][bytes: count * sizeof(Op) memcpy'd ops]
+// wire-schema: dhm_batch writer
+template <typename Op>
+std::vector<std::byte> encode_batch(const std::vector<Op>& ops) {
+  static_assert(std::is_trivially_copyable_v<Op>);
+  std::vector<std::byte> out;
+  io::wire::Writer w(out);
+  w.put_u32(static_cast<std::uint32_t>(ops.size()));
+  w.put_bytes(std::string_view(reinterpret_cast<const char*>(ops.data()),
+                               ops.size() * sizeof(Op)));
+  return out;
+}
+
+/// Inverse of encode_batch. The payload arrived through a CRC-checked
+/// envelope, so a mismatch here means a framing bug, not line noise — but
+/// it is still validated (and the bytes are memcpy'd into a fresh vector,
+/// never reinterpreted in place: the envelope buffer carries no alignment
+/// guarantee for Op).
+// wire-schema: dhm_batch reader
+template <typename Op>
+std::vector<Op> decode_batch(const std::byte* data, std::size_t size) {
+  static_assert(std::is_trivially_copyable_v<Op>);
+  io::wire::Reader r(data, size);
+  const auto count = r.get_u32_checked("batch count");
+  const auto len = r.get_u32_checked("batch byte length");
+  if (static_cast<std::size_t>(len) != count * sizeof(Op) ||
+      static_cast<std::size_t>(len) != r.remaining())
+    throw io::wire::CorruptError(
+        "wire: corrupt: batch length disagrees with op count");
+  std::vector<Op> ops(count);
+  if (len > 0) r.get_raw(ops.data(), len, "batch ops");
+  return ops;
+}
+
+/// [u32 count][count x: u64 tag, u8 found, pod K, value iff found]
+// wire-schema: dhm_lookup_reply writer
+template <typename K, typename V>
+std::vector<std::byte> encode_lookup_replies(
+    const std::vector<LookupReply<K, V>>& replies) {
+  std::vector<std::byte> out;
+  io::wire::Writer w(out);
+  w.put_u32(static_cast<std::uint32_t>(replies.size()));
+  for (const auto& reply : replies) {
+    w.put_u64(reply.tag);
+    w.put_pod(static_cast<std::uint8_t>(reply.found ? 1 : 0));
+    w.put_pod(reply.key);  // wire: pod K
+    if (reply.found) {
+      w.put_pod(reply.value);  // wire: pod V
+    }
+  }
+  return out;
+}
+
+// wire-schema: dhm_lookup_reply reader
+template <typename K, typename V>
+std::vector<LookupReply<K, V>> decode_lookup_replies(const std::byte* data,
+                                                     std::size_t size) {
+  io::wire::Reader r(data, size);
+  std::vector<LookupReply<K, V>> replies;
+  const auto count = r.get_u32_checked("reply count");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LookupReply<K, V> reply;
+    reply.tag = r.get_u64_checked("reply tag");
+    const auto found = r.get_pod_checked<std::uint8_t>("reply found");
+    if (found > 1)
+      throw io::wire::CorruptError(
+          "wire: corrupt: reply found flag is neither 0 nor 1");
+    reply.found = found != 0;
+    reply.key = r.get_pod_checked<K>("reply key");
+    if (reply.found) {
+      reply.value = r.get_pod_checked<V>("reply value");
+    }
+    replies.push_back(reply);
+  }
+  if (!r.done())
+    throw io::wire::CorruptError(
+        "wire: corrupt: trailing bytes after lookup replies");
+  return replies;
+}
+
+/// [u32 id][u64 hash][pod K][arg bytes to end of payload]
+// wire-schema: dhm_rmw_request writer
+template <typename K>
+std::vector<std::byte> encode_rmw_request(std::uint32_t id, std::uint64_t hash,
+                                          const K& key, const std::byte* args,
+                                          std::size_t args_size) {
+  std::vector<std::byte> out;
+  io::wire::Writer w(out);
+  w.put_u32(id);
+  w.put_u64(hash);
+  w.put_pod(key);  // wire: pod K
+  const std::size_t base = out.size();
+  out.resize(base + args_size);  // wire: rest
+  if (args_size > 0) std::memcpy(out.data() + base, args, args_size);
+  return out;
+}
+
+// wire-schema: dhm_rmw_request reader
+template <typename K>
+RmwRequest<K> decode_rmw_request(const std::byte* data, std::size_t size) {
+  io::wire::Reader r(data, size);
+  RmwRequest<K> req;
+  req.id = r.get_u32_checked("rmw id");
+  req.hash = r.get_u64_checked("rmw hash");
+  req.key = r.get_pod_checked<K>("rmw key");
+  req.args.resize(r.remaining());  // wire: rest
+  if (!req.args.empty()) r.get_raw(req.args.data(), req.args.size(), "rmw args");
+  return req;
+}
+
+/// [u8 present][result bytes to end iff present]
+// wire-schema: dhm_rmw_response writer
+inline std::vector<std::byte> encode_rmw_response(
+    bool present, const std::vector<std::byte>& result) {
+  std::vector<std::byte> out;
+  io::wire::Writer w(out);
+  w.put_pod(static_cast<std::uint8_t>(present ? 1 : 0));
+  if (present) {
+    // resize + memcpy, not a range insert: see io::wire::Writer::append on
+    // GCC 12's bounds false positive.
+    const std::size_t base = out.size();
+    out.resize(base + result.size());  // wire: rest
+    if (!result.empty())
+      std::memcpy(out.data() + base, result.data(), result.size());
+  }
+  return out;
+}
+
+// wire-schema: dhm_rmw_response reader
+inline std::optional<std::vector<std::byte>> decode_rmw_response(
+    const std::byte* data, std::size_t size) {
+  io::wire::Reader r(data, size);
+  const auto present = r.get_pod_checked<std::uint8_t>("rmw present");
+  if (present > 1)
+    throw io::wire::CorruptError(
+        "wire: corrupt: rmw present flag is neither 0 nor 1");
+  std::optional<std::vector<std::byte>> out;
+  if (present != 0) {
+    std::vector<std::byte> result(r.remaining());  // wire: rest
+    if (!result.empty()) r.get_raw(result.data(), result.size(), "rmw result");
+    out = std::move(result);
+  } else if (!r.done()) {
+    throw io::wire::CorruptError(
+        "wire: corrupt: trailing bytes after absent rmw response");
+  }
+  return out;
+}
+
+}  // namespace hipmer::pgas::map_wire

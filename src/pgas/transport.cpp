@@ -7,6 +7,7 @@
 
 namespace hipmer::pgas {
 
+// wire-schema: transport_envelope writer
 std::vector<std::byte> frame_envelope(const Envelope& env) {
   std::vector<std::byte> out;
   io::wire::Writer w(out);
@@ -21,6 +22,7 @@ std::vector<std::byte> frame_envelope(const Envelope& env) {
   return out;
 }
 
+// wire-schema: transport_envelope reader
 Envelope decode_envelope(const std::byte* data, std::size_t size) {
   io::wire::Reader r(data, size);
   const auto magic = r.get_pod_checked<std::uint32_t>("envelope magic");
@@ -32,10 +34,13 @@ Envelope decode_envelope(const std::byte* data, std::size_t size) {
   env.dst = r.get_pod_checked<std::uint32_t>("envelope dst");
   env.seq = r.get_pod_checked<std::uint64_t>("envelope seq");
   const auto len = r.get_pod_checked<std::uint32_t>("envelope payload length");
+  // Bounds-check the prefix before the resize: a corrupt length byte must
+  // not drive a multi-GB allocation before the CRC gets a chance to fail.
+  r.require(len, "envelope payload");
   env.payload.resize(len);
   if (len > 0) r.get_raw(env.payload.data(), len, "envelope payload");
   const std::size_t covered = size - r.remaining();
-  const auto stored = r.get_pod_checked<std::uint32_t>("envelope crc");
+  const auto stored = r.get_pod_checked<std::uint32_t>("envelope crc");  // wire: crc32
   const std::uint32_t computed = util::crc32c(data, covered);
   if (stored != computed) {
     std::ostringstream os;

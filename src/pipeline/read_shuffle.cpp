@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "align/alignment_wire.hpp"
 #include "io/wire.hpp"
 #include "seq/read_name.hpp"
 
@@ -20,9 +21,10 @@ struct PairGroup {
   std::vector<align::ReadAlignment> alignments;
 };
 
-/// Record wire format (framing via io::wire):
-///   u32 lib, u32 nreads, nreads x (name, seq, quals) as put_bytes,
-///   u32 naligns, naligns x ReadAlignment POD.
+/// Streaming twin of encode_shuffle_group: same wire bytes, sourced from a
+/// ReadStore without materializing seq::Read objects. wirecheck diffs both
+/// writers against the reader, so the two cannot drift apart silently.
+// wire-schema: shuffle_group writer
 std::vector<std::byte> encode_group(const PairGroup& g,
                                     const seq::ReadStore& store) {
   std::vector<std::byte> buf;
@@ -37,7 +39,7 @@ std::vector<std::byte> encode_group(const PairGroup& g,
     w.put_bytes(store.quals(idx, qual_scratch));
   }
   w.put_u32(static_cast<std::uint32_t>(g.alignments.size()));
-  for (const auto& a : g.alignments) w.put_pod(a);
+  for (const auto& a : g.alignments) align::put_alignment(w, a);
   return buf;
 }
 
@@ -52,6 +54,37 @@ bool better(const align::ReadAlignment& a, const align::ReadAlignment& b) {
 }
 
 }  // namespace
+
+// wire-schema: shuffle_group writer
+std::vector<std::byte> encode_shuffle_group(const ShuffleGroup& group) {
+  std::vector<std::byte> buf;
+  io::wire::Writer w(buf);
+  w.put_u32(group.lib);
+  w.put_u32(static_cast<std::uint32_t>(group.reads.size()));
+  for (const auto& read : group.reads) io::wire::put_read(w, read);
+  w.put_u32(static_cast<std::uint32_t>(group.alignments.size()));
+  for (const auto& a : group.alignments) align::put_alignment(w, a);
+  return buf;
+}
+
+// wire-schema: shuffle_group reader
+ShuffleGroup decode_shuffle_group(const std::byte* data, std::size_t size) {
+  io::wire::Reader r(data, size);
+  ShuffleGroup group;
+  group.lib = r.get_u32_checked("group lib");
+  const std::uint32_t nreads = r.get_u32_checked("group read count");
+  group.reads.reserve(std::min<std::uint32_t>(nreads, 1024));
+  for (std::uint32_t i = 0; i < nreads; ++i)
+    group.reads.push_back(io::wire::get_read_checked(r));
+  const std::uint32_t naligns = r.get_u32_checked("group alignment count");
+  group.alignments.reserve(std::min<std::uint32_t>(naligns, 1024));
+  for (std::uint32_t i = 0; i < naligns; ++i)
+    group.alignments.push_back(align::get_alignment_checked(r));
+  if (!r.done())
+    throw io::wire::CorruptError(
+        "wire: corrupt: trailing bytes after shuffle group");
+  return group;
+}
 
 void shuffle_reads_by_alignment(
     pgas::Rank& rank, pgas::ShuffleExchange& exchange,
@@ -161,23 +194,20 @@ void shuffle_reads_by_alignment(
   for (const auto& store : my_libs) fresh.emplace_back(store.packed());
   std::vector<align::ReadAlignment> fresh_aligns;
 
+  // Decode the whole record before touching any store: a malformed record
+  // (impossible unless the CRC-checked transport or a peer misbehaved) is
+  // dropped atomically instead of leaving a half-appended library behind.
   const auto absorb = [&](const std::vector<std::byte>& record) {
-    io::wire::Reader r(record);
-    const std::uint32_t lib = r.get_u32();
-    const std::uint32_t nreads = r.get_u32();
-    for (std::uint32_t i = 0; i < nreads; ++i) {
-      std::string name = r.get_bytes();
-      std::string seq = r.get_bytes();
-      std::string quals = r.get_bytes();
-      if (r.truncated() || lib >= fresh.size()) return;
-      fresh[lib].append(name, seq, quals);
+    ShuffleGroup group;
+    try {
+      group = decode_shuffle_group(record.data(), record.size());
+    } catch (const io::wire::Error&) {
+      return;
     }
-    const std::uint32_t naligns = r.get_u32();
-    for (std::uint32_t i = 0; i < naligns; ++i) {
-      const auto a = r.get_pod<align::ReadAlignment>();
-      if (r.truncated()) return;
-      fresh_aligns.push_back(a);
-    }
+    if (group.lib >= fresh.size()) return;
+    for (auto& read : group.reads)
+      fresh[group.lib].append(read.name, read.seq, read.quals);
+    for (const auto& a : group.alignments) fresh_aligns.push_back(a);
   };
   for (const auto& rec : staying) absorb(rec);
   for (const auto& rec : incoming) absorb(rec);

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "align/alignment.hpp"
 #include "pgas/shuffle.hpp"
+#include "seq/read.hpp"
 #include "seq/read_store.hpp"
 
 /// Locality-aware read shuffle (--shuffle-reads).
@@ -38,6 +40,25 @@ struct ReadShuffleStats {
   std::uint64_t pairs_moved = 0;   ///< groups shipped to another rank
   std::uint64_t reads_moved = 0;   ///< reads inside those groups
 };
+
+/// One decoded shuffle record: a (library, pair) group's reads and
+/// alignments. The wire format (schema `shuffle_group`) is
+///   u32 lib, u32 nreads, nreads x read_record,
+///   u32 naligns, naligns x alignment_record.
+struct ShuffleGroup {
+  std::uint32_t lib = 0;
+  std::vector<seq::Read> reads;
+  std::vector<align::ReadAlignment> alignments;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_shuffle_group(
+    const ShuffleGroup& group);
+
+/// Throws io::wire::Error on any malformed record — callers decode the
+/// whole record before mutating any store, so a corrupt record never
+/// leaves a partial append behind.
+[[nodiscard]] ShuffleGroup decode_shuffle_group(const std::byte* data,
+                                                std::size_t size);
 
 /// Collective over the team. Replaces `my_libs` (per-library stores; the
 /// rebuilt stores keep each store's packed/plain representation) and

@@ -286,7 +286,14 @@ class Kmer {
 
   std::array<std::uint64_t, kWords> words_{};
   std::uint16_t k_ = 0;
+  /// Kmer ships verbatim through put_pod (UFX shard, contig wire header),
+  /// so the tail bytes must be zeroed members with guaranteed copy
+  /// semantics, not unspecified struct padding.
+  [[maybe_unused]] std::uint16_t reserved_[3]{};
 };
+
+static_assert(sizeof(Kmer<64>) == 2 * sizeof(std::uint64_t) + 8,
+              "Kmer must have no padding: it ships verbatim on the wire");
 
 /// Hash functor for DistHashMap / std containers.
 template <int MAX_K>

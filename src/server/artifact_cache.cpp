@@ -15,9 +15,6 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::uint32_t kMetaMagic = 0x43584655;  // "UFXC"
-constexpr std::uint32_t kMetaVersion = 1;
-
 /// tmp+rename, same idiom as the checkpoint store: the final name never
 /// holds a partial file.
 bool write_file_atomic(const fs::path& final_path, const std::byte* data,
@@ -67,6 +64,63 @@ std::string key_name(std::uint64_t key) {
 
 }  // namespace
 
+// wire-schema: cache_meta writer
+std::vector<std::byte> encode_cache_meta(const CacheMeta& meta) {
+  std::vector<std::byte> buf;
+  io::wire::Writer w(buf);
+  w.put_u32(kCacheMetaMagic);  // wire: magic kCacheMetaMagic
+  w.put_u32(kCacheMetaVersion);
+  w.put_u64(meta.key);
+  w.put_u64(meta.distinct_kmers);
+  w.put_pod(meta.singleton_fraction);  // wire: pod double
+  w.put_u64(meta.heavy_hitters);
+  w.put_u32(static_cast<std::uint32_t>(meta.shards.size()));
+  for (const auto& [bytes, crc] : meta.shards) {
+    w.put_u64(bytes);
+    w.put_u32(crc);
+  }
+  w.put_u32(util::crc32c(buf.data(), buf.size()));  // wire: crc32
+  return buf;
+}
+
+// wire-schema: cache_meta reader
+std::optional<CacheMeta> decode_cache_meta(const std::vector<std::byte>& bytes) {
+  if (bytes.size() < sizeof(std::uint32_t)) return std::nullopt;
+  // Verify the trailing CRC over everything before it, first: no field of
+  // a corrupt meta is worth interpreting.
+  // wire: crc32
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof stored);
+  if (util::crc32c(bytes.data(), body) != stored) return std::nullopt;
+
+  io::wire::Reader r(bytes.data(), body);
+  try {
+    const auto magic =
+        r.get_u32_checked("cache magic");  // wire: magic kCacheMetaMagic
+    if (magic != kCacheMetaMagic) return std::nullopt;
+    if (r.get_u32_checked("cache version") != kCacheMetaVersion)
+      return std::nullopt;
+    CacheMeta meta;
+    meta.key = r.get_u64_checked("cache key");
+    meta.distinct_kmers = r.get_u64_checked("cache distinct");
+    meta.singleton_fraction = r.get_pod_checked<double>("cache singletons");
+    meta.heavy_hitters = r.get_u64_checked("cache hh");
+    const auto count = r.get_u32_checked("cache shard count");
+    if (count > 4096) return std::nullopt;
+    meta.shards.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto shard_size = r.get_u64_checked("cache shard bytes");
+      const auto shard_crc = r.get_u32_checked("cache shard crc");
+      meta.shards.emplace_back(shard_size, shard_crc);
+    }
+    if (!r.done()) return std::nullopt;
+    return meta;
+  } catch (const io::wire::Error&) {
+    return std::nullopt;
+  }
+}
+
 ArtifactCache::ArtifactCache(fs::path dir) : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -98,37 +152,19 @@ std::optional<ArtifactCache::UfxArtifact> ArtifactCache::lookup_ufx(
   const auto meta_bytes = read_file(entry / "meta.bin");
   if (!meta_bytes) return miss(nullptr);
 
-  UfxArtifact artifact;
-  std::vector<std::uint64_t> shard_bytes;
-  std::vector<std::uint32_t> shard_crcs;
-  try {
-    io::wire::Reader r(*meta_bytes);
-    if (r.get_pod_checked<std::uint32_t>("cache magic") != kMetaMagic)
-      return miss("bad magic");
-    if (r.get_pod_checked<std::uint32_t>("cache version") != kMetaVersion)
-      return miss("bad version");
-    if (r.get_pod_checked<std::uint64_t>("cache key") != key)
-      return miss("key mismatch");
-    artifact.aux.distinct_kmers =
-        r.get_pod_checked<std::uint64_t>("cache distinct");
-    artifact.aux.singleton_fraction =
-        r.get_pod_checked<double>("cache singletons");
-    artifact.aux.heavy_hitters = r.get_pod_checked<std::uint64_t>("cache hh");
-    const auto count = r.get_pod_checked<std::uint32_t>("cache shards");
-    if (count > 4096) return miss("absurd shard count");
-    for (std::uint32_t i = 0; i < count; ++i) {
-      shard_bytes.push_back(r.get_pod_checked<std::uint64_t>("cache bytes"));
-      shard_crcs.push_back(r.get_pod_checked<std::uint32_t>("cache crc"));
-    }
-  } catch (const io::wire::Error&) {
-    return miss("truncated meta");
-  }
+  const auto meta = decode_cache_meta(*meta_bytes);
+  if (!meta) return miss("corrupt meta");
+  if (meta->key != key) return miss("key mismatch");
 
-  artifact.shards.reserve(shard_bytes.size());
-  for (std::size_t i = 0; i < shard_bytes.size(); ++i) {
+  UfxArtifact artifact;
+  artifact.aux.distinct_kmers = meta->distinct_kmers;
+  artifact.aux.singleton_fraction = meta->singleton_fraction;
+  artifact.aux.heavy_hitters = meta->heavy_hitters;
+  artifact.shards.reserve(meta->shards.size());
+  for (std::size_t i = 0; i < meta->shards.size(); ++i) {
     auto bytes = read_file(entry / ("ufx." + std::to_string(i)));
-    if (!bytes || bytes->size() != shard_bytes[i] ||
-        util::crc32c(bytes->data(), bytes->size()) != shard_crcs[i])
+    if (!bytes || bytes->size() != meta->shards[i].first ||
+        util::crc32c(bytes->data(), bytes->size()) != meta->shards[i].second)
       return miss("shard corrupt");
     artifact.shards.push_back(std::move(*bytes));
   }
@@ -150,21 +186,18 @@ bool ArtifactCache::store_ufx(std::uint64_t key,
       return false;
   }
 
-  std::vector<std::byte> meta;
-  io::wire::Writer w(meta);
-  w.put_u32(kMetaMagic);
-  w.put_u32(kMetaVersion);
-  w.put_u64(key);
-  w.put_u64(aux.distinct_kmers);
-  w.put_pod(aux.singleton_fraction);
-  w.put_u64(aux.heavy_hitters);
-  w.put_u32(static_cast<std::uint32_t>(shards.size()));
-  for (const auto& shard : shards) {
-    w.put_u64(shard.size());
-    w.put_u32(util::crc32c(shard.data(), shard.size()));
-  }
+  CacheMeta meta;
+  meta.key = key;
+  meta.distinct_kmers = aux.distinct_kmers;
+  meta.singleton_fraction = aux.singleton_fraction;
+  meta.heavy_hitters = aux.heavy_hitters;
+  meta.shards.reserve(shards.size());
+  for (const auto& shard : shards)
+    meta.shards.emplace_back(shard.size(),
+                             util::crc32c(shard.data(), shard.size()));
+  const auto bytes = encode_cache_meta(meta);
   // Commit point: lookups only believe entries whose meta landed whole.
-  return write_file_atomic(entry / "meta.bin", meta.data(), meta.size());
+  return write_file_atomic(entry / "meta.bin", bytes.data(), bytes.size());
 }
 
 }  // namespace hipmer::server

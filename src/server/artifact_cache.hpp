@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "ckpt/manifest.hpp"
@@ -24,6 +25,31 @@
 /// so a torn store is an ordinary miss, never a corrupt hit. Every shard
 /// is CRC-32C'd in meta and re-verified on lookup.
 namespace hipmer::server {
+
+inline constexpr std::uint32_t kCacheMetaMagic = 0x43584655;  // "UFXC"
+/// v2 appended a trailing CRC-32C over the whole meta body. v1 CRC'd every
+/// shard but left meta.bin itself unprotected, so a bit flip in a recorded
+/// shard length or CRC could turn a valid entry into a permanent miss —
+/// or, worse, a flip in the aux stats fed silently wrong bookkeeping to a
+/// resumed job. Decoders reject v1 (a plain miss; the producer
+/// repopulates).
+inline constexpr std::uint32_t kCacheMetaVersion = 2;
+
+/// Decoded meta.bin: the entry's key echo, the k-mer bookkeeping stats,
+/// and (size, CRC-32C) per stored UFX shard.
+struct CacheMeta {
+  std::uint64_t key = 0;
+  std::uint64_t distinct_kmers = 0;
+  double singleton_fraction = 0.0;
+  std::uint64_t heavy_hitters = 0;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> shards;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_cache_meta(const CacheMeta& meta);
+/// nullopt on any structural problem (bad magic/version/CRC, truncation,
+/// trailing bytes). Whole-buffer CRC is verified before any field is read.
+[[nodiscard]] std::optional<CacheMeta> decode_cache_meta(
+    const std::vector<std::byte>& bytes);
 
 class ArtifactCache {
  public:

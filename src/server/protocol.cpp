@@ -13,6 +13,9 @@
 
 namespace hipmer::server {
 
+// wire-schema: server_line writer
+// wire-decl: crc32 hex8
+// wire-decl: blob text[to-newline]
 std::string frame_line(const std::string& text) {
   const std::uint32_t crc = util::crc32c(text.data(), text.size());
   char prefix[16];
@@ -20,6 +23,9 @@ std::string frame_line(const std::string& text) {
   return std::string(prefix) + text + "\n";
 }
 
+// wire-schema: server_line reader
+// wire-decl: crc32 hex8
+// wire-decl: blob text[to-newline]
 std::optional<std::string> unframe_line(const std::string& line) {
   // "xxxxxxxx " + text: exactly 8 hex digits and one space.
   if (line.size() < 9 || line[8] != ' ') return std::nullopt;

@@ -1,0 +1,27 @@
+// wirecheck self-test fixture: the writer emits items.size() as a count but
+// never writes the items (the loop was deleted in a refactor); the count
+// prefix feeds nothing. Expected diagnostic: orphan-length-prefix.
+// Never compiled — only scanned by tools/wirecheck/selftest.py.
+#include <vector>
+
+#include "io/wire.hpp"
+
+namespace fixture {
+
+// wire-schema: fixture_orphan writer
+inline void put_items(hipmer::io::wire::Writer& w,
+                      const std::vector<std::uint32_t>& items,
+                      std::uint32_t checksum) {
+  w.put_u32(static_cast<std::uint32_t>(items.size()));
+  w.put_u32(checksum);
+}
+
+// wire-schema: fixture_orphan reader
+inline void get_items(hipmer::io::wire::Reader& r) {
+  const std::uint32_t count = r.get_u32_checked("item count");
+  const std::uint32_t checksum = r.get_u32_checked("checksum");
+  (void)count;
+  (void)checksum;
+}
+
+}  // namespace fixture

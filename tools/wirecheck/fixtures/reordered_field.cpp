@@ -1,0 +1,23 @@
+// wirecheck self-test fixture: the reader consumes the two fields in the
+// opposite order from the writer. Expected diagnostic: field-mismatch.
+// Never compiled — only scanned by tools/wirecheck/selftest.py.
+#include "io/wire.hpp"
+
+namespace fixture {
+
+// wire-schema: fixture_reordered writer
+inline void put_record(hipmer::io::wire::Writer& w, std::uint32_t id,
+                       const std::string& name) {
+  w.put_u32(id);
+  w.put_bytes(name);
+}
+
+// wire-schema: fixture_reordered reader
+inline void get_record(hipmer::io::wire::Reader& r) {
+  const std::string name = r.get_bytes_checked("record name");
+  const std::uint32_t id = r.get_u32_checked("record id");
+  (void)name;
+  (void)id;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// wirecheck self-test fixture: a symmetric writer/reader pair whose shape
+// disagrees with the committed manifest.json next to it (which records the
+// field as u64 at rev 1). `--check-manifest` against that manifest must
+// fail with manifest-drift; the pair alone must scan clean.
+// Never compiled — only scanned by tools/wirecheck/selftest.py.
+#include "io/wire.hpp"
+
+namespace fixture {
+
+// wire-schema: fixture_stale writer
+inline void put_version(hipmer::io::wire::Writer& w, std::uint32_t version) {
+  w.put_u32(version);
+}
+
+// wire-schema: fixture_stale reader
+inline std::uint32_t get_version(hipmer::io::wire::Reader& r) {
+  return r.get_u32_checked("version");
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// wirecheck self-test fixture: the reader decodes with the non-throwing
+// getter API but the schema is not marked `trusted`, so truncation would be
+// silently misparsed. Expected diagnostic: unchecked-decode.
+// Never compiled — only scanned by tools/wirecheck/selftest.py.
+#include "io/wire.hpp"
+
+namespace fixture {
+
+// wire-schema: fixture_unchecked writer
+inline void put_value(hipmer::io::wire::Writer& w, std::uint32_t value) {
+  w.put_u32(value);
+}
+
+// wire-schema: fixture_unchecked reader
+inline std::uint32_t get_value(hipmer::io::wire::Reader& r) {
+  return r.get_u32();
+}
+
+}  // namespace fixture

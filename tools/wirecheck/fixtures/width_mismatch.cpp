@@ -1,0 +1,23 @@
+// wirecheck self-test fixture: the writer emits a u64 the reader consumes
+// as a u32. Expected diagnostic: width-mismatch.
+// Never compiled — only scanned by tools/wirecheck/selftest.py.
+#include "io/wire.hpp"
+
+namespace fixture {
+
+// wire-schema: fixture_width writer
+inline void put_totals(hipmer::io::wire::Writer& w, std::uint32_t count,
+                       std::uint64_t total_bytes) {
+  w.put_u32(count);
+  w.put_u64(total_bytes);
+}
+
+// wire-schema: fixture_width reader
+inline void get_totals(hipmer::io::wire::Reader& r) {
+  const std::uint32_t count = r.get_u32_checked("count");
+  const std::uint32_t total_bytes = r.get_u32_checked("total bytes");
+  (void)count;
+  (void)total_bytes;
+}
+
+}  // namespace fixture

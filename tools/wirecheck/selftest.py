@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Self-tests for wirecheck, runnable standalone or via ctest.
+
+Three layers:
+  1. Each broken fixture in fixtures/ must make wirecheck exit 1 and emit
+     its expected diagnostic code (and no diagnostics of other codes, so a
+     fixture cannot "pass" by tripping an unrelated parse error).
+  2. The stale-manifest fixture must scan clean on its own but fail
+     `--check-manifest` against its deliberately out-of-date manifest.json
+     — proving the drift gate actually gates.
+  3. The real tree must scan clean against the committed golden manifest
+     (the same invocation CI runs), so a broken analyzer cannot pass its
+     own fixtures while silently missing the codebase.
+
+Exit status: 0 = all green, 1 = at least one expectation failed.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+WIRECHECK = HERE / "wirecheck.py"
+ROOT = HERE.parent.parent
+
+# (fixture file, expected diagnostic code)
+BROKEN_FIXTURES = [
+    ("reordered_field.cpp", "field-mismatch"),
+    ("width_mismatch.cpp", "width-mismatch"),
+    ("orphan_length_prefix.cpp", "orphan-length-prefix"),
+    ("unchecked_decode.cpp", "unchecked-decode"),
+]
+
+DIAG_RE = re.compile(r"\[([a-z-]+)\]")
+
+
+def wirecheck(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(WIRECHECK)] + args,
+                          capture_output=True, text=True)
+
+
+def diag_codes(output: str) -> set[str]:
+    return set(DIAG_RE.findall(output))
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    for fname, expected in BROKEN_FIXTURES:
+        proc = wirecheck([str(FIXTURES / fname)])
+        codes = diag_codes(proc.stdout)
+        if proc.returncode != 1:
+            failures.append(f"{fname}: expected exit 1, got "
+                            f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        elif expected not in codes:
+            failures.append(f"{fname}: expected diagnostic [{expected}], "
+                            f"got {sorted(codes)}\n{proc.stdout}")
+        elif codes != {expected}:
+            failures.append(f"{fname}: unexpected extra diagnostics "
+                            f"{sorted(codes - {expected})}\n{proc.stdout}")
+
+    # The stale-manifest pair is well-formed on its own...
+    stale = FIXTURES / "stale_manifest"
+    proc = wirecheck([str(stale / "pair.cpp")])
+    if proc.returncode != 0:
+        failures.append(f"stale_manifest/pair.cpp: expected clean scan, got "
+                        f"exit {proc.returncode}\n{proc.stdout}{proc.stderr}")
+    # ...but must fail the drift gate against its committed manifest.
+    proc = wirecheck([str(stale / "pair.cpp"), "--check-manifest",
+                      "--manifest", str(stale / "manifest.json")])
+    if proc.returncode != 1 or "manifest-drift" not in diag_codes(proc.stdout):
+        failures.append(f"stale_manifest: expected exit 1 with "
+                        f"[manifest-drift], got exit {proc.returncode}\n"
+                        f"{proc.stdout}{proc.stderr}")
+
+    # The real tree against the real golden manifest: the CI invocation.
+    proc = wirecheck(["--root", str(ROOT), "--check-manifest"])
+    if proc.returncode != 0:
+        failures.append(f"tree scan: expected clean, got exit "
+                        f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+
+    if failures:
+        for f in failures:
+            print(f"selftest FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"wirecheck selftest: {len(BROKEN_FIXTURES)} broken fixtures, the "
+          f"drift gate, and the tree scan all behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
