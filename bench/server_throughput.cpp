@@ -1,7 +1,7 @@
 // Assembly-as-a-service throughput — what the job server sustains when
 // tenants pile on.
 //
-// Two tables:
+// Three tables:
 //
 //   1. **Concurrent submissions**: 1/4/8 client threads submit the same
 //      (input, config) job back-to-back and wait for completion, the
@@ -13,6 +13,10 @@
 //   2. **Cache miss vs hit**: per-stage wall of a cold job against an
 //      identical resubmission. The hit skips the k-mer analysis stage
 //      outright, which dominates a cold run's wall time.
+//   3. **Crash recovery**: build a backlog, stop the server with the
+//      backlog still queued, and time the restart — write-ahead journal
+//      replay alone, restart until the control socket answers PING, and
+//      the wall to drain the re-admitted backlog to completion.
 //
 // Correctness is asserted elsewhere (tests/test_server.cpp: served output
 // is byte-identical to a one-shot run, hit or miss); this bench reports
@@ -191,5 +195,99 @@ int main(int argc, char** argv) {
   }
   bench::emit("server_throughput", "served jobs/min vs concurrent clients",
               table);
+
+  // ---- Crash recovery ----
+  // One completed job settles the artifact cache, then a backlog of
+  // submissions is left queued when the server stops: SHUTDOWN halts
+  // dispatch without draining, which is exactly the on-disk state a crash
+  // leaves behind (journal with live SUBMITs and no FINISH). The restart
+  // replays the journal, re-admits the backlog, and drains it.
+  {
+    auto h = start_server(ranks, genome, seed);
+    if (!h) return 1;
+    if (run_job(*h, "seed.fasta") == 0) return 1;
+
+    const int backlog = 6;
+    std::vector<std::uint64_t> ids;
+    for (int j = 0; j < backlog; ++j) {
+      const auto out = (h->dir / ("recov" + std::to_string(j) + ".fasta"));
+      const auto resp = server::request_with_retry(
+          h->socket, "SUBMIT " + h->submit_args + out.string(), 100, 50);
+      if (!resp || !resp->ok()) return 1;
+      ids.push_back(std::strtoull(
+          server::response_field(resp->first(), "id", "0").c_str(), nullptr,
+          10));
+    }
+    (void)server::request(h->socket, "SHUTDOWN");
+    h->thread.join();
+    h->srv.reset();
+
+    // Replay latency in isolation: open the journal the stopped server
+    // left behind and fold it back into a job table.
+    const auto journal_path = (h->dir / "state" / "journal.bin").string();
+    std::size_t records = 0;
+    double replay_ms = 0.0;
+    {
+      util::WallTimer replay_timer;
+      server::JobJournal journal(journal_path);
+      const auto replay = journal.open_and_replay();
+      if (!replay) return 1;
+      const auto jobs = server::reconstruct_jobs(replay->events);
+      replay_ms = replay_timer.seconds() * 1e3;
+      records = replay->events.size();
+      if (jobs.empty()) return 1;
+    }
+
+    // Restart on the same state dir and time until the control plane
+    // answers, then until the recovered backlog has fully drained.
+    server::ServerConfig sc;
+    sc.listen_path = h->socket;
+    sc.ranks = ranks;
+    sc.cores = 4;
+    sc.state_dir = (h->dir / "state").string();
+    util::WallTimer restart_timer;
+    h->srv = std::make_unique<server::JobServer>(sc);
+    auto* srv = h->srv.get();
+    h->thread = std::thread([srv] { (void)srv->serve(); });
+    const auto ping = server::request_with_retry(h->socket, "PING", 400, 5);
+    if (!ping || !ping->ok()) return 1;
+    const double ready_ms = restart_timer.seconds() * 1e3;
+
+    int recovered = 0;
+    for (const auto id : ids) {
+      for (;;) {
+        const auto status =
+            server::request(h->socket, "STATUS id=" + std::to_string(id));
+        if (!status || !status->ok()) return 1;
+        const auto state = server::response_field(status->first(), "state");
+        if (state == "done") {
+          ++recovered;
+          break;
+        }
+        if (state == "failed" || state == "cancelled" ||
+            state == "quarantined")
+          break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    const double drain_s = restart_timer.seconds();
+    if (recovered != backlog) {
+      std::fprintf(stderr, "only %d/%d backlog jobs recovered\n", recovered,
+                   backlog);
+      return 1;
+    }
+
+    util::TextTable recovery({"scenario", "backlog_jobs", "journal_records",
+                              "replay_ms", "ready_ms", "drain_s",
+                              "recovered"});
+    recovery.add_row({"stop_restart", std::to_string(backlog),
+                      std::to_string(records),
+                      util::TextTable::fmt(replay_ms, 3),
+                      util::TextTable::fmt(ready_ms, 1),
+                      util::TextTable::fmt(drain_s, 2),
+                      std::to_string(recovered)});
+    bench::emit("server_recovery",
+                "crash recovery: journal replay + backlog drain", recovery);
+  }
   return 0;
 }

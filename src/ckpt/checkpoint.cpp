@@ -43,6 +43,10 @@ Checkpointer::Checkpointer(CheckpointConfig config, std::uint64_t fingerprint)
       fingerprint_(fingerprint),
       store_(config_.dir) {
   if (!config_.enabled()) return;
+  // Reclaim debris from a run that died between temp write and rename —
+  // orphaned .tmp files are invisible to the manifest and leak forever
+  // otherwise.
+  store_.sweep_orphans();
   if (auto manifest = store_.load_manifest()) manifest_ = std::move(*manifest);
 }
 

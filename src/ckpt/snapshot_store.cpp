@@ -1,8 +1,8 @@
 #include "ckpt/snapshot_store.hpp"
 
-#include <fstream>
 #include <system_error>
 
+#include "io/fs_faults.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
@@ -12,51 +12,23 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Write `bytes` to `final_path` via a `.tmp` sibling + atomic rename.
-bool write_file_atomic(const fs::path& final_path,
-                       const std::byte* data, std::size_t size) {
-  const fs::path tmp = final_path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    if (size > 0)
-      out.write(reinterpret_cast<const char*>(data),
-                static_cast<std::streamsize>(size));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      return false;
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return false;
-  }
-  return true;
-}
-
-std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::error_code ec;
-  const auto size = fs::file_size(path, ec);
-  if (ec) return std::nullopt;
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  if (size > 0) {
-    in.read(reinterpret_cast<char*>(bytes.data()),
-            static_cast<std::streamsize>(size));
-    if (!in) return std::nullopt;
-  }
-  return bytes;
+/// Durable writes go through the fault-aware shared helper; this layer is
+/// exception-free and collapses both failure and simulated crash into
+/// "the write did not commit" — the startup sweep reclaims any debris.
+bool write_file_atomic(const fs::path& final_path, const std::byte* data,
+                       std::size_t size) {
+  return io::write_file_atomic(final_path, data, size) ==
+         io::AtomicWriteStatus::kOk;
 }
 
 }  // namespace
 
+std::size_t SnapshotStore::sweep_orphans() const {
+  return io::sweep_tmp_files(dir_);
+}
+
 std::optional<Manifest> SnapshotStore::load_manifest() const {
-  const auto bytes = read_file(fs::path(dir_) / "manifest.bin");
+  const auto bytes = io::read_file(fs::path(dir_) / "manifest.bin");
   if (!bytes) return std::nullopt;
   auto manifest = decode_manifest(*bytes);
   if (!manifest)
@@ -98,7 +70,7 @@ bool SnapshotStore::write_shard(const StageEntry& entry, std::uint32_t shard,
 std::optional<std::vector<std::byte>> SnapshotStore::read_shard(
     const StageEntry& entry, std::uint32_t shard) const {
   if (shard >= entry.shard_count) return std::nullopt;
-  auto bytes = read_file(shard_path(entry, shard));
+  auto bytes = io::read_file(shard_path(entry, shard));
   if (!bytes) return std::nullopt;
   if (bytes->size() != entry.shard_bytes[shard] ||
       util::crc32c(bytes->data(), bytes->size()) != entry.shard_crcs[shard]) {

@@ -32,6 +32,10 @@ class SnapshotStore {
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
+  /// Remove orphaned `*.tmp` files under the run directory — debris from a
+  /// crash between temp write and commit rename. Returns the count removed.
+  std::size_t sweep_orphans() const;
+
   /// Read and verify `<dir>/manifest.bin`. nullopt when absent, unreadable
   /// or failing its CRC — a corrupt manifest means "no checkpoints".
   [[nodiscard]] std::optional<Manifest> load_manifest() const;

@@ -1,0 +1,262 @@
+#include "io/fs_faults.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace hipmer::io {
+
+namespace fs = std::filesystem;
+
+const char* fs_fate_name(FsFate fate) {
+  switch (fate) {
+    case FsFate::kOk:
+      return "ok";
+    case FsFate::kEnospc:
+      return "enospc";
+    case FsFate::kEio:
+      return "eio";
+    case FsFate::kShortWrite:
+      return "short-write";
+    case FsFate::kCrashBeforeRename:
+      return "crash-before-rename";
+    case FsFate::kCrashAfterRename:
+      return "crash-after-rename";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FsFate fate_from_name(const std::string& name) {
+  if (name == "enospc") return FsFate::kEnospc;
+  if (name == "eio") return FsFate::kEio;
+  if (name == "short") return FsFate::kShortWrite;
+  if (name == "crash_before") return FsFate::kCrashBeforeRename;
+  if (name == "crash_after") return FsFate::kCrashAfterRename;
+  throw std::invalid_argument("fs-faults: unknown fate '" + name + "'");
+}
+
+/// Map a 64-bit hash to [0, 1) — same mapping as pgas::chaos_unit.
+double unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FsFaultPlan FsFaultPlan::parse(std::uint64_t seed, const std::string& spec) {
+  FsFaultPlan plan;
+  plan.seed = seed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const std::string clause =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (clause.empty()) continue;
+    const auto eq = clause.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fs-faults: clause '" + clause +
+                                  "' has no '='");
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "path") {
+      plan.path_filter = value;
+      continue;
+    }
+    if (key == "at") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos)
+        throw std::invalid_argument("fs-faults: at=N:fate expected, got '" +
+                                    clause + "'");
+      plan.one_shot_op = std::atol(value.substr(0, colon).c_str());
+      plan.one_shot_fate = fate_from_name(value.substr(colon + 1));
+      if (plan.one_shot_op < 0)
+        throw std::invalid_argument("fs-faults: at index must be >= 0");
+      continue;
+    }
+    char* end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0)
+      throw std::invalid_argument("fs-faults: bad probability in '" + clause +
+                                  "'");
+    switch (fate_from_name(key)) {
+      case FsFate::kEnospc:
+        plan.probs.enospc = p;
+        break;
+      case FsFate::kEio:
+        plan.probs.eio = p;
+        break;
+      case FsFate::kShortWrite:
+        plan.probs.short_write = p;
+        break;
+      case FsFate::kCrashBeforeRename:
+        plan.probs.crash_before_rename = p;
+        break;
+      case FsFate::kCrashAfterRename:
+        plan.probs.crash_after_rename = p;
+        break;
+      default:
+        break;
+    }
+  }
+  return plan;
+}
+
+FsFaults& FsFaults::instance() {
+  static FsFaults shim;
+  return shim;
+}
+
+void FsFaults::arm(FsFaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  global_op_ = 0;
+  per_path_op_.clear();
+  injected_.store(0, std::memory_order_relaxed);
+  operations_.store(0, std::memory_order_relaxed);
+  armed_.store(plan_.enabled(), std::memory_order_relaxed);
+}
+
+void FsFaults::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  plan_ = FsFaultPlan{};
+}
+
+std::uint64_t FsFaults::mix(const fs::path& path, std::uint64_t op,
+                            std::uint64_t salt) const {
+  // Hash the file name, not the full path: fates stay stable under a
+  // relocated state dir (tests run in fresh temp dirs every time).
+  const std::string name = path.filename().string();
+  std::uint64_t h = util::hash_combine(plan_.seed,
+                                       util::hash_bytes(name.data(),
+                                                        name.size()));
+  h = util::hash_combine(h, op);
+  h = util::hash_combine(h, salt);
+  return util::mix64(h);
+}
+
+FsFate FsFaults::next_fate(const fs::path& path) {
+  if (!armed()) return FsFate::kOk;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!plan_.enabled()) return FsFate::kOk;
+  const std::string full = path.string();
+  if (!plan_.path_filter.empty() &&
+      full.find(plan_.path_filter) == std::string::npos)
+    return FsFate::kOk;
+  const std::uint64_t op = global_op_++;
+  const std::uint64_t path_op = per_path_op_[path.filename().string()]++;
+  operations_.fetch_add(1, std::memory_order_relaxed);
+
+  FsFate fate = FsFate::kOk;
+  if (plan_.one_shot_op >= 0) {
+    if (op == static_cast<std::uint64_t>(plan_.one_shot_op))
+      fate = plan_.one_shot_fate;
+  } else {
+    const double u = unit(mix(path, path_op, 0x66736674ULL));  // "fsft"
+    double edge = plan_.probs.enospc;
+    if (u < edge)
+      fate = FsFate::kEnospc;
+    else if (u < (edge += plan_.probs.eio))
+      fate = FsFate::kEio;
+    else if (u < (edge += plan_.probs.short_write))
+      fate = FsFate::kShortWrite;
+    else if (u < (edge += plan_.probs.crash_before_rename))
+      fate = FsFate::kCrashBeforeRename;
+    else if (u < (edge += plan_.probs.crash_after_rename))
+      fate = FsFate::kCrashAfterRename;
+  }
+  if (fate != FsFate::kOk) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    util::log_warn("fs-faults: injecting " + std::string(fs_fate_name(fate)) +
+                   " on " + full + " (op " + std::to_string(op) + ")");
+  }
+  return fate;
+}
+
+AtomicWriteStatus write_file_atomic(const fs::path& final_path,
+                                    const void* data, std::size_t size) {
+  FsFaults& shim = FsFaults::instance();
+  const FsFate fate =
+      shim.armed() ? shim.next_fate(final_path) : FsFate::kOk;
+  if (fate == FsFate::kEnospc || fate == FsFate::kEio) {
+    // Clean failure: the real write path never ran, nothing to clean.
+    return AtomicWriteStatus::kFailed;
+  }
+
+  const fs::path tmp = final_path.string() + ".tmp";
+  std::size_t write_size = size;
+  if (fate == FsFate::kShortWrite && size > 0) {
+    // Deterministic torn length: some strict prefix of the payload.
+    write_size = static_cast<std::size_t>(
+        shim.mix(final_path, 0, 0x746F726EULL) % size);  // "torn"
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return AtomicWriteStatus::kFailed;
+    if (write_size > 0)
+      out.write(reinterpret_cast<const char*>(data),
+                static_cast<std::streamsize>(write_size));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return AtomicWriteStatus::kFailed;
+    }
+  }
+  if (fate == FsFate::kShortWrite || fate == FsFate::kCrashBeforeRename) {
+    // The "process died" before the commit rename: the torn (or whole)
+    // temp file stays on disk for the startup sweep to collect.
+    return AtomicWriteStatus::kCrashed;
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return AtomicWriteStatus::kFailed;
+  }
+  if (fate == FsFate::kCrashAfterRename) return AtomicWriteStatus::kCrashed;
+  return AtomicWriteStatus::kOk;
+}
+
+std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return std::nullopt;
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    if (!in) return std::nullopt;
+  }
+  return bytes;
+}
+
+std::size_t sweep_tmp_files(const fs::path& root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec)) {
+    if (ec) break;
+    std::error_code file_ec;
+    if (!entry.is_regular_file(file_ec)) continue;
+    if (entry.path().extension() != ".tmp") continue;
+    if (fs::remove(entry.path(), file_ec)) ++removed;
+  }
+  if (removed > 0)
+    util::log_info("fs: swept " + std::to_string(removed) +
+                   " orphaned .tmp file(s) under " + root.string());
+  return removed;
+}
+
+}  // namespace hipmer::io

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// Seeded, deterministic filesystem fault injection.
+///
+/// The durability layers (job journal, ckpt::SnapshotStore,
+/// server::ArtifactCache) all funnel their durable writes through the
+/// helpers below. An armed `FsFaultPlan` makes those helpers misbehave the
+/// way a sick disk or an ill-timed crash would: ENOSPC, EIO, a short write
+/// that tears the temp file, or a "process death" just before / just after
+/// the commit rename. Like `pgas::ChaosPlan`, every decision is a pure
+/// hash of (seed, file name, per-path op index) — no RNG state — so a
+/// sweep with the same seed injects the same faults regardless of thread
+/// interleaving, and `at=N:fate` pins a single fault on the Nth matching
+/// operation for exhaustive every-injection-point sweeps.
+///
+/// When no plan is armed the shim costs one relaxed atomic load per write.
+namespace hipmer::io {
+
+/// What happens to one durable-write operation.
+enum class FsFate : std::uint8_t {
+  kOk = 0,
+  kEnospc,             ///< write fails cleanly, as if the disk filled
+  kEio,                ///< write fails cleanly with an I/O error
+  kShortWrite,         ///< a prefix lands, then the "process dies"
+  kCrashBeforeRename,  ///< temp file fully written, rename never happens
+  kCrashAfterRename,   ///< rename lands, then the "process dies"
+};
+
+[[nodiscard]] const char* fs_fate_name(FsFate fate);
+
+struct FsFaultProbs {
+  double enospc = 0.0;
+  double eio = 0.0;
+  double short_write = 0.0;
+  double crash_before_rename = 0.0;
+  double crash_after_rename = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return enospc > 0 || eio > 0 || short_write > 0 ||
+           crash_before_rename > 0 || crash_after_rename > 0;
+  }
+};
+
+class FsFaultPlan {
+ public:
+  std::uint64_t seed = 1;
+  FsFaultProbs probs;
+  /// Only paths containing this substring are eligible; empty = all.
+  std::string path_filter;
+  /// >= 0 pins `one_shot_fate` on exactly the Nth eligible operation
+  /// (counted from 0 across all paths) and nothing else.
+  std::int64_t one_shot_op = -1;
+  FsFate one_shot_fate = FsFate::kEio;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return probs.any() || one_shot_op >= 0;
+  }
+
+  /// Parse an `--fs-faults` spec. Grammar (clauses separated by ','):
+  ///   clause := ('enospc'|'eio'|'short'|'crash_before'|'crash_after') '=' FLOAT
+  ///           | 'path' '=' SUBSTRING
+  ///           | 'at' '=' N ':' FATE
+  /// Example: "enospc=0.05,eio=0.02,path=cache" or "at=3:crash_before".
+  /// Throws std::invalid_argument on malformed input.
+  static FsFaultPlan parse(std::uint64_t seed, const std::string& spec);
+};
+
+/// Process-wide injectable fault source. Armed once (tests, `serve
+/// --fs-faults` drills), consulted by every durable-write helper.
+class FsFaults {
+ public:
+  static FsFaults& instance();
+
+  void arm(FsFaultPlan plan);
+  void disarm();
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Decide the fate of the next durable-write op targeting `path` and
+  /// advance the op counters. Always kOk when nothing is armed.
+  [[nodiscard]] FsFate next_fate(const std::filesystem::path& path);
+
+  /// Deterministic sub-stream for the armed seed (short-write lengths).
+  [[nodiscard]] std::uint64_t mix(const std::filesystem::path& path,
+                                  std::uint64_t op, std::uint64_t salt) const;
+
+  /// Total faults injected since arm().
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  /// Total eligible operations observed since arm() (fault or not); a
+  /// sweep walks `at=` from 0 to this.
+  [[nodiscard]] std::uint64_t operations() const noexcept {
+    return operations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> operations_{0};
+  mutable std::mutex mu_;
+  FsFaultPlan plan_;
+  std::uint64_t global_op_ = 0;
+  std::unordered_map<std::string, std::uint64_t> per_path_op_;
+};
+
+/// RAII armer for tests: arms on construction, disarms on destruction.
+struct ScopedFsFaults {
+  explicit ScopedFsFaults(FsFaultPlan plan) {
+    FsFaults::instance().arm(std::move(plan));
+  }
+  ~ScopedFsFaults() { FsFaults::instance().disarm(); }
+  ScopedFsFaults(const ScopedFsFaults&) = delete;
+  ScopedFsFaults& operator=(const ScopedFsFaults&) = delete;
+};
+
+/// Outcome of a fault-aware atomic write.
+enum class AtomicWriteStatus : std::uint8_t {
+  kOk = 0,
+  /// Clean failure: no temp file remains, the final path is untouched.
+  kFailed,
+  /// Simulated process death mid-commit: on-disk state is whatever the
+  /// crash left (a torn `.tmp` sibling, or — for crash-after-rename — the
+  /// committed file). Callers treat it as failure; recovery sweeps clean
+  /// the debris on the next startup.
+  kCrashed,
+};
+
+/// Write `size` bytes to `final_path` via a `.tmp` sibling + atomic
+/// rename, consulting the armed fault plan. The shared implementation of
+/// the idiom SnapshotStore and ArtifactCache previously duplicated.
+AtomicWriteStatus write_file_atomic(const std::filesystem::path& final_path,
+                                    const void* data, std::size_t size);
+
+/// Read a whole file; nullopt when absent or unreadable.
+[[nodiscard]] std::optional<std::vector<std::byte>> read_file(
+    const std::filesystem::path& path);
+
+/// Startup sweep: remove every `*.tmp` file under `root` (recursive) —
+/// debris from a crash between temp write and rename. Returns the number
+/// removed. Best effort; never throws.
+std::size_t sweep_tmp_files(const std::filesystem::path& root);
+
+}  // namespace hipmer::io

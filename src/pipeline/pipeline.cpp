@@ -375,9 +375,20 @@ PipelineResult Pipeline::resume_from_fastq(
   std::vector<StageReport> stages;
   auto rs = load_resume_state(stages);
   if (rs.empty()) {
-    util::log_info("resume: no usable checkpoint, assembling from FASTQ");
+    // A retry with nothing to resume from is the poison-job shape: the
+    // earlier attempt died before its first snapshot committed.
+    util::log_info(config_.attempt > 0
+                       ? "resume: attempt " +
+                             std::to_string(config_.attempt + 1) +
+                             " found no usable checkpoint, assembling "
+                             "from FASTQ"
+                       : "resume: no usable checkpoint, assembling from "
+                         "FASTQ");
     return run_from_fastq(libraries);
   }
+  if (config_.attempt > 0)
+    util::log_info("resume: attempt " + std::to_string(config_.attempt + 1) +
+                   " resuming from the previous attempt's checkpoint");
   return assemble({}, libraries, std::move(stages), std::move(rs));
 }
 

@@ -113,6 +113,11 @@ struct PipelineConfig {
   /// knob, not a result knob — excluded from the fingerprint.
   std::function<bool()> cancel_poll;
 
+  /// Which retry of the same job this run is (0 = first). Informational
+  /// for resume logging; excluded from the fingerprint so a retry reuses
+  /// the original attempt's snapshots.
+  int attempt = 0;
+
   /// Propagate k into the sub-configs (call after setting `k`).
   void sync_k() {
     kmer.k = k;

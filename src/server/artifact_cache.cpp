@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <system_error>
 
+#include "io/fs_faults.hpp"
 #include "io/wire.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
@@ -15,44 +15,13 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// tmp+rename, same idiom as the checkpoint store: the final name never
-/// holds a partial file.
+/// tmp+rename through the fault-aware shared helper (io/fs_faults.hpp) —
+/// the final name never holds a partial file, and an injected crash
+/// leaves debris only where the startup sweep reclaims it.
 bool write_file_atomic(const fs::path& final_path, const std::byte* data,
                        std::size_t size) {
-  const fs::path tmp = final_path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    if (size > 0)
-      out.write(reinterpret_cast<const char*>(data),
-                static_cast<std::streamsize>(size));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      return false;
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return false;
-  }
-  return true;
-}
-
-std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return std::nullopt;
-  const auto size = static_cast<std::size_t>(in.tellg());
-  std::vector<std::byte> bytes(size);
-  in.seekg(0);
-  if (size > 0)
-    in.read(reinterpret_cast<char*>(bytes.data()),
-            static_cast<std::streamsize>(size));
-  if (!in) return std::nullopt;
-  return bytes;
+  return io::write_file_atomic(final_path, data, size) ==
+         io::AtomicWriteStatus::kOk;
 }
 
 std::string key_name(std::uint64_t key) {
@@ -127,6 +96,10 @@ ArtifactCache::ArtifactCache(fs::path dir) : dir_(std::move(dir)) {
   if (ec)
     util::log_warn("artifact cache: cannot create " + dir_.string() + ": " +
                    ec.message());
+  // A producer that died mid-store leaves torn `.tmp` siblings; entries
+  // without a committed meta.bin are ordinary misses, but the temp files
+  // themselves would leak forever without this sweep.
+  io::sweep_tmp_files(dir_);
 }
 
 fs::path ArtifactCache::entry_dir(std::uint64_t key) const {
@@ -149,7 +122,7 @@ std::optional<ArtifactCache::UfxArtifact> ArtifactCache::lookup_ufx(
     return std::nullopt;
   };
 
-  const auto meta_bytes = read_file(entry / "meta.bin");
+  const auto meta_bytes = io::read_file(entry / "meta.bin");
   if (!meta_bytes) return miss(nullptr);
 
   const auto meta = decode_cache_meta(*meta_bytes);
@@ -162,7 +135,7 @@ std::optional<ArtifactCache::UfxArtifact> ArtifactCache::lookup_ufx(
   artifact.aux.heavy_hitters = meta->heavy_hitters;
   artifact.shards.reserve(meta->shards.size());
   for (std::size_t i = 0; i < meta->shards.size(); ++i) {
-    auto bytes = read_file(entry / ("ufx." + std::to_string(i)));
+    auto bytes = io::read_file(entry / ("ufx." + std::to_string(i)));
     if (!bytes || bytes->size() != meta->shards[i].first ||
         util::crc32c(bytes->data(), bytes->size()) != meta->shards[i].second)
       return miss("shard corrupt");

@@ -16,6 +16,8 @@ const char* job_state_name(JobState state) {
       return "failed";
     case JobState::kCancelled:
       return "cancelled";
+    case JobState::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }
@@ -34,7 +36,9 @@ std::vector<std::uint64_t> JobQueue::queued_order_locked() const {
   return ids;
 }
 
-std::uint64_t JobQueue::submit(JobSpec spec, std::string* error) {
+std::uint64_t JobQueue::submit(
+    JobSpec spec, std::string* error,
+    const std::function<bool(const JobSpec&)>& precommit) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) {
     if (error != nullptr) *error = "shutting-down";
@@ -60,6 +64,14 @@ std::uint64_t JobQueue::submit(JobSpec spec, std::string* error) {
   }
   const std::uint64_t id = next_id_++;
   spec.id = id;
+  // Write-ahead hook: the journal record must be durable before the job
+  // becomes visible to pop_next or status. Under the lock so no observer
+  // sees a job the journal missed.
+  if (precommit && !precommit(spec)) {
+    if (error != nullptr) *error = "journal-io";
+    --next_id_;
+    return 0;
+  }
   auto job = std::make_unique<JobRecord>();
   job->spec = std::move(spec);
   jobs_.emplace(id, std::move(job));
@@ -73,14 +85,73 @@ JobRecord* JobQueue::pop_next() {
     // Shutdown wins over remaining queued work: SHUTDOWN means "finish
     // the running job and stop", not "drain the backlog".
     if (shutdown_) return nullptr;
+    const auto now = std::chrono::steady_clock::now();
     const auto order = queued_order_locked();
-    if (!order.empty()) {
-      JobRecord* job = jobs_.at(order.front()).get();
-      job->state = JobState::kRunning;
-      return job;
+    // Dispatch the first queued job (priority order) whose retry backoff
+    // has elapsed; jobs still inside their window only set the wakeup.
+    auto wake = std::chrono::steady_clock::time_point::max();
+    JobRecord* pick = nullptr;
+    for (const auto id : order) {
+      JobRecord* job = jobs_.at(id).get();
+      if (job->not_before <= now) {
+        pick = job;
+        break;
+      }
+      wake = std::min(wake, job->not_before);
     }
-    cv_.wait(lock);
+    if (pick != nullptr) {
+      pick->state = JobState::kRunning;
+      return pick;
+    }
+    if (wake == std::chrono::steady_clock::time_point::max())
+      cv_.wait(lock);
+    else
+      cv_.wait_until(lock, wake);
   }
+}
+
+void JobQueue::requeue(JobRecord* job,
+                       std::chrono::steady_clock::time_point not_before) {
+  std::lock_guard<std::mutex> lock(mu_);
+  job->state = JobState::kQueued;
+  job->not_before = not_before;
+  cv_.notify_all();
+}
+
+JobRecord* JobQueue::restore(JobSpec spec, JobState state,
+                             std::uint32_t attempt, JobOutcome outcome,
+                             std::string fault_log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = spec.id;
+  if (id == 0 || jobs_.count(id) != 0) return nullptr;
+  next_id_ = std::max(next_id_, id + 1);
+  auto job = std::make_unique<JobRecord>();
+  job->spec = std::move(spec);
+  job->state = state == JobState::kRunning ? JobState::kQueued : state;
+  job->attempt = attempt;
+  job->outcome = std::move(outcome);
+  job->fault_log = std::move(fault_log);
+  // Recovered history must keep the totals honest across restarts.
+  switch (job->state) {
+    case JobState::kDone:
+      ++totals_.completed;
+      break;
+    case JobState::kFailed:
+      ++totals_.failed;
+      break;
+    case JobState::kCancelled:
+      ++totals_.cancelled;
+      break;
+    case JobState::kQuarantined:
+      ++totals_.quarantined;
+      break;
+    default:
+      break;
+  }
+  JobRecord* raw = job.get();
+  jobs_.emplace(id, std::move(job));
+  cv_.notify_all();
+  return raw;
 }
 
 bool JobQueue::cancel(std::uint64_t id) {
@@ -115,6 +186,9 @@ void JobQueue::finish(JobRecord* job, JobState state, JobOutcome outcome) {
     case JobState::kCancelled:
       ++totals_.cancelled;
       break;
+    case JobState::kQuarantined:
+      ++totals_.quarantined;
+      break;
     default:
       break;
   }
@@ -147,6 +221,7 @@ std::optional<JobQueue::Snapshot> JobQueue::status(std::uint64_t id) {
   snap.outcome = job.outcome;
   snap.tenant = job.spec.tenant;
   snap.output_path = job.spec.output_path;
+  snap.attempt = job.attempt;
   if (job.state == JobState::kQueued) {
     const auto order = queued_order_locked();
     const auto pos = std::find(order.begin(), order.end(), id);

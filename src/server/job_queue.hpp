@@ -1,8 +1,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,14 +26,18 @@
 /// cancel concurrently.
 namespace hipmer::server {
 
-enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+/// kQuarantined is the poison-job terminal state: the job died
+/// `max_attempts` times, the retry policy gave up, and its accumulated
+/// fault record stays retrievable via STATUS while later jobs run clean.
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled,
+                      kQuarantined };
 
 [[nodiscard]] const char* job_state_name(JobState state);
 
 /// True for states a job can never leave.
 [[nodiscard]] inline bool job_state_terminal(JobState state) {
   return state == JobState::kDone || state == JobState::kFailed ||
-         state == JobState::kCancelled;
+         state == JobState::kCancelled || state == JobState::kQuarantined;
 }
 
 /// Everything the executor needs to run one job, parsed from SUBMIT.
@@ -62,6 +68,16 @@ struct JobSpec {
 
   /// Admission estimate: total input bytes (filled at submit).
   std::uint64_t estimated_bytes = 0;
+
+  /// Retry budget: attempts before quarantine. 0 = take the server
+  /// default; resolved to a concrete value before the job is journaled.
+  std::uint32_t max_attempts = 0;
+  /// Wall-clock budget in ms from submission; 0 = none. Enforced through
+  /// the pipeline's cancel_poll and at dispatch time.
+  std::uint64_t deadline_ms = 0;
+  /// system_clock ms at admission — the deadline's anchor. Journaled, so a
+  /// restart doesn't reset a job's clock.
+  std::uint64_t submit_wall_ms = 0;
 };
 
 /// Filled in by the executor as the job finishes (any terminal state).
@@ -80,6 +96,15 @@ struct JobRecord {
   /// Set by CANCEL on a running job; the pipeline's cancel_poll reads it
   /// between stages.
   std::atomic<bool> cancel_requested{false};
+  /// Attempts started so far; the executor's retry policy bumps it after
+  /// each failed attempt.
+  std::uint32_t attempt = 0;
+  /// Exponential-backoff gate: a queued job is not dispatchable before
+  /// this instant.
+  std::chrono::steady_clock::time_point not_before{};
+  /// Accumulated per-attempt failure reasons — the quarantine fault
+  /// record STATUS reports.
+  std::string fault_log;
 };
 
 struct AdmissionConfig {
@@ -98,13 +123,32 @@ class JobQueue {
 
   /// Admission-checked enqueue. On success assigns spec.id and returns
   /// the id; on rejection returns 0 and sets `error` to a one-word reason
-  /// (queue-full / memory-budget).
-  std::uint64_t submit(JobSpec spec, std::string* error);
+  /// (queue-full / memory-budget). `precommit`, when set, runs under the
+  /// queue lock after the id is assigned but before the job becomes
+  /// visible — the write-ahead hook: returning false aborts the admission
+  /// with error "journal-io", so no job exists that the journal missed.
+  std::uint64_t submit(JobSpec spec, std::string* error,
+                       const std::function<bool(const JobSpec&)>& precommit =
+                           nullptr);
 
   /// Block until a job is runnable (marked kRunning before return) or the
-  /// queue shuts down (nullptr). The returned record stays owned by the
-  /// queue and outlives the job.
+  /// queue shuts down (nullptr). Jobs inside their retry-backoff window
+  /// are held back until `not_before`. The returned record stays owned by
+  /// the queue and outlives the job.
   JobRecord* pop_next();
+
+  /// Retry hand-back: a running job whose attempt died goes back to
+  /// queued, not dispatchable before `not_before`.
+  void requeue(JobRecord* job, std::chrono::steady_clock::time_point
+                                   not_before);
+
+  /// Journal-replay hand-back: re-create a job with its original id and
+  /// recovered state (kQueued or a terminal state — never kRunning; an
+  /// interrupted run is re-admitted as queued). Bypasses admission: the
+  /// job was already admitted in a previous life. Returns the record, or
+  /// nullptr when the id is already present.
+  JobRecord* restore(JobSpec spec, JobState state, std::uint32_t attempt,
+                     JobOutcome outcome, std::string fault_log);
 
   /// Queued jobs cancel immediately; running jobs get the flag (the
   /// executor lands the terminal state). False for unknown/terminal jobs.
@@ -122,6 +166,7 @@ class JobQueue {
     JobOutcome outcome;
     std::string tenant;
     std::string output_path;
+    std::uint32_t attempt = 0;
   };
   [[nodiscard]] std::optional<Snapshot> status(std::uint64_t id);
 
@@ -132,6 +177,7 @@ class JobQueue {
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
+    std::uint64_t quarantined = 0;
   };
   [[nodiscard]] Counters counters();
 

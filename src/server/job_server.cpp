@@ -16,6 +16,7 @@
 
 #include "ckpt/artifacts.hpp"
 #include "io/fasta.hpp"
+#include "io/fs_faults.hpp"
 #include "pgas/chaos.hpp"
 #include "pgas/fault.hpp"
 #include "io/wire.hpp"
@@ -56,7 +57,33 @@ std::string format_double(double v) {
   return os.str();
 }
 
+std::uint64_t now_wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// True once the job's wall-clock budget is spent.
+bool deadline_expired(const JobSpec& spec) {
+  return spec.deadline_ms > 0 &&
+         now_wall_ms() >= spec.submit_wall_ms + spec.deadline_ms;
+}
+
 }  // namespace
+
+std::uint64_t JobServer::retry_backoff_ms(std::uint32_t base_ms,
+                                          std::uint32_t attempt,
+                                          std::uint64_t job_id) {
+  // Exponential with a 64x cap, plus deterministic +-25% jitter from the
+  // same hash family the chaos plan uses — reproducible, no RNG state.
+  const std::uint32_t shift = attempt < 6 ? attempt : 6;
+  const std::uint64_t base = static_cast<std::uint64_t>(base_ms) << shift;
+  const std::uint64_t h = util::mix64(
+      util::hash_combine(util::hash_combine(0x626B6F66ULL, job_id), attempt));
+  const std::uint64_t jitter = base > 0 ? (h % (base / 2 + 1)) : 0;
+  return base - base / 4 + jitter;
+}
 
 bool JobServer::parse_submit(const Command& cmd, JobSpec* spec,
                              std::string* error) {
@@ -139,6 +166,10 @@ bool JobServer::parse_submit(const Command& cmd, JobSpec* spec,
   spec->chaos_spec = cmd.get("chaos");
   spec->chaos_seed = static_cast<std::uint64_t>(
       std::strtoull(cmd.get("chaos_seed", "1").c_str(), nullptr, 10));
+  spec->max_attempts = static_cast<std::uint32_t>(
+      std::strtoul(cmd.get("attempts", "0").c_str(), nullptr, 10));
+  spec->deadline_ms = static_cast<std::uint64_t>(
+      std::strtoull(cmd.get("deadline", "0").c_str(), nullptr, 10));
   if (spec->k < 5 || spec->rounds < 1) {
     *error = "bad-config";
     return false;
@@ -163,6 +194,74 @@ std::string JobServer::tenant_dir(const std::string& tenant) const {
   return (fs::path(config_.state_dir) / "tenants" / tenant).string();
 }
 
+void JobServer::journal_event(const JournalEvent& event) {
+  if (!journal_) return;
+  std::string error_name;
+  if (!journal_->append(event, &error_name))
+    // Durability degrades by name; availability does not: the server keeps
+    // running and the operator sees exactly which write was lost.
+    util::log_warn("server: journal append (" +
+                   std::string(journal_event_name(event.type)) + " job " +
+                   std::to_string(event.job_id) + ") failed: " + error_name);
+}
+
+void JobServer::recover_from_journal() {
+  auto replay = journal_->open_and_replay();
+  if (!replay) {
+    util::log_warn("server: journal unusable at " + journal_->path() +
+                   "; running without durability");
+    journal_.reset();
+    return;
+  }
+  const auto jobs = reconstruct_jobs(replay->events);
+  std::size_t backlog = 0;
+  std::size_t resumed = 0;
+  std::vector<JournalEvent> live;
+  for (const auto& [id, job] : jobs) {
+    JobSpec spec = job.spec;
+    JobState state = job.state;
+    if (state == JobState::kRunning) {
+      // The interrupted job: re-admit queued, resume from its tenant
+      // checkpoint. Its consumed attempt is not re-charged — the server
+      // died, not the job.
+      spec.resume = true;
+      state = JobState::kQueued;
+      ++resumed;
+    }
+    if (state == JobState::kQueued) ++backlog;
+    if (queue_.restore(spec, state, job.attempt, job.outcome,
+                       job.fault_log) == nullptr)
+      continue;
+    // Compacted journal: one SUBMIT per live/retained job (attempt and
+    // fault log folded in), plus the terminal record when there is one.
+    JournalEvent submit;
+    submit.type = JournalEventType::kSubmit;
+    submit.job_id = id;
+    submit.attempt = job.attempt;
+    submit.error = job.fault_log;
+    submit.spec = spec;
+    live.push_back(std::move(submit));
+    if (job_state_terminal(state)) {
+      JournalEvent fin;
+      fin.type = JournalEventType::kFinish;
+      fin.job_id = id;
+      fin.final_state = state;
+      fin.scaffolds = job.outcome.scaffolds;
+      fin.scaffold_bases = job.outcome.scaffold_bases;
+      fin.cache_hit = job.outcome.cache_hit;
+      fin.error = job.outcome.error;
+      live.push_back(std::move(fin));
+    }
+  }
+  if (!replay->events.empty() || replay->tail_truncated)
+    journal_->compact(live);
+  if (backlog > 0 || replay->tail_truncated)
+    util::log_info("server: journal replay recovered " +
+                   std::to_string(backlog) + " queued job(s), " +
+                   std::to_string(resumed) + " interrupted run(s) resumed" +
+                   (replay->tail_truncated ? " (torn tail truncated)" : ""));
+}
+
 int JobServer::serve() {
   std::error_code ec;
   fs::create_directories(fs::path(config_.state_dir) / "tenants", ec);
@@ -170,6 +269,31 @@ int JobServer::serve() {
     util::log_warn("server: cannot create " + config_.state_dir + ": " +
                    ec.message());
     return 1;
+  }
+
+  if (!config_.fs_fault_spec.empty()) {
+    try {
+      io::FsFaults::instance().arm(io::FsFaultPlan::parse(
+          config_.fs_fault_seed, config_.fs_fault_spec));
+      util::log_info("server: fs-fault drill armed: " +
+                     config_.fs_fault_spec);
+    } catch (const std::exception& e) {
+      util::log_warn(std::string("server: bad --fs-faults spec: ") +
+                     e.what());
+      return 1;
+    }
+  }
+
+  // Reclaim temp-file debris a previous life left between write and
+  // rename — under tenants, the cache, and the journal alike.
+  io::sweep_tmp_files(config_.state_dir);
+
+  if (config_.enable_journal) {
+    std::string journal_path = config_.journal_path;
+    if (journal_path.empty())
+      journal_path = (fs::path(config_.state_dir) / "journal.bin").string();
+    journal_ = std::make_unique<JobJournal>(journal_path);
+    recover_from_journal();
   }
 
   // One persistent team for the server's whole life; jobs re-arm it via
@@ -257,7 +381,25 @@ void JobServer::handle_connection(int fd) {
       if (!parse_submit(cmd, &spec, &error)) {
         send_line(fd, "ERR " + error);
       } else {
-        const std::uint64_t id = queue_.submit(std::move(spec), &error);
+        spec.submit_wall_ms = now_wall_ms();
+        if (spec.max_attempts == 0) spec.max_attempts = config_.max_attempts;
+        if (spec.max_attempts == 0) spec.max_attempts = 1;
+        // Write-ahead: the SUBMIT record is fsync'd (inside the queue
+        // lock, before the job is visible) or the admission is refused —
+        // an acknowledged job is never lost to a crash.
+        const auto precommit = [this](const JobSpec& admitted) {
+          if (!journal_) return true;
+          JournalEvent event;
+          event.type = JournalEventType::kSubmit;
+          event.job_id = admitted.id;
+          event.spec = admitted;
+          std::string journal_error;
+          if (journal_->append(event, &journal_error)) return true;
+          util::log_warn("server: refusing job: " + journal_error);
+          return false;
+        };
+        const std::uint64_t id =
+            queue_.submit(std::move(spec), &error, precommit);
         if (id == 0)
           send_line(fd, "ERR " + error);
         else
@@ -274,6 +416,8 @@ void JobServer::handle_connection(int fd) {
                            job_state_name(snap->state);
         if (snap->queue_position >= 0)
           line += " pos=" + std::to_string(snap->queue_position);
+        if (snap->attempt > 0)
+          line += " attempts=" + std::to_string(snap->attempt);
         if (job_state_terminal(snap->state)) {
           line += " scaffolds=" + std::to_string(snap->outcome.scaffolds) +
                   " bases=" + std::to_string(snap->outcome.scaffold_bases) +
@@ -298,7 +442,14 @@ void JobServer::handle_connection(int fd) {
     } else if (cmd.verb == "CANCEL") {
       const std::uint64_t id = static_cast<std::uint64_t>(
           std::strtoull(cmd.get("id", "0").c_str(), nullptr, 10));
-      send_line(fd, queue_.cancel(id) ? "OK cancelled" : "ERR unknown-job");
+      const bool cancelled = queue_.cancel(id);
+      if (cancelled) {
+        JournalEvent event;
+        event.type = JournalEventType::kCancel;
+        event.job_id = id;
+        journal_event(event);
+      }
+      send_line(fd, cancelled ? "OK cancelled" : "ERR unknown-job");
     } else if (cmd.verb == "STATS") {
       const auto c = queue_.counters();
       std::string line =
@@ -307,6 +458,7 @@ void JobServer::handle_connection(int fd) {
           " completed=" + std::to_string(c.completed) +
           " failed=" + std::to_string(c.failed) +
           " cancelled=" + std::to_string(c.cancelled) +
+          " quarantined=" + std::to_string(c.quarantined) +
           " resident_estimate=" + std::to_string(c.resident_estimate);
       if (cache_ != nullptr)
         line += " cache_hits=" + std::to_string(cache_->hits()) +
@@ -329,8 +481,51 @@ void JobServer::execute(JobRecord* job) {
   // finish() may evict the record under the retention cap; anything
   // logged afterwards must not reach back through `job`.
   const std::uint64_t job_id = spec.id;
+  const std::uint32_t attempt = job->attempt;
+  const std::uint32_t max_attempts =
+      spec.max_attempts > 0 ? spec.max_attempts : config_.max_attempts;
+
+  // Terminal-record helper: the journal record lands (fsync'd) before the
+  // state becomes visible through finish().
+  const auto land = [&](JobState state, JobOutcome outcome) {
+    JournalEvent event;
+    event.type = JournalEventType::kFinish;
+    event.job_id = job_id;
+    event.attempt = attempt;
+    event.final_state = state;
+    event.scaffolds = outcome.scaffolds;
+    event.scaffold_bases = outcome.scaffold_bases;
+    event.cache_hit = outcome.cache_hit;
+    event.error = state == JobState::kQuarantined ? job->fault_log
+                                                  : outcome.error;
+    journal_event(event);
+    if (state == JobState::kQuarantined) outcome.error = job->fault_log;
+    queue_.finish(job, state, std::move(outcome));
+  };
+
+  // A job whose wall-clock budget expired while queued (or during a retry
+  // backoff) fails at dispatch without burning team time.
+  if (deadline_expired(spec)) {
+    JobOutcome outcome;
+    outcome.error = "deadline-exceeded";
+    land(JobState::kFailed, std::move(outcome));
+    util::log_info("server: job " + std::to_string(job_id) +
+                   " missed its deadline while queued");
+    return;
+  }
+
+  {
+    JournalEvent event;
+    event.type = JournalEventType::kStart;
+    event.job_id = job_id;
+    event.attempt = attempt;
+    journal_event(event);
+  }
   util::log_info("server: job " + std::to_string(job_id) + " (tenant " +
-                 spec.tenant + ") starting");
+                 spec.tenant + ") starting" +
+                 (attempt > 0 ? " (attempt " + std::to_string(attempt + 1) +
+                                    "/" + std::to_string(max_attempts) + ")"
+                              : ""));
 
   JobOutcome outcome;
   try {
@@ -343,8 +538,13 @@ void JobServer::execute(JobRecord* job) {
     cfg.checkpoint.keep_last = config_.keep_last;
     if (!spec.chaos_spec.empty())
       cfg.chaos = pgas::ChaosPlan::parse(spec.chaos_seed, spec.chaos_spec);
-    cfg.cancel_poll = [job] {
-      return job->cancel_requested.load(std::memory_order_relaxed);
+    cfg.attempt = static_cast<int>(attempt);
+    // The deadline rides the cancel hook: both stop the pipeline at the
+    // next stage boundary; the catch below tells them apart.
+    const JobSpec* spec_ptr = &job->spec;
+    cfg.cancel_poll = [job, spec_ptr] {
+      return job->cancel_requested.load(std::memory_order_relaxed) ||
+             deadline_expired(*spec_ptr);
     };
     cfg.sync_k();
 
@@ -382,7 +582,10 @@ void JobServer::execute(JobRecord* job) {
       }
     }
 
-    auto result = pipe_->execute_from_fastq(spec.libraries, spec.resume);
+    // A retry resumes from the tenant checkpoint: work the dead attempt
+    // already committed is not re-done.
+    auto result =
+        pipe_->execute_from_fastq(spec.libraries, spec.resume || attempt > 0);
 
     if (!io::write_fasta(spec.output_path, result.scaffolds))
       throw std::runtime_error("cannot write " + spec.output_path);
@@ -390,20 +593,54 @@ void JobServer::execute(JobRecord* job) {
     for (const auto& rec : result.scaffolds)
       outcome.scaffold_bases += rec.seq.size();
     outcome.stages = std::move(result.stages);
-    queue_.finish(job, JobState::kDone, std::move(outcome));
+    land(JobState::kDone, std::move(outcome));
     util::log_info("server: job " + std::to_string(job_id) + " done");
   } catch (const pipeline::JobCancelled& e) {
-    outcome.error = e.what();
-    queue_.finish(job, JobState::kCancelled, std::move(outcome));
-    util::log_info("server: job " + std::to_string(job_id) + " cancelled");
+    if (!job->cancel_requested.load(std::memory_order_relaxed) &&
+        deadline_expired(job->spec)) {
+      // The deadline tripped the cancel hook, not the client. Terminal —
+      // retrying a job that is already out of budget cannot help.
+      outcome.error = "deadline-exceeded";
+      land(JobState::kFailed, std::move(outcome));
+      util::log_info("server: job " + std::to_string(job_id) +
+                     " exceeded its deadline");
+    } else {
+      outcome.error = e.what();
+      land(JobState::kCancelled, std::move(outcome));
+      util::log_info("server: job " + std::to_string(job_id) + " cancelled");
+    }
   } catch (const std::exception& e) {
-    // RankKilled / PeerSuspect land here too: the job dies, the server
-    // does not — the next job's reset rebuilds the team's sync state.
+    // RankKilled / PeerSuspect / any worker crash land here: the job's
+    // attempt dies, the server does not — the next reset rebuilds the
+    // team's sync state. Retry with backoff until the budget is spent,
+    // then quarantine with the accumulated fault record.
     const std::string reason = e.what();
-    outcome.error = reason;
-    queue_.finish(job, JobState::kFailed, std::move(outcome));
-    util::log_warn("server: job " + std::to_string(job_id) + " failed: " +
-                   reason);
+    if (!job->fault_log.empty()) job->fault_log += "; ";
+    job->fault_log += "attempt " + std::to_string(attempt) + ": " + reason;
+    if (attempt + 1 < max_attempts) {
+      JournalEvent event;
+      event.type = JournalEventType::kFail;
+      event.job_id = job_id;
+      event.attempt = attempt;
+      event.error = reason;
+      journal_event(event);
+      const std::uint64_t backoff =
+          retry_backoff_ms(config_.retry_backoff_ms, attempt, job_id);
+      job->attempt = attempt + 1;
+      queue_.requeue(job, std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(backoff));
+      util::log_warn("server: job " + std::to_string(job_id) +
+                     " attempt " + std::to_string(attempt + 1) + "/" +
+                     std::to_string(max_attempts) + " failed (" + reason +
+                     "); retrying in " + std::to_string(backoff) + "ms");
+    } else {
+      job->attempt = attempt + 1;
+      outcome.error = reason;
+      land(JobState::kQuarantined, std::move(outcome));
+      util::log_warn("server: job " + std::to_string(job_id) +
+                     " quarantined after " + std::to_string(attempt + 1) +
+                     " attempt(s): " + reason);
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #include "pipeline/pipeline.hpp"
 #include "server/artifact_cache.hpp"
 #include "server/job_queue.hpp"
+#include "server/journal.hpp"
 #include "server/protocol.hpp"
 
 /// Assembly-as-a-service: a long-lived job server owning one persistent
@@ -44,6 +45,22 @@ struct ServerConfig {
   /// disables the timeout. Bounds how long an idle client can hold a
   /// connection handler.
   int client_idle_timeout_ms = 10'000;
+
+  /// Write-ahead job journal: every transition fsync'd before it is
+  /// acknowledged; replayed on startup to recover the backlog.
+  bool enable_journal = true;
+  /// Journal file; empty = `<state_dir>/journal.bin`.
+  std::string journal_path;
+  /// Retry budget before a poison job is quarantined (per-job `attempts=`
+  /// overrides downward or upward; 0 is clamped to 1).
+  std::uint32_t max_attempts = 3;
+  /// Base of the exponential retry backoff (doubles per attempt, with
+  /// deterministic jitter, capped at 64x).
+  std::uint32_t retry_backoff_ms = 200;
+  /// Filesystem fault-injection drill (io::FsFaultPlan::parse grammar),
+  /// armed process-wide for the server's life. Empty = disabled.
+  std::string fs_fault_spec;
+  std::uint64_t fs_fault_seed = 1;
 };
 
 class JobServer {
@@ -65,14 +82,28 @@ class JobServer {
   static bool parse_submit(const Command& cmd, JobSpec* spec,
                            std::string* error);
 
+  /// Milliseconds a failed attempt waits before redispatch: exponential
+  /// in `attempt` with deterministic jitter (exposed for tests).
+  [[nodiscard]] static std::uint64_t retry_backoff_ms(
+      std::uint32_t base_ms, std::uint32_t attempt, std::uint64_t job_id);
+
  private:
   void io_loop(int listen_fd);
   void handle_connection(int fd);
   void execute(JobRecord* job);
   [[nodiscard]] std::string tenant_dir(const std::string& tenant) const;
 
+  /// Startup recovery: replay the journal, restore terminal history,
+  /// re-admit the backlog (running job first re-queued with resume), and
+  /// compact the log to the live state.
+  void recover_from_journal();
+  /// Append + fsync one transition; a failure is logged by name and the
+  /// server degrades (keeps running without that record).
+  void journal_event(const JournalEvent& event);
+
   ServerConfig config_;
   JobQueue queue_;
+  std::unique_ptr<JobJournal> journal_;
   std::unique_ptr<ArtifactCache> cache_;
   std::unique_ptr<pipeline::Pipeline> pipe_;
   std::atomic<bool> stop_{false};

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/job_queue.hpp"
+
+/// Write-ahead job journal: the control plane's crash safety.
+///
+/// Every job state transition (SUBMIT / START / CANCEL / FAIL / FINISH) is
+/// appended as one CRC-framed record and fsync'd *before* the transition
+/// is acknowledged to the client or acted on by the executor. On startup
+/// the server replays the journal, reconstructs the job table
+/// (`reconstruct_jobs`), re-admits the backlog in priority order, re-queues
+/// the previously-running job with resume-from-checkpoint semantics, and
+/// compacts the log down to the live state.
+///
+/// File format (same wire idiom as ckpt/manifest.hpp):
+///
+///     [u32 magic "HJNL"][u32 version]
+///     record*   where record := [u32 len][payload][u32 crc32c(payload)]
+///
+/// A torn tail — a record cut short by a crash mid-append, or one whose
+/// CRC fails — ends the replay at the last valid record and is truncated
+/// away, so the journal self-heals: appends always extend a valid prefix.
+namespace hipmer::server {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4C4E4A48;  // "HJNL"
+inline constexpr std::uint32_t kJournalVersion = 1;
+/// Upper bound on one record's payload; anything larger is torn framing.
+inline constexpr std::uint32_t kJournalMaxRecordBytes = 1u << 20;
+
+enum class JournalEventType : std::uint8_t {
+  kSubmit = 1,  ///< job admitted; carries the full JobSpec
+  kStart = 2,   ///< executor picked the job up (attempt = which try)
+  kCancel = 3,  ///< client CANCEL (terminal for queued, a flag for running)
+  kFail = 4,    ///< one attempt died retryably; a retry will follow
+  kFinish = 5,  ///< terminal: carries the final state + outcome summary
+};
+
+[[nodiscard]] const char* journal_event_name(JournalEventType type);
+
+/// One journal record. Every field is always encoded (a flat wire schema);
+/// which ones are meaningful depends on `type`.
+struct JournalEvent {
+  JournalEventType type = JournalEventType::kSubmit;
+  std::uint64_t job_id = 0;
+  /// kStart/kFail: which attempt. kSubmit: attempts already consumed (0 on
+  /// first admission; >0 only in compacted journals).
+  std::uint32_t attempt = 0;
+  /// kFinish: the terminal JobState (done/failed/cancelled/quarantined).
+  JobState final_state = JobState::kDone;
+  /// Terminal outcome summary (kFinish) or the attempt's failure reason
+  /// (kFail).
+  std::uint64_t scaffolds = 0;
+  std::uint64_t scaffold_bases = 0;
+  bool cache_hit = false;
+  std::string error;
+  /// kSubmit only (default-empty otherwise, still encoded).
+  JobSpec spec;
+};
+
+/// Flat payload codec (wirecheck-annotated; the CRC frame is applied by
+/// encode_journal_record / the journal's scanner).
+[[nodiscard]] std::vector<std::byte> encode_journal_event(
+    const JournalEvent& event);
+[[nodiscard]] std::optional<JournalEvent> decode_journal_event(
+    const std::vector<std::byte>& payload);
+
+/// One framed record: [u32 len][payload][u32 crc]. decode rejects bad
+/// framing, bad CRC, and trailing bytes — the corruption-sweep surface.
+[[nodiscard]] std::vector<std::byte> encode_journal_record(
+    const JournalEvent& event);
+[[nodiscard]] std::optional<JournalEvent> decode_journal_record(
+    const std::vector<std::byte>& record);
+
+/// A job's state as reconstructed from a replayed event sequence — the
+/// same transitions the live queue performs, minus the threads.
+struct RecoveredJob {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::uint32_t attempt = 0;
+  bool cancel_requested = false;
+  JobOutcome outcome;
+  std::string fault_log;
+};
+
+/// Fold an event sequence into the job table it describes. Pure: the
+/// property tests drive it directly against a reference simulator, and
+/// JobServer recovery feeds its output to JobQueue::restore. A job whose
+/// last event left it kRunning is the interrupted job — the caller
+/// re-admits it with resume semantics.
+[[nodiscard]] std::map<std::uint64_t, RecoveredJob> reconstruct_jobs(
+    const std::vector<JournalEvent>& events);
+
+class JobJournal {
+ public:
+  explicit JobJournal(std::string path) : path_(std::move(path)) {}
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  struct ReplayResult {
+    std::vector<JournalEvent> events;
+    /// True when a torn or corrupt tail was truncated away (or a corrupt
+    /// header forced a fresh journal).
+    bool tail_truncated = false;
+    /// Bytes of valid prefix retained.
+    std::uint64_t valid_bytes = 0;
+  };
+
+  /// Open the journal (creating it if absent), replay every valid record,
+  /// truncate any torn tail, and leave the file open for appends. nullopt
+  /// only when the path is unusable (named warning logged) — the server
+  /// then runs without durability rather than not at all.
+  [[nodiscard]] std::optional<ReplayResult> open_and_replay();
+
+  /// Append one record and fsync. False on failure (named reason in
+  /// `error_name`, e.g. "journal-io"); a failed append never leaves torn
+  /// bytes behind — the file is truncated back to its pre-append length,
+  /// so the valid-prefix invariant holds for the next append.
+  bool append(const JournalEvent& event, std::string* error_name = nullptr);
+
+  /// Atomically replace the journal with just `live` (tmp+rename through
+  /// the fs-fault shim) and reopen for appends. Failure keeps the old
+  /// journal — compaction is an optimization, never a durability risk.
+  bool compact(const std::vector<JournalEvent>& live);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+ private:
+  bool open_for_append_locked();
+  void close_locked();
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace hipmer::server

@@ -1,0 +1,1172 @@
+// Durability layer: the write-ahead job journal (codec round-trips,
+// torn-tail healing, every-truncation-point and every-byte-flip sweeps,
+// replay == in-memory state over random transition sequences), the
+// seeded filesystem fault shim (every injected fault leaves a
+// recoverable store across journal / SnapshotStore / ArtifactCache),
+// and a kill -9 + restart of the real served CLI recovering its backlog
+// byte-identically.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/manifest.hpp"
+#include "ckpt/snapshot_store.hpp"
+#include "io/fs_faults.hpp"
+#include "server/artifact_cache.hpp"
+#include "server/client.hpp"
+#include "server/job_queue.hpp"
+#include "server/job_server.hpp"
+#include "server/journal.hpp"
+#include "util/hash.hpp"
+
+namespace hipmer {
+namespace {
+
+namespace fs = std::filesystem;
+using server::JobJournal;
+using server::JobState;
+using server::JournalEvent;
+using server::JournalEventType;
+
+fs::path fresh_dir(const std::string& tag) {
+  const auto dir = fs::temp_directory_path() /
+                   ("hipmer-journal-" + tag + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(std::random_device{}()));
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A SUBMIT event exercising every spec field, two libraries included.
+JournalEvent full_submit(std::uint64_t id) {
+  JournalEvent e;
+  e.type = JournalEventType::kSubmit;
+  e.job_id = id;
+  server::JobSpec& s = e.spec;
+  s.id = id;
+  s.tenant = "tenant-" + std::to_string(id);
+  s.priority = 3;
+  s.output_path = "/tmp/out" + std::to_string(id) + ".fasta";
+  s.k = 25;
+  s.min_count = 3;
+  s.rounds = 2;
+  s.diploid = true;
+  s.resume = false;
+  s.use_cache = true;
+  s.kill_spec = "1@contig_generation";
+  s.chaos_spec = "drop=0.02,dup=0.01";
+  s.chaos_seed = 1299721;
+  s.estimated_bytes = 123456789;
+  s.max_attempts = 4;
+  s.deadline_ms = 60000;
+  s.submit_wall_ms = 1754700000000ull;
+  for (int i = 0; i < 2; ++i) {
+    seq::ReadLibrary lib;
+    lib.name = "lib" + std::to_string(i);
+    lib.fastq_path = "/data/reads" + std::to_string(i) + ".fastq";
+    lib.mean_insert = 395.5 + i;
+    lib.for_contigging = i == 0;
+    s.libraries.push_back(lib);
+  }
+  return e;
+}
+
+JournalEvent make_event(JournalEventType type, std::uint64_t id,
+                        std::uint32_t attempt = 0,
+                        const std::string& error = "") {
+  JournalEvent e;
+  e.type = type;
+  e.job_id = id;
+  e.attempt = attempt;
+  e.error = error;
+  return e;
+}
+
+JournalEvent finish_event(std::uint64_t id, JobState state,
+                          std::uint64_t scaffolds = 0,
+                          const std::string& error = "") {
+  JournalEvent e;
+  e.type = JournalEventType::kFinish;
+  e.job_id = id;
+  e.final_state = state;
+  e.scaffolds = scaffolds;
+  e.scaffold_bases = scaffolds * 1000;
+  e.cache_hit = scaffolds % 2 == 0;
+  e.error = error;
+  return e;
+}
+
+void expect_events_equal(const JournalEvent& a, const JournalEvent& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.type, b.type) << what;
+  EXPECT_EQ(a.job_id, b.job_id) << what;
+  EXPECT_EQ(a.attempt, b.attempt) << what;
+  EXPECT_EQ(a.final_state, b.final_state) << what;
+  EXPECT_EQ(a.scaffolds, b.scaffolds) << what;
+  EXPECT_EQ(a.scaffold_bases, b.scaffold_bases) << what;
+  EXPECT_EQ(a.cache_hit, b.cache_hit) << what;
+  EXPECT_EQ(a.error, b.error) << what;
+  EXPECT_EQ(a.spec.tenant, b.spec.tenant) << what;
+  EXPECT_EQ(a.spec.priority, b.spec.priority) << what;
+  EXPECT_EQ(a.spec.output_path, b.spec.output_path) << what;
+  EXPECT_EQ(a.spec.k, b.spec.k) << what;
+  EXPECT_EQ(a.spec.min_count, b.spec.min_count) << what;
+  EXPECT_EQ(a.spec.rounds, b.spec.rounds) << what;
+  EXPECT_EQ(a.spec.diploid, b.spec.diploid) << what;
+  EXPECT_EQ(a.spec.resume, b.spec.resume) << what;
+  EXPECT_EQ(a.spec.use_cache, b.spec.use_cache) << what;
+  EXPECT_EQ(a.spec.kill_spec, b.spec.kill_spec) << what;
+  EXPECT_EQ(a.spec.chaos_spec, b.spec.chaos_spec) << what;
+  EXPECT_EQ(a.spec.chaos_seed, b.spec.chaos_seed) << what;
+  EXPECT_EQ(a.spec.estimated_bytes, b.spec.estimated_bytes) << what;
+  EXPECT_EQ(a.spec.max_attempts, b.spec.max_attempts) << what;
+  EXPECT_EQ(a.spec.deadline_ms, b.spec.deadline_ms) << what;
+  EXPECT_EQ(a.spec.submit_wall_ms, b.spec.submit_wall_ms) << what;
+  ASSERT_EQ(a.spec.libraries.size(), b.spec.libraries.size()) << what;
+  for (std::size_t i = 0; i < a.spec.libraries.size(); ++i) {
+    EXPECT_EQ(a.spec.libraries[i].name, b.spec.libraries[i].name) << what;
+    EXPECT_EQ(a.spec.libraries[i].fastq_path, b.spec.libraries[i].fastq_path)
+        << what;
+    EXPECT_EQ(a.spec.libraries[i].mean_insert,
+              b.spec.libraries[i].mean_insert)
+        << what;
+    EXPECT_EQ(a.spec.libraries[i].for_contigging,
+              b.spec.libraries[i].for_contigging)
+        << what;
+  }
+}
+
+// ---- payload / record codec ----------------------------------------------
+
+TEST(JournalCodec, FullSubmitRoundTripsThroughRecordFrame) {
+  const auto event = full_submit(42);
+  const auto record = server::encode_journal_record(event);
+  const auto back = server::decode_journal_record(record);
+  ASSERT_TRUE(back.has_value());
+  expect_events_equal(event, *back, "submit");
+}
+
+TEST(JournalCodec, EveryEventTypeRoundTrips) {
+  const JournalEvent events[] = {
+      full_submit(1),
+      make_event(JournalEventType::kStart, 2, 1),
+      make_event(JournalEventType::kCancel, 3),
+      make_event(JournalEventType::kFail, 4, 2, "rank 1 killed"),
+      finish_event(5, JobState::kQuarantined, 7, "attempt 0: killed"),
+  };
+  for (const auto& event : events) {
+    const auto back =
+        server::decode_journal_record(server::encode_journal_record(event));
+    ASSERT_TRUE(back.has_value()) << journal_event_name(event.type);
+    expect_events_equal(event, *back, journal_event_name(event.type));
+  }
+}
+
+TEST(JournalCodec, RejectsTrailingBytesAndBadEnums) {
+  auto payload = server::encode_journal_event(full_submit(1));
+  auto extended = payload;
+  extended.push_back(std::byte{0});
+  EXPECT_FALSE(server::decode_journal_event(extended).has_value());
+
+  // type = 0 and type = 6 are outside the enum.
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{6}}) {
+    auto tampered = payload;
+    tampered[0] = std::byte{bad};
+    EXPECT_FALSE(server::decode_journal_event(tampered).has_value())
+        << static_cast<int>(bad);
+  }
+  // final_state sits after type(4) + job_id(8) + attempt(4); 6 is past
+  // kQuarantined.
+  auto bad_state = payload;
+  bad_state[16] = std::byte{6};
+  EXPECT_FALSE(server::decode_journal_event(bad_state).has_value());
+}
+
+TEST(JournalCodec, EveryTruncationPointRejects) {
+  const auto record = server::encode_journal_record(full_submit(7));
+  for (std::size_t cut = 0; cut < record.size(); ++cut) {
+    const std::vector<std::byte> prefix(record.begin(),
+                                        record.begin() +
+                                            static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(server::decode_journal_record(prefix).has_value())
+        << "cut at " << cut << "/" << record.size();
+  }
+}
+
+TEST(JournalCodec, EveryByteFlipRejects) {
+  const auto record = server::encode_journal_record(full_submit(7));
+  // A full-byte invert and a single-bit flip at every position: the CRC
+  // frame (or the length check) must reject every one.
+  for (const std::uint8_t mask : {std::uint8_t{0xFF}, std::uint8_t{0x01}}) {
+    for (std::size_t pos = 0; pos < record.size(); ++pos) {
+      auto mutated = record;
+      mutated[pos] ^= std::byte{mask};
+      EXPECT_FALSE(server::decode_journal_record(mutated).has_value())
+          << "flip 0x" << std::hex << static_cast<int>(mask) << " at "
+          << std::dec << pos;
+    }
+  }
+}
+
+// ---- journal file: append / replay / torn tails ---------------------------
+
+std::vector<JournalEvent> sample_sequence() {
+  std::vector<JournalEvent> events;
+  events.push_back(full_submit(1));
+  events.push_back(make_event(JournalEventType::kStart, 1, 0));
+  events.push_back(make_event(JournalEventType::kFail, 1, 0, "rank killed"));
+  events.push_back(full_submit(2));
+  events.push_back(make_event(JournalEventType::kStart, 1, 1));
+  events.push_back(finish_event(1, JobState::kDone, 12));
+  return events;
+}
+
+TEST(JournalFile, AppendThenReplayRoundTrips) {
+  const auto dir = fresh_dir("roundtrip");
+  const auto path = (dir / "journal.bin").string();
+  const auto events = sample_sequence();
+  {
+    JobJournal journal(path);
+    auto replay = journal.open_and_replay();
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_TRUE(replay->events.empty());
+    EXPECT_FALSE(replay->tail_truncated);
+    for (const auto& event : events) {
+      std::string error;
+      ASSERT_TRUE(journal.append(event, &error)) << error;
+    }
+  }
+  JobJournal reopened(path);
+  const auto replay = reopened.open_and_replay();
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_FALSE(replay->tail_truncated);
+  ASSERT_EQ(replay->events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    expect_events_equal(events[i], replay->events[i],
+                        "event " + std::to_string(i));
+  fs::remove_all(dir);
+}
+
+TEST(JournalFile, TornTailIsTruncatedAndJournalHeals) {
+  const auto dir = fresh_dir("torn");
+  const auto path = (dir / "journal.bin").string();
+  {
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.open_and_replay().has_value());
+    ASSERT_TRUE(journal.append(full_submit(1)));
+    ASSERT_TRUE(journal.append(make_event(JournalEventType::kStart, 1)));
+  }
+  const auto valid_size = fs::file_size(path);
+  {
+    // A crash mid-append: garbage bytes after the last valid record.
+    std::ofstream torn(path, std::ios::binary | std::ios::app);
+    torn.write("\x30\x00\x00\x00partial", 11);
+  }
+  {
+    JobJournal journal(path);
+    const auto replay = journal.open_and_replay();
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_TRUE(replay->tail_truncated);
+    EXPECT_EQ(replay->events.size(), 2u);
+    EXPECT_EQ(replay->valid_bytes, valid_size);
+    // The torn bytes are gone from disk and appends extend a valid prefix.
+    EXPECT_EQ(fs::file_size(path), valid_size);
+    ASSERT_TRUE(journal.append(finish_event(1, JobState::kDone, 3)));
+  }
+  JobJournal reopened(path);
+  const auto replay = reopened.open_and_replay();
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_FALSE(replay->tail_truncated);
+  ASSERT_EQ(replay->events.size(), 3u);
+  EXPECT_EQ(replay->events[2].type, JournalEventType::kFinish);
+  fs::remove_all(dir);
+}
+
+TEST(JournalFile, ForeignHeaderIsRotatedAsideNotDestroyed) {
+  const auto dir = fresh_dir("foreign");
+  const auto path = (dir / "journal.bin").string();
+  {
+    std::ofstream foreign(path, std::ios::binary);
+    foreign << "this is not a journal at all, it has other plans";
+  }
+  JobJournal journal(path);
+  const auto replay = journal.open_and_replay();
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->events.empty());
+  EXPECT_TRUE(replay->tail_truncated);
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  ASSERT_TRUE(journal.append(full_submit(1)));
+  fs::remove_all(dir);
+}
+
+TEST(JournalFile, TornHeaderStartsFresh) {
+  const auto dir = fresh_dir("tornhead");
+  const auto path = (dir / "journal.bin").string();
+  {
+    std::ofstream torn(path, std::ios::binary);
+    torn.write("HJ", 2);  // died mid-creation
+  }
+  JobJournal journal(path);
+  const auto replay = journal.open_and_replay();
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->events.empty());
+  EXPECT_TRUE(replay->tail_truncated);
+  ASSERT_TRUE(journal.append(full_submit(1)));
+  fs::remove_all(dir);
+}
+
+TEST(JournalFile, EveryTruncationPointReplaysAValidPrefixAndStaysAppendable) {
+  const auto dir = fresh_dir("cut");
+  const auto path = (dir / "journal.bin").string();
+  const auto events = sample_sequence();
+  std::vector<std::uint64_t> boundaries;  // file size after each record
+  {
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.open_and_replay().has_value());
+    for (const auto& event : events) {
+      ASSERT_TRUE(journal.append(event));
+      boundaries.push_back(fs::file_size(path));
+    }
+  }
+  std::vector<std::byte> whole;
+  {
+    auto bytes = io::read_file(path);
+    ASSERT_TRUE(bytes.has_value());
+    whole = std::move(*bytes);
+  }
+  const std::size_t header = 8;
+  const auto cut_path = (dir / "cut.bin").string();
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(whole.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    // How many whole records fit below the cut?
+    std::size_t expect = 0;
+    while (expect < boundaries.size() && boundaries[expect] <= cut) ++expect;
+    JobJournal journal(cut_path);
+    const auto replay = journal.open_and_replay();
+    ASSERT_TRUE(replay.has_value()) << "cut " << cut;
+    ASSERT_EQ(replay->events.size(), expect) << "cut " << cut;
+    for (std::size_t i = 0; i < expect; ++i)
+      EXPECT_EQ(replay->events[i].type, events[i].type) << "cut " << cut;
+    // Anything beyond the valid prefix was truncated away...
+    if (cut > header) {
+      EXPECT_EQ(replay->valid_bytes,
+                expect > 0 ? boundaries[expect - 1] : header)
+          << "cut " << cut;
+    }
+    // ...and the healed journal accepts and persists a new record.
+    ASSERT_TRUE(journal.append(finish_event(99, JobState::kFailed)))
+        << "cut " << cut;
+    JobJournal reread(cut_path);
+    const auto again = reread.open_and_replay();
+    ASSERT_TRUE(again.has_value()) << "cut " << cut;
+    ASSERT_EQ(again->events.size(), expect + 1) << "cut " << cut;
+    EXPECT_EQ(again->events.back().job_id, 99u) << "cut " << cut;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(JournalFile, EveryByteFlipReplaysAValidPrefix) {
+  const auto dir = fresh_dir("flip");
+  const auto path = (dir / "journal.bin").string();
+  const auto events = sample_sequence();
+  std::vector<std::uint64_t> boundaries;
+  {
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.open_and_replay().has_value());
+    for (const auto& event : events) {
+      ASSERT_TRUE(journal.append(event));
+      boundaries.push_back(fs::file_size(path));
+    }
+  }
+  std::vector<std::byte> whole;
+  {
+    auto bytes = io::read_file(path);
+    ASSERT_TRUE(bytes.has_value());
+    whole = std::move(*bytes);
+  }
+  const std::size_t header = 8;
+  const auto flip_path = (dir / "flip.bin").string();
+  for (std::size_t pos = 0; pos < whole.size(); ++pos) {
+    auto mutated = whole;
+    mutated[pos] ^= std::byte{0xFF};
+    {
+      std::ofstream out(flip_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(mutated.data()),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    JobJournal journal(flip_path);
+    const auto replay = journal.open_and_replay();
+    ASSERT_TRUE(replay.has_value()) << "flip " << pos;
+    if (pos < header) {
+      // Header flip: a foreign file, rotated aside; nothing replayed.
+      EXPECT_TRUE(replay->events.empty()) << "flip " << pos;
+      EXPECT_TRUE(replay->tail_truncated) << "flip " << pos;
+      std::error_code ec;
+      fs::remove(flip_path + ".corrupt", ec);
+      continue;
+    }
+    // The record containing the flipped byte and everything after it are
+    // dropped; everything before replays intact.
+    std::size_t expect = 0;
+    while (expect < boundaries.size() && boundaries[expect] <= pos) ++expect;
+    EXPECT_TRUE(replay->tail_truncated) << "flip " << pos;
+    ASSERT_EQ(replay->events.size(), expect) << "flip " << pos;
+    for (std::size_t i = 0; i < expect; ++i)
+      EXPECT_EQ(replay->events[i].job_id, events[i].job_id) << "flip " << pos;
+  }
+  fs::remove_all(dir);
+}
+
+// ---- replay semantics: reconstruct_jobs -----------------------------------
+
+TEST(ReconstructJobs, LifecycleStatesLandWhereTheQueueWouldPutThem) {
+  std::vector<JournalEvent> events;
+  events.push_back(full_submit(1));  // stays queued
+  events.push_back(full_submit(2));  // running at crash
+  events.push_back(make_event(JournalEventType::kStart, 2, 0));
+  events.push_back(full_submit(3));  // cancelled while queued
+  events.push_back(make_event(JournalEventType::kCancel, 3));
+  events.push_back(full_submit(4));  // finished clean
+  events.push_back(make_event(JournalEventType::kStart, 4, 0));
+  events.push_back(finish_event(4, JobState::kDone, 9));
+  events.push_back(full_submit(5));  // failed once, requeued
+  events.push_back(make_event(JournalEventType::kStart, 5, 0));
+  events.push_back(make_event(JournalEventType::kFail, 5, 0, "rank killed"));
+  events.push_back(full_submit(6));  // cancelled while running
+  events.push_back(make_event(JournalEventType::kStart, 6, 0));
+  events.push_back(make_event(JournalEventType::kCancel, 6));
+
+  const auto jobs = server::reconstruct_jobs(events);
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_EQ(jobs.at(1).state, JobState::kQueued);
+  EXPECT_EQ(jobs.at(2).state, JobState::kRunning);
+  EXPECT_EQ(jobs.at(3).state, JobState::kCancelled);
+  EXPECT_EQ(jobs.at(4).state, JobState::kDone);
+  EXPECT_EQ(jobs.at(4).outcome.scaffolds, 9u);
+  EXPECT_EQ(jobs.at(5).state, JobState::kQueued);
+  EXPECT_EQ(jobs.at(5).attempt, 1u);
+  EXPECT_NE(jobs.at(5).fault_log.find("attempt 0: rank killed"),
+            std::string::npos);
+  // A cancel seen while running is honored over a resume.
+  EXPECT_EQ(jobs.at(6).state, JobState::kCancelled);
+  EXPECT_EQ(jobs.at(6).outcome.error, "cancelled before restart");
+}
+
+TEST(ReconstructJobs, OrphansSkippedAndTerminalNeverOverwritten) {
+  std::vector<JournalEvent> events;
+  events.push_back(make_event(JournalEventType::kStart, 77, 0));  // orphan
+  events.push_back(finish_event(77, JobState::kDone, 1));         // orphan
+  events.push_back(full_submit(1));
+  events.push_back(make_event(JournalEventType::kStart, 1, 0));
+  events.push_back(finish_event(1, JobState::kDone, 5));
+  // Nothing after a terminal record may change the job.
+  events.push_back(make_event(JournalEventType::kStart, 1, 1));
+  events.push_back(make_event(JournalEventType::kCancel, 1));
+  const auto jobs = server::reconstruct_jobs(events);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs.at(1).state, JobState::kDone);
+  EXPECT_EQ(jobs.at(1).outcome.scaffolds, 5u);
+}
+
+TEST(ReconstructJobs, CompactedSubmitCarriesAttemptAndFaultLog) {
+  auto submit = full_submit(1);
+  submit.attempt = 2;
+  submit.error = "attempt 0: killed; attempt 1: killed";
+  const auto jobs = server::reconstruct_jobs({submit});
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs.at(1).state, JobState::kQueued);
+  EXPECT_EQ(jobs.at(1).attempt, 2u);
+  EXPECT_EQ(jobs.at(1).fault_log, "attempt 0: killed; attempt 1: killed");
+}
+
+/// Reference simulator for the property test: an independent little state
+/// machine tracking what the live queue + executor would believe, written
+/// against the server's documented semantics rather than the replay code.
+struct SimJob {
+  JobState state = JobState::kQueued;
+  std::uint32_t attempt = 0;
+  bool cancel_flag = false;
+  std::string fault_log;
+  std::string terminal_error;
+  std::uint64_t scaffolds = 0;
+};
+
+std::map<std::uint64_t, SimJob> simulate(
+    const std::vector<JournalEvent>& events) {
+  std::map<std::uint64_t, SimJob> jobs;
+  for (const auto& e : events) {
+    if (e.type == JournalEventType::kSubmit) {
+      SimJob fresh;
+      fresh.attempt = e.attempt;
+      fresh.fault_log = e.error;
+      jobs[e.job_id] = fresh;
+      continue;
+    }
+    auto it = jobs.find(e.job_id);
+    if (it == jobs.end()) continue;  // orphan: nothing to recover
+    SimJob& job = it->second;
+    if (job.state == JobState::kDone || job.state == JobState::kFailed ||
+        job.state == JobState::kCancelled ||
+        job.state == JobState::kQuarantined)
+      continue;  // terminal is forever
+    if (e.type == JournalEventType::kStart) {
+      job.state = JobState::kRunning;
+      job.attempt = e.attempt;
+    } else if (e.type == JournalEventType::kCancel) {
+      if (job.state == JobState::kQueued)
+        job.state = JobState::kCancelled;
+      else
+        job.cancel_flag = true;
+    } else if (e.type == JournalEventType::kFail) {
+      job.state = JobState::kQueued;
+      if (!job.fault_log.empty()) job.fault_log += "; ";
+      job.fault_log +=
+          "attempt " + std::to_string(e.attempt) + ": " + e.error;
+      job.attempt = e.attempt + 1;
+    } else if (e.type == JournalEventType::kFinish) {
+      job.state = e.final_state;
+      job.scaffolds = e.scaffolds;
+      job.terminal_error = e.error;
+    }
+  }
+  for (auto& [id, job] : jobs)
+    if (job.state == JobState::kRunning && job.cancel_flag) {
+      job.state = JobState::kCancelled;
+      job.terminal_error = "cancelled before restart";
+    }
+  return jobs;
+}
+
+TEST(ReconstructJobs, PropertyReplayMatchesInMemoryStateOverRandomHistories) {
+  for (std::uint32_t seed = 0; seed < 200; ++seed) {
+    std::mt19937 rng(seed);
+    std::vector<JournalEvent> events;
+    const int jobs_n = 1 + static_cast<int>(rng() % 6);
+    // Per-job scripts of plausible-and-not-so-plausible transitions,
+    // interleaved round-robin-ish across jobs the way a live log would be.
+    std::vector<std::vector<JournalEvent>> scripts;
+    for (int j = 1; j <= jobs_n; ++j) {
+      const auto id = static_cast<std::uint64_t>(j);
+      std::vector<JournalEvent> script;
+      if (rng() % 10 != 0) {  // 10%: orphan transitions without a SUBMIT
+        auto submit = full_submit(id);
+        if (rng() % 5 == 0) {  // compacted-journal shape
+          submit.attempt = static_cast<std::uint32_t>(rng() % 3);
+          submit.error = submit.attempt > 0 ? "attempt 0: prior" : "";
+        }
+        script.push_back(submit);
+      }
+      std::uint32_t attempt = 0;
+      const int steps = static_cast<int>(rng() % 4);
+      for (int s = 0; s < steps; ++s) {
+        script.push_back(make_event(JournalEventType::kStart, id, attempt));
+        switch (rng() % 4) {
+          case 0:
+            script.push_back(make_event(JournalEventType::kFail, id, attempt,
+                                        "injected"));
+            ++attempt;
+            break;
+          case 1:
+            script.push_back(finish_event(
+                id,
+                std::vector<JobState>{JobState::kDone, JobState::kFailed,
+                                      JobState::kQuarantined}[rng() % 3],
+                rng() % 100));
+            break;
+          case 2:
+            script.push_back(make_event(JournalEventType::kCancel, id));
+            break;
+          default:
+            break;  // crash while running: no further record
+        }
+      }
+      scripts.push_back(std::move(script));
+    }
+    std::vector<std::size_t> cursor(scripts.size(), 0);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t j = 0; j < scripts.size(); ++j) {
+        // Advance a random number of this job's events to interleave.
+        std::size_t take = rng() % 3;
+        while (take-- > 0 && cursor[j] < scripts[j].size()) {
+          events.push_back(scripts[j][cursor[j]++]);
+          progressed = true;
+        }
+      }
+      if (!progressed)
+        for (std::size_t j = 0; j < scripts.size(); ++j)
+          while (cursor[j] < scripts[j].size()) {
+            events.push_back(scripts[j][cursor[j]++]);
+            progressed = true;
+          }
+      if (progressed == false) break;
+      if (events.size() > 200) break;
+    }
+
+    const auto expected = simulate(events);
+    const auto recovered = server::reconstruct_jobs(events);
+    ASSERT_EQ(recovered.size(), expected.size()) << "seed " << seed;
+    for (const auto& [id, sim] : expected) {
+      const auto it = recovered.find(id);
+      ASSERT_NE(it, recovered.end()) << "seed " << seed << " job " << id;
+      EXPECT_EQ(it->second.state, sim.state) << "seed " << seed << " job "
+                                             << id;
+      EXPECT_EQ(it->second.attempt, sim.attempt)
+          << "seed " << seed << " job " << id;
+      EXPECT_EQ(it->second.fault_log, sim.fault_log)
+          << "seed " << seed << " job " << id;
+      EXPECT_EQ(it->second.outcome.error, sim.terminal_error)
+          << "seed " << seed << " job " << id;
+      EXPECT_EQ(it->second.outcome.scaffolds, sim.scaffolds)
+          << "seed " << seed << " job " << id;
+    }
+
+    // Every 10th history also goes through the full file layer: append
+    // every event, replay, reconstruct — same answer.
+    if (seed % 10 == 0) {
+      const auto dir = fresh_dir("prop" + std::to_string(seed));
+      const auto path = (dir / "journal.bin").string();
+      {
+        JobJournal journal(path);
+        ASSERT_TRUE(journal.open_and_replay().has_value());
+        for (const auto& event : events) ASSERT_TRUE(journal.append(event));
+      }
+      JobJournal journal(path);
+      const auto replay = journal.open_and_replay();
+      ASSERT_TRUE(replay.has_value());
+      const auto from_disk = server::reconstruct_jobs(replay->events);
+      ASSERT_EQ(from_disk.size(), expected.size()) << "seed " << seed;
+      for (const auto& [id, sim] : expected)
+        EXPECT_EQ(from_disk.at(id).state, sim.state)
+            << "seed " << seed << " job " << id;
+      fs::remove_all(dir);
+    }
+  }
+}
+
+// ---- retry backoff --------------------------------------------------------
+
+TEST(RetryPolicy, BackoffDoublesWithBoundedJitterAndCaps) {
+  const std::uint32_t base = 200;
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t b = static_cast<std::uint64_t>(base)
+                            << (attempt < 6 ? attempt : 6);
+    for (std::uint64_t job = 1; job < 20; ++job) {
+      const auto ms = server::JobServer::retry_backoff_ms(base, attempt, job);
+      EXPECT_GE(ms, b - b / 4) << attempt << "/" << job;
+      EXPECT_LE(ms, b + b / 4) << attempt << "/" << job;
+      // Deterministic: same inputs, same wait.
+      EXPECT_EQ(ms, server::JobServer::retry_backoff_ms(base, attempt, job));
+    }
+  }
+}
+
+// ---- fs fault shim --------------------------------------------------------
+
+TEST(FsFaultPlan, ParsesTheGrammar) {
+  auto plan = io::FsFaultPlan::parse(
+      7, "enospc=0.05,eio=0.02,short=0.1,crash_before=0.01,"
+         "crash_after=0.03,path=cache");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.probs.enospc, 0.05);
+  EXPECT_DOUBLE_EQ(plan.probs.eio, 0.02);
+  EXPECT_DOUBLE_EQ(plan.probs.short_write, 0.1);
+  EXPECT_DOUBLE_EQ(plan.probs.crash_before_rename, 0.01);
+  EXPECT_DOUBLE_EQ(plan.probs.crash_after_rename, 0.03);
+  EXPECT_EQ(plan.path_filter, "cache");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.one_shot_op, -1);
+
+  auto one_shot = io::FsFaultPlan::parse(1, "at=3:crash_before");
+  EXPECT_EQ(one_shot.one_shot_op, 3);
+  EXPECT_EQ(one_shot.one_shot_fate, io::FsFate::kCrashBeforeRename);
+  EXPECT_TRUE(one_shot.enabled());
+
+  EXPECT_FALSE(io::FsFaultPlan{}.enabled());
+  EXPECT_THROW((void)io::FsFaultPlan::parse(1, "bogus=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)io::FsFaultPlan::parse(1, "at=1:volcano"),
+               std::invalid_argument);
+  EXPECT_THROW((void)io::FsFaultPlan::parse(1, "enospc=notafloat"),
+               std::invalid_argument);
+}
+
+TEST(FsFaults, SeededFatesAreDeterministicAndFilterable) {
+  auto roll = [](std::uint64_t seed, const std::string& filter) {
+    io::FsFaultPlan plan;
+    plan.seed = seed;
+    plan.probs.eio = 0.5;
+    plan.path_filter = filter;
+    io::ScopedFsFaults armed(plan);
+    std::vector<io::FsFate> fates;
+    for (int i = 0; i < 32; ++i)
+      fates.push_back(
+          io::FsFaults::instance().next_fate("/x/store/file.bin"));
+    return fates;
+  };
+  const auto a = roll(11, "");
+  const auto b = roll(11, "");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, roll(12, ""));
+  bool any_fault = false;
+  for (const auto fate : a) any_fault |= fate != io::FsFate::kOk;
+  EXPECT_TRUE(any_fault);
+
+  // Path filter: non-matching paths are never touched.
+  const auto filtered = roll(11, "no-such-substring");
+  for (const auto fate : filtered) EXPECT_EQ(fate, io::FsFate::kOk);
+
+  // Disarmed: everything is kOk.
+  EXPECT_EQ(io::FsFaults::instance().next_fate("/x/store/file.bin"),
+            io::FsFate::kOk);
+}
+
+TEST(FsFaults, OneShotHitsExactlyTheNthOperation) {
+  io::ScopedFsFaults armed(io::FsFaultPlan::parse(1, "at=2:eio"));
+  auto& shim = io::FsFaults::instance();
+  EXPECT_EQ(shim.next_fate("/a"), io::FsFate::kOk);
+  EXPECT_EQ(shim.next_fate("/b"), io::FsFate::kOk);
+  EXPECT_EQ(shim.next_fate("/c"), io::FsFate::kEio);
+  EXPECT_EQ(shim.next_fate("/d"), io::FsFate::kOk);
+  EXPECT_EQ(shim.injected(), 1u);
+  EXPECT_EQ(shim.operations(), 4u);
+}
+
+TEST(FsFaults, AtomicWriteLeavesExactlyTheDebrisEachFateDescribes) {
+  const auto dir = fresh_dir("atomic");
+  const std::string payload = "forty-two bytes of very durable payload!!";
+  const auto target = dir / "file.bin";
+  const auto tmp = dir / "file.bin.tmp";
+
+  auto write_under = [&](const std::string& spec) {
+    std::error_code ec;
+    fs::remove(target, ec);
+    fs::remove(tmp, ec);
+    io::ScopedFsFaults armed(io::FsFaultPlan::parse(1, spec));
+    return io::write_file_atomic(target, payload.data(), payload.size());
+  };
+
+  EXPECT_EQ(write_under("at=0:enospc"), io::AtomicWriteStatus::kFailed);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(tmp));
+
+  EXPECT_EQ(write_under("at=0:eio"), io::AtomicWriteStatus::kFailed);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(tmp));
+
+  EXPECT_EQ(write_under("at=0:short"), io::AtomicWriteStatus::kCrashed);
+  EXPECT_FALSE(fs::exists(target));
+  ASSERT_TRUE(fs::exists(tmp));
+  EXPECT_LT(fs::file_size(tmp), payload.size());
+
+  EXPECT_EQ(write_under("at=0:crash_before"),
+            io::AtomicWriteStatus::kCrashed);
+  EXPECT_FALSE(fs::exists(target));
+  ASSERT_TRUE(fs::exists(tmp));
+  EXPECT_EQ(fs::file_size(tmp), payload.size());
+
+  EXPECT_EQ(write_under("at=0:crash_after"), io::AtomicWriteStatus::kCrashed);
+  EXPECT_FALSE(fs::exists(tmp));
+  ASSERT_TRUE(fs::exists(target));
+  const auto bytes = io::read_file(target);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes->data()),
+                        bytes->size()),
+            payload);
+
+  // The startup sweep reclaims whatever a crash left behind.
+  EXPECT_EQ(write_under("at=0:crash_before"),
+            io::AtomicWriteStatus::kCrashed);
+  ASSERT_TRUE(fs::exists(tmp));
+  EXPECT_GE(io::sweep_tmp_files(dir), 1u);
+  EXPECT_FALSE(fs::exists(tmp));
+
+  // Nothing armed: the plain path works.
+  EXPECT_EQ(io::write_file_atomic(target, payload.data(), payload.size()),
+            io::AtomicWriteStatus::kOk);
+  fs::remove_all(dir);
+}
+
+// ---- every-injection-point sweeps over the durable stores -----------------
+
+TEST(FaultSweep, JournalAppendSurvivesEveryFateByName) {
+  struct Case {
+    const char* spec;
+    const char* expect_error;
+    std::size_t expect_events;  // records visible on replay afterwards
+  };
+  const Case cases[] = {
+      {"at=0:enospc", "journal-enospc", 2},
+      {"at=0:eio", "journal-eio", 2},
+      {"at=0:short", "journal-short-write", 2},
+      {"at=0:crash_before", "journal-short-write", 2},
+      // crash-after-rename: the bytes landed, the ack didn't —
+      // at-least-once is the safe direction for a write-ahead log.
+      {"at=0:crash_after", "journal-crash", 3},
+  };
+  for (const auto& c : cases) {
+    const auto dir = fresh_dir("jfault");
+    const auto path = (dir / "journal.bin").string();
+    {
+      JobJournal journal(path);
+      ASSERT_TRUE(journal.open_and_replay().has_value());
+      ASSERT_TRUE(journal.append(full_submit(1)));
+      ASSERT_TRUE(journal.append(make_event(JournalEventType::kStart, 1)));
+      std::string error;
+      {
+        io::ScopedFsFaults armed(io::FsFaultPlan::parse(1, c.spec));
+        EXPECT_FALSE(journal.append(finish_event(1, JobState::kDone), &error))
+            << c.spec;
+      }
+      EXPECT_EQ(error, c.expect_error) << c.spec;
+      // The journal stays usable the moment the fault clears.
+      ASSERT_TRUE(journal.append(make_event(JournalEventType::kCancel, 1)))
+          << c.spec;
+    }
+    JobJournal reopened(path);
+    const auto replay = reopened.open_and_replay();
+    ASSERT_TRUE(replay.has_value()) << c.spec;
+    EXPECT_FALSE(replay->tail_truncated) << c.spec;
+    EXPECT_EQ(replay->events.size(), c.expect_events + 1) << c.spec;
+    EXPECT_EQ(replay->events.back().type, JournalEventType::kCancel)
+        << c.spec;
+    fs::remove_all(dir);
+  }
+}
+
+TEST(FaultSweep, JournalCompactionFailureKeepsTheOldLog) {
+  for (const char* spec :
+       {"at=0:enospc", "at=0:eio", "at=0:short", "at=0:crash_before"}) {
+    const auto dir = fresh_dir("jcompact");
+    const auto path = (dir / "journal.bin").string();
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.open_and_replay().has_value());
+    ASSERT_TRUE(journal.append(full_submit(1)));
+    ASSERT_TRUE(journal.append(full_submit(2)));
+    {
+      io::ScopedFsFaults armed(io::FsFaultPlan::parse(1, spec));
+      EXPECT_FALSE(journal.compact({full_submit(2)})) << spec;
+    }
+    // Old log intact, journal reopened for appends.
+    ASSERT_TRUE(journal.append(make_event(JournalEventType::kStart, 2)));
+    JobJournal reopened(path);
+    const auto replay = reopened.open_and_replay();
+    ASSERT_TRUE(replay.has_value()) << spec;
+    ASSERT_EQ(replay->events.size(), 3u) << spec;
+    EXPECT_EQ(replay->events[0].job_id, 1u) << spec;
+    fs::remove_all(dir);
+  }
+}
+
+/// Drive one full SnapshotStore commit (2 shards + manifest) under a
+/// one-shot fault at operation `op`, then verify the reopened store is
+/// either a complete valid checkpoint or a clean absence — never torn.
+void snapshot_store_drill(std::int64_t op, const char* fate) {
+  const auto dir = fresh_dir("ckptfault");
+  const std::vector<std::byte> payloads[2] = {
+      std::vector<std::byte>(64, std::byte{0xAB}),
+      std::vector<std::byte>(96, std::byte{0xCD}),
+  };
+  bool committed = false;
+  {
+    ckpt::SnapshotStore store((dir / "run").string());
+    ckpt::Manifest manifest;
+    ckpt::StageEntry entry;
+    entry.stage = "ufx";
+    entry.seq = 1;
+    entry.fingerprint = 0xFEED;
+    entry.shard_count = 2;
+    for (const auto& payload : payloads) {
+      entry.shard_bytes.push_back(payload.size());
+      entry.shard_crcs.push_back(
+          util::crc32c(payload.data(), payload.size()));
+    }
+    const std::string spec =
+        "at=" + std::to_string(op) + ":" + fate;
+    io::ScopedFsFaults armed(io::FsFaultPlan::parse(1, spec));
+    bool ok = store.prepare_entry(entry);
+    for (std::uint32_t i = 0; ok && i < 2; ++i)
+      ok = store.write_shard(entry, i, payloads[i]);
+    if (ok) {
+      // Shards landed; the manifest rename is the commit point.
+      manifest.entries.push_back(entry);
+      committed = store.write_manifest(manifest);
+    }
+  }
+  // Reopen the way Checkpointer does: sweep debris, then trust only what
+  // the manifest references — and everything it references must verify.
+  ckpt::SnapshotStore store((dir / "run").string());
+  store.sweep_orphans();
+  for (const auto& leftover : fs::recursive_directory_iterator(dir))
+    EXPECT_NE(leftover.path().extension(), ".tmp")
+        << "op " << op << " " << fate;
+  const auto manifest = store.load_manifest();
+  if (committed) {
+    ASSERT_TRUE(manifest.has_value()) << "op " << op;
+  }
+  if (manifest.has_value()) {
+    for (const auto& entry : manifest->entries)
+      for (std::uint32_t i = 0; i < entry.shard_count; ++i) {
+        const auto shard = store.read_shard(entry, i);
+        ASSERT_TRUE(shard.has_value())
+            << "op " << op << " " << fate << " shard " << i
+            << ": manifest references an unreadable shard";
+      }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FaultSweep, SnapshotStoreRecoversFromEveryInjectionPoint) {
+  // 3 durable writes per commit (2 shards + manifest); sweep a fault onto
+  // each, for every fate.
+  for (std::int64_t op = 0; op < 3; ++op)
+    for (const char* fate :
+         {"enospc", "eio", "short", "crash_before", "crash_after"})
+      snapshot_store_drill(op, fate);
+}
+
+/// Same drill for the artifact cache: a faulted store must read back as
+/// either the full artifact or a clean miss on a fresh cache instance.
+void artifact_cache_drill(std::int64_t op, const char* fate) {
+  const auto dir = fresh_dir("cachefault");
+  const std::uint64_t key = 0xC0FFEE;
+  const std::vector<std::vector<std::byte>> shards = {
+      std::vector<std::byte>(48, std::byte{0x11}),
+      std::vector<std::byte>(32, std::byte{0x22}),
+  };
+  ckpt::AuxStats aux;
+  aux.distinct_kmers = 1234;
+  aux.singleton_fraction = 0.25;
+  aux.heavy_hitters = 7;
+  bool stored = false;
+  {
+    server::ArtifactCache cache(dir / "cache");
+    const std::string spec = "at=" + std::to_string(op) + ":" + fate;
+    io::ScopedFsFaults armed(io::FsFaultPlan::parse(1, spec));
+    stored = cache.store_ufx(key, shards, aux);
+  }
+  // A fresh instance sweeps crash debris on construction.
+  server::ArtifactCache cache(dir / "cache");
+  for (const auto& leftover : fs::recursive_directory_iterator(dir))
+    EXPECT_NE(leftover.path().extension(), ".tmp") << "op " << op << " "
+                                                   << fate;
+  const auto artifact = cache.lookup_ufx(key);
+  if (stored) {
+    ASSERT_TRUE(artifact.has_value()) << "op " << op << " " << fate;
+  }
+  if (artifact.has_value()) {
+    // Valid-or-miss: a hit must be the exact artifact, never torn.
+    ASSERT_EQ(artifact->shards.size(), shards.size())
+        << "op " << op << " " << fate;
+    for (std::size_t i = 0; i < shards.size(); ++i)
+      EXPECT_EQ(artifact->shards[i], shards[i])
+          << "op " << op << " " << fate;
+    EXPECT_EQ(artifact->aux.distinct_kmers, aux.distinct_kmers);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FaultSweep, ArtifactCacheRecoversFromEveryInjectionPoint) {
+  // store_ufx = 2 shard writes + 1 meta write.
+  for (std::int64_t op = 0; op < 3; ++op)
+    for (const char* fate :
+         {"enospc", "eio", "short", "crash_before", "crash_after"})
+      artifact_cache_drill(op, fate);
+}
+
+TEST(FaultSweep, SnapshotStoreSweepRemovesOrphanTmpFiles) {
+  const auto dir = fresh_dir("orphans");
+  ckpt::SnapshotStore store((dir / "run").string());
+  fs::create_directories(dir / "run" / "ufx.1");
+  {
+    std::ofstream a(dir / "run" / "manifest.bin.tmp");
+    a << "torn";
+    std::ofstream b(dir / "run" / "ufx.1" / "shard.0.tmp");
+    b << "torn";
+    std::ofstream keep(dir / "run" / "ufx.1" / "shard.0");
+    keep << "committed";
+  }
+  EXPECT_EQ(store.sweep_orphans(), 2u);
+  EXPECT_FALSE(fs::exists(dir / "run" / "manifest.bin.tmp"));
+  EXPECT_FALSE(fs::exists(dir / "run" / "ufx.1" / "shard.0.tmp"));
+  EXPECT_TRUE(fs::exists(dir / "run" / "ufx.1" / "shard.0"));
+  fs::remove_all(dir);
+}
+
+// ---- kill -9 + restart through the real CLI -------------------------------
+
+#ifdef HIPMER_CLI_BIN
+
+class ServedDurability : public ::testing::Test {
+ protected:
+  static std::string dir_;
+  static std::string fastq_;
+
+  static void SetUpTestSuite() {
+    char tmpl[] = "/tmp/hipmer-durability-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_EQ(run(std::string(HIPMER_CLI_BIN) + " simulate human --genome " +
+                  "20000 --seed 11 --out-dir " + dir_),
+              0);
+    fastq_ = dir_ + "/human_like_pe395.fastq";
+    std::ifstream probe(fastq_);
+    ASSERT_TRUE(probe.good()) << "simulated FASTQ missing: " << fastq_;
+    // One-shot references for byte-identity of the recovered jobs (the
+    // long job runs 3 scaffolding rounds; the riders run the default 1).
+    ASSERT_EQ(run(std::string(HIPMER_CLI_BIN) + " assemble --reads " +
+                  fastq_ + " --insert 395 --k 21 --ranks 4 --min-count 2 " +
+                  "--out " + dir_ + "/ref.fasta"),
+              0);
+    ASSERT_EQ(run(std::string(HIPMER_CLI_BIN) + " assemble --reads " +
+                  fastq_ + " --insert 395 --k 21 --ranks 4 --min-count 2 " +
+                  "--rounds 3 --out " + dir_ + "/ref3.fasta"),
+              0);
+  }
+
+  static void TearDownTestSuite() {
+    if (!dir_.empty()) run("rm -rf " + dir_);
+  }
+
+  static int run(const std::string& cmd) {
+    const int rc = std::system((cmd + " > /dev/null 2>&1").c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  }
+
+  /// fork + exec `hipmer serve` so the test holds the real PID to SIGKILL.
+  static pid_t spawn_server(const std::string& sock,
+                            const std::string& state) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        ::dup2(devnull, 1);
+        ::dup2(devnull, 2);
+        ::close(devnull);
+      }
+      ::execl(HIPMER_CLI_BIN, HIPMER_CLI_BIN, "serve", "--listen",
+              sock.c_str(), "--state-dir", state.c_str(), "--ranks", "4",
+              "--retry-backoff-ms", "50", static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    return pid;
+  }
+
+  static std::optional<server::Response> request(const std::string& sock,
+                                                 const std::string& command) {
+    return server::request_with_retry(sock, command, 100, 50);
+  }
+
+  static std::uint64_t submit(const std::string& sock,
+                              const std::string& out,
+                              const std::string& extra = "") {
+    const auto resp =
+        request(sock, "SUBMIT reads=" + fastq_ + ":395 out=" + dir_ + "/" +
+                          out + " k=21 min_count=2" +
+                          (extra.empty() ? "" : " " + extra));
+    if (!resp || !resp->ok()) return 0;
+    return std::strtoull(
+        server::response_field(resp->first(), "id", "0").c_str(), nullptr,
+        10);
+  }
+
+  static std::string await(const std::string& sock, std::uint64_t id) {
+    for (int i = 0; i < 6000; ++i) {
+      const auto resp = request(sock, "STATUS id=" + std::to_string(id));
+      if (!resp || !resp->ok()) return "protocol-error";
+      const auto state = server::response_field(resp->first(), "state");
+      if (state == "done" || state == "failed" || state == "cancelled" ||
+          state == "quarantined")
+        return state;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return "timeout";
+  }
+
+  static std::string slurp(const std::string& name) {
+    std::ifstream in(dir_ + "/" + name, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+std::string ServedDurability::dir_;
+std::string ServedDurability::fastq_;
+
+TEST_F(ServedDurability, Kill9MidJobRestartsWithBacklogAndResumesIdentically) {
+  const std::string sock = dir_ + "/ctl.sock";
+  const std::string state = dir_ + "/state";
+  pid_t pid = spawn_server(sock, state);
+  ASSERT_GT(pid, 0);
+
+  // Three jobs: one long job to die mid-run, two queued behind it.
+  const auto j1 = submit(sock, "recov1.fasta", "rounds=3");
+  const auto j2 = submit(sock, "recov2.fasta");
+  const auto j3 = submit(sock, "recov3.fasta");
+  ASSERT_TRUE(j1 && j2 && j3) << "submissions failed";
+
+  // Wait until job 1 is actually running, give it a beat to make stage
+  // progress, then kill the server the unfriendly way.
+  std::string state_seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto resp = request(sock, "STATUS id=" + std::to_string(j1));
+    ASSERT_TRUE(resp.has_value());
+    state_seen = server::response_field(resp->first(), "state");
+    if (state_seen == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(state_seen, "running");
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // Restart on the same state dir: the journal re-admits all three.
+  pid = spawn_server(sock, state);
+  ASSERT_GT(pid, 0);
+  EXPECT_EQ(await(sock, j1), "done");
+  EXPECT_EQ(await(sock, j2), "done");
+  EXPECT_EQ(await(sock, j3), "done");
+
+  // Byte-identical to the one-shot reference — including the job that
+  // resumed from the dead server's checkpoint.
+  const auto ref = slurp("ref.fasta");
+  const auto ref3 = slurp("ref3.fasta");
+  ASSERT_FALSE(ref.empty());
+  ASSERT_FALSE(ref3.empty());
+  EXPECT_EQ(slurp("recov1.fasta"), ref3);
+  EXPECT_EQ(slurp("recov2.fasta"), ref);
+  EXPECT_EQ(slurp("recov3.fasta"), ref);
+
+  const auto resp = request(sock, "SHUTDOWN");
+  EXPECT_TRUE(resp.has_value());
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+}
+
+#endif  // HIPMER_CLI_BIN
+
+}  // namespace
+}  // namespace hipmer

@@ -547,7 +547,8 @@ class ServedAssembly : public ::testing::Test {
       const auto resp = request("STATUS id=" + std::to_string(id));
       if (!resp || !resp->ok()) return "protocol-error";
       const auto state = server::response_field(resp->first(), "state");
-      if (state == "done" || state == "failed" || state == "cancelled")
+      if (state == "done" || state == "failed" || state == "cancelled" ||
+          state == "quarantined")
         return state;
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
@@ -675,16 +676,21 @@ TEST_F(ServedAssembly, CancelQueuedAndRunningLeavesTeamReusable) {
   expect_matches_reference("after_cancel.fasta");
 }
 
-TEST_F(ServedAssembly, KilledJobFailsAloneNextJobUnaffected) {
-  // An injected rank-kill mid-assembly fails this job only.
-  const auto doomed = submit(
-      submit_args("killed.fasta", "kill=1@contig_generation tenant=chaos"));
+TEST_F(ServedAssembly, KilledJobQuarantinedAloneNextJobUnaffected) {
+  // An injected rank-kill mid-assembly fails every attempt of this job:
+  // the retry policy burns its budget (attempts=2 to keep the test fast)
+  // and quarantines the poison job with its accumulated fault record.
+  const auto doomed = submit(submit_args(
+      "killed.fasta", "kill=1@contig_generation tenant=chaos attempts=2"));
   ASSERT_NE(doomed, 0u);
-  ASSERT_EQ(await(doomed), "failed");
+  ASSERT_EQ(await(doomed), "quarantined");
   const auto status = request("STATUS id=" + std::to_string(doomed));
   ASSERT_TRUE(status.has_value());
-  EXPECT_NE(server::response_field(status->first(), "error").find("killed"),
-            std::string::npos);
+  const auto error = server::response_field(status->first(), "error");
+  EXPECT_NE(error.find("killed"), std::string::npos) << error;
+  // The fault record names each failed attempt.
+  EXPECT_NE(error.find("attempt"), std::string::npos) << error;
+  EXPECT_EQ(server::response_field(status->first(), "attempts"), "2");
 
   // A job under a pinned lossy-chaos plan still completes correctly (the
   // delivery protocol hides the losses), and so does a clean job after.
@@ -698,6 +704,24 @@ TEST_F(ServedAssembly, KilledJobFailsAloneNextJobUnaffected) {
   ASSERT_NE(clean, 0u);
   ASSERT_EQ(await(clean), "done");
   expect_matches_reference("after_kill.fasta");
+}
+
+TEST_F(ServedAssembly, DeadlineExpiredBeforeDispatchFailsWithoutRunning) {
+  // Job A pins the executor; job B's 1 ms wall-clock deadline expires
+  // while it waits in the queue, so dispatch fails it without running a
+  // single stage — and without charging a retry.
+  const auto pinning = submit(submit_args("dl_pin.fasta", "rounds=3"));
+  const auto doomed = submit(submit_args("dl_late.fasta", "deadline=1"));
+  ASSERT_TRUE(pinning && doomed);
+  ASSERT_EQ(await(doomed), "failed");
+  const auto status = request("STATUS id=" + std::to_string(doomed));
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(
+      server::response_field(status->first(), "error").find("deadline"),
+      std::string::npos);
+  EXPECT_FALSE(fs::exists(state_->dir / "dl_late.fasta"));
+  EXPECT_TRUE(stages(doomed).empty());
+  EXPECT_EQ(await(pinning), "done");
 }
 
 TEST_F(ServedAssembly, TenantCheckpointsStayIsolated) {
@@ -757,7 +781,14 @@ TEST_F(ServedAssembly, InPlaceRewriteSameSizeMissesCache) {
 
 TEST_F(ServedAssembly, IdleClientDoesNotBlockControlPlane) {
   // A client that connects and sends nothing must not wedge the control
-  // plane for everyone else.
+  // plane for everyone else. Wait for the listener first: the raw connect
+  // below has no retry, and the server binds its socket only after journal
+  // recovery.
+  {
+    const auto ready = request("PING");
+    ASSERT_TRUE(ready.has_value());
+    ASSERT_TRUE(ready->ok());
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   const auto sock_path = (state_->dir / "ctl.sock").string();

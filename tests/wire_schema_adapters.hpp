@@ -23,6 +23,7 @@
 #include "pipeline/read_shuffle.hpp"
 #include "seq/read_store.hpp"
 #include "server/artifact_cache.hpp"
+#include "server/journal.hpp"
 #include "server/protocol.hpp"
 
 /// One corruption-sweep adapter per schema in tools/wirecheck/schemas.json.
@@ -621,6 +622,52 @@ inline std::vector<WireSweepCase> wire_sweep_cases() {
                          auto m = server::decode_cache_meta(b);
                          if (!m) return std::nullopt;
                          return server::encode_cache_meta(*m);
+                       });
+                     }});
+  }
+
+  // ---- server: journal event payload (CRC delegated to the record
+  // frame: detect mode — the sweep demands reject-or-changed-fingerprint
+  // on the bare payload; the frame-level CRC sweeps live in
+  // test_journal.cpp and reject every corruption outright) ----
+  {
+    server::JournalEvent event;
+    event.type = server::JournalEventType::kSubmit;
+    event.job_id = 42;
+    event.attempt = 1;
+    event.final_state = server::JobState::kDone;
+    event.scaffolds = 9;
+    event.scaffold_bases = 9000;
+    event.cache_hit = true;
+    event.error = "attempt 0: rank killed";
+    event.spec.id = 42;
+    event.spec.tenant = "alice";
+    event.spec.priority = 2;
+    event.spec.output_path = "/out/a.fasta";
+    event.spec.k = 25;
+    event.spec.min_count = 3;
+    event.spec.rounds = 2;
+    event.spec.diploid = true;
+    event.spec.use_cache = true;
+    event.spec.kill_spec = "1@contigs";
+    event.spec.chaos_spec = "drop=0.02";
+    event.spec.chaos_seed = 77;
+    event.spec.estimated_bytes = 1 << 20;
+    event.spec.max_attempts = 3;
+    event.spec.deadline_ms = 60000;
+    event.spec.submit_wall_ms = 1754700000000ull;
+    seq::ReadLibrary lib;
+    lib.name = "lib0";
+    lib.fastq_path = "/data/r.fastq";
+    lib.mean_insert = 395.0;
+    lib.for_contigging = true;
+    event.spec.libraries.push_back(lib);
+    cases.push_back({"journal_event", server::encode_journal_event(event),
+                     [](const Bytes& b) {
+                       return guard([&]() -> Fingerprint {
+                         auto e = server::decode_journal_event(b);
+                         if (!e) return std::nullopt;
+                         return server::encode_journal_event(*e);
                        });
                      }});
   }

@@ -24,9 +24,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,12 +76,15 @@ int usage() {
                "[--max-queued N]\n"
                "               [--max-resident-bytes N] [--keep-last N] "
                "[--no-cache]\n"
+               "               [--state-journal PATH | --no-journal] "
+               "[--max-attempts N] [--retry-backoff-ms N]\n"
+               "               [--fs-faults SPEC [--fs-fault-seed N]]\n"
                "  hipmer submit --listen SOCK --reads FILE [--insert N] "
                "[--scaffold-only]... --out FILE\n"
                "               [--tenant T] [--priority N] [--k N] "
                "[--min-count N] [--rounds N] [--diploid] [--resume]\n"
                "               [--no-cache] [--kill SPEC] [--chaos-spec S "
-               "--chaos-seed N] [--wait]\n"
+               "--chaos-seed N] [--deadline MS] [--attempts N] [--wait]\n"
                "  hipmer status --listen SOCK --job ID [--result]\n"
                "  hipmer cancel --listen SOCK --job ID\n"
                "  hipmer stats --listen SOCK\n"
@@ -393,6 +399,15 @@ int cmd_serve(int argc, char** argv) {
       opts.get_int("max-resident-bytes", 4ll << 30));
   cfg.keep_last = static_cast<int>(opts.get_int("keep-last", 2));
   cfg.enable_cache = !opts.get_bool("no-cache", false);
+  cfg.enable_journal = !opts.get_bool("no-journal", false);
+  cfg.journal_path = opts.get("state-journal", "");
+  cfg.max_attempts =
+      static_cast<std::uint32_t>(opts.get_int("max-attempts", 3));
+  cfg.retry_backoff_ms =
+      static_cast<std::uint32_t>(opts.get_int("retry-backoff-ms", 200));
+  cfg.fs_fault_spec = opts.get("fs-faults", "");
+  cfg.fs_fault_seed =
+      static_cast<std::uint64_t>(opts.get_int("fs-fault-seed", 1));
   server::JobServer srv(cfg);
   return srv.serve();
 }
@@ -442,6 +457,10 @@ int cmd_submit(int argc, char** argv) {
     command += " chaos=" + opts.get("chaos-spec", "") +
                " chaos_seed=" + std::to_string(opts.get_int("chaos-seed", 1));
   }
+  if (opts.has("deadline"))
+    command += " deadline=" + std::to_string(opts.get_int("deadline", 0));
+  if (opts.has("attempts"))
+    command += " attempts=" + std::to_string(opts.get_int("attempts", 0));
 
   const auto resp = server::request_with_retry(sock, command, 50, 100);
   if (!resp) {
@@ -454,7 +473,13 @@ int cmd_submit(int argc, char** argv) {
   if (!opts.get_bool("wait", false)) return 0;
 
   // --wait: poll until the job lands in a terminal state, then print the
-  // full RESULT (including per-stage timings).
+  // full RESULT (including per-stage timings). Exponential backoff with
+  // jitter, capped at 2s — a fleet of waiting clients must not hammer the
+  // server in lockstep.
+  useconds_t delay_us = 25 * 1000;
+  constexpr useconds_t kMaxDelayUs = 2'000'000;
+  std::srand(static_cast<unsigned>(getpid()) ^
+             static_cast<unsigned>(time(nullptr)));
   for (;;) {
     const auto status = server::request(sock, "STATUS id=" + id);
     if (!status || !status->ok()) {
@@ -464,14 +489,22 @@ int cmd_submit(int argc, char** argv) {
     }
     const std::string state =
         server::response_field(status->first(), "state", "?");
-    if (state == "done" || state == "failed" || state == "cancelled") {
+    if (state == "done" || state == "failed" || state == "cancelled" ||
+        state == "quarantined") {
       const auto result = server::request(sock, "RESULT id=" + id);
       if (result)
         for (const auto& line : result->lines)
           std::printf("%s\n", line.c_str());
       return state == "done" ? 0 : 1;
     }
-    usleep(100 * 1000);
+    // +-25% jitter decorrelates concurrent waiters.
+    const useconds_t jitter = delay_us / 2 > 0
+                                  ? static_cast<useconds_t>(
+                                        std::rand() %
+                                        static_cast<int>(delay_us / 2 + 1))
+                                  : 0;
+    usleep(delay_us - delay_us / 4 + jitter);
+    delay_us = std::min(delay_us * 2, kMaxDelayUs);
   }
 }
 
